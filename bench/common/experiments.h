@@ -1,0 +1,35 @@
+#ifndef PODIUM_BENCH_COMMON_EXPERIMENTS_H_
+#define PODIUM_BENCH_COMMON_EXPERIMENTS_H_
+
+#include <string>
+
+#include "podium/datagen/generator.h"
+
+namespace podium::bench {
+
+/// The intrinsic-diversity experiment behind Figures 3a and 3c: generate
+/// the dataset, build the LBS/Single instance, run Podium and the three
+/// baselines, and print every intrinsic metric normalized to the leader.
+void RunIntrinsicExperiment(const datagen::DatasetConfig& config,
+                            std::size_t budget, std::size_t top_k,
+                            std::uint64_t selector_seed,
+                            const std::string& bucket_method = "quantile",
+                            std::size_t repetitions = 3);
+
+/// The opinion-diversity experiment behind Figures 3b and 3d: per hold-out
+/// destination, select `budget` of its reviewers by profile, procure their
+/// ground-truth reviews and print the opinion metrics normalized to the
+/// leader. `report_usefulness` adds the Yelp-only usefulness metric.
+///
+/// Both experiments repeat over `repetitions` dataset seeds (config.seed,
+/// config.seed+1, ...) and report metric means, damping the single-draw
+/// noise of the synthetic data.
+void RunOpinionExperiment(const datagen::DatasetConfig& config,
+                          std::size_t budget, bool report_usefulness,
+                          std::uint64_t selector_seed,
+                          const std::string& bucket_method = "quantile",
+                          std::size_t repetitions = 3);
+
+}  // namespace podium::bench
+
+#endif  // PODIUM_BENCH_COMMON_EXPERIMENTS_H_

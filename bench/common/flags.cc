@@ -1,0 +1,67 @@
+#include "bench/common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace podium::bench {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s' (use --key=value)\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";  // bare --flag means boolean true
+      consumed_[arg] = false;
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      consumed_[arg.substr(0, eq)] = false;
+    }
+  }
+}
+
+std::int64_t Flags::Int(const std::string& key, std::int64_t default_value) {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  consumed_[key] = true;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::Double(const std::string& key, double default_value) {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  consumed_[key] = true;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Flags::String(const std::string& key, std::string default_value) {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  consumed_[key] = true;
+  return it->second;
+}
+
+bool Flags::Bool(const std::string& key, bool default_value) {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  consumed_[key] = true;
+  return it->second == "true" || it->second == "1";
+}
+
+void Flags::CheckConsumed() const {
+  bool bad = false;
+  for (const auto& [key, consumed] : consumed_) {
+    if (!consumed) {
+      std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
+      bad = true;
+    }
+  }
+  if (bad) std::exit(2);
+}
+
+}  // namespace podium::bench

@@ -1,0 +1,33 @@
+#ifndef PODIUM_BENCH_COMMON_FLAGS_H_
+#define PODIUM_BENCH_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace podium::bench {
+
+/// Minimal --key=value command-line parsing for the experiment binaries.
+/// Unknown flags abort with a message listing what was seen, so typos in
+/// sweep scripts fail loudly.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  std::int64_t Int(const std::string& key, std::int64_t default_value);
+  double Double(const std::string& key, double default_value);
+  std::string String(const std::string& key, std::string default_value);
+  bool Bool(const std::string& key, bool default_value);
+
+  /// Call after all flags were read; aborts if any provided flag was never
+  /// consumed.
+  void CheckConsumed() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> consumed_;
+};
+
+}  // namespace podium::bench
+
+#endif  // PODIUM_BENCH_COMMON_FLAGS_H_

@@ -1,0 +1,93 @@
+#include "bench/common/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "podium/baselines/distance_selector.h"
+#include "podium/baselines/kmeans_selector.h"
+#include "podium/baselines/random_selector.h"
+#include "podium/core/greedy.h"
+#include "podium/util/stopwatch.h"
+
+namespace podium::bench {
+
+std::vector<std::unique_ptr<Selector>> StandardSelectors(std::uint64_t seed) {
+  std::vector<std::unique_ptr<Selector>> selectors;
+  selectors.push_back(std::make_unique<GreedySelector>());
+  selectors.push_back(std::make_unique<baselines::RandomSelector>(seed));
+  baselines::KMeansSelector::Options kmeans;
+  kmeans.seed = seed;
+  selectors.push_back(std::make_unique<baselines::KMeansSelector>(kmeans));
+  selectors.push_back(std::make_unique<baselines::DistanceSelector>());
+  return selectors;
+}
+
+std::vector<TimedSelection> RunSelectors(
+    const std::vector<std::unique_ptr<Selector>>& selectors,
+    const DiversificationInstance& instance, std::size_t budget) {
+  std::vector<TimedSelection> results;
+  for (const auto& selector : selectors) {
+    util::Stopwatch stopwatch;
+    Result<Selection> selection = selector->Select(instance, budget);
+    const double seconds = stopwatch.ElapsedSeconds();
+    if (!selection.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", selector->Name().c_str(),
+                   selection.status().ToString().c_str());
+      std::exit(1);
+    }
+    results.push_back(TimedSelection{selector->Name(),
+                                     std::move(selection).value(), seconds});
+  }
+  return results;
+}
+
+void PrintNormalizedTable(const std::vector<std::string>& algorithms,
+                          const std::vector<MetricRow>& rows) {
+  std::printf("%-34s", "metric (leader absolute value)");
+  for (const std::string& name : algorithms) {
+    std::printf(" %12s", name.c_str());
+  }
+  std::printf("\n");
+  for (const MetricRow& row : rows) {
+    const double leader =
+        *std::max_element(row.values.begin(), row.values.end());
+    char label[64];
+    std::snprintf(label, sizeof(label), "%s (%.4g)", row.metric.c_str(),
+                  leader);
+    std::printf("%-34s", label);
+    for (double value : row.values) {
+      if (leader > 0.0) {
+        std::printf(" %12.3f", value / leader);
+      } else {
+        std::printf(" %12.3f", 0.0);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+void PrintAbsoluteTable(const std::string& row_header,
+                        const std::vector<std::string>& columns,
+                        const std::vector<std::string>& row_labels,
+                        const std::vector<std::vector<double>>& cells,
+                        int precision) {
+  std::printf("%-24s", row_header.c_str());
+  for (const std::string& column : columns) {
+    std::printf(" %12s", column.c_str());
+  }
+  std::printf("\n");
+  for (std::size_t r = 0; r < row_labels.size(); ++r) {
+    std::printf("%-24s", row_labels[r].c_str());
+    for (double cell : cells[r]) {
+      std::printf(" %12.*f", precision, cell);
+    }
+    std::printf("\n");
+  }
+}
+
+void PrintBanner(const std::string& title, const std::string& subtitle) {
+  std::printf("=== %s ===\n%s\n\n", title.c_str(), subtitle.c_str());
+}
+
+}  // namespace podium::bench

@@ -1,0 +1,54 @@
+#ifndef PODIUM_BENCH_COMMON_HARNESS_H_
+#define PODIUM_BENCH_COMMON_HARNESS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "podium/core/instance.h"
+#include "podium/core/selection.h"
+
+namespace podium::bench {
+
+/// The four standard selectors of Section 8.3 (Podium + the baselines),
+/// ready to run over one instance.
+std::vector<std::unique_ptr<Selector>> StandardSelectors(std::uint64_t seed);
+
+/// Selection plus wall-clock time for one algorithm.
+struct TimedSelection {
+  std::string name;
+  Selection selection;
+  double seconds = 0.0;
+};
+
+/// Runs every selector on the instance; aborts on error (experiment
+/// binaries treat selector failures as fatal).
+std::vector<TimedSelection> RunSelectors(
+    const std::vector<std::unique_ptr<Selector>>& selectors,
+    const DiversificationInstance& instance, std::size_t budget);
+
+/// Figure-style table: rows are metrics, columns are algorithms, scores
+/// normalized to the per-metric leader (as in the paper's Figure 3, which
+/// shows "scores normalized relative to the leading algorithm's score"
+/// and annotates the leader's absolute value).
+struct MetricRow {
+  std::string metric;
+  std::vector<double> values;  // one per algorithm, absolute
+};
+void PrintNormalizedTable(const std::vector<std::string>& algorithms,
+                          const std::vector<MetricRow>& rows);
+
+/// Plain table of absolute values.
+void PrintAbsoluteTable(const std::string& row_header,
+                        const std::vector<std::string>& columns,
+                        const std::vector<std::string>& row_labels,
+                        const std::vector<std::vector<double>>& cells,
+                        int precision = 3);
+
+/// Prints the experiment banner (name + dataset stats line).
+void PrintBanner(const std::string& title, const std::string& subtitle);
+
+}  // namespace podium::bench
+
+#endif  // PODIUM_BENCH_COMMON_HARNESS_H_

@@ -1,0 +1,39 @@
+// Figure 3d: Yelp opinion diversity.
+//
+// As Figure 3b but over the Yelp-like dataset (the paper uses 130
+// destinations averaging ~1730 reviews) and including the Yelp-only
+// usefulness metric (sum of useful votes over procured reviews).
+//
+// Flags: --users --restaurants --leaves --budget --holdout --seed --bucket --reps
+
+#include "bench/common/experiments.h"
+#include "bench/common/flags.h"
+#include "bench/common/harness.h"
+
+int main(int argc, char** argv) {
+  podium::bench::Flags flags(argc, argv);
+  podium::datagen::DatasetConfig config =
+      podium::datagen::DatasetConfig::YelpLike();
+  config.num_users =
+      static_cast<std::size_t>(flags.Int("users", config.num_users));
+  config.num_restaurants = static_cast<std::size_t>(
+      flags.Int("restaurants", config.num_restaurants));
+  config.leaf_categories =
+      static_cast<std::size_t>(flags.Int("leaves", config.leaf_categories));
+  config.holdout_destinations = static_cast<std::size_t>(
+      flags.Int("holdout", config.holdout_destinations));
+  config.seed = static_cast<std::uint64_t>(flags.Int("seed", config.seed));
+  const auto budget = static_cast<std::size_t>(flags.Int("budget", 8));
+  const std::string bucket_method = flags.String("bucket", "quantile");
+  const auto reps = static_cast<std::size_t>(flags.Int("reps", 3));
+  flags.CheckConsumed();
+
+  podium::bench::PrintBanner(
+      "Figure 3d — Yelp opinion diversity",
+      "Simulated procurement from hold-out destinations, incl. usefulness");
+  podium::bench::RunOpinionExperiment(config, budget,
+                                      /*report_usefulness=*/true,
+                                      /*selector_seed=*/config.seed + 1,
+                                      bucket_method, reps);
+  return 0;
+}

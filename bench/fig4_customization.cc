@@ -1,0 +1,126 @@
+// Figure 4: Yelp intrinsic diversity with customization.
+//
+// From the Yelp-like dataset the paper samples nested priority-coverage
+// sets 𝒢₂₀ ⊆ 𝒢₄₀ ⊆ 𝒢₆₀ ⊆ 𝒢₈₀ uniformly at random, feeds each to Podium
+// as 𝒢_d, selects B = 8 users in the customized setting, and reports the
+// intrinsic metrics plus the new Feedback Group Coverage metric,
+// averaged over 20 repetitions. The "none" row is the uncustomized
+// baseline for comparison. The paper runs this at 30K users; the default
+// is 8000 for runtime (pass --users=30000 to match).
+//
+// Flags: --users --restaurants --leaves --budget --reps --seed
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/common/flags.h"
+#include "bench/common/harness.h"
+#include "podium/core/customization.h"
+#include "podium/core/greedy.h"
+#include "podium/datagen/generator.h"
+#include "podium/metrics/intrinsic.h"
+#include "podium/util/rng.h"
+#include "podium/util/string_util.h"
+
+namespace {
+
+template <typename T>
+T Unwrap(podium::Result<T> result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  podium::bench::Flags flags(argc, argv);
+  podium::datagen::DatasetConfig config =
+      podium::datagen::DatasetConfig::YelpLike();
+  config.num_users = static_cast<std::size_t>(flags.Int("users", 8000));
+  config.num_restaurants = static_cast<std::size_t>(
+      flags.Int("restaurants", 16000));
+  config.leaf_categories =
+      static_cast<std::size_t>(flags.Int("leaves", config.leaf_categories));
+  config.seed = static_cast<std::uint64_t>(flags.Int("seed", config.seed));
+  const auto budget = static_cast<std::size_t>(flags.Int("budget", 8));
+  const auto reps = static_cast<std::size_t>(flags.Int("reps", 20));
+  flags.CheckConsumed();
+
+  podium::bench::PrintBanner(
+      "Figure 4 — Yelp intrinsic diversity with customization",
+      "Random priority sets of 20/40/60/80 groups; metrics averaged over "
+      "repetitions");
+
+  const podium::datagen::Dataset data =
+      Unwrap(podium::datagen::GenerateDataset(config));
+  std::printf("dataset: %zu users, %zu properties\n",
+              data.repository.user_count(),
+              data.repository.property_count());
+
+  podium::InstanceOptions options;
+  options.budget = budget;
+  const podium::DiversificationInstance instance = Unwrap(
+      podium::DiversificationInstance::Build(data.repository, options));
+  const std::size_t num_groups = instance.groups().group_count();
+  std::printf("instance: %zu groups, B = %zu, %zu repetitions\n\n",
+              num_groups, budget, reps);
+
+  const std::vector<std::size_t> sizes = {0, 20, 40, 60, 80};
+  std::vector<std::string> row_labels;
+  std::vector<std::vector<double>> cells;
+  podium::util::Rng rng(config.seed + 17);
+
+  for (std::size_t size : sizes) {
+    double total_score = 0.0;
+    double top_k = 0.0;
+    double intersected = 0.0;
+    double similarity = 0.0;
+    double feedback_cov = 0.0;
+    const std::size_t runs = size == 0 ? 1 : reps;
+    for (std::size_t rep = 0; rep < runs; ++rep) {
+      podium::CustomizationFeedback feedback;
+      if (size > 0) {
+        // Nested sampling: draw 80 groups once per repetition and use the
+        // first `size` of them, realizing 𝒢₂₀ ⊆ ... ⊆ 𝒢₈₀ per repetition.
+        podium::util::Rng rep_rng = rng.Fork(rep + 1);
+        const auto sample = rep_rng.SampleWithoutReplacement(
+            num_groups, std::max<std::size_t>(sizes.back(), size));
+        for (std::size_t i = 0; i < size; ++i) {
+          feedback.priority.push_back(
+              static_cast<podium::GroupId>(sample[i]));
+        }
+      }
+      const podium::CustomSelection custom = Unwrap(
+          podium::SelectCustomized(instance, feedback, budget));
+      const podium::metrics::IntrinsicMetrics m =
+          podium::metrics::ComputeIntrinsicMetrics(
+              instance, custom.selection.users, 200);
+      total_score += m.total_score;
+      top_k += m.top_k_coverage;
+      intersected += m.intersected_coverage;
+      similarity += m.distribution_similarity;
+      feedback_cov += podium::metrics::FeedbackGroupCoverage(
+          instance, custom.selection.users, feedback.priority);
+    }
+    const auto n = static_cast<double>(runs);
+    row_labels.push_back(size == 0 ? "none"
+                                   : podium::util::StringPrintf(
+                                         "|Gd| = %zu", size));
+    cells.push_back({total_score / n, top_k / n, intersected / n,
+                     similarity / n, feedback_cov / n});
+  }
+
+  podium::bench::PrintAbsoluteTable(
+      "priority set",
+      {"total score", "top-200 cov", "intersect cov", "dist sim",
+       "feedback cov"},
+      row_labels, cells);
+  std::printf(
+      "\nExpected shape (paper): intrinsic metrics dip only slightly as "
+      "|Gd| grows; feedback coverage drops significantly with more "
+      "priority groups.\n");
+  return 0;
+}

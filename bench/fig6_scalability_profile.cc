@@ -1,0 +1,88 @@
+// Figure 6: the effect of profile size on execution time.
+//
+// Fixes the population at 8K users (the paper's setting) and sweeps the
+// category vocabulary, which drives the average profile size. Expected
+// shape: running time linear in the average profile size; Clustering well
+// above Podium and Distance.
+//
+// Flags: --users --budget --seed
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/common/flags.h"
+#include "bench/common/harness.h"
+#include "podium/datagen/generator.h"
+#include "podium/util/stopwatch.h"
+#include "podium/util/string_util.h"
+
+namespace {
+
+template <typename T>
+T Unwrap(podium::Result<T> result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  podium::bench::Flags flags(argc, argv);
+  const auto users = static_cast<std::size_t>(flags.Int("users", 8000));
+  const auto budget = static_cast<std::size_t>(flags.Int("budget", 8));
+  const auto seed = static_cast<std::uint64_t>(flags.Int("seed", 7));
+  flags.CheckConsumed();
+
+  podium::bench::PrintBanner(
+      "Figure 6 — execution time vs. profile size",
+      podium::util::StringPrintf(
+          "%zu users; category vocabulary sweep drives the mean profile "
+          "size (seconds)",
+          users));
+
+  std::vector<std::string> row_labels;
+  std::vector<std::vector<double>> cells;
+  for (std::size_t leaves : {15, 30, 60, 120, 240}) {
+    podium::datagen::DatasetConfig config;
+    config.num_users = users;
+    config.num_restaurants = users * 2;
+    config.leaf_categories = leaves;
+    config.num_cities = 30;
+    config.min_reviews_per_user = 10;
+    config.max_reviews_per_user = 80;
+    config.holdout_destinations = 0;
+    config.seed = seed;
+    const podium::datagen::Dataset data =
+        Unwrap(podium::datagen::GenerateDataset(config));
+
+    podium::InstanceOptions options;
+    options.budget = budget;
+    podium::util::Stopwatch grouping_watch;
+    const podium::DiversificationInstance instance = Unwrap(
+        podium::DiversificationInstance::Build(data.repository, options));
+    const double grouping_seconds = grouping_watch.ElapsedSeconds();
+
+    const auto selectors = podium::bench::StandardSelectors(seed + 1);
+    const auto runs =
+        podium::bench::RunSelectors(selectors, instance, budget);
+    std::vector<double> row;
+    for (const auto& run : runs) row.push_back(run.seconds);
+    row.push_back(grouping_seconds);
+    cells.push_back(row);
+    row_labels.push_back(podium::util::StringPrintf(
+        "%.0f props/user", data.repository.MeanProfileSize()));
+  }
+
+  podium::bench::PrintAbsoluteTable(
+      "profile size",
+      {"Podium", "Random", "Clustering", "Distance", "(grouping)"},
+      row_labels, cells, 4);
+  std::printf(
+      "\nExpected shape (paper): running time linear in the average "
+      "profile size; Clustering well above Podium and Distance.\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// google-benchmark microbenchmarks for the hot paths: greedy selection,
+// group-index construction, the bucketizers, JSON parsing, Jaccard
+// distance, and CD-sim.
+
+#include <benchmark/benchmark.h>
+
+#include "podium/baselines/distance_selector.h"
+#include "podium/bucketing/bucketizer.h"
+#include "podium/core/greedy.h"
+#include "podium/core/instance.h"
+#include "podium/datagen/generator.h"
+#include "podium/json/parser.h"
+#include "podium/json/writer.h"
+#include "podium/metrics/cd_sim.h"
+#include "podium/profile/repository_io.h"
+#include "podium/util/rng.h"
+
+namespace podium {
+namespace {
+
+const datagen::Dataset& SharedDataset() {
+  static const datagen::Dataset* dataset = [] {
+    datagen::DatasetConfig config;
+    config.num_users = 2000;
+    config.num_restaurants = 4000;
+    config.leaf_categories = 60;
+    config.holdout_destinations = 0;
+    config.seed = 3;
+    return new datagen::Dataset(
+        std::move(datagen::GenerateDataset(config)).value());
+  }();
+  return *dataset;
+}
+
+const DiversificationInstance& SharedInstance() {
+  static const DiversificationInstance* instance = [] {
+    InstanceOptions options;
+    options.budget = 8;
+    return new DiversificationInstance(
+        DiversificationInstance::Build(SharedDataset().repository, options)
+            .value());
+  }();
+  return *instance;
+}
+
+void BM_GroupIndexBuild(benchmark::State& state) {
+  const ProfileRepository& repo = SharedDataset().repository;
+  GroupingOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GroupIndex::Build(repo, options));
+  }
+}
+BENCHMARK(BM_GroupIndexBuild)->Unit(benchmark::kMillisecond);
+
+void BM_GreedySelect(benchmark::State& state) {
+  const DiversificationInstance& instance = SharedInstance();
+  GreedyOptions options;
+  options.mode = state.range(0) == 0 ? GreedyMode::kPlainScan
+                                     : GreedyMode::kLazyHeap;
+  GreedySelector selector(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        selector.Select(instance, static_cast<std::size_t>(state.range(1))));
+  }
+}
+BENCHMARK(BM_GreedySelect)
+    ->ArgsProduct({{0, 1}, {8, 32}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DistanceSelect(benchmark::State& state) {
+  const DiversificationInstance& instance = SharedInstance();
+  baselines::DistanceSelector selector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.Select(instance, 8));
+  }
+}
+BENCHMARK(BM_DistanceSelect)->Unit(benchmark::kMillisecond);
+
+void BM_Bucketizer(benchmark::State& state) {
+  static const std::vector<std::string> kMethods = {
+      "equal-width", "quantile", "kmeans-1d", "jenks", "kde"};
+  const std::string& method = kMethods[static_cast<std::size_t>(
+      state.range(0))];
+  auto bucketizer = bucketing::MakeBucketizer(method).value();
+  util::Rng rng(5);
+  std::vector<double> values(10000);
+  for (double& v : values) v = rng.NextDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bucketizer->Split(values, 3));
+  }
+  state.SetLabel(method);
+}
+BENCHMARK(BM_Bucketizer)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+
+void BM_JsonParseRepository(benchmark::State& state) {
+  // Serialize a repository slice once, then benchmark parsing it back.
+  datagen::DatasetConfig config;
+  config.num_users = 200;
+  config.num_restaurants = 400;
+  config.leaf_categories = 30;
+  config.holdout_destinations = 0;
+  config.seed = 9;
+  const datagen::Dataset data =
+      std::move(datagen::GenerateDataset(config)).value();
+  const std::string text = json::Write(RepositoryToJson(data.repository));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(json::Parse(text));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_JsonParseRepository)->Unit(benchmark::kMillisecond);
+
+void BM_JaccardDistance(benchmark::State& state) {
+  const ProfileRepository& repo = SharedDataset().repository;
+  util::Rng rng(11);
+  for (auto _ : state) {
+    const UserId a = static_cast<UserId>(rng.NextBounded(repo.user_count()));
+    const UserId b = static_cast<UserId>(rng.NextBounded(repo.user_count()));
+    benchmark::DoNotOptimize(baselines::JaccardDistance(repo, a, b));
+  }
+}
+BENCHMARK(BM_JaccardDistance);
+
+void BM_CdSim(benchmark::State& state) {
+  util::Rng rng(13);
+  std::vector<double> f_all(64);
+  std::vector<double> f_subset(64);
+  for (std::size_t i = 0; i < f_all.size(); ++i) {
+    f_all[i] = rng.NextDouble();
+    f_subset[i] = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::CdSim(f_subset, f_all));
+  }
+}
+BENCHMARK(BM_CdSim);
+
+}  // namespace
+}  // namespace podium

@@ -1,0 +1,97 @@
+// Panel planner: "how many users must I survey to cover X% of the
+// population's group mass?" Uses the threshold-targeting selector (the
+// DEC-DIVERSITY view of the problem, Prop. 4.1/4.2) to find the smallest
+// greedy panel reaching each coverage level, then iterates once with the
+// refinement engine (the paper's §10 future work) to show how feedback
+// reshapes the panel.
+//
+//   ./build/examples/panel_planner [users]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "podium/core/podium.h"
+#include "podium/datagen/generator.h"
+#include "podium/util/string_util.h"
+
+namespace {
+
+template <typename T>
+T Unwrap(podium::Result<T> result) {
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  podium::datagen::DatasetConfig config;
+  config.num_users = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2000;
+  config.num_restaurants = 4000;
+  config.leaf_categories = 80;
+  config.num_cities = 12;
+  config.holdout_destinations = 0;
+  config.seed = 13;
+  const podium::datagen::Dataset data =
+      Unwrap(podium::datagen::GenerateDataset(config));
+
+  podium::InstanceOptions options;
+  options.budget = 64;  // upper bound for the planner sweep
+  const podium::DiversificationInstance instance = Unwrap(
+      podium::DiversificationInstance::Build(data.repository, options));
+  const double maximum = podium::MaxAchievableScore(instance);
+  std::printf(
+      "%zu users, %zu groups; maximum achievable score %s\n\n"
+      "panel size needed per coverage target (greedy, LBS/Single):\n",
+      data.repository.user_count(), instance.groups().group_count(),
+      podium::util::FormatDouble(maximum, 0).c_str());
+
+  std::printf("  %8s %12s %14s\n", "target", "panel size", "score");
+  for (double fraction : {0.5, 0.7, 0.8, 0.9, 0.95, 0.99}) {
+    podium::Result<podium::Selection> panel =
+        podium::SelectToThreshold(instance, fraction * maximum, 64);
+    if (panel.ok()) {
+      std::printf("  %7.0f%% %12zu %14s\n", 100.0 * fraction,
+                  panel->users.size(),
+                  podium::util::FormatDouble(panel->score, 0).c_str());
+    } else {
+      std::printf("  %7.0f%%   unreachable within 64 users\n",
+                  100.0 * fraction);
+    }
+  }
+
+  // One refinement round on the 90% panel.
+  const podium::Selection panel =
+      Unwrap(podium::SelectToThreshold(instance, 0.9 * maximum, 64));
+  podium::RefinementOptions refinement_options;
+  refinement_options.max_suggestions = 5;
+  const auto suggestions =
+      podium::SuggestRefinements(instance, panel, refinement_options);
+  std::printf("\nrefinement suggestions for the 90%% panel (%zu users):\n",
+              panel.users.size());
+  for (const podium::RefinementSuggestion& suggestion : suggestions) {
+    std::printf("  [%-10s] %s — %s\n",
+                std::string(podium::RefinementKindName(suggestion.kind))
+                    .c_str(),
+                suggestion.label.c_str(), suggestion.rationale.c_str());
+  }
+  if (!suggestions.empty()) {
+    podium::CustomizationFeedback feedback;
+    podium::ApplySuggestions(suggestions, feedback);
+    if (!feedback.priority.empty() || !feedback.must_not.empty()) {
+      const podium::CustomSelection refined = Unwrap(
+          podium::SelectCustomized(instance, feedback,
+                                   panel.users.size()));
+      std::printf(
+          "\nre-selected with the suggestions applied: priority score %s, "
+          "base score %s\n",
+          podium::util::FormatDouble(refined.score.priority, 0).c_str(),
+          podium::util::FormatDouble(refined.selection.score, 0).c_str());
+    }
+  }
+  return 0;
+}

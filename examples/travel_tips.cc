@@ -1,0 +1,90 @@
+// Travel tips: a traveler wants diverse opinions about a destination (the
+// paper's introduction scenario). Generates a TripAdvisor-like dataset
+// with hold-out destinations, selects a diverse user subset from profiles
+// that exclude the hold-out data, then "procures" those users' actual
+// reviews of a hold-out destination and reports how diverse the collected
+// opinions are, next to a random panel of the same size.
+//
+//   ./build/examples/travel_tips [users]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "podium/baselines/random_selector.h"
+#include "podium/core/podium.h"
+#include "podium/datagen/generator.h"
+#include "podium/metrics/procurement_experiment.h"
+#include "podium/util/string_util.h"
+
+namespace {
+
+template <typename T>
+T Unwrap(podium::Result<T> result) {
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  podium::datagen::DatasetConfig config =
+      podium::datagen::DatasetConfig::TripAdvisorLike();
+  config.num_users = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2000;
+  config.num_restaurants = 8000;
+  config.leaf_categories = 80;
+  config.holdout_destinations = 20;
+  const podium::datagen::Dataset data =
+      Unwrap(podium::datagen::GenerateDataset(config));
+  std::printf(
+      "Generated %zu users, %zu reviews; %zu hold-out destinations whose "
+      "reviews are hidden from the profiles\n\n",
+      data.repository.user_count(), data.opinions.review_count(),
+      data.holdout.size());
+
+  // For each hold-out destination: among the users who reviewed it,
+  // select a diverse panel of 8 based on their (destination-blind)
+  // profiles, procure the panel's ground-truth reviews, and score their
+  // diversity.
+  podium::metrics::ProcurementOptions options;
+  options.budget = 8;
+
+  podium::GreedySelector podium_selector;
+  podium::baselines::RandomSelector random_selector(/*seed=*/99);
+  const podium::metrics::ProcurementResult podium_result =
+      Unwrap(podium::metrics::RunProcurementExperiment(
+          data.repository, data.opinions, data.holdout, podium_selector,
+          options));
+  const podium::metrics::ProcurementResult random_result =
+      Unwrap(podium::metrics::RunProcurementExperiment(
+          data.repository, data.opinions, data.holdout, random_selector,
+          options));
+
+  const auto& first = podium_result.per_destination.front();
+  const auto& info = data.opinions.destination(first.destination);
+  std::printf(
+      "Example: tips about %s (%s) — %zu ground-truth reviews, panel "
+      "procured %zu of them\n\n",
+      info.name.c_str(), info.city.c_str(),
+      data.opinions.reviews_of(first.destination).size(),
+      first.metrics.procured_reviews);
+
+  std::printf("Average over %zu hold-out destinations:\n",
+              podium_result.per_destination.size());
+  std::printf("  %-28s %10s %10s\n", "metric", "Podium", "Random");
+  auto row = [&](const char* name, double podium_value,
+                 double random_value) {
+    std::printf("  %-28s %10.3f %10.3f\n", name, podium_value, random_value);
+  };
+  row("topic+sentiment coverage", podium_result.average.topic_sentiment_coverage,
+      random_result.average.topic_sentiment_coverage);
+  row("rating dist. similarity",
+      podium_result.average.rating_distribution_similarity,
+      random_result.average.rating_distribution_similarity);
+  row("rating variance", podium_result.average.rating_variance,
+      random_result.average.rating_variance);
+  return 0;
+}

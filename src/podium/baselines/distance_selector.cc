@@ -1,0 +1,109 @@
+#include "podium/baselines/distance_selector.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "podium/core/score.h"
+
+namespace podium::baselines {
+
+namespace {
+
+/// |P_a ∩ P_b| via merge over the sorted entry lists.
+std::size_t IntersectionSize(const UserProfile& a, const UserProfile& b) {
+  const auto& ea = a.entries();
+  const auto& eb = b.entries();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t count = 0;
+  while (i < ea.size() && j < eb.size()) {
+    if (ea[i].property < eb[j].property) {
+      ++i;
+    } else if (eb[j].property < ea[i].property) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+double JaccardDistance(const ProfileRepository& repository, UserId a,
+                       UserId b) {
+  const UserProfile& pa = repository.user(a);
+  const UserProfile& pb = repository.user(b);
+  const std::size_t intersection = IntersectionSize(pa, pb);
+  const std::size_t union_size = pa.size() + pb.size() - intersection;
+  if (union_size == 0) return 1.0;
+  return 1.0 - static_cast<double>(intersection) /
+                   static_cast<double>(union_size);
+}
+
+double MeanPairwiseIntersection(const ProfileRepository& repository,
+                                const std::vector<UserId>& subset) {
+  if (subset.size() < 2) return 0.0;
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    for (std::size_t j = i + 1; j < subset.size(); ++j) {
+      total += static_cast<double>(IntersectionSize(
+          repository.user(subset[i]), repository.user(subset[j])));
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+Result<Selection> DistanceSelector::Select(
+    const DiversificationInstance& instance, std::size_t budget) const {
+  if (budget == 0) {
+    return Status::InvalidArgument("budget must be positive");
+  }
+  const ProfileRepository& repository = instance.repository();
+  const std::size_t n = repository.user_count();
+  if (n == 0) return Selection{};
+
+  Selection selection;
+  std::vector<bool> selected(n, false);
+
+  // Seed: the largest profile (ties by id).
+  UserId seed = 0;
+  for (UserId u = 1; u < n; ++u) {
+    if (repository.user(u).size() > repository.user(seed).size()) seed = u;
+  }
+  selection.users.push_back(seed);
+  selected[seed] = true;
+
+  // Maintain per-candidate aggregate distance to the selected set; each
+  // round folds in the newest member only (O(B·|U|) distance evaluations).
+  std::vector<double> aggregate(
+      n, objective_ == DistanceObjective::kMaxSum
+             ? 0.0
+             : std::numeric_limits<double>::infinity());
+  UserId newest = seed;
+  while (selection.users.size() < std::min(budget, n)) {
+    UserId best = kInvalidUser;
+    for (UserId u = 0; u < n; ++u) {
+      if (selected[u]) continue;
+      const double d = JaccardDistance(repository, u, newest);
+      if (objective_ == DistanceObjective::kMaxSum) {
+        aggregate[u] += d;
+      } else {
+        aggregate[u] = std::min(aggregate[u], d);
+      }
+      if (best == kInvalidUser || aggregate[u] > aggregate[best]) best = u;
+    }
+    if (best == kInvalidUser) break;
+    selection.users.push_back(best);
+    selected[best] = true;
+    newest = best;
+  }
+  selection.score = TotalScore(instance, selection.users);
+  return selection;
+}
+
+}  // namespace podium::baselines

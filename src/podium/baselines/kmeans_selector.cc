@@ -1,0 +1,175 @@
+#include "podium/baselines/kmeans_selector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "podium/core/score.h"
+#include "podium/util/rng.h"
+
+namespace podium::baselines {
+
+namespace {
+
+/// Dense center with cached squared norm.
+struct Center {
+  std::vector<double> coords;
+  double norm2 = 0.0;
+
+  void RecomputeNorm() {
+    norm2 = 0.0;
+    for (double v : coords) norm2 += v * v;
+  }
+};
+
+double SparseNorm2(const UserProfile& profile) {
+  double total = 0.0;
+  for (const PropertyScore& entry : profile.entries()) {
+    total += entry.score * entry.score;
+  }
+  return total;
+}
+
+/// ||x_u - c||² computed sparsely.
+double Distance2(const UserProfile& profile, double user_norm2,
+                 const Center& center) {
+  double dot = 0.0;
+  for (const PropertyScore& entry : profile.entries()) {
+    dot += entry.score * center.coords[entry.property];
+  }
+  return std::max(0.0, user_norm2 - 2.0 * dot + center.norm2);
+}
+
+Center CenterFromUser(const UserProfile& profile, std::size_t dims) {
+  Center center;
+  center.coords.assign(dims, 0.0);
+  for (const PropertyScore& entry : profile.entries()) {
+    center.coords[entry.property] = entry.score;
+  }
+  center.RecomputeNorm();
+  return center;
+}
+
+}  // namespace
+
+Result<Selection> KMeansSelector::Select(
+    const DiversificationInstance& instance, std::size_t budget) const {
+  if (budget == 0) {
+    return Status::InvalidArgument("budget must be positive");
+  }
+  const ProfileRepository& repository = instance.repository();
+  const std::size_t n = repository.user_count();
+  const std::size_t dims = repository.property_count();
+  const std::size_t k = std::min(budget, n);
+  if (k == 0) return Selection{};
+
+  std::vector<double> user_norm2(n);
+  for (UserId u = 0; u < n; ++u) {
+    user_norm2[u] = SparseNorm2(repository.user(u));
+  }
+
+  // k-means++ seeding.
+  util::Rng rng(options_.seed);
+  std::vector<Center> centers;
+  centers.reserve(k);
+  centers.push_back(
+      CenterFromUser(repository.user(rng.NextBounded(n)), dims));
+  std::vector<double> min_dist2(n, std::numeric_limits<double>::infinity());
+  while (centers.size() < k) {
+    double total = 0.0;
+    for (UserId u = 0; u < n; ++u) {
+      min_dist2[u] = std::min(
+          min_dist2[u], Distance2(repository.user(u), user_norm2[u],
+                                  centers.back()));
+      total += min_dist2[u];
+    }
+    UserId chosen;
+    if (total <= 0.0) {
+      chosen = static_cast<UserId>(rng.NextBounded(n));
+    } else {
+      double r = rng.NextDouble() * total;
+      chosen = static_cast<UserId>(n - 1);
+      for (UserId u = 0; u < n; ++u) {
+        r -= min_dist2[u];
+        if (r < 0.0) {
+          chosen = u;
+          break;
+        }
+      }
+    }
+    centers.push_back(CenterFromUser(repository.user(chosen), dims));
+  }
+
+  // Lloyd iterations.
+  std::vector<std::uint32_t> assignment(n, 0);
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    bool changed = false;
+    for (UserId u = 0; u < n; ++u) {
+      double best = std::numeric_limits<double>::infinity();
+      std::uint32_t best_c = assignment[u];
+      for (std::uint32_t c = 0; c < centers.size(); ++c) {
+        const double d = Distance2(repository.user(u), user_norm2[u],
+                                   centers[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (best_c != assignment[u]) {
+        assignment[u] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    // Recompute means; empty clusters are re-seeded on a random user.
+    std::vector<std::size_t> counts(centers.size(), 0);
+    for (Center& center : centers) {
+      std::fill(center.coords.begin(), center.coords.end(), 0.0);
+    }
+    for (UserId u = 0; u < n; ++u) {
+      ++counts[assignment[u]];
+      for (const PropertyScore& entry : repository.user(u).entries()) {
+        centers[assignment[u]].coords[entry.property] += entry.score;
+      }
+    }
+    for (std::uint32_t c = 0; c < centers.size(); ++c) {
+      if (counts[c] == 0) {
+        centers[c] =
+            CenterFromUser(repository.user(rng.NextBounded(n)), dims);
+        continue;
+      }
+      for (double& v : centers[c].coords) {
+        v /= static_cast<double>(counts[c]);
+      }
+      centers[c].RecomputeNorm();
+    }
+  }
+
+  // Near-mean representative per cluster.
+  std::vector<UserId> representative(centers.size(), kInvalidUser);
+  std::vector<double> representative_dist(
+      centers.size(), std::numeric_limits<double>::infinity());
+  for (UserId u = 0; u < n; ++u) {
+    const std::uint32_t c = assignment[u];
+    const double d = Distance2(repository.user(u), user_norm2[u], centers[c]);
+    if (d < representative_dist[c]) {
+      representative_dist[c] = d;
+      representative[c] = u;
+    }
+  }
+
+  Selection selection;
+  for (UserId rep : representative) {
+    if (rep != kInvalidUser) selection.users.push_back(rep);
+  }
+  // Deduplicate (possible only via re-seeded empty clusters).
+  std::sort(selection.users.begin(), selection.users.end());
+  selection.users.erase(
+      std::unique(selection.users.begin(), selection.users.end()),
+      selection.users.end());
+  selection.score = TotalScore(instance, selection.users);
+  return selection;
+}
+
+}  // namespace podium::baselines

@@ -1,0 +1,35 @@
+#ifndef PODIUM_BASELINES_KMEANS_SELECTOR_H_
+#define PODIUM_BASELINES_KMEANS_SELECTOR_H_
+
+#include <cstdint>
+
+#include "podium/core/selection.h"
+
+namespace podium::baselines {
+
+/// The "Clustering" baseline of Section 8.3: split the repository into B
+/// clusters with k-means (k-means++ seeding, Lloyd iterations) over the
+/// sparse profile vectors — missing properties read as 0 — and take the
+/// near-mean user of each cluster as its representative.
+class KMeansSelector : public Selector {
+ public:
+  struct Options {
+    int max_iterations = 12;
+    std::uint64_t seed = 42;
+  };
+
+  KMeansSelector() : options_{} {}
+  explicit KMeansSelector(Options options) : options_(options) {}
+
+  std::string Name() const override { return "Clustering"; }
+
+  Result<Selection> Select(const DiversificationInstance& instance,
+                           std::size_t budget) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace podium::baselines
+
+#endif  // PODIUM_BASELINES_KMEANS_SELECTOR_H_

@@ -1,0 +1,72 @@
+#include "podium/baselines/mmr_selector.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "podium/baselines/distance_selector.h"
+#include "podium/core/score.h"
+
+namespace podium::baselines {
+
+Result<Selection> MmrSelector::Select(const DiversificationInstance& instance,
+                                      std::size_t budget) const {
+  if (budget == 0) {
+    return Status::InvalidArgument("budget must be positive");
+  }
+  if (!(lambda_ >= 0.0 && lambda_ <= 1.0)) {
+    return Status::InvalidArgument("lambda must be in [0, 1]");
+  }
+  const ProfileRepository& repository = instance.repository();
+  const std::size_t n = repository.user_count();
+  if (n == 0) return Selection{};
+
+  // Relevance: normalized profile richness.
+  std::size_t max_profile = 1;
+  for (UserId u = 0; u < n; ++u) {
+    max_profile = std::max(max_profile, repository.user(u).size());
+  }
+  std::vector<double> relevance(n);
+  for (UserId u = 0; u < n; ++u) {
+    relevance[u] = static_cast<double>(repository.user(u).size()) /
+                   static_cast<double>(max_profile);
+  }
+
+  // max-similarity to the selected set, folded in incrementally.
+  std::vector<double> max_similarity(n, 0.0);
+  std::vector<bool> selected(n, false);
+  Selection selection;
+
+  // First pick: pure relevance (no diversity term yet), ties by id.
+  UserId first = 0;
+  for (UserId u = 1; u < n; ++u) {
+    if (relevance[u] > relevance[first]) first = u;
+  }
+  selection.users.push_back(first);
+  selected[first] = true;
+
+  UserId newest = first;
+  while (selection.users.size() < std::min(budget, n)) {
+    UserId best = kInvalidUser;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (UserId u = 0; u < n; ++u) {
+      if (selected[u]) continue;
+      const double similarity =
+          1.0 - JaccardDistance(repository, u, newest);
+      max_similarity[u] = std::max(max_similarity[u], similarity);
+      const double mmr =
+          lambda_ * relevance[u] - (1.0 - lambda_) * max_similarity[u];
+      if (mmr > best_score) {
+        best_score = mmr;
+        best = u;
+      }
+    }
+    if (best == kInvalidUser) break;
+    selection.users.push_back(best);
+    selected[best] = true;
+    newest = best;
+  }
+  selection.score = TotalScore(instance, selection.users);
+  return selection;
+}
+
+}  // namespace podium::baselines

@@ -1,0 +1,33 @@
+#ifndef PODIUM_BASELINES_MMR_SELECTOR_H_
+#define PODIUM_BASELINES_MMR_SELECTOR_H_
+
+#include "podium/core/selection.h"
+
+namespace podium::baselines {
+
+/// Maximal Marginal Relevance (Carbonell & Goldstein, SIGIR'98) — the
+/// classic IR diversity re-ranker the paper cites in its related work. A
+/// distance-based method included for comparison beyond the paper's own
+/// baselines: it greedily adds
+///
+///   argmax_u  λ · rel(u) − (1 − λ) · max_{v ∈ S} sim(u, v)
+///
+/// where rel(u) is the user's profile richness (|P_u| normalized to the
+/// largest profile — the analogue of document relevance when all users
+/// are "relevant") and sim is the Jaccard similarity of property sets.
+class MmrSelector : public Selector {
+ public:
+  explicit MmrSelector(double lambda = 0.5) : lambda_(lambda) {}
+
+  std::string Name() const override { return "MMR"; }
+
+  Result<Selection> Select(const DiversificationInstance& instance,
+                           std::size_t budget) const override;
+
+ private:
+  double lambda_;
+};
+
+}  // namespace podium::baselines
+
+#endif  // PODIUM_BASELINES_MMR_SELECTOR_H_

@@ -1,0 +1,28 @@
+#ifndef PODIUM_BASELINES_RANDOM_SELECTOR_H_
+#define PODIUM_BASELINES_RANDOM_SELECTOR_H_
+
+#include <cstdint>
+
+#include "podium/core/selection.h"
+
+namespace podium::baselines {
+
+/// The "Random Selection" baseline of Section 8.3: a uniformly random
+/// subset of the users — the common practice in survey-style opinion
+/// procurement.
+class RandomSelector : public Selector {
+ public:
+  explicit RandomSelector(std::uint64_t seed = 42) : seed_(seed) {}
+
+  std::string Name() const override { return "Random"; }
+
+  Result<Selection> Select(const DiversificationInstance& instance,
+                           std::size_t budget) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace podium::baselines
+
+#endif  // PODIUM_BASELINES_RANDOM_SELECTOR_H_

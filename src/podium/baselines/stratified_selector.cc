@@ -1,0 +1,98 @@
+#include "podium/baselines/stratified_selector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "podium/core/score.h"
+#include "podium/util/rng.h"
+#include "podium/util/string_util.h"
+
+namespace podium::baselines {
+
+Result<Selection> StratifiedSelector::Select(
+    const DiversificationInstance& instance, std::size_t budget) const {
+  if (budget == 0) {
+    return Status::InvalidArgument("budget must be positive");
+  }
+  const ProfileRepository& repository = instance.repository();
+  const std::size_t n = repository.user_count();
+  if (n == 0) return Selection{};
+
+  // Stratum properties: every property with the prefix. A user joins the
+  // stratum of their first true-valued (score > 0.5) matching property;
+  // users with none fall into the catch-all stratum.
+  std::vector<PropertyId> stratum_properties;
+  const PropertyTable& table = repository.properties();
+  for (PropertyId p = 0; p < table.size(); ++p) {
+    if (util::StartsWith(table.Label(p), stratum_prefix_)) {
+      stratum_properties.push_back(p);
+    }
+  }
+  const std::size_t catch_all = stratum_properties.size();
+  std::vector<std::vector<UserId>> strata(catch_all + 1);
+  for (UserId u = 0; u < n; ++u) {
+    std::size_t stratum = catch_all;
+    for (std::size_t s = 0; s < stratum_properties.size(); ++s) {
+      const auto score = repository.user(u).Get(stratum_properties[s]);
+      if (score.has_value() && *score > 0.5) {
+        stratum = s;
+        break;
+      }
+    }
+    strata[stratum].push_back(u);
+  }
+
+  // Proportionate allocation (Def. 2.1) via the largest-remainder method:
+  // quota_s = budget * |stratum_s| / |U|.
+  const std::size_t k = std::min(budget, n);
+  std::vector<std::size_t> allocation(strata.size(), 0);
+  std::vector<std::pair<double, std::size_t>> remainders;
+  std::size_t allocated = 0;
+  for (std::size_t s = 0; s < strata.size(); ++s) {
+    if (strata[s].empty()) continue;
+    const double quota = static_cast<double>(k) *
+                         static_cast<double>(strata[s].size()) /
+                         static_cast<double>(n);
+    allocation[s] = std::min(static_cast<std::size_t>(quota),
+                             strata[s].size());
+    allocated += allocation[s];
+    if (allocation[s] < strata[s].size()) {
+      remainders.emplace_back(quota - std::floor(quota), s);
+    }
+  }
+  std::stable_sort(remainders.begin(), remainders.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
+                   });
+  for (const auto& [remainder, s] : remainders) {
+    if (allocated >= k) break;
+    if (allocation[s] < strata[s].size()) {
+      ++allocation[s];
+      ++allocated;
+    }
+  }
+  // Any residue (strata exhausted) goes to strata with spare users.
+  for (std::size_t s = 0; allocated < k && s < strata.size(); ++s) {
+    while (allocated < k && allocation[s] < strata[s].size()) {
+      ++allocation[s];
+      ++allocated;
+    }
+  }
+
+  // Uniform sampling within each stratum.
+  util::Rng rng(seed_);
+  Selection selection;
+  for (std::size_t s = 0; s < strata.size(); ++s) {
+    if (allocation[s] == 0) continue;
+    for (std::size_t index :
+         rng.SampleWithoutReplacement(strata[s].size(), allocation[s])) {
+      selection.users.push_back(strata[s][index]);
+    }
+  }
+  std::sort(selection.users.begin(), selection.users.end());
+  selection.score = TotalScore(instance, selection.users);
+  return selection;
+}
+
+}  // namespace podium::baselines

@@ -1,0 +1,44 @@
+#ifndef PODIUM_BASELINES_STRATIFIED_SELECTOR_H_
+#define PODIUM_BASELINES_STRATIFIED_SELECTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "podium/core/selection.h"
+
+namespace podium::baselines {
+
+/// Survey-style stratified sampling — the classical coverage-based method
+/// the paper contrasts with in Table 1 and Section 2. Strata are the
+/// values of ONE (typically demographic, functional) property family,
+/// e.g. "livesIn <city>": surveyors hand-pick a small set of
+/// non-overlapping groups and allocate the budget proportionally to the
+/// stratum sizes (the proportionate allocation of Def. 2.1, realized by
+/// largest-remainder rounding), sampling uniformly within each stratum.
+///
+/// Its Table-1 limitations are visible by construction: a single
+/// low-dimensional partition (no high-dimensional coverage), no value
+/// ranges beyond the chosen property, and under-coverage of everything
+/// the strata do not express.
+class StratifiedSelector : public Selector {
+ public:
+  /// `stratum_prefix` selects the property family ("livesIn "); users are
+  /// assigned to the stratum of their (single) true property with that
+  /// prefix, with a catch-all stratum for users carrying none.
+  explicit StratifiedSelector(std::string stratum_prefix = "livesIn ",
+                              std::uint64_t seed = 42)
+      : stratum_prefix_(std::move(stratum_prefix)), seed_(seed) {}
+
+  std::string Name() const override { return "Stratified"; }
+
+  Result<Selection> Select(const DiversificationInstance& instance,
+                           std::size_t budget) const override;
+
+ private:
+  std::string stratum_prefix_;
+  std::uint64_t seed_;
+};
+
+}  // namespace podium::baselines
+
+#endif  // PODIUM_BASELINES_STRATIFIED_SELECTOR_H_

@@ -1,0 +1,110 @@
+#include "podium/baselines/tmodel_selector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "podium/core/score.h"
+
+namespace podium::baselines {
+
+namespace {
+
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    total += std::fabs(a[i] - b[i]);
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<Selection> TModelSelector::Select(
+    const DiversificationInstance& instance, std::size_t budget) const {
+  if (budget == 0) {
+    return Status::InvalidArgument("budget must be positive");
+  }
+  const ProfileRepository& repository = instance.repository();
+  const PropertyId property =
+      repository.properties().Find(options_.property_label);
+  if (property == kInvalidProperty) {
+    return Status::NotFound("unknown property: " + options_.property_label);
+  }
+  const auto& buckets = instance.groups().buckets_per_property()[property];
+  if (buckets.empty()) {
+    return Status::FailedPrecondition(
+        "property '" + options_.property_label +
+        "' has no buckets in this instance (no observed scores, or the "
+        "instance was built from explicit group definitions)");
+  }
+  const std::size_t k = buckets.size();
+
+  // Per-user predicted opinion bucket (one-hot); users without the
+  // property are not predictable and leave the candidate pool.
+  const std::size_t n = repository.user_count();
+  std::vector<int> user_bucket(n, -1);
+  std::vector<double> population(k, 0.0);
+  for (UserId u = 0; u < n; ++u) {
+    const auto score = repository.user(u).Get(property);
+    if (score.has_value()) {
+      user_bucket[u] = bucketing::FindBucket(buckets, *score);
+      if (user_bucket[u] >= 0) {
+        population[static_cast<std::size_t>(user_bucket[u])] += 1.0;
+      }
+    }
+  }
+
+  // Target: caller-provided or the population's own distribution.
+  std::vector<double> target = options_.target;
+  if (target.empty()) {
+    target = population;
+  } else if (target.size() != k) {
+    return Status::InvalidArgument(
+        "target distribution size does not match the bucket count");
+  }
+  double target_total = 0.0;
+  for (double t : target) {
+    if (t < 0.0) {
+      return Status::InvalidArgument("target distribution must be >= 0");
+    }
+    target_total += t;
+  }
+  if (target_total <= 0.0) {
+    return Status::InvalidArgument("target distribution must have mass");
+  }
+  for (double& t : target) t /= target_total;
+
+  // Greedy: add the user whose predicted opinion minimizes the L1 gap of
+  // the subset's expected normalized histogram to the target.
+  std::vector<double> expected(k, 0.0);
+  std::vector<bool> selected(n, false);
+  Selection selection;
+  std::vector<double> candidate(k);
+  for (std::size_t round = 0; round < std::min(budget, n); ++round) {
+    UserId best = kInvalidUser;
+    double best_distance = std::numeric_limits<double>::infinity();
+    for (UserId u = 0; u < n; ++u) {
+      if (selected[u] || user_bucket[u] < 0) continue;
+      for (std::size_t b = 0; b < k; ++b) {
+        const double contribution =
+            static_cast<std::size_t>(user_bucket[u]) == b ? 1.0 : 0.0;
+        candidate[b] = (expected[b] + contribution) /
+                       static_cast<double>(round + 1);
+      }
+      const double distance = L1Distance(candidate, target);
+      if (distance < best_distance) {
+        best_distance = distance;
+        best = u;
+      }
+    }
+    if (best == kInvalidUser) break;  // predictable users exhausted
+    selected[best] = true;
+    selection.users.push_back(best);
+    expected[static_cast<std::size_t>(user_bucket[best])] += 1.0;
+  }
+  selection.score = TotalScore(instance, selection.users);
+  return selection;
+}
+
+}  // namespace podium::baselines

@@ -1,0 +1,50 @@
+#ifndef PODIUM_BASELINES_TMODEL_SELECTOR_H_
+#define PODIUM_BASELINES_TMODEL_SELECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "podium/core/selection.h"
+
+namespace podium::baselines {
+
+/// The T-Model of Wu et al. (PVLDB'15) — the paper's closest related work
+/// and Table 1's "coverage-based / predicted" row: select users so that
+/// their PREDICTED opinions in a single category realize a target opinion
+/// distribution. Unlike Podium it (a) needs an opinion predictor, and
+/// (b) diversifies in one category only — the two limitations the paper's
+/// Section 2 calls out.
+///
+/// Prediction here is profile-driven: a user's opinion bucket for the
+/// chosen property is their score's bucket β(p). Users without the
+/// property have no predictable opinion and are excluded from the
+/// candidate pool (a further contrast with Podium, whose open-world
+/// profiles never disqualify a user). Selection greedily adds the user
+/// whose predicted opinion brings the subset's expected opinion
+/// histogram closest (L1) to the target.
+class TModelSelector : public Selector {
+ public:
+  struct Options {
+    /// The single category/property to diversify on. Required.
+    std::string property_label;
+
+    /// Target opinion distribution over the property's buckets. Empty
+    /// (default) targets the population's own distribution — the
+    /// "representative panel" goal.
+    std::vector<double> target;
+  };
+
+  explicit TModelSelector(Options options) : options_(std::move(options)) {}
+
+  std::string Name() const override { return "T-Model"; }
+
+  Result<Selection> Select(const DiversificationInstance& instance,
+                           std::size_t budget) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace podium::baselines
+
+#endif  // PODIUM_BASELINES_TMODEL_SELECTOR_H_

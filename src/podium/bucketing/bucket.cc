@@ -1,0 +1,60 @@
+#include "podium/bucketing/bucket.h"
+
+#include <cassert>
+
+#include "podium/util/string_util.h"
+
+namespace podium::bucketing {
+
+std::vector<std::string> DefaultBucketLabels(std::size_t count) {
+  switch (count) {
+    case 1:
+      return {"all"};
+    case 2:
+      return {"low", "high"};
+    case 3:
+      return {"low", "medium", "high"};
+    case 4:
+      return {"very low", "low", "high", "very high"};
+    case 5:
+      return {"very low", "low", "medium", "high", "very high"};
+    default: {
+      std::vector<std::string> labels;
+      labels.reserve(count);
+      for (std::size_t i = 1; i <= count; ++i) {
+        labels.push_back(util::StringPrintf("q%zu", i));
+      }
+      return labels;
+    }
+  }
+}
+
+std::vector<Bucket> PartitionFromBreakpoints(
+    const std::vector<double>& breakpoints) {
+  std::vector<Bucket> buckets;
+  const std::vector<std::string> labels =
+      DefaultBucketLabels(breakpoints.size() + 1);
+  double lo = 0.0;
+  for (std::size_t i = 0; i < breakpoints.size(); ++i) {
+    assert(breakpoints[i] > lo && breakpoints[i] < 1.0);
+    buckets.push_back(Bucket{lo, breakpoints[i], false, labels[i]});
+    lo = breakpoints[i];
+  }
+  buckets.push_back(Bucket{lo, 1.0, true, labels.back()});
+  return buckets;
+}
+
+std::vector<Bucket> FixedBooleanBuckets() {
+  // Boolean scores are exactly 0 or 1; the midpoint split keeps the
+  // half-open partition invariant shared with score properties.
+  return {Bucket{0.0, 0.5, false, "false"}, Bucket{0.5, 1.0, true, "true"}};
+}
+
+int FindBucket(const std::vector<Bucket>& buckets, double score) {
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i].Contains(score)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace podium::bucketing

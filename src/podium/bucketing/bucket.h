@@ -1,0 +1,48 @@
+#ifndef PODIUM_BUCKETING_BUCKET_H_
+#define PODIUM_BUCKETING_BUCKET_H_
+
+#include <string>
+#include <vector>
+
+namespace podium::bucketing {
+
+/// One score range b ⊆ [0, 1] of a property's bucketing β(p) (Def. 3.4).
+/// Buckets are half-open [lo, hi) except the last bucket of a partition,
+/// which is closed [lo, hi] so that a score of exactly 1 is covered.
+struct Bucket {
+  double lo = 0.0;
+  double hi = 1.0;
+  bool hi_closed = false;  // true only for the last bucket of a partition
+  std::string label;       // human-readable, e.g. "high"
+
+  /// Whether `score` falls inside this bucket.
+  bool Contains(double score) const {
+    if (score < lo) return false;
+    return hi_closed ? score <= hi : score < hi;
+  }
+
+  friend bool operator==(const Bucket& a, const Bucket& b) {
+    return a.lo == b.lo && a.hi == b.hi && a.hi_closed == b.hi_closed;
+  }
+};
+
+/// Builds a partition of [0, 1] from interior breakpoints (ascending,
+/// strictly inside (0, 1)), attaching default labels.
+std::vector<Bucket> PartitionFromBreakpoints(
+    const std::vector<double>& breakpoints);
+
+/// Default labels by bucket count: {"false","true"} is NOT produced here
+/// (boolean properties use FixedBooleanBuckets); 2 -> low/high,
+/// 3 -> low/medium/high, 5 -> very low..very high, else "q1".."qk".
+std::vector<std::string> DefaultBucketLabels(std::size_t count);
+
+/// The bucketing used for boolean properties: [0, 0] "false", (0, 1] "true".
+std::vector<Bucket> FixedBooleanBuckets();
+
+/// Index of the bucket containing `score`, or -1 if none (cannot happen for
+/// partitions produced by PartitionFromBreakpoints when score is in [0,1]).
+int FindBucket(const std::vector<Bucket>& buckets, double score);
+
+}  // namespace podium::bucketing
+
+#endif  // PODIUM_BUCKETING_BUCKET_H_

@@ -1,0 +1,112 @@
+#ifndef PODIUM_BUCKETING_BUCKETIZER_H_
+#define PODIUM_BUCKETING_BUCKETIZER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "podium/bucketing/bucket.h"
+#include "podium/util/result.h"
+
+namespace podium::bucketing {
+
+/// Splits the observed scores of one property into at most `max_buckets`
+/// non-overlapping intervals covering [0, 1] (the β(p) of Def. 3.4).
+///
+/// Section 3.2 lists several 1-d interval-splitting methods, all more
+/// effective than general clustering because the data is ordered; each is
+/// provided as an implementation of this interface.
+class Bucketizer {
+ public:
+  virtual ~Bucketizer() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// `values` are the observed scores of one property (each in [0, 1];
+  /// order irrelevant, duplicates meaningful). Returns a partition of
+  /// [0, 1] with 1..max_buckets buckets. For the data-driven methods,
+  /// degenerate inputs (empty, or all values identical) yield a single
+  /// bucket; equal-width splits unconditionally.
+  virtual Result<std::vector<Bucket>> Split(std::vector<double> values,
+                                            int max_buckets) const = 0;
+};
+
+/// Fixed-width partition of [0, 1] into `max_buckets` equal intervals,
+/// independent of the data.
+class EqualWidthBucketizer : public Bucketizer {
+ public:
+  std::string Name() const override { return "equal-width"; }
+  Result<std::vector<Bucket>> Split(std::vector<double> values,
+                                    int max_buckets) const override;
+};
+
+/// Equal-frequency partition: breakpoints at the i/k quantiles of the data.
+/// Duplicate quantiles collapse, so fewer than max_buckets buckets can
+/// result on skewed data.
+class QuantileBucketizer : public Bucketizer {
+ public:
+  std::string Name() const override { return "quantile"; }
+  Result<std::vector<Bucket>> Split(std::vector<double> values,
+                                    int max_buckets) const override;
+};
+
+/// Lloyd's k-means on the 1-d data (k-means++ seeding, fixed iteration
+/// cap); breakpoints placed midway between adjacent cluster means.
+class KMeans1DBucketizer : public Bucketizer {
+ public:
+  explicit KMeans1DBucketizer(int max_iterations = 32,
+                              std::uint64_t seed = 17)
+      : max_iterations_(max_iterations), seed_(seed) {}
+
+  std::string Name() const override { return "kmeans-1d"; }
+  Result<std::vector<Bucket>> Split(std::vector<double> values,
+                                    int max_buckets) const override;
+
+ private:
+  int max_iterations_;
+  std::uint64_t seed_;
+};
+
+/// Exact Fisher–Jenks natural-breaks optimization: the partition of the
+/// sorted data into k classes minimizing within-class sum of squared
+/// deviations, via O(k·m²) dynamic programming over (optionally compressed)
+/// weighted value points.
+class JenksBucketizer : public Bucketizer {
+ public:
+  /// Inputs with more distinct values than `max_points` are compressed to
+  /// that many weighted quantile representatives before the DP.
+  explicit JenksBucketizer(std::size_t max_points = 160)
+      : max_points_(max_points) {}
+
+  std::string Name() const override { return "jenks"; }
+  Result<std::vector<Bucket>> Split(std::vector<double> values,
+                                    int max_buckets) const override;
+
+ private:
+  std::size_t max_points_;
+};
+
+/// Kernel-density valley splitting: Gaussian KDE on a grid over [0, 1]
+/// (Silverman bandwidth), breakpoints at the deepest density minima. The
+/// data decides how many buckets (up to max_buckets) are warranted.
+class KernelDensityBucketizer : public Bucketizer {
+ public:
+  explicit KernelDensityBucketizer(int grid_size = 256)
+      : grid_size_(grid_size) {}
+
+  std::string Name() const override { return "kde"; }
+  Result<std::vector<Bucket>> Split(std::vector<double> values,
+                                    int max_buckets) const override;
+
+ private:
+  int grid_size_;
+};
+
+/// Known methods: "equal-width", "quantile", "kmeans-1d", "jenks", "kde".
+Result<std::unique_ptr<Bucketizer>> MakeBucketizer(std::string_view method);
+
+}  // namespace podium::bucketing
+
+#endif  // PODIUM_BUCKETING_BUCKETIZER_H_

@@ -1,0 +1,32 @@
+#ifndef PODIUM_BUCKETING_INTERNAL_H_
+#define PODIUM_BUCKETING_INTERNAL_H_
+
+// Implementation details shared by the bucketizer implementations.
+// Not part of the public API.
+
+#include <vector>
+
+#include "podium/bucketing/bucket.h"
+#include "podium/util/status.h"
+
+namespace podium::bucketing::internal {
+
+/// Rejects max_buckets < 1 and scores outside [0, 1].
+Status ValidateSplitInput(const std::vector<double>& values, int max_buckets);
+
+/// Deduplicates breakpoints, drops ones outside (0, 1), and builds the
+/// partition. An empty breakpoint list yields the single bucket [0, 1].
+std::vector<Bucket> BuildPartition(std::vector<double> breakpoints);
+
+/// True when all values are within 1e-12 of each other (or there are < 2).
+bool Degenerate(const std::vector<double>& values);
+
+/// Collapses `values` (sorted ascending) into at most `max_points` weighted
+/// representatives: parallel arrays of point values and multiplicities.
+void CompressWeighted(const std::vector<double>& sorted_values,
+                      std::size_t max_points, std::vector<double>& points,
+                      std::vector<double>& weights);
+
+}  // namespace podium::bucketing::internal
+
+#endif  // PODIUM_BUCKETING_INTERNAL_H_

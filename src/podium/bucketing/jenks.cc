@@ -1,0 +1,74 @@
+#include <algorithm>
+#include <limits>
+
+#include "podium/bucketing/bucketizer.h"
+#include "podium/bucketing/internal.h"
+
+namespace podium::bucketing {
+
+Result<std::vector<Bucket>> JenksBucketizer::Split(std::vector<double> values,
+                                                   int max_buckets) const {
+  PODIUM_RETURN_IF_ERROR(internal::ValidateSplitInput(values, max_buckets));
+  if (internal::Degenerate(values) || max_buckets == 1) {
+    return internal::BuildPartition({});
+  }
+  std::sort(values.begin(), values.end());
+
+  std::vector<double> points;
+  std::vector<double> weights;
+  internal::CompressWeighted(values, max_points_, points, weights);
+  const std::size_t m = points.size();
+  const auto k =
+      static_cast<std::size_t>(std::min<std::size_t>(
+          static_cast<std::size_t>(max_buckets), m));
+  if (k <= 1) return internal::BuildPartition({});
+
+  // Weighted prefix sums for O(1) within-class SSE queries:
+  // sse(i..j) = sum(w v^2) - (sum(w v))^2 / sum(w).
+  std::vector<double> prefix_w(m + 1, 0.0);
+  std::vector<double> prefix_wv(m + 1, 0.0);
+  std::vector<double> prefix_wv2(m + 1, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    prefix_w[i + 1] = prefix_w[i] + weights[i];
+    prefix_wv[i + 1] = prefix_wv[i] + weights[i] * points[i];
+    prefix_wv2[i + 1] = prefix_wv2[i] + weights[i] * points[i] * points[i];
+  }
+  auto sse = [&](std::size_t i, std::size_t j) {  // classes points[i..j]
+    const double w = prefix_w[j + 1] - prefix_w[i];
+    const double wv = prefix_wv[j + 1] - prefix_wv[i];
+    const double wv2 = prefix_wv2[j + 1] - prefix_wv2[i];
+    return std::max(0.0, wv2 - wv * wv / w);
+  };
+
+  // cost[c][j]: minimal total SSE splitting points[0..j] into c+1 classes.
+  // split[c][j]: first index of the last class in that optimum.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> cost(k, std::vector<double>(m, kInf));
+  std::vector<std::vector<std::size_t>> split(
+      k, std::vector<std::size_t>(m, 0));
+  for (std::size_t j = 0; j < m; ++j) cost[0][j] = sse(0, j);
+  for (std::size_t c = 1; c < k; ++c) {
+    for (std::size_t j = c; j < m; ++j) {
+      for (std::size_t s = c; s <= j; ++s) {
+        const double candidate = cost[c - 1][s - 1] + sse(s, j);
+        if (candidate < cost[c][j]) {
+          cost[c][j] = candidate;
+          split[c][j] = s;
+        }
+      }
+    }
+  }
+
+  // Recover class boundaries; breakpoints at midpoints between the last
+  // point of one class and the first point of the next.
+  std::vector<double> breakpoints;
+  std::size_t j = m - 1;
+  for (std::size_t c = k - 1; c >= 1; --c) {
+    const std::size_t s = split[c][j];
+    breakpoints.push_back(0.5 * (points[s - 1] + points[s]));
+    j = s - 1;
+  }
+  return internal::BuildPartition(std::move(breakpoints));
+}
+
+}  // namespace podium::bucketing

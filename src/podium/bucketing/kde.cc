@@ -1,0 +1,109 @@
+#include <algorithm>
+#include <cmath>
+
+#include "podium/bucketing/bucketizer.h"
+#include "podium/bucketing/internal.h"
+#include "podium/util/math_util.h"
+
+namespace podium::bucketing {
+
+Result<std::vector<Bucket>> KernelDensityBucketizer::Split(
+    std::vector<double> values, int max_buckets) const {
+  PODIUM_RETURN_IF_ERROR(internal::ValidateSplitInput(values, max_buckets));
+  if (internal::Degenerate(values) || max_buckets == 1) {
+    return internal::BuildPartition({});
+  }
+
+  // Silverman's rule-of-thumb bandwidth; floored so that very concentrated
+  // data still produces a smooth curve on the grid.
+  const double n = static_cast<double>(values.size());
+  const double sigma = util::StdDev(values);
+  double bandwidth = 1.06 * sigma * std::pow(n, -0.2);
+  bandwidth = std::max(bandwidth, 1.5 / static_cast<double>(grid_size_));
+
+  // Evaluate the KDE on a uniform grid over [0, 1]. To keep this O(grid +
+  // n·window) rather than O(grid·n), bin the data first and convolve with
+  // a truncated Gaussian window (4 bandwidths).
+  const std::size_t grid = static_cast<std::size_t>(grid_size_);
+  std::vector<double> histogram(grid, 0.0);
+  for (double v : values) {
+    auto bin = static_cast<std::size_t>(v * static_cast<double>(grid - 1));
+    histogram[std::min(bin, grid - 1)] += 1.0;
+  }
+  const double cell = 1.0 / static_cast<double>(grid - 1);
+  const int window = std::max(
+      1, static_cast<int>(std::ceil(4.0 * bandwidth / cell)));
+  std::vector<double> kernel(static_cast<std::size_t>(window) + 1);
+  for (int d = 0; d <= window; ++d) {
+    const double x = static_cast<double>(d) * cell / bandwidth;
+    kernel[static_cast<std::size_t>(d)] = std::exp(-0.5 * x * x);
+  }
+  std::vector<double> density(grid, 0.0);
+  for (std::size_t g = 0; g < grid; ++g) {
+    if (histogram[g] == 0.0) continue;
+    const int lo = std::max(0, static_cast<int>(g) - window);
+    const int hi = std::min(static_cast<int>(grid) - 1,
+                            static_cast<int>(g) + window);
+    for (int t = lo; t <= hi; ++t) {
+      const int d = std::abs(t - static_cast<int>(g));
+      density[static_cast<std::size_t>(t)] +=
+          histogram[g] * kernel[static_cast<std::size_t>(d)];
+    }
+  }
+
+  // Interior local minima of the density are candidate breakpoints. A
+  // minimum's depth is how far it sits below the lower of its two
+  // neighbouring peaks; deeper valleys are stronger split points.
+  struct Valley {
+    double position;
+    double depth;
+  };
+  std::vector<Valley> valleys;
+  std::size_t last_peak = 0;
+  double last_peak_value = density[0];
+  std::size_t pending_min = 0;
+  bool have_pending_min = false;
+  double pending_min_value = 0.0;
+  for (std::size_t g = 1; g < grid; ++g) {
+    if (density[g] > density[g - 1]) {
+      // Rising edge: close any pending valley against this upcoming peak.
+      if (have_pending_min) {
+        // Find the peak value ahead (end of the rise).
+        std::size_t peak = g;
+        while (peak + 1 < grid && density[peak + 1] >= density[peak]) ++peak;
+        const double lower_peak = std::min(last_peak_value, density[peak]);
+        if (lower_peak > pending_min_value) {
+          valleys.push_back(
+              Valley{static_cast<double>(pending_min) * cell,
+                     lower_peak - pending_min_value});
+        }
+        last_peak = peak;
+        last_peak_value = density[peak];
+        have_pending_min = false;
+      } else if (density[g] > last_peak_value) {
+        last_peak = g;
+        last_peak_value = density[g];
+      }
+    } else if (density[g] < density[g - 1]) {
+      if (!have_pending_min || density[g] < pending_min_value) {
+        pending_min = g;
+        pending_min_value = density[g];
+        have_pending_min = true;
+      }
+    }
+  }
+  (void)last_peak;
+
+  // Keep the deepest max_buckets - 1 valleys.
+  std::sort(valleys.begin(), valleys.end(),
+            [](const Valley& a, const Valley& b) { return a.depth > b.depth; });
+  if (valleys.size() > static_cast<std::size_t>(max_buckets - 1)) {
+    valleys.resize(static_cast<std::size_t>(max_buckets - 1));
+  }
+  std::vector<double> breakpoints;
+  breakpoints.reserve(valleys.size());
+  for (const Valley& v : valleys) breakpoints.push_back(v.position);
+  return internal::BuildPartition(std::move(breakpoints));
+}
+
+}  // namespace podium::bucketing

@@ -1,0 +1,97 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "podium/bucketing/bucketizer.h"
+#include "podium/bucketing/internal.h"
+#include "podium/util/rng.h"
+
+namespace podium::bucketing {
+
+namespace {
+
+/// k-means++ seeding on 1-d points.
+std::vector<double> SeedCenters(const std::vector<double>& values, int k,
+                                util::Rng& rng) {
+  std::vector<double> centers;
+  centers.push_back(values[rng.NextBounded(values.size())]);
+  std::vector<double> dist2(values.size());
+  while (static_cast<int>(centers.size()) < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (double c : centers) {
+        best = std::min(best, (values[i] - c) * (values[i] - c));
+      }
+      dist2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) break;  // all points coincide with a center
+    double r = rng.NextDouble() * total;
+    std::size_t chosen = values.size() - 1;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      r -= dist2[i];
+      if (r < 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centers.push_back(values[chosen]);
+  }
+  return centers;
+}
+
+}  // namespace
+
+Result<std::vector<Bucket>> KMeans1DBucketizer::Split(
+    std::vector<double> values, int max_buckets) const {
+  PODIUM_RETURN_IF_ERROR(internal::ValidateSplitInput(values, max_buckets));
+  if (internal::Degenerate(values) || max_buckets == 1) {
+    return internal::BuildPartition({});
+  }
+  std::sort(values.begin(), values.end());
+
+  util::Rng rng(seed_);
+  std::vector<double> centers = SeedCenters(values, max_buckets, rng);
+  std::sort(centers.begin(), centers.end());
+
+  // Lloyd iterations. In 1-d with sorted values and sorted centers, each
+  // cluster is a contiguous range whose boundary is the midpoint between
+  // adjacent centers.
+  std::vector<double> new_centers(centers.size());
+  for (int iter = 0; iter < max_iterations_; ++iter) {
+    std::size_t start = 0;
+    bool changed = false;
+    for (std::size_t c = 0; c < centers.size(); ++c) {
+      const double boundary = c + 1 < centers.size()
+                                  ? 0.5 * (centers[c] + centers[c + 1])
+                                  : std::numeric_limits<double>::infinity();
+      std::size_t end = start;
+      double sum = 0.0;
+      while (end < values.size() && values[end] <= boundary) {
+        sum += values[end];
+        ++end;
+      }
+      new_centers[c] =
+          end > start ? sum / static_cast<double>(end - start) : centers[c];
+      if (std::fabs(new_centers[c] - centers[c]) > 1e-12) changed = true;
+      start = end;
+    }
+    centers = new_centers;
+    std::sort(centers.begin(), centers.end());
+    if (!changed) break;
+  }
+
+  // Collapse duplicate centers, then place breakpoints at midpoints.
+  std::vector<double> distinct;
+  for (double c : centers) {
+    if (distinct.empty() || c - distinct.back() > 1e-9) distinct.push_back(c);
+  }
+  std::vector<double> breakpoints;
+  for (std::size_t c = 0; c + 1 < distinct.size(); ++c) {
+    breakpoints.push_back(0.5 * (distinct[c] + distinct[c + 1]));
+  }
+  return internal::BuildPartition(std::move(breakpoints));
+}
+
+}  // namespace podium::bucketing

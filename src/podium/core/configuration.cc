@@ -1,0 +1,185 @@
+#include "podium/core/configuration.h"
+
+#include "podium/core/greedy.h"
+#include "podium/json/parser.h"
+
+namespace podium {
+
+namespace {
+
+Result<std::vector<std::string>> StringList(const json::Object& object,
+                                            const char* key) {
+  std::vector<std::string> out;
+  const json::Value* value = object.Find(key);
+  if (value == nullptr) return out;
+  if (!value->is_array()) {
+    return Status::ParseError(std::string("'") + key +
+                              "' must be an array of strings");
+  }
+  for (const json::Value& entry : value->AsArray()) {
+    Result<std::string> text = entry.GetString();
+    if (!text.ok()) return text.status();
+    out.push_back(std::move(text).value());
+  }
+  return out;
+}
+
+Result<DiversificationConfig> ConfigFromJson(const json::Value& value) {
+  if (!value.is_object()) {
+    return Status::ParseError("each configuration must be a JSON object");
+  }
+  const json::Object& object = value.AsObject();
+  DiversificationConfig config;
+
+  const json::Value* name = object.Find("name");
+  if (name == nullptr || !name->is_string()) {
+    return Status::ParseError("configuration requires a string 'name'");
+  }
+  config.name = name->AsString();
+  if (const json::Value* description = object.Find("description");
+      description != nullptr && description->is_string()) {
+    config.description = description->AsString();
+  }
+
+  if (const json::Value* weights = object.Find("weights");
+      weights != nullptr) {
+    Result<std::string> text = weights->GetString();
+    if (!text.ok()) return text.status();
+    Result<WeightKind> kind = ParseWeightKind(text.value());
+    if (!kind.ok()) return kind.status();
+    config.instance.weight_kind = kind.value();
+  }
+  if (const json::Value* coverage = object.Find("coverage");
+      coverage != nullptr) {
+    Result<std::string> text = coverage->GetString();
+    if (!text.ok()) return text.status();
+    Result<CoverageKind> kind = ParseCoverageKind(text.value());
+    if (!kind.ok()) return kind.status();
+    config.instance.coverage_kind = kind.value();
+  }
+  if (const json::Value* method = object.Find("bucket_method");
+      method != nullptr) {
+    Result<std::string> text = method->GetString();
+    if (!text.ok()) return text.status();
+    config.instance.grouping.bucket_method = std::move(text).value();
+  }
+  if (const json::Value* buckets = object.Find("max_buckets");
+      buckets != nullptr) {
+    Result<double> number = buckets->GetNumber();
+    if (!number.ok()) return number.status();
+    config.instance.grouping.max_buckets = static_cast<int>(number.value());
+  }
+  if (const json::Value* budget = object.Find("budget"); budget != nullptr) {
+    Result<double> number = budget->GetNumber();
+    if (!number.ok()) return number.status();
+    if (number.value() < 1) {
+      return Status::ParseError("'budget' must be >= 1");
+    }
+    config.instance.budget = static_cast<std::size_t>(number.value());
+  }
+
+  Result<std::vector<std::string>> filters =
+      StringList(object, "property_filters");
+  if (!filters.ok()) return filters.status();
+  config.instance.grouping.property_filters = std::move(filters).value();
+
+  Result<std::vector<std::string>> must_have = StringList(object, "must_have");
+  if (!must_have.ok()) return must_have.status();
+  config.must_have_labels = std::move(must_have).value();
+  Result<std::vector<std::string>> must_not = StringList(object, "must_not");
+  if (!must_not.ok()) return must_not.status();
+  config.must_not_labels = std::move(must_not).value();
+  Result<std::vector<std::string>> priority = StringList(object, "priority");
+  if (!priority.ok()) return priority.status();
+  config.priority_labels = std::move(priority).value();
+  return config;
+}
+
+Result<std::vector<GroupId>> ResolveLabels(
+    const DiversificationInstance& instance,
+    const std::vector<std::string>& labels) {
+  std::vector<GroupId> groups;
+  for (const std::string& label : labels) {
+    GroupId found = kInvalidGroup;
+    for (GroupId g = 0; g < instance.groups().group_count(); ++g) {
+      if (instance.groups().label(g) == label) {
+        found = g;
+        break;
+      }
+    }
+    if (found == kInvalidGroup) {
+      return Status::NotFound("no group labeled '" + label + "'");
+    }
+    groups.push_back(found);
+  }
+  return groups;
+}
+
+}  // namespace
+
+Result<std::vector<DiversificationConfig>> ConfigurationsFromJson(
+    const json::Value& document) {
+  if (!document.is_object()) {
+    return Status::ParseError("configuration document must be an object");
+  }
+  const json::Value* list = document.AsObject().Find("configurations");
+  if (list == nullptr || !list->is_array()) {
+    return Status::ParseError(
+        "configuration document requires a 'configurations' array");
+  }
+  std::vector<DiversificationConfig> configs;
+  for (const json::Value& entry : list->AsArray()) {
+    Result<DiversificationConfig> config = ConfigFromJson(entry);
+    if (!config.ok()) return config.status();
+    configs.push_back(std::move(config).value());
+  }
+  return configs;
+}
+
+Result<std::vector<DiversificationConfig>> LoadConfigurationsFile(
+    const std::string& path) {
+  Result<json::Value> document = json::ParseFile(path);
+  if (!document.ok()) return document.status();
+  return ConfigurationsFromJson(document.value());
+}
+
+Result<ConfiguredSelection> RunConfiguration(
+    const ProfileRepository& repository,
+    const DiversificationConfig& config) {
+  Result<DiversificationInstance> instance =
+      DiversificationInstance::Build(repository, config.instance);
+  if (!instance.ok()) return instance.status();
+
+  const bool customized = !config.must_have_labels.empty() ||
+                          !config.must_not_labels.empty() ||
+                          !config.priority_labels.empty();
+  ConfiguredSelection out{std::move(instance).value(), Selection{},
+                          std::nullopt};
+  if (!customized) {
+    GreedySelector selector;
+    Result<Selection> selection =
+        selector.Select(out.instance, config.instance.budget);
+    if (!selection.ok()) return selection.status();
+    out.selection = std::move(selection).value();
+    return out;
+  }
+
+  CustomizationFeedback feedback;
+  PODIUM_ASSIGN_OR_RETURN(feedback.must_have,
+                          ResolveLabels(out.instance,
+                                        config.must_have_labels));
+  PODIUM_ASSIGN_OR_RETURN(feedback.must_not,
+                          ResolveLabels(out.instance,
+                                        config.must_not_labels));
+  PODIUM_ASSIGN_OR_RETURN(feedback.priority,
+                          ResolveLabels(out.instance,
+                                        config.priority_labels));
+  Result<CustomSelection> custom =
+      SelectCustomized(out.instance, feedback, config.instance.budget);
+  if (!custom.ok()) return custom.status();
+  out.selection = std::move(custom->selection);
+  out.custom_score = custom->score;
+  return out;
+}
+
+}  // namespace podium

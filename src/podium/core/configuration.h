@@ -1,0 +1,68 @@
+#ifndef PODIUM_CORE_CONFIGURATION_H_
+#define PODIUM_CORE_CONFIGURATION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "podium/core/customization.h"
+#include "podium/core/instance.h"
+#include "podium/core/selection.h"
+#include "podium/json/value.h"
+
+namespace podium {
+
+/// A named diversification configuration with a textual description — the
+/// "initial set of diversification configurations" an administrator feeds
+/// into the prototype (Section 7; the screenshot's "Summer Pavilion"
+/// config scopes diversification to one restaurant's properties).
+struct DiversificationConfig {
+  std::string name;
+  std::string description;
+
+  /// Instance construction: grouping (including property_filters, the
+  /// scoping mechanism), weight/coverage kinds and budget.
+  InstanceOptions instance;
+
+  /// Customization feedback by group label, resolved against the built
+  /// instance at selection time (group ids are instance-specific).
+  std::vector<std::string> must_have_labels;
+  std::vector<std::string> must_not_labels;
+  std::vector<std::string> priority_labels;
+};
+
+/// Parses configurations from a JSON document of the form
+///
+///   {"configurations": [
+///      {"name": "Summer Pavilion",
+///       "description": "Scope to the Summer Pavilion restaurant",
+///       "property_filters": ["Summer Pavilion"],
+///       "weights": "LBS", "coverage": "Single",
+///       "bucket_method": "quantile", "max_buckets": 3, "budget": 8,
+///       "must_have": [], "must_not": [], "priority": []}]}
+///
+/// All fields except "name" are optional and default as in
+/// InstanceOptions.
+Result<std::vector<DiversificationConfig>> ConfigurationsFromJson(
+    const json::Value& document);
+Result<std::vector<DiversificationConfig>> LoadConfigurationsFile(
+    const std::string& path);
+
+/// A configuration applied to a repository: the built instance plus the
+/// selection (customized if the config carries feedback).
+struct ConfiguredSelection {
+  DiversificationInstance instance;
+  Selection selection;
+  /// Engaged when the configuration used customization feedback.
+  std::optional<DualScore> custom_score;
+};
+
+/// Builds the instance per `config` and selects. Label-based feedback is
+/// resolved against the built instance; unknown labels fail with
+/// NotFound.
+Result<ConfiguredSelection> RunConfiguration(
+    const ProfileRepository& repository, const DiversificationConfig& config);
+
+}  // namespace podium
+
+#endif  // PODIUM_CORE_CONFIGURATION_H_

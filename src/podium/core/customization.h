@@ -1,0 +1,75 @@
+#ifndef PODIUM_CORE_CUSTOMIZATION_H_
+#define PODIUM_CORE_CUSTOMIZATION_H_
+
+#include <span>
+#include <vector>
+
+#include "podium/core/greedy.h"
+#include "podium/core/instance.h"
+#include "podium/core/selection.h"
+
+namespace podium {
+
+/// Customization feedback (Def. 6.1): four group subsets refining the
+/// selection. Defaults are the paper's: empty 𝒢₊/𝒢₋/𝒢_d, and 𝒢_d? = 𝒢
+/// (signalled here by standard_is_rest).
+struct CustomizationFeedback {
+  /// 𝒢₊ — "must have": each selected user must satisfy every property
+  /// mentioned in 𝒢₊; when several buckets of one property are listed,
+  /// membership in any one of them suffices (Def. 6.3).
+  std::vector<GroupId> must_have;
+
+  /// 𝒢₋ — "must not": each selected user must belong to none of these.
+  std::vector<GroupId> must_not;
+
+  /// 𝒢_d — "priority coverage": covered before anything else.
+  std::vector<GroupId> priority;
+
+  /// 𝒢_d? — "standard coverage". When standard_is_rest is true (default),
+  /// 𝒢_d? = 𝒢 − 𝒢_d and `standard` is ignored. Groups in neither set are
+  /// ignored for coverage ("do not diversify on this property").
+  std::vector<GroupId> standard;
+  bool standard_is_rest = true;
+};
+
+/// The refined user set 𝒰' of Def. 6.3: users passing the 𝒢₊ (per-property
+/// disjunction, cross-property conjunction) and 𝒢₋ filters. Ascending ids.
+Result<std::vector<UserId>> RefineUsers(const DiversificationInstance& instance,
+                                        const CustomizationFeedback& feedback);
+
+/// The customized score s̃core(U) of Prop. 6.5, represented exactly as a
+/// lexicographic (priority, standard) pair instead of the overflow-prone
+/// score_𝒢d·MAX-SCORE + score_𝒢d? scalar.
+struct DualScore {
+  double priority = 0.0;
+  double standard = 0.0;
+
+  friend bool operator==(const DualScore&, const DualScore&) = default;
+};
+bool operator<(const DualScore& a, const DualScore& b);
+
+/// Evaluates the customized score of `subset` under `feedback`.
+Result<DualScore> CustomizedScore(const DiversificationInstance& instance,
+                                  const CustomizationFeedback& feedback,
+                                  std::span<const UserId> subset);
+
+/// Result of a customized selection.
+struct CustomSelection {
+  Selection selection;
+  DualScore score;
+  /// |𝒰'| — how many users survived the 𝒢₊/𝒢₋ filters.
+  std::size_t refined_pool_size = 0;
+};
+
+/// Solves CUSTOM-DIVERSITY greedily (Prop. 6.5): filters the population to
+/// 𝒰' and runs Algorithm 1 under the two-tier customized score. Supports
+/// Iden and LBS weights (EBS + customization is not defined in the paper's
+/// experiments and is unimplemented).
+Result<CustomSelection> SelectCustomized(
+    const DiversificationInstance& instance,
+    const CustomizationFeedback& feedback, std::size_t budget,
+    GreedyMode mode = GreedyMode::kPlainScan);
+
+}  // namespace podium
+
+#endif  // PODIUM_CORE_CUSTOMIZATION_H_

@@ -1,0 +1,28 @@
+#ifndef PODIUM_CORE_EXHAUSTIVE_H_
+#define PODIUM_CORE_EXHAUSTIVE_H_
+
+#include "podium/core/selection.h"
+
+namespace podium {
+
+/// The "Optimal Selection" baseline of Section 8.3: naïve iteration over
+/// all user subsets of size B. Exponential; refuses instances whose
+/// subset-enumeration count exceeds `max_subsets` so experiment sweeps
+/// fail fast instead of hanging.
+class ExhaustiveSelector : public Selector {
+ public:
+  explicit ExhaustiveSelector(std::uint64_t max_subsets = 200'000'000)
+      : max_subsets_(max_subsets) {}
+
+  std::string Name() const override { return "Optimal"; }
+
+  Result<Selection> Select(const DiversificationInstance& instance,
+                           std::size_t budget) const override;
+
+ private:
+  std::uint64_t max_subsets_;
+};
+
+}  // namespace podium
+
+#endif  // PODIUM_CORE_EXHAUSTIVE_H_

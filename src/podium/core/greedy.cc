@@ -1,0 +1,281 @@
+#include "podium/core/greedy.h"
+
+#include <algorithm>
+#include <array>
+#include <queue>
+
+#include "podium/core/score.h"
+#include "podium/util/rng.h"
+
+namespace podium {
+
+namespace {
+
+/// Tier count used by the scalar path: tier 0 ("priority coverage") and
+/// tier 1 ("standard coverage"). Base instances use tier 0 only.
+constexpr int kTiers = 2;
+constexpr std::uint8_t kIgnoredTier = 2;
+
+using GainPair = std::array<double, kTiers>;
+
+bool GainLess(const GainPair& a, const GainPair& b) {
+  if (a[0] != b[0]) return a[0] < b[0];
+  return a[1] < b[1];
+}
+
+struct ScalarState {
+  std::vector<GainPair> marginal;         // per user
+  std::vector<std::uint32_t> remaining;   // per group: cov(G) minus selected
+  std::vector<bool> group_dead;           // remaining hit zero
+  std::vector<bool> in_pool;              // per user
+};
+
+Selection RunScalarGreedy(const DiversificationInstance& instance,
+                          std::size_t budget,
+                          const std::vector<UserId>& pool,
+                          const std::vector<std::uint8_t>& tiers,
+                          const std::vector<std::uint32_t>& tie_rank,
+                          const std::vector<double>& weights,
+                          GreedyMode mode) {
+  const GroupIndex& groups = instance.groups();
+  const std::size_t num_users = instance.repository().user_count();
+
+  ScalarState state;
+  state.marginal.assign(num_users, GainPair{0.0, 0.0});
+  state.remaining = instance.coverage();
+  state.group_dead.assign(groups.group_count(), false);
+  state.in_pool.assign(num_users, false);
+  for (UserId u : pool) state.in_pool[u] = true;
+
+  // Line 2 of Algorithm 1: marg_{u,∅} = Σ_{G ∋ u} wei(G).
+  for (UserId u : pool) {
+    for (GroupId g : groups.groups_of(u)) {
+      const std::uint8_t tier = tiers[g];
+      if (tier >= kIgnoredTier) continue;
+      state.marginal[u][tier] += weights[g];
+    }
+  }
+
+  // Prefer larger gains; among equal gains, smaller tie rank.
+  auto better = [&](UserId a, UserId b) {
+    if (state.marginal[a] != state.marginal[b]) {
+      return GainLess(state.marginal[b], state.marginal[a]);
+    }
+    return tie_rank[a] < tie_rank[b];
+  };
+
+  // Lazy heap entries carry the gain they were pushed with; stale entries
+  // are re-pushed on pop. Valid because gains only decrease (submodularity).
+  struct HeapEntry {
+    GainPair gain;
+    std::uint32_t tie;
+    UserId user;
+    bool operator<(const HeapEntry& other) const {  // max-heap
+      if (gain != other.gain) return GainLess(gain, other.gain);
+      return tie > other.tie;
+    }
+  };
+  std::priority_queue<HeapEntry> heap;
+  if (mode == GreedyMode::kLazyHeap) {
+    for (UserId u : pool) {
+      heap.push(HeapEntry{state.marginal[u], tie_rank[u], u});
+    }
+  }
+
+  Selection selection;
+  std::size_t pool_left = pool.size();
+  for (std::size_t round = 0; round < budget && pool_left > 0; ++round) {
+    // Line 5: maxUser = argmax marg.
+    UserId chosen = kInvalidUser;
+    if (mode == GreedyMode::kPlainScan) {
+      for (UserId u : pool) {
+        if (!state.in_pool[u]) continue;
+        if (chosen == kInvalidUser || better(u, chosen)) chosen = u;
+      }
+    } else {
+      while (!heap.empty()) {
+        HeapEntry top = heap.top();
+        heap.pop();
+        if (!state.in_pool[top.user]) continue;
+        if (top.gain != state.marginal[top.user]) {
+          top.gain = state.marginal[top.user];
+          heap.push(top);
+          continue;
+        }
+        chosen = top.user;
+        break;
+      }
+      if (chosen == kInvalidUser) break;  // heap exhausted
+    }
+
+    // Lines 6-10: move the user, decrement coverage, retire dead groups
+    // and charge their weight back from other members' marginal gains.
+    selection.users.push_back(chosen);
+    state.in_pool[chosen] = false;
+    --pool_left;
+    for (GroupId g : groups.groups_of(chosen)) {
+      const std::uint8_t tier = tiers[g];
+      if (tier >= kIgnoredTier || state.group_dead[g]) continue;
+      if (--state.remaining[g] > 0) continue;
+      state.group_dead[g] = true;
+      const double weight = weights[g];
+      for (UserId member : groups.members(g)) {
+        if (state.in_pool[member]) state.marginal[member][tier] -= weight;
+      }
+    }
+  }
+  selection.score = TotalScore(instance, selection.users);
+  return selection;
+}
+
+/// EBS gains: the set of ord-ranks of alive groups containing the user,
+/// kept sorted descending. Because ord is a permutation and the base B+1
+/// is >= 2, numeric comparison of Σ (B+1)^rank coincides with
+/// lexicographic comparison of the descending rank sequences (with the
+/// longer sequence winning on a tied prefix).
+struct EbsGain {
+  std::vector<std::uint32_t> ranks;  // descending
+
+  void Remove(std::uint32_t rank) {
+    auto it = std::lower_bound(ranks.begin(), ranks.end(), rank,
+                               std::greater<std::uint32_t>());
+    if (it != ranks.end() && *it == rank) ranks.erase(it);
+  }
+};
+
+bool EbsBetter(const EbsGain& a, const EbsGain& b) {
+  const std::size_t common = std::min(a.ranks.size(), b.ranks.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a.ranks[i] != b.ranks[i]) return a.ranks[i] > b.ranks[i];
+  }
+  return a.ranks.size() > b.ranks.size();
+}
+
+Selection RunEbsGreedy(const DiversificationInstance& instance,
+                       std::size_t budget, const std::vector<UserId>& pool,
+                       const std::vector<std::uint32_t>& tie_rank) {
+  const GroupIndex& groups = instance.groups();
+  const std::size_t num_users = instance.repository().user_count();
+
+  std::vector<EbsGain> gains(num_users);
+  std::vector<std::uint32_t> remaining = instance.coverage();
+  std::vector<bool> group_dead(groups.group_count(), false);
+  std::vector<bool> in_pool(num_users, false);
+  for (UserId u : pool) in_pool[u] = true;
+  for (UserId u : pool) {
+    auto& ranks = gains[u].ranks;
+    for (GroupId g : groups.groups_of(u)) {
+      ranks.push_back(instance.weights().rank(g));
+    }
+    std::sort(ranks.begin(), ranks.end(), std::greater<std::uint32_t>());
+  }
+
+  Selection selection;
+  std::size_t pool_left = pool.size();
+  for (std::size_t round = 0; round < budget && pool_left > 0; ++round) {
+    UserId chosen = kInvalidUser;
+    for (UserId u : pool) {
+      if (!in_pool[u]) continue;
+      if (chosen == kInvalidUser || EbsBetter(gains[u], gains[chosen]) ||
+          (!EbsBetter(gains[chosen], gains[u]) &&
+           tie_rank[u] < tie_rank[chosen])) {
+        chosen = u;
+      }
+    }
+    selection.users.push_back(chosen);
+    in_pool[chosen] = false;
+    --pool_left;
+    for (GroupId g : groups.groups_of(chosen)) {
+      if (group_dead[g]) continue;
+      if (--remaining[g] > 0) continue;
+      group_dead[g] = true;
+      const std::uint32_t rank = instance.weights().rank(g);
+      for (UserId member : groups.members(g)) {
+        if (in_pool[member]) gains[member].Remove(rank);
+      }
+    }
+  }
+  selection.score = TotalScore(instance, selection.users);
+  return selection;
+}
+
+}  // namespace
+
+Result<Selection> GreedySelector::Select(
+    const DiversificationInstance& instance, std::size_t budget) const {
+  const std::size_t num_users = instance.repository().user_count();
+  const std::size_t num_groups = instance.groups().group_count();
+  if (budget == 0) {
+    return Status::InvalidArgument("budget must be positive");
+  }
+  if (!options_.group_tiers.empty() &&
+      options_.group_tiers.size() != num_groups) {
+    return Status::InvalidArgument(
+        "group_tiers must have one entry per group");
+  }
+
+  // Candidate pool: full population unless restricted (Def. 6.3's 𝒰').
+  std::vector<UserId> pool = options_.candidate_pool;
+  if (pool.empty()) {
+    pool.resize(num_users);
+    for (UserId u = 0; u < num_users; ++u) pool[u] = u;
+  } else {
+    for (UserId u : pool) {
+      if (u >= num_users) {
+        return Status::OutOfRange("candidate pool user id out of range");
+      }
+    }
+  }
+
+  // Tie-break ranks: position in tie_break_order, else a seeded random
+  // permutation (the prototype's behaviour), else ascending id.
+  std::vector<std::uint32_t> tie_rank(num_users);
+  if (options_.tie_break_order.empty()) {
+    for (UserId u = 0; u < num_users; ++u) tie_rank[u] = u;
+    if (options_.random_tie_seed.has_value()) {
+      util::Rng tie_rng(*options_.random_tie_seed);
+      tie_rng.Shuffle(tie_rank);
+    }
+  } else {
+    if (options_.tie_break_order.size() != num_users) {
+      return Status::InvalidArgument(
+          "tie_break_order must be a permutation of all users");
+    }
+    for (std::uint32_t pos = 0; pos < num_users; ++pos) {
+      const UserId u = options_.tie_break_order[pos];
+      if (u >= num_users) {
+        return Status::OutOfRange("tie_break_order user id out of range");
+      }
+      tie_rank[u] = pos;
+    }
+  }
+
+  if (instance.weight_kind() == WeightKind::kEbs) {
+    if (!options_.group_tiers.empty()) {
+      return Status::Unimplemented(
+          "customized selection is not supported with EBS weights");
+    }
+    return RunEbsGreedy(instance, budget, pool, tie_rank);
+  }
+
+  std::vector<std::uint8_t> tiers = options_.group_tiers;
+  if (tiers.empty()) tiers.assign(num_groups, 0);
+
+  // Optional weight randomization (Section 10): perturb each group weight
+  // multiplicatively; the reported selection score stays under the true
+  // weights (TotalScore), only the greedy's preferences are perturbed.
+  std::vector<double> weights(instance.weights().scalars());
+  if (options_.weight_noise > 0.0) {
+    if (options_.weight_noise >= 1.0) {
+      return Status::InvalidArgument("weight_noise must be in [0, 1)");
+    }
+    util::Rng noise_rng(options_.weight_noise_seed);
+    for (double& weight : weights) {
+      weight *= 1.0 + options_.weight_noise * noise_rng.NextDouble(-1.0, 1.0);
+    }
+  }
+  return RunScalarGreedy(instance, budget, pool, tiers, tie_rank, weights,
+                         options_.mode);
+}
+
+}  // namespace podium

@@ -1,0 +1,176 @@
+#include "podium/core/html_report.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include "podium/util/string_util.h"
+
+namespace podium {
+
+namespace {
+
+void AppendEscaped(const std::string& text, std::string& out) {
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+}
+
+std::string Escaped(const std::string& text) {
+  std::string out;
+  AppendEscaped(text, out);
+  return out;
+}
+
+const char kStyle[] = R"(
+  body { font-family: sans-serif; margin: 1.5em; color: #222; }
+  h1 { font-size: 1.3em; }
+  .panes { display: flex; gap: 2em; align-items: flex-start;
+           flex-wrap: wrap; }
+  .pane { flex: 1 1 20em; min-width: 18em; }
+  .pane h2 { font-size: 1.05em; border-bottom: 1px solid #ccc;
+             padding-bottom: 0.3em; }
+  .user { margin-bottom: 0.8em; }
+  .user .name { font-weight: bold; }
+  .user ul { margin: 0.2em 0 0 1.2em; padding: 0; font-size: 0.9em; }
+  .summary { font-size: 1.6em; margin: 0.4em 0; }
+  .group { font-size: 0.9em; padding: 0.1em 0.3em; }
+  .covered { color: #1a7f37; }
+  .uncovered { color: #c0392b; }
+  .dist { margin-bottom: 1em; }
+  .dist .prop { font-weight: bold; font-size: 0.95em; }
+  .bar-row { display: flex; align-items: center; gap: 0.5em;
+             font-size: 0.8em; margin: 1px 0; }
+  .bar-row .label { width: 6em; text-align: right; color: #555; }
+  .bar { height: 0.8em; border-radius: 2px; }
+  .bar.pop { background: #7f9dc4; }
+  .bar.sel { background: #e0a14c; }
+  .legend { font-size: 0.8em; color: #555; margin-bottom: 0.6em; }
+  .swatch { display: inline-block; width: 0.8em; height: 0.8em;
+            border-radius: 2px; vertical-align: middle; }
+)";
+
+void AppendBarRow(const std::string& label, double fraction,
+                  const char* kind, std::string& out) {
+  out += "<div class=\"bar-row\"><span class=\"label\">";
+  AppendEscaped(label, out);
+  out += util::StringPrintf(
+      "</span><div class=\"bar %s\" style=\"width:%.1f%%\"></div>"
+      "<span>%.0f%%</span></div>\n",
+      kind, 60.0 * fraction, 100.0 * fraction);
+}
+
+}  // namespace
+
+std::string RenderHtmlReport(const DiversificationInstance& instance,
+                             const Selection& selection,
+                             const HtmlReportOptions& options) {
+  ReportOptions report_options;
+  report_options.top_group_count = options.top_group_count;
+  report_options.max_groups_per_user = options.max_groups_per_user;
+  const SelectionReport report =
+      BuildSelectionReport(instance, selection, report_options);
+
+  std::string out;
+  out += "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n<title>";
+  AppendEscaped(options.title, out);
+  out += "</title>\n<style>";
+  out += kStyle;
+  out += "</style></head>\n<body>\n<h1>";
+  AppendEscaped(options.title, out);
+  out += util::StringPrintf(
+      "</h1>\n<p>%zu users selected &middot; total score %s</p>\n"
+      "<div class=\"panes\">\n",
+      report.users.size(), util::FormatDouble(report.total_score).c_str());
+
+  // Left pane: selected users and their top-weight groups.
+  out += "<div class=\"pane\"><h2>Selected users</h2>\n";
+  for (const UserExplanation& user : report.users) {
+    out += "<div class=\"user\"><div class=\"name\">";
+    AppendEscaped(user.name, out);
+    out += "</div><ul>\n";
+    for (const GroupExplanation& group : user.groups) {
+      out += "<li>";
+      AppendEscaped(group.label, out);
+      out += util::StringPrintf(" <small>(wei %s, cov %u)</small></li>\n",
+                                util::FormatDouble(group.weight).c_str(),
+                                group.required_coverage);
+    }
+    out += "</ul></div>\n";
+  }
+  out += "</div>\n";
+
+  // Middle pane: coverage summary + group list by weight.
+  out += "<div class=\"pane\"><h2>Group coverage</h2>\n";
+  out += util::StringPrintf(
+      "<div class=\"summary\">%.0f%%</div>"
+      "<p>of the top-%zu groups by weight are covered</p>\n",
+      100.0 * report.top_coverage_fraction, report.top_groups.size());
+  for (const SubsetGroupExplanation& group : report.top_groups) {
+    out += util::StringPrintf("<div class=\"group %s\">%s ",
+                              group.covered() ? "covered" : "uncovered",
+                              group.covered() ? "&#10003;" : "&#10007;");
+    AppendEscaped(group.label, out);
+    out += util::StringPrintf(" <small>(%u of %u)</small></div>\n",
+                              group.actual, group.required);
+  }
+  out += "</div>\n";
+
+  // Right pane: distribution comparisons for the heaviest properties
+  // that actually have buckets (instances built from explicit defs may
+  // not carry buckets_per_property).
+  out += "<div class=\"pane\"><h2>Score distributions</h2>\n";
+  out +=
+      "<div class=\"legend\"><span class=\"swatch bar pop\"></span> "
+      "population &nbsp; <span class=\"swatch bar sel\"></span> "
+      "selection</div>\n";
+  std::set<PropertyId> shown;
+  for (const SubsetGroupExplanation& group : report.top_groups) {
+    if (shown.size() >= options.distribution_panes) break;
+    const PropertyId property = instance.groups().def(group.group).property;
+    if (!shown.insert(property).second) continue;
+    const DistributionComparison comparison =
+        CompareDistributions(instance, selection, property);
+    if (comparison.bucket_labels.empty()) continue;
+    out += "<div class=\"dist\"><div class=\"prop\">";
+    AppendEscaped(instance.repository().properties().Label(property), out);
+    out += "</div>\n";
+    for (std::size_t b = 0; b < comparison.bucket_labels.size(); ++b) {
+      AppendBarRow(comparison.bucket_labels[b],
+                   comparison.population_fraction[b], "pop", out);
+      AppendBarRow("selection", comparison.selection_fraction[b], "sel",
+                   out);
+    }
+    out += "</div>\n";
+  }
+  out += "</div>\n</div>\n</body></html>\n";
+  return out;
+}
+
+Status WriteHtmlReport(const DiversificationInstance& instance,
+                       const Selection& selection, const std::string& path,
+                       const HtmlReportOptions& options) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open file for writing: " + path);
+  out << RenderHtmlReport(instance, selection, options);
+  out.flush();
+  if (!out) return Status::IoError("error writing file: " + path);
+  return Status::Ok();
+}
+
+}  // namespace podium

@@ -1,0 +1,44 @@
+#ifndef PODIUM_CORE_HTML_REPORT_H_
+#define PODIUM_CORE_HTML_REPORT_H_
+
+#include <string>
+
+#include "podium/core/explanation.h"
+#include "podium/util/status.h"
+
+namespace podium {
+
+struct HtmlReportOptions {
+  /// Page title (the prototype shows the configuration name, e.g.
+  /// "Summer Pavilion").
+  std::string title = "Podium selection";
+
+  /// How many top-weight groups to list and how many properties get a
+  /// distribution pane.
+  std::size_t top_group_count = 30;
+  std::size_t distribution_panes = 6;
+  std::size_t max_groups_per_user = 6;
+};
+
+/// Renders the explanation page of the prototype's UI (Figure 2) as a
+/// single self-contained HTML document:
+///   - left pane: the selected users with their top-weight covered groups
+///     (user explanations, Def. 5.1);
+///   - middle pane: the percentage of top-weight groups covered and the
+///     group list ordered by decreasing weight, covered groups in green
+///     and uncovered in red (subset-group explanations);
+///   - right pane: per-property score distributions, population versus
+///     selection, as horizontal bars.
+/// No external assets; inline CSS only.
+std::string RenderHtmlReport(const DiversificationInstance& instance,
+                             const Selection& selection,
+                             const HtmlReportOptions& options = {});
+
+/// Writes the report to `path`.
+Status WriteHtmlReport(const DiversificationInstance& instance,
+                       const Selection& selection, const std::string& path,
+                       const HtmlReportOptions& options = {});
+
+}  // namespace podium
+
+#endif  // PODIUM_CORE_HTML_REPORT_H_

@@ -1,0 +1,35 @@
+#include "podium/core/instance.h"
+
+namespace podium {
+
+Result<DiversificationInstance> DiversificationInstance::Build(
+    const ProfileRepository& repository, const InstanceOptions& options) {
+  Result<GroupIndex> groups = GroupIndex::Build(repository, options.grouping);
+  if (!groups.ok()) return groups.status();
+  return FromGroups(repository, std::move(groups).value(),
+                    options.weight_kind, options.coverage_kind,
+                    options.budget);
+}
+
+Result<DiversificationInstance> DiversificationInstance::FromGroups(
+    const ProfileRepository& repository, GroupIndex groups,
+    WeightKind weight_kind, CoverageKind coverage_kind, std::size_t budget) {
+  if (budget == 0) {
+    return Status::InvalidArgument("budget must be positive");
+  }
+  if (groups.user_count() != repository.user_count()) {
+    return Status::InvalidArgument(
+        "group index was built over a different population");
+  }
+  DiversificationInstance instance;
+  instance.repository_ = &repository;
+  instance.weights_ = GroupWeighting::Compute(groups, weight_kind, budget);
+  instance.coverage_kind_ = coverage_kind;
+  instance.coverage_ =
+      ComputeCoverage(groups, coverage_kind, budget, repository.user_count());
+  instance.groups_ = std::move(groups);
+  instance.budget_ = budget;
+  return instance;
+}
+
+}  // namespace podium

@@ -1,0 +1,70 @@
+#ifndef PODIUM_CORE_INSTANCE_H_
+#define PODIUM_CORE_INSTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "podium/groups/coverage.h"
+#include "podium/groups/group_index.h"
+#include "podium/groups/weight.h"
+#include "podium/profile/repository.h"
+#include "podium/util/result.h"
+
+namespace podium {
+
+/// Options for building a DiversificationInstance from a repository.
+struct InstanceOptions {
+  GroupingOptions grouping;
+  WeightKind weight_kind = WeightKind::kLbs;        // paper's default (§8.3)
+  CoverageKind coverage_kind = CoverageKind::kSingle;
+  /// The budget B; used by Prop coverage and EBS weights, and as the
+  /// default budget for selectors.
+  std::size_t budget = 8;
+};
+
+/// A diversification instance (𝒢, wei, cov) over a repository (Def. 3.3),
+/// fully evaluated: groups materialized, weights and coverage sizes
+/// computed. Immutable once built; selectors treat it as read-only input.
+class DiversificationInstance {
+ public:
+  /// An empty instance (no repository); assign a Build()/FromGroups()
+  /// result over it before use.
+  DiversificationInstance() = default;
+
+  /// Derives simple groups from `repository` and evaluates the weight and
+  /// coverage functions. The repository must outlive the instance.
+  static Result<DiversificationInstance> Build(
+      const ProfileRepository& repository, const InstanceOptions& options = {});
+
+  /// Builds an instance over caller-provided groups (manually crafted 𝒢).
+  static Result<DiversificationInstance> FromGroups(
+      const ProfileRepository& repository, GroupIndex groups,
+      WeightKind weight_kind, CoverageKind coverage_kind, std::size_t budget);
+
+  const ProfileRepository& repository() const { return *repository_; }
+  const GroupIndex& groups() const { return groups_; }
+  const GroupWeighting& weights() const { return weights_; }
+  WeightKind weight_kind() const { return weights_.kind(); }
+  CoverageKind coverage_kind() const { return coverage_kind_; }
+  std::size_t budget() const { return budget_; }
+
+  /// cov(G) for every group.
+  const std::vector<std::uint32_t>& coverage() const { return coverage_; }
+  std::uint32_t coverage(GroupId g) const { return coverage_[g]; }
+
+  /// wei(G) as a scalar (approximate for EBS; see GroupWeighting).
+  double weight(GroupId g) const { return weights_.scalar(g); }
+
+ private:
+
+  const ProfileRepository* repository_ = nullptr;
+  GroupIndex groups_;
+  GroupWeighting weights_;
+  CoverageKind coverage_kind_ = CoverageKind::kSingle;
+  std::vector<std::uint32_t> coverage_;
+  std::size_t budget_ = 0;
+};
+
+}  // namespace podium
+
+#endif  // PODIUM_CORE_INSTANCE_H_

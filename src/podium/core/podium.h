@@ -1,0 +1,39 @@
+#ifndef PODIUM_CORE_PODIUM_H_
+#define PODIUM_CORE_PODIUM_H_
+
+/// Umbrella header: the public API of the Podium diverse-user-selection
+/// library. Typical usage:
+///
+///   #include "podium/core/podium.h"
+///
+///   podium::ProfileRepository repo = ...;           // or LoadRepositoryJson
+///   podium::InstanceOptions options;
+///   options.weight_kind = podium::WeightKind::kLbs;
+///   auto instance = podium::DiversificationInstance::Build(repo, options);
+///   podium::GreedySelector selector;
+///   auto selection = selector.Select(*instance, /*budget=*/8);
+///   auto report = podium::BuildSelectionReport(*instance, *selection);
+///   std::cout << podium::RenderReport(report);
+
+#include "podium/bucketing/bucketizer.h"    // IWYU pragma: export
+#include "podium/core/configuration.h"      // IWYU pragma: export
+#include "podium/core/customization.h"      // IWYU pragma: export
+#include "podium/core/exhaustive.h"         // IWYU pragma: export
+#include "podium/core/explanation.h"        // IWYU pragma: export
+#include "podium/core/greedy.h"             // IWYU pragma: export
+#include "podium/core/html_report.h"        // IWYU pragma: export
+#include "podium/core/instance.h"           // IWYU pragma: export
+#include "podium/core/refinement.h"         // IWYU pragma: export
+#include "podium/core/score.h"              // IWYU pragma: export
+#include "podium/core/selection.h"          // IWYU pragma: export
+#include "podium/core/threshold.h"          // IWYU pragma: export
+#include "podium/groups/complex_group.h"    // IWYU pragma: export
+#include "podium/groups/coverage.h"         // IWYU pragma: export
+#include "podium/groups/group_index.h"      // IWYU pragma: export
+#include "podium/groups/weight.h"           // IWYU pragma: export
+#include "podium/profile/repository.h"      // IWYU pragma: export
+#include "podium/profile/repository_io.h"   // IWYU pragma: export
+#include "podium/taxonomy/inference.h"      // IWYU pragma: export
+#include "podium/taxonomy/taxonomy.h"       // IWYU pragma: export
+
+#endif  // PODIUM_CORE_PODIUM_H_

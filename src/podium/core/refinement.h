@@ -1,0 +1,68 @@
+#ifndef PODIUM_CORE_REFINEMENT_H_
+#define PODIUM_CORE_REFINEMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "podium/core/customization.h"
+#include "podium/core/instance.h"
+#include "podium/core/selection.h"
+
+namespace podium {
+
+/// Refinement suggestions — the usability enhancement the paper names as
+/// future work in Section 10 ("proposing relevant refinements for the
+/// user"). Given a selection, Podium proposes customization feedback the
+/// client may want to apply next, each with a human-readable rationale.
+
+enum class RefinementKind : std::uint8_t {
+  /// Add the group to 𝒢_d: heavy group left uncovered by the selection.
+  kPrioritize,
+  /// Add the group to 𝒢_d? demotion candidates (drop from 𝒢_d? — "do not
+  /// diversify"): the group is near-universal, so covering it constrains
+  /// nothing and its weight drowns out rarer groups.
+  kIgnore,
+  /// Add the group to 𝒢₋: the selection over-represents it far beyond
+  /// its population share.
+  kExclude,
+};
+
+std::string_view RefinementKindName(RefinementKind kind);
+
+struct RefinementSuggestion {
+  RefinementKind kind = RefinementKind::kPrioritize;
+  GroupId group = kInvalidGroup;
+  std::string label;
+  /// Why the suggestion was made, in client-readable terms.
+  std::string rationale;
+  /// Higher = stronger suggestion; suggestions are returned descending.
+  double strength = 0.0;
+};
+
+struct RefinementOptions {
+  std::size_t max_suggestions = 10;
+  /// A group is "near-universal" (ignore candidate) when it holds for at
+  /// least this fraction of the population.
+  double universal_fraction = 0.9;
+  /// Over-representation factor (selection share / population share)
+  /// beyond which an exclude suggestion fires.
+  double over_representation_factor = 3.0;
+};
+
+/// Analyzes `selection` against `instance` and proposes refinements,
+/// strongest first. Suggestions are advisory: apply them by copying the
+/// group ids into a CustomizationFeedback and re-selecting.
+std::vector<RefinementSuggestion> SuggestRefinements(
+    const DiversificationInstance& instance, const Selection& selection,
+    const RefinementOptions& options = {});
+
+/// Convenience: folds `suggestions` into `feedback` (kPrioritize ->
+/// priority, kExclude -> must_not; kIgnore is folded only when feedback
+/// uses an explicit standard set, i.e. standard_is_rest == false —
+/// otherwise it is skipped, since "the rest" cannot express removal).
+void ApplySuggestions(const std::vector<RefinementSuggestion>& suggestions,
+                      CustomizationFeedback& feedback);
+
+}  // namespace podium
+
+#endif  // PODIUM_CORE_REFINEMENT_H_

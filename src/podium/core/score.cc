@@ -1,0 +1,52 @@
+#include "podium/core/score.h"
+
+#include <algorithm>
+
+namespace podium {
+
+std::vector<std::uint32_t> MembersSelectedPerGroup(
+    const DiversificationInstance& instance, std::span<const UserId> subset) {
+  std::vector<std::uint32_t> selected(instance.groups().group_count(), 0);
+  for (UserId u : subset) {
+    for (GroupId g : instance.groups().groups_of(u)) ++selected[g];
+  }
+  return selected;
+}
+
+double TotalScore(const DiversificationInstance& instance,
+                  std::span<const UserId> subset) {
+  const std::vector<std::uint32_t> selected =
+      MembersSelectedPerGroup(instance, subset);
+  double score = 0.0;
+  for (GroupId g = 0; g < selected.size(); ++g) {
+    if (selected[g] == 0) continue;
+    score += instance.weight(g) *
+             static_cast<double>(std::min(selected[g], instance.coverage(g)));
+  }
+  return score;
+}
+
+double RestrictedScore(const DiversificationInstance& instance,
+                       std::span<const UserId> subset,
+                       const std::vector<bool>& group_mask) {
+  const std::vector<std::uint32_t> selected =
+      MembersSelectedPerGroup(instance, subset);
+  double score = 0.0;
+  for (GroupId g = 0; g < selected.size(); ++g) {
+    if (selected[g] == 0 || !group_mask[g]) continue;
+    score += instance.weight(g) *
+             static_cast<double>(std::min(selected[g], instance.coverage(g)));
+  }
+  return score;
+}
+
+std::size_t CoveredGroupCount(const DiversificationInstance& instance,
+                              std::span<const UserId> subset) {
+  const std::vector<std::uint32_t> selected =
+      MembersSelectedPerGroup(instance, subset);
+  return static_cast<std::size_t>(
+      std::count_if(selected.begin(), selected.end(),
+                    [](std::uint32_t c) { return c > 0; }));
+}
+
+}  // namespace podium

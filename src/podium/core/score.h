@@ -1,0 +1,36 @@
+#ifndef PODIUM_CORE_SCORE_H_
+#define PODIUM_CORE_SCORE_H_
+
+#include <span>
+#include <vector>
+
+#include "podium/core/instance.h"
+
+namespace podium {
+
+/// score_𝒢(U) = Σ_G wei(G) · min(|U ∩ G|, cov(G))   (Def. 3.3),
+/// under the instance's scalar weights. `subset` may be in any order and
+/// must not contain duplicates. Linear in Σ_{u∈subset} |groups_of(u)|.
+double TotalScore(const DiversificationInstance& instance,
+                  std::span<const UserId> subset);
+
+/// As TotalScore, but restricted to the groups listed in `groups_subset`
+/// (used by the customized score and the feedback-coverage metric).
+/// `group_mask` must have one entry per group of the instance.
+double RestrictedScore(const DiversificationInstance& instance,
+                       std::span<const UserId> subset,
+                       const std::vector<bool>& group_mask);
+
+/// Number of groups with at least min(cov(G), 1) representative in
+/// `subset` — i.e. covered groups under Single semantics.
+std::size_t CoveredGroupCount(const DiversificationInstance& instance,
+                              std::span<const UserId> subset);
+
+/// |U ∩ G| for every group G (the "actual" side of subset-group
+/// explanations, Def. 5.1).
+std::vector<std::uint32_t> MembersSelectedPerGroup(
+    const DiversificationInstance& instance, std::span<const UserId> subset);
+
+}  // namespace podium
+
+#endif  // PODIUM_CORE_SCORE_H_

@@ -1,0 +1,41 @@
+#ifndef PODIUM_CORE_SELECTION_H_
+#define PODIUM_CORE_SELECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "podium/core/instance.h"
+#include "podium/util/result.h"
+
+namespace podium {
+
+/// The output of a user-selection algorithm.
+struct Selection {
+  /// Selected users in selection order (for the greedy algorithms this is
+  /// the order of marginal contribution).
+  std::vector<UserId> users;
+
+  /// score_𝒢(users) under the instance's scalar weights; +inf possible
+  /// under EBS (see GroupWeighting).
+  double score = 0.0;
+};
+
+/// Common interface of Podium's selector and the baselines, so that the
+/// experiment harness can treat them uniformly. Selectors are stateless
+/// across calls (any randomness is owned by the concrete class and
+/// reseeded per construction).
+class Selector {
+ public:
+  virtual ~Selector() = default;
+
+  /// Short display name ("Podium", "Random", "Clustering", ...).
+  virtual std::string Name() const = 0;
+
+  /// Selects at most `budget` users from the instance's population.
+  virtual Result<Selection> Select(const DiversificationInstance& instance,
+                                   std::size_t budget) const = 0;
+};
+
+}  // namespace podium
+
+#endif  // PODIUM_CORE_SELECTION_H_

@@ -1,0 +1,52 @@
+#include "podium/core/threshold.h"
+
+#include <algorithm>
+
+#include "podium/core/score.h"
+#include "podium/util/string_util.h"
+
+namespace podium {
+
+double MaxAchievableScore(const DiversificationInstance& instance) {
+  double total = 0.0;
+  for (GroupId g = 0; g < instance.groups().group_count(); ++g) {
+    const auto cap = std::min<std::size_t>(instance.coverage(g),
+                                           instance.groups().group_size(g));
+    total += instance.weight(g) * static_cast<double>(cap);
+  }
+  return total;
+}
+
+Result<Selection> SelectToThreshold(const DiversificationInstance& instance,
+                                    double threshold,
+                                    std::size_t max_budget,
+                                    const GreedyOptions& options) {
+  if (instance.weight_kind() == WeightKind::kEbs) {
+    return Status::Unimplemented(
+        "threshold selection is not supported with EBS weights");
+  }
+  if (max_budget == 0) {
+    return Status::InvalidArgument("max_budget must be positive");
+  }
+
+  // The greedy's selection order is prefix-stable: the best subset of
+  // size k under Algorithm 1 is the first k picks of the size-max_budget
+  // run. Run once at the full budget, then keep the shortest prefix whose
+  // score reaches the threshold.
+  GreedySelector selector(options);
+  Result<Selection> full = selector.Select(instance, max_budget);
+  if (!full.ok()) return full.status();
+
+  Selection prefix;
+  for (UserId u : full->users) {
+    prefix.users.push_back(u);
+    prefix.score = TotalScore(instance, prefix.users);
+    if (prefix.score >= threshold) return prefix;
+  }
+  return Status::FailedPrecondition(util::StringPrintf(
+      "threshold %.6g unreachable with %zu users (achieved %.6g; the "
+      "instance maximum is %.6g)",
+      threshold, max_budget, full->score, MaxAchievableScore(instance)));
+}
+
+}  // namespace podium

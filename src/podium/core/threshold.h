@@ -1,0 +1,32 @@
+#ifndef PODIUM_CORE_THRESHOLD_H_
+#define PODIUM_CORE_THRESHOLD_H_
+
+#include "podium/core/greedy.h"
+#include "podium/core/selection.h"
+
+namespace podium {
+
+/// Greedy solver for the threshold form of the problem behind
+/// DEC-DIVERSITY (Prop. 4.1): find a small subset whose total score
+/// reaches `threshold`. Finding a subset within a constant factor of the
+/// minimal size is NP-hard (Prop. 4.2 inherits Set Cover's ln|𝒢|
+/// inapproximability); the greedy achieves the classical logarithmic
+/// factor.
+///
+/// Selects greedily (Algorithm 1's rule) until score_𝒢(U) >= threshold,
+/// up to `max_budget` users. Fails with FailedPrecondition when even
+/// `max_budget` users cannot reach the threshold (the achieved score is
+/// reported in the message). EBS instances are unsupported (their scalar
+/// scores overflow; thresholds are not meaningful there).
+Result<Selection> SelectToThreshold(const DiversificationInstance& instance,
+                                    double threshold,
+                                    std::size_t max_budget,
+                                    const GreedyOptions& options = {});
+
+/// The maximum achievable score: score_𝒢(𝒰) — every group capped at its
+/// cov(G). Useful for choosing feasible thresholds.
+double MaxAchievableScore(const DiversificationInstance& instance);
+
+}  // namespace podium
+
+#endif  // PODIUM_CORE_THRESHOLD_H_

@@ -1,0 +1,53 @@
+#ifndef PODIUM_CSV_CSV_H_
+#define PODIUM_CSV_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "podium/util/result.h"
+
+namespace podium::csv {
+
+/// One parsed CSV record (row of fields).
+using Row = std::vector<std::string>;
+
+/// A parsed CSV document: optional header plus data rows.
+struct Table {
+  Row header;              // empty when ParseOptions::has_header is false
+  std::vector<Row> rows;
+
+  /// Index of `column` in the header, or -1 if absent.
+  int ColumnIndex(std::string_view column) const;
+};
+
+struct ParseOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  /// When true, every row must have the same number of fields as the first.
+  bool require_rectangular = true;
+};
+
+/// Parses RFC-4180-style CSV: quoted fields may contain delimiters,
+/// newlines and doubled quotes. Accepts both \n and \r\n line endings.
+Result<Table> Parse(std::string_view text, const ParseOptions& options = {});
+
+/// Parses the CSV file at `path`.
+Result<Table> ParseFile(const std::string& path,
+                        const ParseOptions& options = {});
+
+struct WriteOptions {
+  char delimiter = ',';
+};
+
+/// Serializes a table; fields containing the delimiter, quotes or newlines
+/// are quoted with doubled inner quotes.
+std::string Write(const Table& table, const WriteOptions& options = {});
+
+/// Writes a table to `path`, replacing any existing contents.
+Status WriteFile(const Table& table, const std::string& path,
+                 const WriteOptions& options = {});
+
+}  // namespace podium::csv
+
+#endif  // PODIUM_CSV_CSV_H_

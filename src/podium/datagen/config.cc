@@ -1,0 +1,45 @@
+#include "podium/datagen/config.h"
+
+namespace podium::datagen {
+
+DatasetConfig DatasetConfig::TripAdvisorLike() {
+  DatasetConfig config;
+  config.num_users = 4475;
+  config.num_restaurants = 50000;
+  // ~1200 leaves + internal generalizations yield ≈3.7K score properties
+  // and ≈11K simple groups, matching the paper's 11749 for TripAdvisor.
+  config.leaf_categories = 1200;
+  config.num_cities = 60;
+  config.num_personas = 20;
+  config.min_reviews_per_user = 8;
+  config.max_reviews_per_user = 150;
+  config.activity_zipf = 1.1;
+  config.with_usefulness = false;
+  config.derive_enthusiasm = true;
+  config.holdout_destinations = 50;
+  config.min_holdout_reviews = 25;
+  config.seed = 7;
+  return config;
+}
+
+DatasetConfig DatasetConfig::YelpLike() {
+  DatasetConfig config;
+  config.num_users = 20000;
+  config.num_restaurants = 30000;
+  // Two property families only (no enthusiasm) over ~1300 leaves ≈ 8.1K
+  // groups, matching the paper's 8491 for Yelp.
+  config.leaf_categories = 1300;
+  config.num_cities = 40;
+  config.num_personas = 16;
+  config.min_reviews_per_user = 15;
+  config.max_reviews_per_user = 150;
+  config.activity_zipf = 1.0;  // most-active users: flatter tail
+  config.with_usefulness = true;
+  config.derive_enthusiasm = false;
+  config.holdout_destinations = 130;
+  config.min_holdout_reviews = 40;
+  config.seed = 11;
+  return config;
+}
+
+}  // namespace podium::datagen

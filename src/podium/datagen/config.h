@@ -1,0 +1,68 @@
+#ifndef PODIUM_DATAGEN_CONFIG_H_
+#define PODIUM_DATAGEN_CONFIG_H_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace podium::datagen {
+
+/// Knobs of the synthetic restaurant-review data generator. The two
+/// presets mirror the shape of the paper's datasets (Section 8.1); see
+/// DESIGN.md for the substitution rationale. All sizes scale linearly, so
+/// benches can dial them down for quick runs.
+struct DatasetConfig {
+  std::size_t num_users = 1000;
+  std::size_t num_restaurants = 5000;
+
+  /// Leaf categories of the cuisine taxonomy (restaurants are tagged with
+  /// leaves; profile properties also cover the internal generalizations).
+  std::size_t leaf_categories = 120;
+  std::size_t num_cities = 40;
+  std::size_t num_age_groups = 6;
+
+  /// Latent user archetypes; fewer personas -> more correlated users.
+  std::size_t num_personas = 16;
+  std::size_t num_topics = 24;
+
+  /// Skew exponents of the Zipf draws (0 = uniform).
+  double persona_zipf = 0.7;
+  double city_zipf = 0.9;
+  double category_zipf = 1.25;
+  double restaurant_popularity_zipf = 1.0;
+
+  /// Per-user review counts: min + Zipf(activity range, activity_zipf).
+  std::size_t min_reviews_per_user = 8;
+  std::size_t max_reviews_per_user = 150;
+  double activity_zipf = 1.1;
+
+  /// Yelp-style usefulness votes on reviews.
+  bool with_usefulness = false;
+
+  /// Whether to derive the third aggregated property family ("Enthusiasm
+  /// Level"); the Yelp preset turns it off ("simpler semantics, fewer
+  /// properties").
+  bool derive_enthusiasm = true;
+
+  /// Opinion-procurement hold-out: this many of the most-reviewed
+  /// destinations (having at least min_holdout_reviews reviews) are
+  /// excluded from profile derivation and used as ground truth.
+  std::size_t holdout_destinations = 50;
+  std::size_t min_holdout_reviews = 25;
+
+  std::uint64_t seed = 7;
+
+  /// ~4475 users / 50K restaurants / deep category taxonomy / richer
+  /// per-user properties; matches the TripAdvisor sample of Section 8.1.
+  static DatasetConfig TripAdvisorLike();
+
+  /// More users, higher review volume, simpler semantics (fewer
+  /// properties, no enthusiasm), usefulness votes available. The paper
+  /// uses the 60K most-active Yelp users; the preset defaults to 20K so a
+  /// laptop run stays minutes-scale — pass a larger num_users to match the
+  /// paper exactly.
+  static DatasetConfig YelpLike();
+};
+
+}  // namespace podium::datagen
+
+#endif  // PODIUM_DATAGEN_CONFIG_H_

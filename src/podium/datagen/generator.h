@@ -1,0 +1,39 @@
+#ifndef PODIUM_DATAGEN_GENERATOR_H_
+#define PODIUM_DATAGEN_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "podium/datagen/config.h"
+#include "podium/opinion/opinion_store.h"
+#include "podium/profile/repository.h"
+#include "podium/taxonomy/taxonomy.h"
+#include "podium/util/result.h"
+
+namespace podium::datagen {
+
+/// A generated dataset: the profile repository Podium selects from, the
+/// cuisine taxonomy behind the derived properties, and the ground-truth
+/// opinions used to simulate procurement.
+///
+/// Profiles are derived from all reviews EXCEPT those of the hold-out
+/// destinations (Section 8.2: "select users based on profiles excluding
+/// the data related to some destination, then evaluate diversity of the
+/// selected subset reviews on the excluded destination").
+struct Dataset {
+  ProfileRepository repository;
+  taxonomy::Taxonomy cuisine;
+  std::vector<taxonomy::CategoryId> leaf_categories;
+  opinion::OpinionStore opinions;
+  std::vector<opinion::DestinationId> holdout;
+  std::vector<std::string> cities;
+  std::vector<std::string> age_groups;
+  DatasetConfig config;
+};
+
+/// Generates a full dataset from `config`. Deterministic in config.seed.
+Result<Dataset> GenerateDataset(const DatasetConfig& config);
+
+}  // namespace podium::datagen
+
+#endif  // PODIUM_DATAGEN_GENERATOR_H_

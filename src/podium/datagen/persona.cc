@@ -1,0 +1,78 @@
+#include "podium/datagen/persona.h"
+
+#include <algorithm>
+
+#include "podium/util/math_util.h"
+
+namespace podium::datagen {
+
+Persona SamplePersona(std::size_t num_categories, std::size_t num_topics,
+                      util::Rng& rng) {
+  Persona persona;
+  persona.category_affinity.assign(num_categories, 0.0);
+  persona.topic_interest.assign(num_topics, 0.0);
+
+  // 4..12 loved categories, 2..8 disliked ones.
+  const std::size_t loved = 4 + rng.NextBounded(9);
+  const std::size_t disliked = 2 + rng.NextBounded(7);
+  std::vector<std::size_t> picks =
+      rng.SampleWithoutReplacement(num_categories, loved + disliked);
+  for (std::size_t i = 0; i < picks.size() && i < loved; ++i) {
+    persona.category_affinity[picks[i]] = rng.NextDouble(0.45, 1.0);
+  }
+  for (std::size_t i = loved; i < picks.size(); ++i) {
+    persona.category_affinity[picks[i]] = rng.NextDouble(-1.0, -0.35);
+  }
+
+  // Concentrated topic interests: a few strong topics on a weak base.
+  for (double& interest : persona.topic_interest) {
+    interest = rng.NextDouble(0.02, 0.15);
+  }
+  const std::size_t strong_topics =
+      std::min<std::size_t>(3 + rng.NextBounded(4), num_topics);
+  for (std::size_t pick :
+       rng.SampleWithoutReplacement(num_topics, strong_topics)) {
+    persona.topic_interest[pick] = rng.NextDouble(0.5, 1.0);
+  }
+
+  persona.rating_bias = rng.NextDouble(-0.6, 0.6);
+  persona.positivity = rng.NextDouble(-1.0, 1.0);
+  return persona;
+}
+
+UserTaste SampleUserTaste(const Persona& persona, std::size_t persona_index,
+                          util::Rng& rng) {
+  UserTaste taste;
+  taste.persona = persona_index;
+  taste.category_affinity = persona.category_affinity;
+  taste.topic_interest = persona.topic_interest;
+
+  // Individual perturbation on the persona's non-zero affinities plus a
+  // couple of idiosyncratic tastes of the user's own.
+  for (double& affinity : taste.category_affinity) {
+    if (affinity != 0.0) {
+      affinity = util::Clamp(affinity + rng.NextGaussian(0.0, 0.18),
+                             -1.0, 1.0);
+    }
+  }
+  const std::size_t quirks = rng.NextBounded(4);  // 0..3 personal picks
+  for (std::size_t i = 0; i < quirks; ++i) {
+    const std::size_t category =
+        rng.NextBounded(taste.category_affinity.size());
+    taste.category_affinity[category] = util::Clamp(
+        taste.category_affinity[category] + rng.NextDouble(-0.9, 0.9), -1.0,
+        1.0);
+  }
+  for (double& interest : taste.topic_interest) {
+    interest =
+        util::Clamp(interest + rng.NextGaussian(0.0, 0.08), 0.0, 1.0);
+  }
+  taste.rating_bias =
+      util::Clamp(persona.rating_bias + rng.NextGaussian(0.0, 0.15), -1.0,
+                  1.0);
+  taste.positivity =
+      util::Clamp(persona.positivity + rng.NextGaussian(0.0, 0.2), -1.0, 1.0);
+  return taste;
+}
+
+}  // namespace podium::datagen

@@ -1,0 +1,48 @@
+#ifndef PODIUM_DATAGEN_PERSONA_H_
+#define PODIUM_DATAGEN_PERSONA_H_
+
+#include <vector>
+
+#include "podium/util/rng.h"
+
+namespace podium::datagen {
+
+/// A latent user archetype. Users are noisy copies of their persona, which
+/// is what makes profile properties *correlated* across users — the
+/// structure Podium's simple groups implicitly exploit when covering
+/// complex groups (Section 8.4).
+struct Persona {
+  /// Per leaf category, in [-1, 1]: >0 loved, <0 disliked, 0 indifferent.
+  /// Sparse in spirit — most entries are 0.
+  std::vector<double> category_affinity;
+
+  /// Per topic, in [0, 1]: how likely the persona is to mention the topic.
+  std::vector<double> topic_interest;
+
+  /// Stars added/removed from every rating, in [-0.6, 0.6].
+  double rating_bias = 0.0;
+
+  /// Disposition toward positive sentiment, in [-1, 1].
+  double positivity = 0.0;
+};
+
+/// Samples a persona: a handful of loved and disliked categories, a
+/// concentrated topic-interest profile, and global rating temperament.
+Persona SamplePersona(std::size_t num_categories, std::size_t num_topics,
+                      util::Rng& rng);
+
+/// A concrete user's taste: persona values perturbed by individual noise.
+struct UserTaste {
+  std::size_t persona = 0;
+  std::vector<double> category_affinity;  // same layout as Persona
+  std::vector<double> topic_interest;
+  double rating_bias = 0.0;
+  double positivity = 0.0;
+};
+
+UserTaste SampleUserTaste(const Persona& persona, std::size_t persona_index,
+                          util::Rng& rng);
+
+}  // namespace podium::datagen
+
+#endif  // PODIUM_DATAGEN_PERSONA_H_

@@ -1,0 +1,160 @@
+#include "podium/datagen/vocabularies.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "podium/util/string_util.h"
+
+namespace podium::datagen {
+
+namespace {
+
+struct Family {
+  const char* name;
+  std::vector<const char*> seeds;
+};
+
+const std::vector<Family>& Families() {
+  static const auto* families = new std::vector<Family>{
+      {"Latin",
+       {"Mexican", "Brazilian", "Peruvian", "Argentinian", "Colombian",
+        "Cuban"}},
+      {"Asian",
+       {"Japanese", "Chinese", "Thai", "Vietnamese", "Korean", "Indian",
+        "Malaysian", "Filipino"}},
+      {"European",
+       {"Italian", "French", "Spanish", "Greek", "German", "Portuguese",
+        "Polish"}},
+      {"Middle Eastern",
+       {"Lebanese", "Turkish", "Israeli", "Persian", "Moroccan"}},
+      {"American",
+       {"BBQ", "Burgers", "Southern", "Tex-Mex", "Diner", "Steakhouse"}},
+      {"Casual",
+       {"Cafe", "Bakery", "Street Food", "CheapEats", "Brunch", "Pizza",
+        "Dessert"}},
+      {"Specialty",
+       {"Seafood", "Vegan", "Vegetarian", "Fine Dining", "Sushi", "Noodles",
+        "Tapas"}},
+  };
+  return *families;
+}
+
+const std::vector<const char*>& BaseCities() {
+  static const auto* cities = new std::vector<const char*>{
+      "Tokyo",     "NYC",       "Bali",      "Paris",    "London",
+      "Berlin",    "Rome",      "Madrid",    "Lisbon",   "Amsterdam",
+      "Vienna",    "Prague",    "Budapest",  "Athens",   "Istanbul",
+      "Dubai",     "Mumbai",    "Bangkok",   "Singapore", "Seoul",
+      "Shanghai",  "Sydney",    "Melbourne", "Auckland", "Toronto",
+      "Vancouver", "Chicago",   "Boston",    "Seattle",  "Austin",
+      "Denver",    "Miami",     "Mexico City", "Lima",   "Bogota",
+      "Sao Paulo", "Buenos Aires", "Cape Town", "Cairo", "Tel Aviv"};
+  return *cities;
+}
+
+const std::vector<const char*>& BaseTopics() {
+  static const auto* topics = new std::vector<const char*>{
+      "service",      "food quality", "price",        "ambience",
+      "wait time",    "portions",     "cleanliness",  "location",
+      "staff",        "menu variety", "drinks",       "dessert",
+      "parking",      "noise",        "seating",      "breakfast",
+      "delivery",     "value",        "freshness",    "authenticity",
+      "wine list",    "kid friendly", "veggie options", "view"};
+  return *topics;
+}
+
+}  // namespace
+
+CuisineTaxonomy BuildCuisineTaxonomy(std::size_t leaf_count) {
+  CuisineTaxonomy result;
+  taxonomy::Taxonomy& tax = result.taxonomy;
+  const taxonomy::CategoryId root = tax.AddCategory("Food");
+
+  // Seed cuisines under their families. Seeds are the leaves until more
+  // are requested.
+  std::vector<taxonomy::CategoryId> seeds;
+  for (const Family& family : Families()) {
+    const taxonomy::CategoryId family_id = tax.AddCategory(family.name);
+    (void)tax.AddEdge(family_id, root);
+    for (const char* seed_name : family.seeds) {
+      const taxonomy::CategoryId seed = tax.AddCategory(seed_name);
+      (void)tax.AddEdge(seed, family_id);
+      seeds.push_back(seed);
+    }
+  }
+
+  if (leaf_count <= seeds.size()) {
+    result.leaves.assign(seeds.begin(),
+                         seeds.begin() + static_cast<long>(
+                                             std::max<std::size_t>(
+                                                 leaf_count, 1)));
+    return result;
+  }
+
+  // Expand: synthesized regional variants become the leaves; their seed
+  // cuisines turn into internal generalization targets (the Mexican ->
+  // Latin chain of Example 3.2 gains a "Oaxacan Mexican" level).
+  static const char* kVariantNames[] = {"Traditional", "Modern", "Fusion",
+                                        "Regional",    "Coastal", "Home-style",
+                                        "Gourmet",     "Rustic"};
+  std::size_t produced = 0;
+  std::size_t wave = 0;
+  while (produced < leaf_count) {
+    for (std::size_t s = 0; s < seeds.size() && produced < leaf_count; ++s) {
+      std::string name;
+      if (wave < std::size(kVariantNames)) {
+        name = std::string(kVariantNames[wave]) + " " +
+               tax.Name(seeds[s]);
+      } else {
+        name = util::StringPrintf("%s Variant %zu", tax.Name(seeds[s]).c_str(),
+                                  wave);
+      }
+      const taxonomy::CategoryId leaf = tax.AddCategory(name);
+      (void)tax.AddEdge(leaf, seeds[s]);
+      result.leaves.push_back(leaf);
+      ++produced;
+    }
+    ++wave;
+  }
+  return result;
+}
+
+std::vector<std::string> CityNames(std::size_t count) {
+  std::vector<std::string> cities;
+  cities.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i < BaseCities().size()) {
+      cities.emplace_back(BaseCities()[i]);
+    } else {
+      cities.push_back(util::StringPrintf("Town %02zu",
+                                          i - BaseCities().size() + 1));
+    }
+  }
+  return cities;
+}
+
+std::vector<std::string> AgeGroupLabels(std::size_t count) {
+  static const char* kLabels[] = {"18-24", "25-34", "35-49",
+                                  "50-64", "65-74", "75+"};
+  std::vector<std::string> labels;
+  for (std::size_t i = 0; i < count && i < std::size(kLabels); ++i) {
+    labels.emplace_back(kLabels[i]);
+  }
+  return labels;
+}
+
+std::vector<std::string> TopicNames(std::size_t count) {
+  std::vector<std::string> topics;
+  topics.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i < BaseTopics().size()) {
+      topics.emplace_back(BaseTopics()[i]);
+    } else {
+      topics.push_back(util::StringPrintf("facet %02zu",
+                                          i - BaseTopics().size() + 1));
+    }
+  }
+  return topics;
+}
+
+}  // namespace podium::datagen

@@ -1,0 +1,35 @@
+#ifndef PODIUM_DATAGEN_VOCABULARIES_H_
+#define PODIUM_DATAGEN_VOCABULARIES_H_
+
+#include <string>
+#include <vector>
+
+#include "podium/taxonomy/taxonomy.h"
+
+namespace podium::datagen {
+
+/// Builds a cuisine taxonomy with `leaf_count` leaves: a fixed set of
+/// hand-named families and seed cuisines (Latin -> Mexican, ... as in the
+/// paper's examples), expanded with synthesized regional variants when
+/// more leaves are requested. Returns the taxonomy and the leaf category
+/// ids restaurants can be tagged with.
+struct CuisineTaxonomy {
+  taxonomy::Taxonomy taxonomy;
+  std::vector<taxonomy::CategoryId> leaves;
+};
+CuisineTaxonomy BuildCuisineTaxonomy(std::size_t leaf_count);
+
+/// City names: a fixed list of real-world city names, extended with
+/// synthesized names when more are requested.
+std::vector<std::string> CityNames(std::size_t count);
+
+/// Age-range labels ("18-24", "25-34", ...), up to `count` groups.
+std::vector<std::string> AgeGroupLabels(std::size_t count);
+
+/// Review topic vocabulary ("service", "price", ...), extended with
+/// synthesized facet names when more are requested.
+std::vector<std::string> TopicNames(std::size_t count);
+
+}  // namespace podium::datagen
+
+#endif  // PODIUM_DATAGEN_VOCABULARIES_H_

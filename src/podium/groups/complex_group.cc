@@ -1,0 +1,79 @@
+#include "podium/groups/complex_group.h"
+
+#include <algorithm>
+
+namespace podium {
+
+std::vector<UserId> IntersectGroups(const GroupIndex& index,
+                                    const std::vector<GroupId>& groups) {
+  if (groups.empty()) return {};
+  std::vector<UserId> current = index.members(groups[0]);
+  std::vector<UserId> next;
+  for (std::size_t i = 1; i < groups.size() && !current.empty(); ++i) {
+    const std::vector<UserId>& other = index.members(groups[i]);
+    next.clear();
+    std::set_intersection(current.begin(), current.end(), other.begin(),
+                          other.end(), std::back_inserter(next));
+    current.swap(next);
+  }
+  return current;
+}
+
+std::vector<UserId> UniteGroups(const GroupIndex& index,
+                                const std::vector<GroupId>& groups) {
+  std::vector<UserId> current;
+  std::vector<UserId> next;
+  for (GroupId g : groups) {
+    const std::vector<UserId>& other = index.members(g);
+    next.clear();
+    std::set_union(current.begin(), current.end(), other.begin(), other.end(),
+                   std::back_inserter(next));
+    current.swap(next);
+  }
+  return current;
+}
+
+std::string IntersectionLabel(const GroupIndex& index,
+                              const std::vector<GroupId>& groups) {
+  std::string label;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (i > 0) label += " ∩ ";
+    label += index.label(groups[i]);
+  }
+  return label;
+}
+
+std::vector<ComplexGroup> LargePairIntersections(const GroupIndex& index,
+                                                 std::size_t min_size,
+                                                 std::size_t limit) {
+  // Consider pairs among the largest simple groups only: an intersection
+  // can never exceed its smaller operand, so groups below min_size are
+  // irrelevant. Groups are scanned in decreasing size order.
+  std::vector<GroupId> by_size = index.GroupsBySizeDescending();
+  std::size_t eligible = 0;
+  while (eligible < by_size.size() &&
+         index.group_size(by_size[eligible]) >= min_size) {
+    ++eligible;
+  }
+  by_size.resize(eligible);
+
+  std::vector<ComplexGroup> found;
+  for (std::size_t i = 0; i < by_size.size(); ++i) {
+    for (std::size_t j = i + 1; j < by_size.size(); ++j) {
+      const GroupId a = by_size[i];
+      const GroupId b = by_size[j];
+      if (index.def(a).property == index.def(b).property) continue;
+      std::vector<UserId> members = IntersectGroups(index, {a, b});
+      if (members.size() < min_size) continue;
+      found.push_back(ComplexGroup{{a, b}, std::move(members)});
+    }
+  }
+  std::stable_sort(found.begin(), found.end(),
+                   [](const ComplexGroup& x, const ComplexGroup& y) {
+                     return x.members.size() > y.members.size();
+                   });
+  if (found.size() > limit) found.resize(limit);
+  return found;
+}
+
+}  // namespace podium

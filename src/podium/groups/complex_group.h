@@ -1,0 +1,47 @@
+#ifndef PODIUM_GROUPS_COMPLEX_GROUP_H_
+#define PODIUM_GROUPS_COMPLEX_GROUP_H_
+
+#include <string>
+#include <vector>
+
+#include "podium/groups/group_index.h"
+
+namespace podium {
+
+/// Complex groups (Section 3.2): intersections or unions of simple groups,
+/// e.g. "Tokyo residents who are also Mexican food lovers". Used both by
+/// clients defining richer targets and by the Intersected-Property
+/// Coverage metric (Section 8.2).
+
+/// Members of the intersection of `groups` (ascending user ids).
+/// The intersection of zero groups is empty by convention.
+std::vector<UserId> IntersectGroups(const GroupIndex& index,
+                                    const std::vector<GroupId>& groups);
+
+/// Members of the union of `groups` (ascending user ids).
+std::vector<UserId> UniteGroups(const GroupIndex& index,
+                                const std::vector<GroupId>& groups);
+
+/// " ∩ "-joined label of the member groups.
+std::string IntersectionLabel(const GroupIndex& index,
+                              const std::vector<GroupId>& groups);
+
+/// Enumerates pairwise intersections of distinct simple groups over
+/// *different* properties whose member count is at least `min_size`,
+/// largest first, up to `limit` results. Pairs over the same property are
+/// skipped (same-property buckets are disjoint by construction).
+///
+/// This is the candidate pool for the Intersected-Property Coverage
+/// metric: complex groups at least as large as the k-th largest simple
+/// group.
+struct ComplexGroup {
+  std::vector<GroupId> parts;
+  std::vector<UserId> members;
+};
+std::vector<ComplexGroup> LargePairIntersections(const GroupIndex& index,
+                                                 std::size_t min_size,
+                                                 std::size_t limit);
+
+}  // namespace podium
+
+#endif  // PODIUM_GROUPS_COMPLEX_GROUP_H_

@@ -1,0 +1,40 @@
+#include "podium/groups/coverage.h"
+
+#include <algorithm>
+
+namespace podium {
+
+std::string_view CoverageKindName(CoverageKind kind) {
+  switch (kind) {
+    case CoverageKind::kSingle:
+      return "Single";
+    case CoverageKind::kProp:
+      return "Prop";
+  }
+  return "unknown";
+}
+
+Result<CoverageKind> ParseCoverageKind(std::string_view name) {
+  if (name == "Single" || name == "single") return CoverageKind::kSingle;
+  if (name == "Prop" || name == "prop") return CoverageKind::kProp;
+  return Status::InvalidArgument("unknown coverage kind: " +
+                                 std::string(name));
+}
+
+std::vector<std::uint32_t> ComputeCoverage(const GroupIndex& index,
+                                           CoverageKind kind,
+                                           std::size_t budget,
+                                           std::size_t population) {
+  std::vector<std::uint32_t> coverage(index.group_count(), 1);
+  if (kind == CoverageKind::kProp && population > 0) {
+    for (GroupId g = 0; g < index.group_count(); ++g) {
+      const std::size_t proportional =
+          budget * index.group_size(g) / population;
+      coverage[g] =
+          static_cast<std::uint32_t>(std::max<std::size_t>(proportional, 1));
+    }
+  }
+  return coverage;
+}
+
+}  // namespace podium

@@ -1,0 +1,31 @@
+#ifndef PODIUM_GROUPS_COVERAGE_H_
+#define PODIUM_GROUPS_COVERAGE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "podium/groups/group_index.h"
+#include "podium/util/result.h"
+
+namespace podium {
+
+/// The coverage functions cov(G) of Def. 3.7.
+enum class CoverageKind : std::uint8_t {
+  kSingle,  // cov(G) = 1
+  kProp,    // cov(G) = max(floor(B * |G| / |U|), 1)
+};
+
+std::string_view CoverageKindName(CoverageKind kind);
+Result<CoverageKind> ParseCoverageKind(std::string_view name);
+
+/// Evaluates cov(G) for every group. `budget` is the |U| of Def. 3.7 (the
+/// size of the subset to be selected) and `population` is |𝒰|.
+std::vector<std::uint32_t> ComputeCoverage(const GroupIndex& index,
+                                           CoverageKind kind,
+                                           std::size_t budget,
+                                           std::size_t population);
+
+}  // namespace podium
+
+#endif  // PODIUM_GROUPS_COVERAGE_H_

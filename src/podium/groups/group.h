@@ -1,0 +1,29 @@
+#ifndef PODIUM_GROUPS_GROUP_H_
+#define PODIUM_GROUPS_GROUP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "podium/bucketing/bucket.h"
+#include "podium/profile/property.h"
+
+namespace podium {
+
+/// Dense identifier of a user group within a GroupIndex.
+using GroupId = std::uint32_t;
+inline constexpr GroupId kInvalidGroup = 0xFFFFFFFFu;
+
+/// Definition of a simple user group G_{p,b} (Def. 3.4): the users whose
+/// score for property p falls in the bucket b.
+struct GroupDef {
+  PropertyId property = kInvalidProperty;
+  bucketing::Bucket bucket;
+
+  /// Human-readable group label (Section 5), e.g.
+  /// "high avgRating Mexican" or "livesIn Tokyo".
+  std::string label;
+};
+
+}  // namespace podium
+
+#endif  // PODIUM_GROUPS_GROUP_H_

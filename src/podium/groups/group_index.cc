@@ -1,0 +1,174 @@
+#include "podium/groups/group_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace podium {
+
+namespace {
+
+/// Group label per Section 5: "<bucket label> <property label>" for score
+/// properties; boolean "true" groups read as just the property label
+/// ("lives in Tokyo"), "false" groups as "not <property label>".
+std::string MakeLabel(const PropertyTable& table, PropertyId property,
+                      const bucketing::Bucket& bucket) {
+  const std::string& property_label = table.Label(property);
+  if (table.Kind(property) == PropertyKind::kBoolean) {
+    return bucket.label == "false" ? "not " + property_label : property_label;
+  }
+  return bucket.label + " " + property_label;
+}
+
+}  // namespace
+
+Result<GroupIndex> GroupIndex::Build(const ProfileRepository& repository,
+                                     const GroupingOptions& options) {
+  Result<std::unique_ptr<bucketing::Bucketizer>> bucketizer =
+      bucketing::MakeBucketizer(options.bucket_method);
+  if (!bucketizer.ok()) return bucketizer.status();
+  if (options.max_buckets < 1) {
+    return Status::InvalidArgument("max_buckets must be >= 1");
+  }
+
+  const PropertyTable& table = repository.properties();
+  const std::size_t num_properties = table.size();
+
+  // Collect observed scores per property in one pass over the profiles.
+  std::vector<std::vector<double>> scores(num_properties);
+  for (UserId u = 0; u < repository.user_count(); ++u) {
+    for (const PropertyScore& entry : repository.user(u).entries()) {
+      scores[entry.property].push_back(entry.score);
+    }
+  }
+
+  GroupIndex index;
+  index.buckets_per_property_.resize(num_properties);
+  index.groups_of_user_.resize(repository.user_count());
+
+  // Bucket each property and pre-create one (possibly empty) member list
+  // per (property, bucket) pair; `slot_of[p]` is the id of property p's
+  // first bucket group, or kInvalidGroup when the bucket was skipped.
+  auto passes_filter = [&options, &table](PropertyId p) {
+    if (options.property_filters.empty()) return true;
+    const std::string& label = table.Label(p);
+    for (const std::string& filter : options.property_filters) {
+      if (label.find(filter) != std::string::npos) return true;
+    }
+    return false;
+  };
+
+  std::vector<std::vector<GroupId>> slot_of(num_properties);
+  std::vector<GroupDef> provisional_defs;
+  std::vector<std::vector<UserId>> provisional_members;
+  for (PropertyId p = 0; p < num_properties; ++p) {
+    if (scores[p].empty() || !passes_filter(p)) continue;
+    std::vector<bucketing::Bucket> buckets;
+    if (table.Kind(p) == PropertyKind::kBoolean) {
+      buckets = bucketing::FixedBooleanBuckets();
+    } else {
+      Result<std::vector<bucketing::Bucket>> split =
+          bucketizer.value()->Split(scores[p], options.max_buckets);
+      if (!split.ok()) return split.status();
+      buckets = std::move(split).value();
+    }
+    index.buckets_per_property_[p] = buckets;
+    slot_of[p].assign(buckets.size(), kInvalidGroup);
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      if (!options.include_boolean_false_groups &&
+          table.Kind(p) == PropertyKind::kBoolean &&
+          buckets[b].label == "false") {
+        continue;
+      }
+      slot_of[p][b] = static_cast<GroupId>(provisional_defs.size());
+      provisional_defs.push_back(
+          GroupDef{p, buckets[b], MakeLabel(table, p, buckets[b])});
+      provisional_members.emplace_back();
+    }
+  }
+
+  // Single pass over profiles assigns every (user, property, score) entry
+  // to its bucket's group.
+  for (UserId u = 0; u < repository.user_count(); ++u) {
+    for (const PropertyScore& entry : repository.user(u).entries()) {
+      const auto& buckets = index.buckets_per_property_[entry.property];
+      if (buckets.empty()) continue;
+      const int b = bucketing::FindBucket(buckets, entry.score);
+      if (b < 0) continue;  // unreachable for valid partitions
+      const GroupId slot = slot_of[entry.property][static_cast<std::size_t>(b)];
+      if (slot == kInvalidGroup) continue;
+      provisional_members[slot].push_back(u);
+    }
+  }
+
+  // Compact away empty / undersized groups and build the reverse links.
+  const std::size_t min_size = std::max<std::size_t>(options.min_group_size, 1);
+  for (std::size_t slot = 0; slot < provisional_defs.size(); ++slot) {
+    if (provisional_members[slot].size() < min_size) continue;
+    const auto id = static_cast<GroupId>(index.defs_.size());
+    for (UserId u : provisional_members[slot]) {
+      index.groups_of_user_[u].push_back(id);
+    }
+    index.defs_.push_back(std::move(provisional_defs[slot]));
+    index.members_.push_back(std::move(provisional_members[slot]));
+  }
+  return index;
+}
+
+Result<GroupIndex> GroupIndex::FromDefs(const ProfileRepository& repository,
+                                        std::vector<GroupDef> defs) {
+  GroupIndex index;
+  index.groups_of_user_.resize(repository.user_count());
+  index.buckets_per_property_.resize(repository.property_count());
+
+  for (GroupDef& def : defs) {
+    if (def.property >= repository.property_count()) {
+      return Status::OutOfRange("group definition references unknown property");
+    }
+    std::vector<UserId> members;
+    for (UserId u = 0; u < repository.user_count(); ++u) {
+      const auto score = repository.user(u).Get(def.property);
+      if (score.has_value() && def.bucket.Contains(*score)) {
+        members.push_back(u);
+      }
+    }
+    if (members.empty()) continue;  // empty groups can never be covered
+    const auto id = static_cast<GroupId>(index.defs_.size());
+    for (UserId u : members) index.groups_of_user_[u].push_back(id);
+    index.defs_.push_back(std::move(def));
+    index.members_.push_back(std::move(members));
+  }
+  return index;
+}
+
+std::size_t GroupIndex::MaxGroupSize() const {
+  std::size_t best = 0;
+  for (const auto& members : members_) best = std::max(best, members.size());
+  return best;
+}
+
+std::size_t GroupIndex::MaxGroupsPerUser() const {
+  std::size_t best = 0;
+  for (const auto& groups : groups_of_user_) {
+    best = std::max(best, groups.size());
+  }
+  return best;
+}
+
+bool GroupIndex::Contains(GroupId g, UserId u) const {
+  const std::vector<UserId>& members = members_[g];
+  return std::binary_search(members.begin(), members.end(), u);
+}
+
+std::vector<GroupId> GroupIndex::GroupsBySizeDescending() const {
+  std::vector<GroupId> order(group_count());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [this](GroupId a, GroupId b) {
+    if (members_[a].size() != members_[b].size()) {
+      return members_[a].size() > members_[b].size();
+    }
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace podium

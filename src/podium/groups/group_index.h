@@ -1,0 +1,109 @@
+#ifndef PODIUM_GROUPS_GROUP_INDEX_H_
+#define PODIUM_GROUPS_GROUP_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "podium/bucketing/bucketizer.h"
+#include "podium/groups/group.h"
+#include "podium/profile/repository.h"
+#include "podium/util/result.h"
+
+namespace podium {
+
+/// Options controlling how simple groups are derived from a repository.
+struct GroupingOptions {
+  /// Bucketizer method name ("equal-width", "quantile", "kmeans-1d",
+  /// "jenks", "kde"); see bucketing::MakeBucketizer.
+  std::string bucket_method = "quantile";
+
+  /// Maximum buckets per score property (boolean properties always get the
+  /// fixed false/true pair).
+  int max_buckets = 3;
+
+  /// Drop groups with fewer members than this (empty groups are always
+  /// dropped — they can never be covered and would distort LBS/EBS ranks).
+  std::size_t min_group_size = 1;
+
+  /// Whether to materialize the "false" bucket of boolean properties as a
+  /// group. The paper's examples treat boolean properties via their "true"
+  /// side ("lives in Tokyo"); inferred falsehoods can still be grouped by
+  /// enabling this.
+  bool include_boolean_false_groups = false;
+
+  /// When non-empty, only properties whose label contains at least one of
+  /// these substrings produce groups. This is how the prototype's named
+  /// configurations scope diversification ("only considers properties
+  /// related to a restaurant in that name", Section 7) and how the
+  /// opinion experiments restrict 𝒢 to cuisine- and location-related
+  /// properties (Section 8.4).
+  std::vector<std::string> property_filters;
+};
+
+/// The set of simple groups 𝒢 over a repository plus the bidirectional
+/// user ↔ group adjacency that Algorithm 1's data-structure section calls
+/// for ("links in both directions between the lists").
+///
+/// Immutable after Build(); the greedy selector keeps its own mutable
+/// per-run state.
+class GroupIndex {
+ public:
+  /// An empty index (no groups, no users); assign a Build()/FromDefs()
+  /// result over it.
+  GroupIndex() = default;
+
+  /// Buckets every property of `repository` and materializes the simple
+  /// groups. The repository must outlive the index (member lists refer to
+  /// its user ids, not its storage).
+  static Result<GroupIndex> Build(const ProfileRepository& repository,
+                                  const GroupingOptions& options = {});
+
+  /// Builds an index from explicit group definitions (used for manually
+  /// crafted groups, as surveyors define them).
+  static Result<GroupIndex> FromDefs(const ProfileRepository& repository,
+                                     std::vector<GroupDef> defs);
+
+  std::size_t group_count() const { return defs_.size(); }
+  std::size_t user_count() const { return groups_of_user_.size(); }
+
+  const GroupDef& def(GroupId g) const { return defs_[g]; }
+  const std::string& label(GroupId g) const { return defs_[g].label; }
+
+  /// Members of group g, ascending by user id.
+  const std::vector<UserId>& members(GroupId g) const { return members_[g]; }
+  std::size_t group_size(GroupId g) const { return members_[g].size(); }
+
+  /// Groups containing user u, ascending by group id.
+  const std::vector<GroupId>& groups_of(UserId u) const {
+    return groups_of_user_[u];
+  }
+
+  /// max_{G} |G| and max_u |{G : u in G}| (the complexity-bound factors of
+  /// Prop. 4.4).
+  std::size_t MaxGroupSize() const;
+  std::size_t MaxGroupsPerUser() const;
+
+  /// True if user u belongs to group g (binary search over members).
+  bool Contains(GroupId g, UserId u) const;
+
+  /// Group ids sorted by decreasing size (ties by id, so deterministic).
+  std::vector<GroupId> GroupsBySizeDescending() const;
+
+  /// The buckets β(p) computed per property during Build (empty for
+  /// properties absent from the repository). Indexed by PropertyId.
+  const std::vector<std::vector<bucketing::Bucket>>& buckets_per_property()
+      const {
+    return buckets_per_property_;
+  }
+
+ private:
+
+  std::vector<GroupDef> defs_;
+  std::vector<std::vector<UserId>> members_;
+  std::vector<std::vector<GroupId>> groups_of_user_;
+  std::vector<std::vector<bucketing::Bucket>> buckets_per_property_;
+};
+
+}  // namespace podium
+
+#endif  // PODIUM_GROUPS_GROUP_INDEX_H_

@@ -1,0 +1,68 @@
+#include "podium/groups/weight.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace podium {
+
+std::string_view WeightKindName(WeightKind kind) {
+  switch (kind) {
+    case WeightKind::kIden:
+      return "Iden";
+    case WeightKind::kLbs:
+      return "LBS";
+    case WeightKind::kEbs:
+      return "EBS";
+  }
+  return "unknown";
+}
+
+Result<WeightKind> ParseWeightKind(std::string_view name) {
+  if (name == "Iden" || name == "iden") return WeightKind::kIden;
+  if (name == "LBS" || name == "lbs") return WeightKind::kLbs;
+  if (name == "EBS" || name == "ebs") return WeightKind::kEbs;
+  return Status::InvalidArgument("unknown weight kind: " + std::string(name));
+}
+
+GroupWeighting GroupWeighting::Compute(const GroupIndex& index,
+                                       WeightKind kind, std::size_t budget) {
+  GroupWeighting weighting;
+  weighting.kind_ = kind;
+  const std::size_t n = index.group_count();
+  weighting.scalar_.resize(n);
+  switch (kind) {
+    case WeightKind::kIden:
+      std::fill(weighting.scalar_.begin(), weighting.scalar_.end(), 1.0);
+      break;
+    case WeightKind::kLbs:
+      for (GroupId g = 0; g < n; ++g) {
+        weighting.scalar_[g] = static_cast<double>(index.group_size(g));
+      }
+      break;
+    case WeightKind::kEbs: {
+      // ord(·): groups sorted from smallest to largest, ties by id.
+      std::vector<GroupId> order(n);
+      std::iota(order.begin(), order.end(), 0u);
+      std::stable_sort(order.begin(), order.end(),
+                       [&index](GroupId a, GroupId b) {
+                         if (index.group_size(a) != index.group_size(b)) {
+                           return index.group_size(a) < index.group_size(b);
+                         }
+                         return a < b;
+                       });
+      weighting.rank_.resize(n);
+      for (std::uint32_t r = 0; r < n; ++r) weighting.rank_[order[r]] = r;
+      // Approximate scalars for reporting; saturates to +inf quickly.
+      const long double base = static_cast<long double>(budget) + 1.0L;
+      for (GroupId g = 0; g < n; ++g) {
+        weighting.scalar_[g] = static_cast<double>(
+            std::pow(base, static_cast<long double>(weighting.rank_[g])));
+      }
+      break;
+    }
+  }
+  return weighting;
+}
+
+}  // namespace podium

@@ -1,0 +1,28 @@
+#ifndef PODIUM_JSON_PARSER_H_
+#define PODIUM_JSON_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "podium/json/value.h"
+#include "podium/util/result.h"
+
+namespace podium::json {
+
+/// Parser limits; defaults are generous for profile repositories.
+struct ParseOptions {
+  /// Maximum nesting depth of arrays/objects before the parser bails out.
+  int max_depth = 128;
+};
+
+/// Parses a complete JSON document from `text`. Trailing non-whitespace is
+/// an error. Errors carry a line:column position.
+Result<Value> Parse(std::string_view text, const ParseOptions& options = {});
+
+/// Parses the JSON document in the file at `path`.
+Result<Value> ParseFile(const std::string& path,
+                        const ParseOptions& options = {});
+
+}  // namespace podium::json
+
+#endif  // PODIUM_JSON_PARSER_H_

@@ -1,0 +1,132 @@
+#include "podium/json/value.h"
+
+#include <algorithm>
+
+namespace podium::json {
+
+Object::Object() = default;
+Object::Object(const Object& other) = default;
+Object::Object(Object&&) noexcept = default;
+Object& Object::operator=(const Object& other) = default;
+Object& Object::operator=(Object&&) noexcept = default;
+Object::~Object() = default;
+
+void Object::Set(std::string key, Value value) {
+  for (auto& [existing_key, existing_value] : entries_) {
+    if (existing_key == key) {
+      existing_value = std::move(value);
+      return;
+    }
+  }
+  entries_.emplace_back(std::move(key), std::move(value));
+}
+
+const Value* Object::Find(std::string_view key) const {
+  for (const auto& [existing_key, existing_value] : entries_) {
+    if (existing_key == key) return &existing_value;
+  }
+  return nullptr;
+}
+
+std::string_view TypeName(Type type) {
+  switch (type) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return "bool";
+    case Type::kNumber:
+      return "number";
+    case Type::kString:
+      return "string";
+    case Type::kArray:
+      return "array";
+    case Type::kObject:
+      return "object";
+  }
+  return "unknown";
+}
+
+Value::Value(std::string s)
+    : type_(Type::kString),
+      string_(std::make_shared<const std::string>(std::move(s))) {}
+
+Value::Value(Array a)
+    : type_(Type::kArray), array_(std::make_shared<Array>(std::move(a))) {}
+
+Value::Value(Object o)
+    : type_(Type::kObject), object_(std::make_shared<Object>(std::move(o))) {}
+
+Value::Value(const Value& other)
+    : type_(other.type_),
+      bool_(other.bool_),
+      number_(other.number_),
+      string_(other.string_) {  // strings are immutable, safe to share
+  if (other.array_) array_ = std::make_shared<Array>(*other.array_);
+  if (other.object_) object_ = std::make_shared<Object>(*other.object_);
+}
+
+Value::Value(Value&& other) noexcept = default;
+
+Value& Value::operator=(const Value& other) {
+  if (this != &other) {
+    Value copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+Value& Value::operator=(Value&& other) noexcept = default;
+
+Result<bool> Value::GetBool() const {
+  if (!is_bool()) {
+    return Status::ParseError("expected bool, found " +
+                              std::string(TypeName(type_)));
+  }
+  return bool_;
+}
+
+Result<double> Value::GetNumber() const {
+  if (!is_number()) {
+    return Status::ParseError("expected number, found " +
+                              std::string(TypeName(type_)));
+  }
+  return number_;
+}
+
+Result<std::string> Value::GetString() const {
+  if (!is_string()) {
+    return Status::ParseError("expected string, found " +
+                              std::string(TypeName(type_)));
+  }
+  return *string_;
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return a.bool_ == b.bool_;
+    case Type::kNumber:
+      return a.number_ == b.number_;
+    case Type::kString:
+      return *a.string_ == *b.string_;
+    case Type::kArray:
+      return *a.array_ == *b.array_;
+    case Type::kObject: {
+      const auto& ea = a.object_->entries();
+      const auto& eb = b.object_->entries();
+      if (ea.size() != eb.size()) return false;
+      // Key order is not significant for equality.
+      for (const auto& [key, value] : ea) {
+        const Value* other = b.object_->Find(key);
+        if (other == nullptr || !(*other == value)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace podium::json

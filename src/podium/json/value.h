@@ -1,0 +1,116 @@
+#ifndef PODIUM_JSON_VALUE_H_
+#define PODIUM_JSON_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "podium/util/result.h"
+
+namespace podium::json {
+
+class Value;
+
+/// Insertion-ordered string -> Value mapping.
+///
+/// Profiles serialize property names in a stable order; std::map would
+/// re-sort keys and a hash map would scramble them, so the object keeps a
+/// vector of entries plus a lookup index.
+class Object {
+ public:
+  using Entry = std::pair<std::string, Value>;
+
+  Object();
+  Object(const Object& other);
+  Object(Object&&) noexcept;
+  Object& operator=(const Object& other);
+  Object& operator=(Object&&) noexcept;
+  ~Object();
+
+  /// Inserts or overwrites `key`.
+  void Set(std::string key, Value value);
+
+  /// Returns the value for `key`, or nullptr if absent.
+  const Value* Find(std::string_view key) const;
+
+  bool Contains(std::string_view key) const { return Find(key) != nullptr; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+using Array = std::vector<Value>;
+
+enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+std::string_view TypeName(Type type);
+
+/// A JSON document node: null, bool, number (double), string, array or
+/// object. Small and value-semantic; arrays/objects are heap-backed.
+class Value {
+ public:
+  /// Null by default.
+  Value() = default;
+  Value(std::nullptr_t) {}  // NOLINT(runtime/explicit)
+  Value(bool b) : type_(Type::kBool), bool_(b) {}                 // NOLINT
+  Value(double n) : type_(Type::kNumber), number_(n) {}           // NOLINT
+  Value(int n) : Value(static_cast<double>(n)) {}                 // NOLINT
+  Value(std::int64_t n) : Value(static_cast<double>(n)) {}        // NOLINT
+  Value(std::size_t n) : Value(static_cast<double>(n)) {}         // NOLINT
+  Value(std::string s);                                           // NOLINT
+  Value(const char* s) : Value(std::string(s)) {}                 // NOLINT
+  Value(std::string_view s) : Value(std::string(s)) {}            // NOLINT
+  Value(Array a);                                                 // NOLINT
+  Value(Object o);                                                // NOLINT
+
+  Value(const Value& other);
+  Value(Value&& other) noexcept;
+  Value& operator=(const Value& other);
+  Value& operator=(Value&& other) noexcept;
+  ~Value() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Unchecked accessors; the caller must verify the type first.
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return *string_; }
+  const Array& AsArray() const { return *array_; }
+  Array& MutableArray() { return *array_; }
+  const Object& AsObject() const { return *object_; }
+  Object& MutableObject() { return *object_; }
+
+  /// Checked accessors used when consuming untrusted documents.
+  Result<bool> GetBool() const;
+  Result<double> GetNumber() const;
+  Result<std::string> GetString() const;
+
+  /// Deep structural equality (numbers compared exactly).
+  friend bool operator==(const Value& a, const Value& b);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::shared_ptr<const std::string> string_;  // copy-on-write sharing
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+}  // namespace podium::json
+
+#endif  // PODIUM_JSON_VALUE_H_

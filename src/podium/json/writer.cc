@@ -1,0 +1,165 @@
+#include "podium/json/writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace podium::json {
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);  // UTF-8 bytes pass through unescaped.
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void AppendNumber(double value, std::string& out) {
+  if (std::isnan(value) || std::isinf(value)) {
+    // JSON has no NaN/Inf; emit null, the conventional lossy fallback.
+    out += "null";
+    return;
+  }
+  // Integers within double-exact range print without a fraction.
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    out += buf;
+    return;
+  }
+  // %.17g always round-trips; try %.15g first for compactness.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.15g", value);
+  if (std::strtod(buf, nullptr) != value) {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  out += buf;
+}
+
+class Writer {
+ public:
+  explicit Writer(const WriteOptions& options) : options_(options) {}
+
+  std::string Run(const Value& value) {
+    Append(value, 0);
+    return std::move(out_);
+  }
+
+ private:
+  void Newline(int depth) {
+    if (options_.indent <= 0) return;
+    out_.push_back('\n');
+    out_.append(static_cast<std::size_t>(options_.indent * depth), ' ');
+  }
+
+  void Append(const Value& value, int depth) {
+    switch (value.type()) {
+      case Type::kNull:
+        out_ += "null";
+        break;
+      case Type::kBool:
+        out_ += value.AsBool() ? "true" : "false";
+        break;
+      case Type::kNumber:
+        AppendNumber(value.AsNumber(), out_);
+        break;
+      case Type::kString:
+        AppendEscaped(value.AsString(), out_);
+        break;
+      case Type::kArray: {
+        const Array& array = value.AsArray();
+        if (array.empty()) {
+          out_ += "[]";
+          break;
+        }
+        out_.push_back('[');
+        for (std::size_t i = 0; i < array.size(); ++i) {
+          if (i > 0) out_.push_back(',');
+          Newline(depth + 1);
+          Append(array[i], depth + 1);
+        }
+        Newline(depth);
+        out_.push_back(']');
+        break;
+      }
+      case Type::kObject: {
+        const Object& object = value.AsObject();
+        if (object.empty()) {
+          out_ += "{}";
+          break;
+        }
+        out_.push_back('{');
+        bool first = true;
+        for (const auto& [key, entry] : object.entries()) {
+          if (!first) out_.push_back(',');
+          first = false;
+          Newline(depth + 1);
+          AppendEscaped(key, out_);
+          out_.push_back(':');
+          if (options_.indent > 0) out_.push_back(' ');
+          Append(entry, depth + 1);
+        }
+        Newline(depth);
+        out_.push_back('}');
+        break;
+      }
+    }
+  }
+
+  const WriteOptions& options_;
+  std::string out_;
+};
+
+}  // namespace
+
+std::string Write(const Value& value, const WriteOptions& options) {
+  Writer writer(options);
+  return writer.Run(value);
+}
+
+Status WriteFile(const Value& value, const std::string& path,
+                 const WriteOptions& options) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open file for writing: " + path);
+  const std::string text = Write(value, options);
+  out << text << '\n';
+  out.flush();
+  if (!out) return Status::IoError("error writing file: " + path);
+  return Status::Ok();
+}
+
+}  // namespace podium::json

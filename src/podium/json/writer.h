@@ -1,0 +1,27 @@
+#ifndef PODIUM_JSON_WRITER_H_
+#define PODIUM_JSON_WRITER_H_
+
+#include <string>
+
+#include "podium/json/value.h"
+#include "podium/util/status.h"
+
+namespace podium::json {
+
+struct WriteOptions {
+  /// Pretty-print with this many spaces per indent level; 0 emits a compact
+  /// single-line document.
+  int indent = 0;
+};
+
+/// Serializes `value` as JSON text. Numbers round-trip through shortest
+/// representation that preserves the double exactly.
+std::string Write(const Value& value, const WriteOptions& options = {});
+
+/// Writes `value` to the file at `path`, replacing any existing contents.
+Status WriteFile(const Value& value, const std::string& path,
+                 const WriteOptions& options = {});
+
+}  // namespace podium::json
+
+#endif  // PODIUM_JSON_WRITER_H_

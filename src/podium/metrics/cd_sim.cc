@@ -1,0 +1,20 @@
+#include "podium/metrics/cd_sim.h"
+
+#include <cassert>
+
+namespace podium::metrics {
+
+double CdSim(const std::vector<double>& f_subset,
+             const std::vector<double>& f_all) {
+  assert(f_subset.size() == f_all.size());
+  if (f_all.empty()) return 1.0;
+  double tax = 0.0;
+  for (std::size_t b = 0; b < f_all.size(); ++b) {
+    if (f_all[b] > 0.0 && f_subset[b] < f_all[b]) {
+      tax += (f_all[b] - f_subset[b]) / f_all[b];
+    }
+  }
+  return 1.0 - tax / static_cast<double>(f_all.size());
+}
+
+}  // namespace podium::metrics

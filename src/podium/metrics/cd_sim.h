@@ -1,0 +1,23 @@
+#ifndef PODIUM_METRICS_CD_SIM_H_
+#define PODIUM_METRICS_CD_SIM_H_
+
+#include <vector>
+
+namespace podium::metrics {
+
+/// Coverage-oriented distribution similarity (Def. 8.1):
+///
+///   cd-sim(f_subset, f_all) =
+///     1 − (1/k) · Σ_{f_subset(b) < f_all(b)} (f_all(b) − f_subset(b)) / f_all(b)
+///
+/// Only under-representation is taxed; over-representing a bucket is free,
+/// matching the coverage goal ("small groups must be over-represented").
+/// Buckets with f_all(b) == 0 contribute nothing (there is nothing to
+/// under-represent). Inputs must be the same length; the result is in
+/// [0, 1] when the inputs are (sub-)distributions.
+double CdSim(const std::vector<double>& f_subset,
+             const std::vector<double>& f_all);
+
+}  // namespace podium::metrics
+
+#endif  // PODIUM_METRICS_CD_SIM_H_

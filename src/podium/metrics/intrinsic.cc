@@ -1,0 +1,132 @@
+#include "podium/metrics/intrinsic.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "podium/core/score.h"
+#include "podium/groups/complex_group.h"
+#include "podium/metrics/cd_sim.h"
+#include "podium/util/math_util.h"
+
+namespace podium::metrics {
+
+double TopKGroupCoverage(const DiversificationInstance& instance,
+                         const std::vector<UserId>& subset, std::size_t k) {
+  const std::vector<GroupId> by_size =
+      instance.groups().GroupsBySizeDescending();
+  const std::size_t count = std::min(k, by_size.size());
+  if (count == 0) return 0.0;
+  const std::vector<std::uint32_t> selected =
+      MembersSelectedPerGroup(instance, subset);
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (selected[by_size[i]] > 0) ++covered;
+  }
+  return static_cast<double>(covered) / static_cast<double>(count);
+}
+
+double IntersectedPropertyCoverage(const DiversificationInstance& instance,
+                                   const std::vector<UserId>& subset,
+                                   std::size_t k,
+                                   std::size_t max_complex_groups) {
+  const std::vector<GroupId> by_size =
+      instance.groups().GroupsBySizeDescending();
+  if (by_size.empty()) return 0.0;
+  const std::size_t threshold_index = std::min(k, by_size.size()) - 1;
+  const std::size_t min_size =
+      std::max<std::size_t>(instance.groups().group_size(
+                                by_size[threshold_index]), 1);
+
+  const std::vector<ComplexGroup> complex_groups =
+      LargePairIntersections(instance.groups(), min_size, max_complex_groups);
+  if (complex_groups.empty()) return 0.0;
+
+  const std::unordered_set<UserId> chosen(subset.begin(), subset.end());
+  std::size_t covered = 0;
+  for (const ComplexGroup& group : complex_groups) {
+    for (UserId member : group.members) {
+      if (chosen.contains(member)) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(covered) /
+         static_cast<double>(complex_groups.size());
+}
+
+double DistributionSimilarity(const DiversificationInstance& instance,
+                              const std::vector<UserId>& subset,
+                              std::size_t top_groups) {
+  // Properties of the largest groups, deduplicated in rank order.
+  const std::vector<GroupId> by_size =
+      instance.groups().GroupsBySizeDescending();
+  std::vector<PropertyId> target_properties;
+  for (std::size_t i = 0; i < by_size.size() && i < top_groups; ++i) {
+    const PropertyId p = instance.groups().def(by_size[i]).property;
+    if (std::find(target_properties.begin(), target_properties.end(), p) ==
+        target_properties.end()) {
+      target_properties.push_back(p);
+    }
+  }
+  if (target_properties.empty()) return 0.0;
+
+  // wei-weighted bucket distributions, population versus selection
+  // (f_all / f_subset of Def. 8.1 instantiated per Section 8.2). Since
+  // groups already carry wei(G) and wei(G ∩ U) is realized by counting
+  // selected members under the same weight kind, we use member counts for
+  // LBS (the default) and group presence for Iden — both reduce to the
+  // fraction of (weighted) users per bucket.
+  const std::vector<std::uint32_t> selected =
+      MembersSelectedPerGroup(instance, subset);
+
+  std::vector<double> similarities;
+  for (PropertyId property : target_properties) {
+    std::vector<double> f_all;
+    std::vector<double> f_subset;
+    for (GroupId g = 0; g < instance.groups().group_count(); ++g) {
+      if (instance.groups().def(g).property != property) continue;
+      f_all.push_back(static_cast<double>(instance.groups().group_size(g)));
+      f_subset.push_back(static_cast<double>(selected[g]));
+    }
+    double all_total = 0.0;
+    double subset_total = 0.0;
+    for (double v : f_all) all_total += v;
+    for (double v : f_subset) subset_total += v;
+    if (all_total <= 0.0) continue;
+    for (double& v : f_all) v /= all_total;
+    if (subset_total > 0.0) {
+      for (double& v : f_subset) v /= subset_total;
+    }
+    similarities.push_back(CdSim(f_subset, f_all));
+  }
+  return util::Mean(similarities);
+}
+
+double FeedbackGroupCoverage(const DiversificationInstance& instance,
+                             const std::vector<UserId>& subset,
+                             const std::vector<GroupId>& priority_groups) {
+  if (priority_groups.empty()) return 1.0;
+  const std::vector<std::uint32_t> selected =
+      MembersSelectedPerGroup(instance, subset);
+  std::size_t covered = 0;
+  for (GroupId g : priority_groups) {
+    if (selected[g] > 0) ++covered;
+  }
+  return static_cast<double>(covered) /
+         static_cast<double>(priority_groups.size());
+}
+
+IntrinsicMetrics ComputeIntrinsicMetrics(
+    const DiversificationInstance& instance,
+    const std::vector<UserId>& subset, std::size_t top_k) {
+  IntrinsicMetrics metrics;
+  metrics.total_score = TotalScore(instance, subset);
+  metrics.top_k_coverage = TopKGroupCoverage(instance, subset, top_k);
+  metrics.intersected_coverage =
+      IntersectedPropertyCoverage(instance, subset, top_k);
+  metrics.distribution_similarity = DistributionSimilarity(instance, subset);
+  return metrics;
+}
+
+}  // namespace podium::metrics

@@ -1,0 +1,57 @@
+#ifndef PODIUM_METRICS_INTRINSIC_H_
+#define PODIUM_METRICS_INTRINSIC_H_
+
+#include <vector>
+
+#include "podium/core/instance.h"
+
+namespace podium::metrics {
+
+/// Intrinsic diversity metrics (Section 8.2) — computed from the known
+/// properties of the selected subset. The "Selection total Score" metric
+/// is podium::TotalScore (core/score.h); the rest live here.
+
+/// Top-k groups coverage: the fraction of the k largest groups with at
+/// least one selected representative (the paper uses k = 200).
+double TopKGroupCoverage(const DiversificationInstance& instance,
+                         const std::vector<UserId>& subset, std::size_t k);
+
+/// Intersected-Property Coverage: fraction of covered complex groups,
+/// where complex groups are pairwise intersections of simple groups over
+/// different properties that are at least as large as the k-th largest
+/// simple group. `max_complex_groups` bounds the candidate pool (the
+/// number of qualifying pairs can grow quadratically).
+double IntersectedPropertyCoverage(const DiversificationInstance& instance,
+                                   const std::vector<UserId>& subset,
+                                   std::size_t k,
+                                   std::size_t max_complex_groups = 2000);
+
+/// Distribution Similarity: the mean CD-sim between the selection's and
+/// the population's weight distribution over β(p), taken over the
+/// properties of the `top_groups` largest groups (the paper averages over
+/// the top-20 largest groups).
+double DistributionSimilarity(const DiversificationInstance& instance,
+                              const std::vector<UserId>& subset,
+                              std::size_t top_groups = 20);
+
+/// Feedback Group Coverage (Figure 4): fraction of `priority_groups` with
+/// at least min(cov(G), 1) selected representative.
+double FeedbackGroupCoverage(const DiversificationInstance& instance,
+                             const std::vector<UserId>& subset,
+                             const std::vector<GroupId>& priority_groups);
+
+/// Bundle of every intrinsic metric for one selection, as reported in
+/// Figures 3a/3c.
+struct IntrinsicMetrics {
+  double total_score = 0.0;
+  double top_k_coverage = 0.0;
+  double intersected_coverage = 0.0;
+  double distribution_similarity = 0.0;
+};
+IntrinsicMetrics ComputeIntrinsicMetrics(
+    const DiversificationInstance& instance,
+    const std::vector<UserId>& subset, std::size_t top_k = 200);
+
+}  // namespace podium::metrics
+
+#endif  // PODIUM_METRICS_INTRINSIC_H_

@@ -1,0 +1,122 @@
+#include "podium/metrics/opinion_metrics.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "podium/metrics/cd_sim.h"
+#include "podium/util/math_util.h"
+
+namespace podium::metrics {
+
+namespace {
+
+using opinion::Review;
+using opinion::Sentiment;
+using opinion::TopicId;
+
+/// (topic, sentiment) key.
+using TopicSentiment = std::pair<TopicId, Sentiment>;
+
+}  // namespace
+
+OpinionMetrics EvaluateDestination(const opinion::OpinionStore& store,
+                                   opinion::DestinationId destination,
+                                   const std::vector<UserId>& subset,
+                                   const OpinionMetricOptions& options) {
+  OpinionMetrics metrics;
+  const std::vector<Review>& all_reviews = store.reviews_of(destination);
+  if (all_reviews.empty()) return metrics;
+
+  const std::unordered_set<UserId> chosen(subset.begin(), subset.end());
+
+  // Population-side statistics: topic frequency, expressed
+  // (topic, sentiment) pairs, rating histogram.
+  std::unordered_map<TopicId, std::size_t> topic_count;
+  std::set<TopicSentiment> population_pairs;
+  std::vector<double> population_hist(
+      static_cast<std::size_t>(options.max_rating), 0.0);
+  for (const Review& review : all_reviews) {
+    population_hist[static_cast<std::size_t>(review.rating - 1)] += 1.0;
+    for (const auto& mention : review.topics) {
+      ++topic_count[mention.topic];
+      population_pairs.emplace(mention.topic, mention.sentiment);
+    }
+  }
+
+  // Subset-side statistics.
+  std::set<TopicSentiment> subset_pairs;
+  std::vector<double> subset_hist(
+      static_cast<std::size_t>(options.max_rating), 0.0);
+  std::vector<double> subset_ratings;
+  for (const Review& review : all_reviews) {
+    if (!chosen.contains(review.user)) continue;
+    ++metrics.procured_reviews;
+    metrics.usefulness += static_cast<double>(review.useful_votes);
+    subset_hist[static_cast<std::size_t>(review.rating - 1)] += 1.0;
+    subset_ratings.push_back(static_cast<double>(review.rating));
+    for (const auto& mention : review.topics) {
+      subset_pairs.emplace(mention.topic, mention.sentiment);
+    }
+  }
+  if (metrics.procured_reviews == 0) return metrics;  // nothing procured
+
+  // Topic+Sentiment coverage over prevalent topics.
+  const double prevalence_threshold =
+      options.prevalent_topic_fraction *
+      static_cast<double>(all_reviews.size());
+  std::size_t target_pairs = 0;
+  std::size_t covered_pairs = 0;
+  for (const TopicSentiment& pair : population_pairs) {
+    const auto it = topic_count.find(pair.first);
+    if (it == topic_count.end() ||
+        static_cast<double>(it->second) < prevalence_threshold) {
+      continue;
+    }
+    ++target_pairs;
+    if (subset_pairs.contains(pair)) ++covered_pairs;
+  }
+  metrics.topic_sentiment_coverage =
+      target_pairs == 0 ? 0.0
+                        : static_cast<double>(covered_pairs) /
+                              static_cast<double>(target_pairs);
+
+  // Rating distribution similarity (CD-sim over normalized histograms).
+  double population_total = 0.0;
+  double subset_total = 0.0;
+  for (double v : population_hist) population_total += v;
+  for (double v : subset_hist) subset_total += v;
+  std::vector<double> f_all = population_hist;
+  std::vector<double> f_subset = subset_hist;
+  for (double& v : f_all) v /= population_total;
+  for (double& v : f_subset) v /= subset_total;
+  metrics.rating_distribution_similarity = CdSim(f_subset, f_all);
+
+  metrics.rating_variance = util::Variance(subset_ratings);
+  return metrics;
+}
+
+OpinionMetrics AverageOpinionMetrics(
+    const opinion::OpinionStore& store,
+    const std::vector<opinion::DestinationId>& destinations,
+    const std::vector<UserId>& subset, const OpinionMetricOptions& options) {
+  OpinionMetrics total;
+  if (destinations.empty()) return total;
+  for (opinion::DestinationId d : destinations) {
+    const OpinionMetrics m = EvaluateDestination(store, d, subset, options);
+    total.topic_sentiment_coverage += m.topic_sentiment_coverage;
+    total.usefulness += m.usefulness;
+    total.rating_distribution_similarity += m.rating_distribution_similarity;
+    total.rating_variance += m.rating_variance;
+    total.procured_reviews += m.procured_reviews;
+  }
+  const auto n = static_cast<double>(destinations.size());
+  total.topic_sentiment_coverage /= n;
+  total.usefulness /= n;
+  total.rating_distribution_similarity /= n;
+  total.rating_variance /= n;
+  return total;
+}
+
+}  // namespace podium::metrics

@@ -1,0 +1,59 @@
+#ifndef PODIUM_METRICS_OPINION_METRICS_H_
+#define PODIUM_METRICS_OPINION_METRICS_H_
+
+#include <vector>
+
+#include "podium/opinion/opinion_store.h"
+
+namespace podium::metrics {
+
+/// Opinion diversity metrics (Section 8.2) — computed from the reviews a
+/// selected subset would contribute about hold-out destinations, which are
+/// unknown to the selection algorithms.
+
+struct OpinionMetricOptions {
+  /// A topic counts as "prevalent" for a destination when it appears in at
+  /// least this fraction of the destination's reviews.
+  double prevalent_topic_fraction = 0.05;
+  /// Rating scale (1..max_rating).
+  int max_rating = 5;
+};
+
+/// Per-destination metrics; aggregate with AverageOpinionMetrics.
+struct OpinionMetrics {
+  /// Fraction of (prevalent topic, sentiment) pairs present in the
+  /// population's reviews that the subset's reviews also exhibit. 100%
+  /// means every prevalent topic appears with every sentiment the
+  /// population expressed (both positive and negative where both exist).
+  double topic_sentiment_coverage = 0.0;
+
+  /// Sum of useful votes over the subset's reviews (Yelp only).
+  double usefulness = 0.0;
+
+  /// CD-sim between the subset's and the population's rating distribution.
+  double rating_distribution_similarity = 0.0;
+
+  /// Variance of the subset's ratings.
+  double rating_variance = 0.0;
+
+  /// Number of subset reviews for the destination.
+  std::size_t procured_reviews = 0;
+};
+
+/// Evaluates one destination. Destinations where the subset contributed no
+/// review score 0 on every metric (nothing was procured).
+OpinionMetrics EvaluateDestination(const opinion::OpinionStore& store,
+                                   opinion::DestinationId destination,
+                                   const std::vector<UserId>& subset,
+                                   const OpinionMetricOptions& options = {});
+
+/// Averages per-destination metrics over `destinations` (the hold-out
+/// set), as the paper reports.
+OpinionMetrics AverageOpinionMetrics(
+    const opinion::OpinionStore& store,
+    const std::vector<opinion::DestinationId>& destinations,
+    const std::vector<UserId>& subset, const OpinionMetricOptions& options = {});
+
+}  // namespace podium::metrics
+
+#endif  // PODIUM_METRICS_OPINION_METRICS_H_

@@ -1,0 +1,75 @@
+#include "podium/metrics/procurement_experiment.h"
+
+#include <algorithm>
+
+namespace podium::metrics {
+
+ProfileRepository SubRepository(const ProfileRepository& repository,
+                                const std::vector<UserId>& users) {
+  ProfileRepository sub;
+  sub.properties() = repository.properties();
+  for (UserId u : users) {
+    const UserProfile& profile = repository.user(u);
+    const UserId local = sub.AddUser(profile.name()).value();
+    sub.mutable_user(local).ReplaceEntries(profile.entries());
+  }
+  return sub;
+}
+
+Result<ProcurementResult> RunProcurementExperiment(
+    const ProfileRepository& repository, const opinion::OpinionStore& store,
+    const std::vector<opinion::DestinationId>& destinations,
+    const Selector& selector, const ProcurementOptions& options) {
+  ProcurementResult result;
+  OpinionMetrics total;
+  std::size_t evaluated = 0;
+
+  for (opinion::DestinationId destination : destinations) {
+    // Reviewer pool (deduplicated; the generator emits at most one review
+    // per user per destination, but data loaded from files may not).
+    std::vector<UserId> reviewers;
+    for (const opinion::Review& review : store.reviews_of(destination)) {
+      reviewers.push_back(review.user);
+    }
+    std::sort(reviewers.begin(), reviewers.end());
+    reviewers.erase(std::unique(reviewers.begin(), reviewers.end()),
+                    reviewers.end());
+    if (reviewers.size() < 2) continue;
+
+    const ProfileRepository pool = SubRepository(repository, reviewers);
+    Result<DiversificationInstance> instance =
+        DiversificationInstance::Build(pool, options.instance);
+    if (!instance.ok()) return instance.status();
+    Result<Selection> selection =
+        selector.Select(instance.value(), options.budget);
+    if (!selection.ok()) return selection.status();
+
+    DestinationOutcome outcome;
+    outcome.destination = destination;
+    for (UserId local : selection->users) {
+      outcome.selected.push_back(reviewers[local]);
+    }
+    outcome.metrics = EvaluateDestination(store, destination,
+                                          outcome.selected, options.metrics);
+    total.topic_sentiment_coverage += outcome.metrics.topic_sentiment_coverage;
+    total.usefulness += outcome.metrics.usefulness;
+    total.rating_distribution_similarity +=
+        outcome.metrics.rating_distribution_similarity;
+    total.rating_variance += outcome.metrics.rating_variance;
+    total.procured_reviews += outcome.metrics.procured_reviews;
+    ++evaluated;
+    result.per_destination.push_back(std::move(outcome));
+  }
+
+  if (evaluated > 0) {
+    const auto n = static_cast<double>(evaluated);
+    total.topic_sentiment_coverage /= n;
+    total.usefulness /= n;
+    total.rating_distribution_similarity /= n;
+    total.rating_variance /= n;
+  }
+  result.average = total;
+  return result;
+}
+
+}  // namespace podium::metrics

@@ -1,0 +1,55 @@
+#ifndef PODIUM_METRICS_PROCUREMENT_EXPERIMENT_H_
+#define PODIUM_METRICS_PROCUREMENT_EXPERIMENT_H_
+
+#include <vector>
+
+#include "podium/core/instance.h"
+#include "podium/core/selection.h"
+#include "podium/metrics/opinion_metrics.h"
+#include "podium/opinion/opinion_store.h"
+
+namespace podium::metrics {
+
+/// The opinion-procurement experiment of Section 8.2/8.4: for each
+/// hold-out destination, the candidate pool is the users who actually
+/// reviewed it (so procurement returns one ground-truth opinion per
+/// selected user); a selector picks `budget` of them based on profiles —
+/// which exclude the destination's data — and the procured reviews are
+/// scored with the opinion diversity metrics.
+
+struct ProcurementOptions {
+  /// Instance construction over each destination's reviewer
+  /// sub-population (weights, coverage, grouping, budget).
+  InstanceOptions instance;
+  std::size_t budget = 8;
+  OpinionMetricOptions metrics;
+};
+
+struct DestinationOutcome {
+  opinion::DestinationId destination = opinion::kInvalidDestination;
+  /// Selected users, as ids in the ORIGINAL repository.
+  std::vector<UserId> selected;
+  OpinionMetrics metrics;
+};
+
+struct ProcurementResult {
+  std::vector<DestinationOutcome> per_destination;
+  /// Metric means over all evaluated destinations.
+  OpinionMetrics average;
+};
+
+/// Restricts `repository` to `users` (in the given order), preserving the
+/// property table; `users` become ids 0..n-1 of the result.
+ProfileRepository SubRepository(const ProfileRepository& repository,
+                                const std::vector<UserId>& users);
+
+/// Runs the experiment for one selector over all `destinations`.
+/// Destinations with fewer than 2 reviewers are skipped.
+Result<ProcurementResult> RunProcurementExperiment(
+    const ProfileRepository& repository, const opinion::OpinionStore& store,
+    const std::vector<opinion::DestinationId>& destinations,
+    const Selector& selector, const ProcurementOptions& options);
+
+}  // namespace podium::metrics
+
+#endif  // PODIUM_METRICS_PROCUREMENT_EXPERIMENT_H_

@@ -1,0 +1,69 @@
+#include "podium/opinion/opinion_store.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace podium::opinion {
+
+DestinationId OpinionStore::AddDestination(Destination destination) {
+  const auto id = static_cast<DestinationId>(destinations_.size());
+  destinations_.push_back(std::move(destination));
+  reviews_by_destination_.emplace_back();
+  return id;
+}
+
+TopicId OpinionStore::InternTopic(std::string_view name) {
+  for (TopicId t = 0; t < topic_names_.size(); ++t) {
+    if (topic_names_[t] == name) return t;
+  }
+  topic_names_.emplace_back(name);
+  return static_cast<TopicId>(topic_names_.size() - 1);
+}
+
+Status OpinionStore::AddReview(Review review) {
+  if (review.destination >= destinations_.size()) {
+    return Status::OutOfRange("review references unknown destination");
+  }
+  if (review.rating < 1 || review.rating > 5) {
+    return Status::InvalidArgument("review rating must be in 1..5");
+  }
+  for (const TopicMention& mention : review.topics) {
+    if (mention.topic >= topic_names_.size()) {
+      return Status::OutOfRange("review references unknown topic");
+    }
+  }
+  const DestinationId d = review.destination;
+  reviews_by_destination_[d].push_back(std::move(review));
+  ++review_count_;
+  return Status::Ok();
+}
+
+std::vector<Review> OpinionStore::ProcuredReviews(
+    DestinationId d, const std::vector<UserId>& selected) const {
+  std::vector<Review> procured;
+  for (const Review& review : reviews_by_destination_[d]) {
+    if (std::find(selected.begin(), selected.end(), review.user) !=
+        selected.end()) {
+      procured.push_back(review);
+    }
+  }
+  return procured;
+}
+
+std::vector<DestinationId> OpinionStore::PopularDestinations(
+    std::size_t min_reviews) const {
+  std::vector<DestinationId> popular;
+  for (DestinationId d = 0; d < destinations_.size(); ++d) {
+    if (reviews_by_destination_[d].size() >= min_reviews) {
+      popular.push_back(d);
+    }
+  }
+  std::stable_sort(popular.begin(), popular.end(),
+                   [this](DestinationId a, DestinationId b) {
+                     return reviews_by_destination_[a].size() >
+                            reviews_by_destination_[b].size();
+                   });
+  return popular;
+}
+
+}  // namespace podium::opinion

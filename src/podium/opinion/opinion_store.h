@@ -1,0 +1,64 @@
+#ifndef PODIUM_OPINION_OPINION_STORE_H_
+#define PODIUM_OPINION_OPINION_STORE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "podium/opinion/review.h"
+#include "podium/util/result.h"
+
+namespace podium::opinion {
+
+/// Ground-truth opinions: destinations, the topic vocabulary, and all
+/// reviews, indexed by destination for the opinion-diversity experiments.
+class OpinionStore {
+ public:
+  OpinionStore() = default;
+
+  OpinionStore(const OpinionStore&) = delete;
+  OpinionStore& operator=(const OpinionStore&) = delete;
+  OpinionStore(OpinionStore&&) = default;
+  OpinionStore& operator=(OpinionStore&&) = default;
+
+  DestinationId AddDestination(Destination destination);
+  TopicId InternTopic(std::string_view name);
+
+  /// Appends a review; ids must reference existing destinations/topics.
+  Status AddReview(Review review);
+
+  std::size_t destination_count() const { return destinations_.size(); }
+  std::size_t review_count() const { return review_count_; }
+  std::size_t topic_count() const { return topic_names_.size(); }
+
+  const Destination& destination(DestinationId d) const {
+    return destinations_[d];
+  }
+  const std::string& topic_name(TopicId t) const { return topic_names_[t]; }
+
+  /// All reviews of one destination, in insertion order.
+  const std::vector<Review>& reviews_of(DestinationId d) const {
+    return reviews_by_destination_[d];
+  }
+
+  /// The subset of a destination's reviews written by `selected` users —
+  /// the simulated procurement outcome.
+  std::vector<Review> ProcuredReviews(DestinationId d,
+                                      const std::vector<UserId>& selected)
+      const;
+
+  /// Destination ids with at least `min_reviews` reviews, ordered by
+  /// decreasing review count (ties by id).
+  std::vector<DestinationId> PopularDestinations(
+      std::size_t min_reviews) const;
+
+ private:
+  std::vector<Destination> destinations_;
+  std::vector<std::string> topic_names_;
+  std::vector<std::vector<Review>> reviews_by_destination_;
+  std::size_t review_count_ = 0;
+};
+
+}  // namespace podium::opinion
+
+#endif  // PODIUM_OPINION_OPINION_STORE_H_

@@ -1,0 +1,51 @@
+#ifndef PODIUM_OPINION_REVIEW_H_
+#define PODIUM_OPINION_REVIEW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "podium/profile/user_profile.h"
+
+namespace podium::opinion {
+
+/// Dense identifier of a reviewed destination (a restaurant in the paper's
+/// datasets).
+using DestinationId = std::uint32_t;
+inline constexpr DestinationId kInvalidDestination = 0xFFFFFFFFu;
+
+/// Review polarity towards one topic.
+enum class Sentiment : std::uint8_t { kNegative = 0, kPositive = 1 };
+
+/// A topic mentioned by a review, with the stance the review takes on it.
+/// Topics are drawn from a global topic vocabulary (TopicId indexes it).
+using TopicId = std::uint32_t;
+struct TopicMention {
+  TopicId topic = 0;
+  Sentiment sentiment = Sentiment::kPositive;
+
+  friend bool operator==(const TopicMention&, const TopicMention&) = default;
+};
+
+/// One ground-truth opinion: the ratings/topics a user expressed about a
+/// destination. These simulate the opinions that procurement would collect
+/// (Section 8: "we simulate opinion procurement using ground truth user
+/// opinions").
+struct Review {
+  UserId user = kInvalidUser;
+  DestinationId destination = kInvalidDestination;
+  int rating = 0;                     // 1..5 stars
+  std::vector<TopicMention> topics;   // facets the review touches
+  int useful_votes = 0;               // Yelp-style usefulness feedback
+};
+
+/// Destination metadata.
+struct Destination {
+  std::string name;
+  std::string city;
+  std::vector<std::string> categories;  // leaf cuisine categories
+};
+
+}  // namespace podium::opinion
+
+#endif  // PODIUM_OPINION_REVIEW_H_

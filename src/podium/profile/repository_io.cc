@@ -1,0 +1,191 @@
+#include "podium/profile/repository_io.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "podium/csv/csv.h"
+#include "podium/json/parser.h"
+#include "podium/json/writer.h"
+#include "podium/util/string_util.h"
+
+namespace podium {
+
+namespace {
+
+Result<PropertyKind> ParseKind(std::string_view text) {
+  if (text == "boolean") return PropertyKind::kBoolean;
+  if (text == "score" || text.empty()) return PropertyKind::kScore;
+  return Status::ParseError("unknown property kind: " + std::string(text));
+}
+
+Result<double> ParseScoreField(const std::string& field) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(field.c_str(), &end);
+  if (errno == ERANGE || end != field.c_str() + field.size() ||
+      field.empty()) {
+    return Status::ParseError("invalid score: '" + field + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+json::Value RepositoryToJson(const ProfileRepository& repository) {
+  json::Object root;
+
+  json::Array users;
+  users.reserve(repository.user_count());
+  const PropertyTable& table = repository.properties();
+  for (UserId u = 0; u < repository.user_count(); ++u) {
+    const UserProfile& profile = repository.user(u);
+    json::Object user;
+    user.Set("name", json::Value(profile.name()));
+    json::Object props;
+    for (const PropertyScore& entry : profile.entries()) {
+      props.Set(table.Label(entry.property), json::Value(entry.score));
+    }
+    user.Set("properties", json::Value(std::move(props)));
+    users.emplace_back(std::move(user));
+  }
+  root.Set("users", json::Value(std::move(users)));
+
+  json::Object kinds;
+  for (PropertyId p = 0; p < table.size(); ++p) {
+    if (table.Kind(p) == PropertyKind::kBoolean) {
+      kinds.Set(table.Label(p), json::Value("boolean"));
+    }
+  }
+  if (!kinds.empty()) root.Set("kinds", json::Value(std::move(kinds)));
+  return json::Value(std::move(root));
+}
+
+Result<ProfileRepository> RepositoryFromJson(const json::Value& document) {
+  if (!document.is_object()) {
+    return Status::ParseError("repository document must be a JSON object");
+  }
+  const json::Object& root = document.AsObject();
+
+  // Kinds first so properties intern with the right kind.
+  ProfileRepository repository;
+  if (const json::Value* kinds = root.Find("kinds"); kinds != nullptr) {
+    if (!kinds->is_object()) {
+      return Status::ParseError("'kinds' must be an object");
+    }
+    for (const auto& [label, kind_value] : kinds->AsObject().entries()) {
+      Result<std::string> kind_text = kind_value.GetString();
+      if (!kind_text.ok()) return kind_text.status();
+      Result<PropertyKind> kind = ParseKind(kind_text.value());
+      if (!kind.ok()) return kind.status();
+      repository.properties().Intern(label, kind.value());
+    }
+  }
+
+  const json::Value* users = root.Find("users");
+  if (users == nullptr || !users->is_array()) {
+    return Status::ParseError("repository document must have a 'users' array");
+  }
+  for (const json::Value& user_value : users->AsArray()) {
+    if (!user_value.is_object()) {
+      return Status::ParseError("each user must be a JSON object");
+    }
+    const json::Object& user = user_value.AsObject();
+    const json::Value* name = user.Find("name");
+    if (name == nullptr || !name->is_string()) {
+      return Status::ParseError("each user must have a string 'name'");
+    }
+    Result<UserId> id = repository.AddUser(name->AsString());
+    if (!id.ok()) return id.status();
+
+    const json::Value* props = user.Find("properties");
+    if (props == nullptr) continue;  // a user with an empty profile
+    if (!props->is_object()) {
+      return Status::ParseError("'properties' must be an object for user " +
+                                name->AsString());
+    }
+    for (const auto& [label, score_value] : props->AsObject().entries()) {
+      double score;
+      if (score_value.is_bool()) {
+        score = score_value.AsBool() ? 1.0 : 0.0;
+        repository.properties().Intern(label, PropertyKind::kBoolean);
+      } else if (score_value.is_number()) {
+        score = score_value.AsNumber();
+      } else {
+        return Status::ParseError("score of '" + label +
+                                  "' must be a number or bool");
+      }
+      PODIUM_RETURN_IF_ERROR(repository.SetScore(id.value(), label, score));
+    }
+  }
+  return repository;
+}
+
+Status SaveRepositoryJson(const ProfileRepository& repository,
+                          const std::string& path) {
+  json::WriteOptions options;
+  options.indent = 2;
+  return json::WriteFile(RepositoryToJson(repository), path, options);
+}
+
+Result<ProfileRepository> LoadRepositoryJson(const std::string& path) {
+  Result<json::Value> document = json::ParseFile(path);
+  if (!document.ok()) return document.status();
+  return RepositoryFromJson(document.value());
+}
+
+Status SaveRepositoryCsv(const ProfileRepository& repository,
+                         const std::string& path) {
+  csv::Table table;
+  table.header = {"user", "property", "score", "kind"};
+  const PropertyTable& props = repository.properties();
+  for (UserId u = 0; u < repository.user_count(); ++u) {
+    const UserProfile& profile = repository.user(u);
+    for (const PropertyScore& entry : profile.entries()) {
+      table.rows.push_back(
+          {profile.name(), props.Label(entry.property),
+           util::FormatDouble(entry.score, 10),
+           std::string(PropertyKindName(props.Kind(entry.property)))});
+    }
+  }
+  return csv::WriteFile(table, path);
+}
+
+Result<ProfileRepository> LoadRepositoryCsv(const std::string& path) {
+  Result<csv::Table> table = csv::ParseFile(path);
+  if (!table.ok()) return table.status();
+
+  const int user_col = table->ColumnIndex("user");
+  const int property_col = table->ColumnIndex("property");
+  const int score_col = table->ColumnIndex("score");
+  const int kind_col = table->ColumnIndex("kind");  // optional
+  if (user_col < 0 || property_col < 0 || score_col < 0) {
+    return Status::ParseError(
+        "CSV must have 'user', 'property' and 'score' columns");
+  }
+
+  ProfileRepository repository;
+  for (const csv::Row& row : table->rows) {
+    const std::string& name = row[static_cast<std::size_t>(user_col)];
+    UserId id = repository.FindUser(name);
+    if (id == kInvalidUser) {
+      Result<UserId> added = repository.AddUser(name);
+      if (!added.ok()) return added.status();
+      id = added.value();
+    }
+    Result<double> score =
+        ParseScoreField(row[static_cast<std::size_t>(score_col)]);
+    if (!score.ok()) return score.status();
+    PropertyKind kind = PropertyKind::kScore;
+    if (kind_col >= 0) {
+      Result<PropertyKind> parsed =
+          ParseKind(row[static_cast<std::size_t>(kind_col)]);
+      if (!parsed.ok()) return parsed.status();
+      kind = parsed.value();
+    }
+    PODIUM_RETURN_IF_ERROR(repository.SetScore(
+        id, row[static_cast<std::size_t>(property_col)], score.value(), kind));
+  }
+  return repository;
+}
+
+}  // namespace podium

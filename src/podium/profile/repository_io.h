@@ -1,0 +1,42 @@
+#ifndef PODIUM_PROFILE_REPOSITORY_IO_H_
+#define PODIUM_PROFILE_REPOSITORY_IO_H_
+
+#include <string>
+
+#include "podium/json/value.h"
+#include "podium/profile/repository.h"
+#include "podium/util/result.h"
+
+namespace podium {
+
+/// JSON exchange format (the prototype's input format, Section 7):
+///
+///   {
+///     "users": [
+///       {"name": "Alice",
+///        "properties": {"livesIn Tokyo": 1, "avgRating Mexican": 0.95}},
+///       ...
+///     ],
+///     "kinds": {"livesIn Tokyo": "boolean"}   // optional; default "score"
+///   }
+json::Value RepositoryToJson(const ProfileRepository& repository);
+Result<ProfileRepository> RepositoryFromJson(const json::Value& document);
+
+Status SaveRepositoryJson(const ProfileRepository& repository,
+                          const std::string& path);
+Result<ProfileRepository> LoadRepositoryJson(const std::string& path);
+
+/// Long-form CSV exchange format, one observation per row:
+///
+///   user,property,score,kind
+///   Alice,livesIn Tokyo,1,boolean
+///   Alice,avgRating Mexican,0.95,score
+///
+/// The kind column is optional on input (defaults to "score").
+Status SaveRepositoryCsv(const ProfileRepository& repository,
+                         const std::string& path);
+Result<ProfileRepository> LoadRepositoryCsv(const std::string& path);
+
+}  // namespace podium
+
+#endif  // PODIUM_PROFILE_REPOSITORY_IO_H_

@@ -1,0 +1,66 @@
+#include "podium/profile/user_profile.h"
+
+#include <algorithm>
+
+namespace podium {
+
+namespace {
+
+auto LowerBound(std::vector<PropertyScore>& entries, PropertyId property) {
+  return std::lower_bound(
+      entries.begin(), entries.end(), property,
+      [](const PropertyScore& e, PropertyId p) { return e.property < p; });
+}
+
+auto LowerBound(const std::vector<PropertyScore>& entries,
+                PropertyId property) {
+  return std::lower_bound(
+      entries.begin(), entries.end(), property,
+      [](const PropertyScore& e, PropertyId p) { return e.property < p; });
+}
+
+}  // namespace
+
+void UserProfile::Set(PropertyId property, double score) {
+  auto it = LowerBound(entries_, property);
+  if (it != entries_.end() && it->property == property) {
+    it->score = score;
+  } else {
+    entries_.insert(it, PropertyScore{property, score});
+  }
+}
+
+bool UserProfile::Remove(PropertyId property) {
+  auto it = LowerBound(entries_, property);
+  if (it != entries_.end() && it->property == property) {
+    entries_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+void UserProfile::ReplaceEntries(std::vector<PropertyScore> entries) {
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const PropertyScore& a, const PropertyScore& b) {
+                     return a.property < b.property;
+                   });
+  // Keep the last entry of each duplicate run.
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < entries.size(); ++read) {
+    if (read + 1 < entries.size() &&
+        entries[read + 1].property == entries[read].property) {
+      continue;
+    }
+    entries[write++] = entries[read];
+  }
+  entries.resize(write);
+  entries_ = std::move(entries);
+}
+
+std::optional<double> UserProfile::Get(PropertyId property) const {
+  auto it = LowerBound(entries_, property);
+  if (it != entries_.end() && it->property == property) return it->score;
+  return std::nullopt;
+}
+
+}  // namespace podium

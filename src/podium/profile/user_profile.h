@@ -1,0 +1,72 @@
+#ifndef PODIUM_PROFILE_USER_PROFILE_H_
+#define PODIUM_PROFILE_USER_PROFILE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "podium/profile/property.h"
+
+namespace podium {
+
+/// Dense identifier of a user within a ProfileRepository.
+using UserId = std::uint32_t;
+inline constexpr UserId kInvalidUser = 0xFFFFFFFFu;
+
+/// One (property, score) observation in a profile.
+struct PropertyScore {
+  PropertyId property;
+  double score;  // in [0, 1]
+
+  friend bool operator==(const PropertyScore&, const PropertyScore&) = default;
+};
+
+/// The profile D_u = <P_u, S_u> of one user (Section 3.1): the set of
+/// properties known for the user, each with a score normalized to [0, 1].
+/// Properties absent from the profile are interpreted under the open-world
+/// assumption — neither true nor false.
+///
+/// Entries are kept sorted by PropertyId for O(log n) lookup and cheap
+/// set-style iteration (e.g. Jaccard distance in the baselines).
+class UserProfile {
+ public:
+  UserProfile() = default;
+  explicit UserProfile(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Inserts or overwrites the score of `property`. Caller guarantees the
+  /// score is in [0, 1]; ProfileRepository::SetScore validates.
+  void Set(PropertyId property, double score);
+
+  /// Removes `property` if present; returns whether it was present.
+  bool Remove(PropertyId property);
+
+  /// Replaces the whole profile in one shot (sorts by property id; on
+  /// duplicate properties the last entry wins). Much faster than repeated
+  /// Set() when building profiles in bulk.
+  void ReplaceEntries(std::vector<PropertyScore> entries);
+
+  /// The score S_u(p), or nullopt when p is not in P_u.
+  std::optional<double> Get(PropertyId property) const;
+
+  bool Has(PropertyId property) const { return Get(property).has_value(); }
+
+  /// |P_u| — the profile size.
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Entries sorted ascending by PropertyId.
+  const std::vector<PropertyScore>& entries() const { return entries_; }
+
+ private:
+  std::string name_;
+  std::vector<PropertyScore> entries_;
+};
+
+}  // namespace podium
+
+#endif  // PODIUM_PROFILE_USER_PROFILE_H_

@@ -1,0 +1,208 @@
+#include "podium/taxonomy/inference.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "podium/util/string_util.h"
+
+namespace podium::taxonomy {
+
+GeneralizationRule::GeneralizationRule(std::string prefix,
+                                       const Taxonomy* taxonomy,
+                                       Aggregation aggregation)
+    : prefix_(std::move(prefix)),
+      taxonomy_(taxonomy),
+      aggregation_(aggregation) {}
+
+std::string GeneralizationRule::Describe() const {
+  return "generalize '" + prefix_ + "<category>' over taxonomy";
+}
+
+namespace {
+
+/// Categories ordered children-before-parents (reverse topological order of
+/// the parent DAG), via Kahn's algorithm on child-counts.
+std::vector<CategoryId> LeafToRootOrder(const Taxonomy& taxonomy) {
+  const std::size_t n = taxonomy.size();
+  std::vector<std::size_t> pending_children(n);
+  std::deque<CategoryId> ready;
+  for (CategoryId c = 0; c < n; ++c) {
+    pending_children[c] = taxonomy.Children(c).size();
+    if (pending_children[c] == 0) ready.push_back(c);
+  }
+  std::vector<CategoryId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    CategoryId c = ready.front();
+    ready.pop_front();
+    order.push_back(c);
+    for (CategoryId parent : taxonomy.Parents(c)) {
+      if (--pending_children[parent] == 0) ready.push_back(parent);
+    }
+  }
+  return order;  // size < n only if the DAG invariant was violated
+}
+
+}  // namespace
+
+Result<std::size_t> GeneralizationRule::Apply(
+    ProfileRepository& repository) const {
+  if (taxonomy_ == nullptr) {
+    return Status::InvalidArgument("GeneralizationRule without a taxonomy");
+  }
+  const std::vector<CategoryId> order = LeafToRootOrder(*taxonomy_);
+  if (order.size() != taxonomy_->size()) {
+    return Status::Internal("taxonomy contains a cycle");
+  }
+
+  // Resolve (and lazily intern, for non-leaf targets) the property id of
+  // each category. A category participates only if its property label is
+  // already known or becomes a derivation target.
+  PropertyTable& table = repository.properties();
+  std::vector<PropertyId> property_of(taxonomy_->size(), kInvalidProperty);
+  for (CategoryId c = 0; c < taxonomy_->size(); ++c) {
+    property_of[c] = table.Find(prefix_ + taxonomy_->Name(c));
+  }
+
+  // Support counts for kSupportMean are computed against observed data,
+  // before this rule adds anything.
+  std::vector<double> support(taxonomy_->size(), 0.0);
+  if (aggregation_ == Aggregation::kSupportMean) {
+    for (CategoryId c = 0; c < taxonomy_->size(); ++c) {
+      if (property_of[c] != kInvalidProperty) {
+        support[c] =
+            static_cast<double>(repository.SupportCount(property_of[c]));
+      }
+    }
+  }
+
+  std::size_t added = 0;
+  std::vector<double> value(taxonomy_->size(), 0.0);
+  std::vector<double> weight(taxonomy_->size(), 0.0);
+  std::vector<bool> known(taxonomy_->size(), false);
+  for (UserId u = 0; u < repository.user_count(); ++u) {
+    std::fill(known.begin(), known.end(), false);
+    // Seed with observed scores.
+    for (CategoryId c : order) {
+      if (property_of[c] == kInvalidProperty) continue;
+      if (auto score = repository.user(u).Get(property_of[c])) {
+        value[c] = *score;
+        weight[c] = aggregation_ == Aggregation::kSupportMean
+                        ? std::max(support[c], 1.0)
+                        : 1.0;
+        known[c] = true;
+      }
+    }
+    // Propagate leaf-to-root.
+    for (CategoryId c : order) {
+      if (known[c]) continue;
+      double weighted_sum = 0.0;
+      double total_weight = 0.0;
+      double max_value = 0.0;
+      bool any = false;
+      for (CategoryId child : taxonomy_->Children(c)) {
+        if (!known[child]) continue;
+        weighted_sum += value[child] * weight[child];
+        total_weight += weight[child];
+        max_value = any ? std::max(max_value, value[child]) : value[child];
+        any = true;
+      }
+      if (!any) continue;
+      const double derived = aggregation_ == Aggregation::kMax
+                                 ? max_value
+                                 : weighted_sum / total_weight;
+      value[c] = derived;
+      weight[c] = total_weight;
+      known[c] = true;
+      if (property_of[c] == kInvalidProperty) {
+        property_of[c] = table.Intern(prefix_ + taxonomy_->Name(c));
+      }
+      PODIUM_RETURN_IF_ERROR(
+          repository.SetScore(u, property_of[c], derived));
+      ++added;
+    }
+  }
+  return added;
+}
+
+FunctionalPropertyRule::FunctionalPropertyRule(std::string prefix,
+                                               std::vector<std::string> domain)
+    : prefix_(std::move(prefix)), domain_(std::move(domain)) {}
+
+std::string FunctionalPropertyRule::Describe() const {
+  return "functional property '" + prefix_ + "<value>'";
+}
+
+Result<std::size_t> FunctionalPropertyRule::Apply(
+    ProfileRepository& repository) const {
+  PropertyTable& table = repository.properties();
+
+  // Resolve the domain to property ids.
+  std::vector<PropertyId> domain_ids;
+  if (domain_.empty()) {
+    for (PropertyId p = 0; p < table.size(); ++p) {
+      if (util::StartsWith(table.Label(p), prefix_)) domain_ids.push_back(p);
+    }
+  } else {
+    for (const std::string& v : domain_) {
+      domain_ids.push_back(table.Intern(prefix_ + v, PropertyKind::kBoolean));
+    }
+  }
+  if (domain_ids.size() < 2) return std::size_t{0};
+
+  std::size_t added = 0;
+  for (UserId u = 0; u < repository.user_count(); ++u) {
+    PropertyId true_property = kInvalidProperty;
+    bool conflict = false;
+    for (PropertyId p : domain_ids) {
+      auto score = repository.user(u).Get(p);
+      if (score.has_value() && *score == 1.0) {
+        if (true_property != kInvalidProperty) {
+          conflict = true;
+          break;
+        }
+        true_property = p;
+      }
+    }
+    if (conflict) {
+      return Status::FailedPrecondition(util::StringPrintf(
+          "user '%s' has multiple true values for functional property '%s'",
+          repository.user(u).name().c_str(), prefix_.c_str()));
+    }
+    if (true_property == kInvalidProperty) continue;
+    for (PropertyId p : domain_ids) {
+      if (p == true_property || repository.user(u).Has(p)) continue;
+      PODIUM_RETURN_IF_ERROR(repository.SetScore(u, p, 0.0));
+      ++added;
+    }
+  }
+  return added;
+}
+
+void Enricher::AddRule(std::unique_ptr<InferenceRule> rule) {
+  rules_.push_back(std::move(rule));
+}
+
+Result<std::size_t> Enricher::Apply(ProfileRepository& repository) const {
+  std::size_t total = 0;
+  for (const auto& rule : rules_) {
+    Result<std::size_t> added = rule->Apply(repository);
+    if (!added.ok()) return added.status();
+    total += added.value();
+  }
+  return total;
+}
+
+Result<std::size_t> Enricher::ApplyToFixpoint(ProfileRepository& repository,
+                                              int max_rounds) const {
+  std::size_t total = 0;
+  for (int round = 0; round < max_rounds; ++round) {
+    Result<std::size_t> added = Apply(repository);
+    if (!added.ok()) return added.status();
+    total += added.value();
+    if (added.value() == 0) break;
+  }
+  return total;
+}
+
+}  // namespace podium::taxonomy

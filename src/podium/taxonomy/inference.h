@@ -1,0 +1,99 @@
+#ifndef PODIUM_TAXONOMY_INFERENCE_H_
+#define PODIUM_TAXONOMY_INFERENCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "podium/profile/repository.h"
+#include "podium/taxonomy/taxonomy.h"
+#include "podium/util/result.h"
+
+namespace podium::taxonomy {
+
+/// A profile-completion inference rule (Section 3.1). Rules add derived
+/// properties to user profiles; they never overwrite scores a user already
+/// has, preserving the precedence of observed data over inferred data.
+class InferenceRule {
+ public:
+  virtual ~InferenceRule() = default;
+
+  /// Human-readable rule description for logs and explanations.
+  virtual std::string Describe() const = 0;
+
+  /// Applies the rule over all profiles; returns the number of property
+  /// scores added.
+  virtual Result<std::size_t> Apply(ProfileRepository& repository) const = 0;
+};
+
+/// How a GeneralizationRule combines child-category scores into the parent.
+enum class Aggregation {
+  kMean,          // plain average of known child scores
+  kSupportMean,   // average weighted by each child property's support |p|
+  kMax,           // optimistic: strongest child signal
+};
+
+/// Generalization over a taxonomy (Example 3.2): given properties named
+/// "<prefix><Category>" (e.g. "avgRating Mexican") and a taxonomy edge
+/// Mexican -> Latin, derives "<prefix>Latin" for users who have scores for
+/// any child of Latin. Propagation runs leaf-to-root, so derived values
+/// feed further generalization (Mexican -> Latin -> Food).
+class GeneralizationRule : public InferenceRule {
+ public:
+  /// `prefix` includes any separator, e.g. "avgRating ".
+  GeneralizationRule(std::string prefix, const Taxonomy* taxonomy,
+                     Aggregation aggregation = Aggregation::kMean);
+
+  std::string Describe() const override;
+  Result<std::size_t> Apply(ProfileRepository& repository) const override;
+
+ private:
+  std::string prefix_;
+  const Taxonomy* taxonomy_;  // not owned; must outlive the rule
+  Aggregation aggregation_;
+};
+
+/// Closed-world completion for functional properties (Example 3.2): if
+/// "<prefix><X>" holds with score 1 for exactly one X, then "<prefix><Y>"
+/// is inferred false (score 0) for every other Y in the property's domain.
+/// A user with two true values for a functional property is a data
+/// inconsistency and fails the rule.
+class FunctionalPropertyRule : public InferenceRule {
+ public:
+  /// The domain is the set of value labels, e.g. all cities. If empty, the
+  /// domain is discovered from the repository (all properties that start
+  /// with `prefix`).
+  FunctionalPropertyRule(std::string prefix,
+                         std::vector<std::string> domain = {});
+
+  std::string Describe() const override;
+  Result<std::size_t> Apply(ProfileRepository& repository) const override;
+
+ private:
+  std::string prefix_;
+  std::vector<std::string> domain_;
+};
+
+/// Applies an ordered list of rules; optionally iterates to fixpoint so
+/// rules can feed each other.
+class Enricher {
+ public:
+  Enricher() = default;
+
+  void AddRule(std::unique_ptr<InferenceRule> rule);
+  std::size_t rule_count() const { return rules_.size(); }
+
+  /// One pass over all rules; returns total scores added.
+  Result<std::size_t> Apply(ProfileRepository& repository) const;
+
+  /// Repeats passes until no rule adds anything or `max_rounds` passes ran.
+  Result<std::size_t> ApplyToFixpoint(ProfileRepository& repository,
+                                      int max_rounds = 8) const;
+
+ private:
+  std::vector<std::unique_ptr<InferenceRule>> rules_;
+};
+
+}  // namespace podium::taxonomy
+
+#endif  // PODIUM_TAXONOMY_INFERENCE_H_

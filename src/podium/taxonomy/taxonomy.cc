@@ -1,0 +1,97 @@
+#include "podium/taxonomy/taxonomy.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace podium::taxonomy {
+
+CategoryId Taxonomy::AddCategory(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<CategoryId>(names_.size());
+  names_.emplace_back(name);
+  parents_.emplace_back();
+  children_.emplace_back();
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+Status Taxonomy::AddEdge(CategoryId child, CategoryId parent) {
+  if (child >= names_.size() || parent >= names_.size()) {
+    return Status::OutOfRange("category id out of range");
+  }
+  if (child == parent) {
+    return Status::InvalidArgument("self-edge in taxonomy: " + names_[child]);
+  }
+  const auto& existing = parents_[child];
+  if (std::find(existing.begin(), existing.end(), parent) != existing.end()) {
+    return Status::AlreadyExists("duplicate taxonomy edge " + names_[child] +
+                                 " -> " + names_[parent]);
+  }
+  // Reject the edge if `child` is already an ancestor of `parent`.
+  if (IsAncestor(child, parent)) {
+    return Status::InvalidArgument("taxonomy cycle via " + names_[child] +
+                                   " -> " + names_[parent]);
+  }
+  parents_[child].push_back(parent);
+  children_[parent].push_back(child);
+  return Status::Ok();
+}
+
+Status Taxonomy::AddEdge(std::string_view child, std::string_view parent) {
+  return AddEdge(AddCategory(child), AddCategory(parent));
+}
+
+CategoryId Taxonomy::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kInvalidCategory : it->second;
+}
+
+namespace {
+
+std::vector<CategoryId> Bfs(
+    CategoryId start, const std::vector<std::vector<CategoryId>>& adjacency) {
+  std::vector<CategoryId> order;
+  std::vector<bool> seen(adjacency.size(), false);
+  std::deque<CategoryId> queue(adjacency[start].begin(),
+                               adjacency[start].end());
+  for (CategoryId c : adjacency[start]) seen[c] = true;
+  while (!queue.empty()) {
+    CategoryId current = queue.front();
+    queue.pop_front();
+    order.push_back(current);
+    for (CategoryId next : adjacency[current]) {
+      if (!seen[next]) {
+        seen[next] = true;
+        queue.push_back(next);
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<CategoryId> Taxonomy::Ancestors(CategoryId id) const {
+  return Bfs(id, parents_);
+}
+
+std::vector<CategoryId> Taxonomy::Descendants(CategoryId id) const {
+  return Bfs(id, children_);
+}
+
+std::vector<CategoryId> Taxonomy::Roots() const {
+  std::vector<CategoryId> roots;
+  for (CategoryId id = 0; id < names_.size(); ++id) {
+    if (parents_[id].empty()) roots.push_back(id);
+  }
+  return roots;
+}
+
+bool Taxonomy::IsAncestor(CategoryId ancestor, CategoryId descendant) const {
+  if (ancestor >= names_.size() || descendant >= names_.size()) return false;
+  std::vector<CategoryId> up = Ancestors(descendant);
+  return std::find(up.begin(), up.end(), ancestor) != up.end();
+}
+
+}  // namespace podium::taxonomy

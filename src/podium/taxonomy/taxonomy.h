@@ -1,0 +1,68 @@
+#ifndef PODIUM_TAXONOMY_TAXONOMY_H_
+#define PODIUM_TAXONOMY_TAXONOMY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "podium/util/result.h"
+
+namespace podium::taxonomy {
+
+/// Dense identifier of a taxonomy category.
+using CategoryId = std::uint32_t;
+inline constexpr CategoryId kInvalidCategory = 0xFFFFFFFFu;
+
+/// A directed acyclic generalization hierarchy over category names, e.g.
+/// Mexican -> Latin -> Food (Section 3.1, Example 3.2). A category may have
+/// several parents (Fusion -> {Asian, European}).
+class Taxonomy {
+ public:
+  Taxonomy() = default;
+
+  /// Adds (or finds) a category by name.
+  CategoryId AddCategory(std::string_view name);
+
+  /// Declares `child` IS-A `parent`. Fails if this would create a cycle or
+  /// if the edge already exists.
+  Status AddEdge(CategoryId child, CategoryId parent);
+
+  /// Name-based convenience; creates missing categories.
+  Status AddEdge(std::string_view child, std::string_view parent);
+
+  CategoryId Find(std::string_view name) const;
+  const std::string& Name(CategoryId id) const { return names_[id]; }
+  std::size_t size() const { return names_.size(); }
+
+  const std::vector<CategoryId>& Parents(CategoryId id) const {
+    return parents_[id];
+  }
+  const std::vector<CategoryId>& Children(CategoryId id) const {
+    return children_[id];
+  }
+
+  /// All strict ancestors of `id` (transitive parents), deduplicated, in
+  /// breadth-first order.
+  std::vector<CategoryId> Ancestors(CategoryId id) const;
+
+  /// All strict descendants of `id`, deduplicated, in breadth-first order.
+  std::vector<CategoryId> Descendants(CategoryId id) const;
+
+  /// Categories with no parents.
+  std::vector<CategoryId> Roots() const;
+
+  /// True if `ancestor` is reachable from `descendant` via parent edges.
+  bool IsAncestor(CategoryId ancestor, CategoryId descendant) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<CategoryId>> parents_;
+  std::vector<std::vector<CategoryId>> children_;
+  std::unordered_map<std::string, CategoryId> index_;
+};
+
+}  // namespace podium::taxonomy
+
+#endif  // PODIUM_TAXONOMY_TAXONOMY_H_

@@ -1,0 +1,57 @@
+#include "podium/util/math_util.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace podium::util {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return StableSum(values) / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - mean) * (v - mean);
+  return acc / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
+}
+
+double QuantileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  assert(std::is_sorted(sorted.begin(), sorted.end()));
+  q = Clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Clamp(double value, double lo, double hi) {
+  return std::max(lo, std::min(hi, value));
+}
+
+bool AlmostEqual(double a, double b, double tolerance) {
+  return std::fabs(a - b) <= tolerance;
+}
+
+double StableSum(const std::vector<double>& values) {
+  double sum = 0.0;
+  double compensation = 0.0;
+  for (double v : values) {
+    const double y = v - compensation;
+    const double t = sum + y;
+    compensation = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+}  // namespace podium::util

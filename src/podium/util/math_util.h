@@ -1,0 +1,33 @@
+#ifndef PODIUM_UTIL_MATH_UTIL_H_
+#define PODIUM_UTIL_MATH_UTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace podium::util {
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+/// Population variance (divide by N); 0 for inputs of size < 1.
+double Variance(const std::vector<double>& values);
+
+/// Population standard deviation.
+double StdDev(const std::vector<double>& values);
+
+/// Linear-interpolated quantile of `sorted` (must be ascending),
+/// q in [0, 1]. Returns 0 for an empty input.
+double QuantileSorted(const std::vector<double>& sorted, double q);
+
+/// Clamps `value` into [lo, hi].
+double Clamp(double value, double lo, double hi);
+
+/// True if |a - b| <= tolerance.
+bool AlmostEqual(double a, double b, double tolerance = 1e-9);
+
+/// Sum with Kahan compensation; stable for the long metric accumulations.
+double StableSum(const std::vector<double>& values);
+
+}  // namespace podium::util
+
+#endif  // PODIUM_UTIL_MATH_UTIL_H_

@@ -1,0 +1,74 @@
+#ifndef PODIUM_UTIL_RESULT_H_
+#define PODIUM_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "podium/util/status.h"
+
+namespace podium {
+
+/// Holder of either a value of type T or an error Status; the payload-bearing
+/// counterpart of Status (compare absl::StatusOr / arrow::Result).
+///
+///   Result<Repository> r = Repository::FromJsonFile(path);
+///   if (!r.ok()) return r.status();
+///   Repository repo = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value. Intentionally implicit so that
+  /// `return value;` works in functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error. Intentionally implicit so that
+  /// `return Status::NotFound(...)` works. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ is engaged.
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a Result<T>), propagating its status on error, else
+/// assigning the value into `lhs`.
+#define PODIUM_INTERNAL_CONCAT2(a, b) a##b
+#define PODIUM_INTERNAL_CONCAT(a, b) PODIUM_INTERNAL_CONCAT2(a, b)
+#define PODIUM_ASSIGN_OR_RETURN(lhs, expr)                             \
+  PODIUM_INTERNAL_ASSIGN_OR_RETURN(                                    \
+      PODIUM_INTERNAL_CONCAT(_podium_result_, __LINE__), lhs, expr)
+#define PODIUM_INTERNAL_ASSIGN_OR_RETURN(tmp, lhs, expr) \
+  auto tmp = (expr);                                     \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+}  // namespace podium
+
+#endif  // PODIUM_UTIL_RESULT_H_

@@ -1,0 +1,156 @@
+#include "podium/util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace podium::util {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+  // Guard against the all-zero state, which is a fixed point of xoshiro.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::NextU64() {
+  // xoshiro256** step.
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling over the largest multiple of `bound` below 2^64.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    std::uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::NextInt(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  if (span == 0) return static_cast<std::int64_t>(NextU64());
+  return lo + static_cast<std::int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits give a uniform double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = NextDouble(-1.0, 1.0);
+    v = NextDouble(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * mul;
+  has_spare_gaussian_ = true;
+  return u * mul;
+}
+
+std::size_t Rng::NextZipf(std::size_t n, double s) {
+  assert(n > 0);
+  // Inverse-CDF sampling on the (small) harmonic table would cost O(n) per
+  // draw; instead use rejection sampling against the continuous envelope
+  // 1/x^s, which is exact for the discretization below and O(1) expected.
+  if (n == 1) return 0;
+  if (s <= 0.0) return NextBounded(n);
+  for (;;) {
+    // Continuous sample x in [1, n+1) with density proportional to x^-s.
+    double u = NextDouble();
+    double x;
+    if (std::fabs(s - 1.0) < 1e-12) {
+      x = std::exp(u * std::log(static_cast<double>(n) + 1.0));
+    } else {
+      const double top = std::pow(static_cast<double>(n) + 1.0, 1.0 - s);
+      x = std::pow(u * (top - 1.0) + 1.0, 1.0 / (1.0 - s));
+    }
+    const auto k = static_cast<std::size_t>(x);  // in [1, n]
+    // Accept k with probability (k/x)^s, correcting envelope vs. pmf.
+    const double accept = std::pow(static_cast<double>(k) / x, s);
+    if (NextDouble() < accept) return k - 1;
+  }
+}
+
+std::size_t Rng::NextDiscrete(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double r = NextDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;  // Floating-point slack lands on the last item.
+}
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                       std::size_t k) {
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  if (k >= n) {
+    Shuffle(all);
+    return all;
+  }
+  // Partial Fisher-Yates: only the first k positions need to be drawn.
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + NextBounded(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+Rng Rng::Fork(std::uint64_t label) {
+  // Mix the child's label with fresh output so forks are independent of
+  // both each other and the parent's future stream.
+  return Rng(NextU64() ^ (label * 0xD1B54A32D192ED03ULL + 0x2545F4914F6CDD1DULL));
+}
+
+}  // namespace podium::util

@@ -1,0 +1,192 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "podium/baselines/distance_selector.h"
+#include "podium/baselines/kmeans_selector.h"
+#include "podium/baselines/random_selector.h"
+#include "podium/core/greedy.h"
+#include "podium/core/score.h"
+#include "podium/util/rng.h"
+#include "tests/testing/table2.h"
+
+namespace podium::baselines {
+namespace {
+
+DiversificationInstance Table2Instance(const ProfileRepository& repo) {
+  return DiversificationInstance::FromGroups(
+             repo, testing::MakeTable2Groups(repo), WeightKind::kLbs,
+             CoverageKind::kSingle, 2)
+      .value();
+}
+
+TEST(RandomSelectorTest, SelectsDistinctUsersDeterministically) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  const DiversificationInstance instance = Table2Instance(repo);
+  RandomSelector selector(/*seed=*/5);
+  Result<Selection> a = selector.Select(instance, 3);
+  Result<Selection> b = selector.Select(instance, 3);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->users, b->users);  // same seed, same pick
+  std::set<UserId> unique(a->users.begin(), a->users.end());
+  EXPECT_EQ(unique.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->score, TotalScore(instance, a->users));
+
+  RandomSelector other(/*seed=*/6);
+  Result<Selection> c = other.Select(instance, 3);
+  ASSERT_TRUE(c.ok());
+  // Different seeds typically differ (not guaranteed, but with 10
+  // combinations the chance of collision is tolerable for one fixture).
+  EXPECT_EQ(c->users.size(), 3u);
+}
+
+TEST(RandomSelectorTest, BudgetBeyondPopulation) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  const DiversificationInstance instance = Table2Instance(repo);
+  RandomSelector selector;
+  Result<Selection> all = selector.Select(instance, 50);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->users.size(), repo.user_count());
+}
+
+TEST(JaccardDistanceTest, MatchesManualComputation) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  const UserId alice = repo.FindUser("Alice");
+  const UserId david = repo.FindUser("David");
+  // Alice has 6 properties, David 3; shared: livesIn Tokyo, avgRating
+  // Mexican, visitFreq Mexican -> 3. Jaccard distance = 1 - 3/6 = 0.5.
+  EXPECT_DOUBLE_EQ(JaccardDistance(repo, alice, david), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardDistance(repo, alice, alice), 0.0);
+}
+
+TEST(JaccardDistanceTest, EmptyProfilesAreMaximallyDistant) {
+  ProfileRepository repo;
+  repo.AddUser("a").value();
+  repo.AddUser("b").value();
+  EXPECT_DOUBLE_EQ(JaccardDistance(repo, 0, 1), 1.0);
+}
+
+TEST(MeanPairwiseIntersectionTest, CountsSharedProperties) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  const std::vector<UserId> pair = {repo.FindUser("Alice"),
+                                    repo.FindUser("David")};
+  EXPECT_DOUBLE_EQ(MeanPairwiseIntersection(repo, pair), 3.0);
+  EXPECT_DOUBLE_EQ(MeanPairwiseIntersection(repo, {pair[0]}), 0.0);
+}
+
+TEST(DistanceSelectorTest, SeedsWithLargestProfileThenMaximizesDistance) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  const DiversificationInstance instance = Table2Instance(repo);
+  DistanceSelector selector;
+  Result<Selection> selection = selector.Select(instance, 2);
+  ASSERT_TRUE(selection.ok());
+  ASSERT_EQ(selection->users.size(), 2u);
+  // Seed = the largest profile (Alice, 6 properties, lowest id among 6s).
+  EXPECT_EQ(repo.user(selection->users[0]).name(), "Alice");
+  // Second pick maximizes Jaccard distance from Alice over property sets:
+  // Bob 1-4/7 ≈ 0.43, Carol 1-3/7 ≈ 0.57, David 1-3/6 = 0.5,
+  // Eve 1-4/7 ≈ 0.43 — Carol is farthest.
+  EXPECT_EQ(repo.user(selection->users[1]).name(), "Carol");
+}
+
+TEST(DistanceSelectorTest, AvoidsOverlappingUsersRelativeToPodium) {
+  // The paper observes distance-based selection yields much lower mean
+  // pairwise property intersection than Podium.
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  const DiversificationInstance instance = Table2Instance(repo);
+  DistanceSelector distance;
+  GreedySelector podium;
+  const auto distance_sel = distance.Select(instance, 3).value();
+  const auto podium_sel = podium.Select(instance, 3).value();
+  EXPECT_LE(MeanPairwiseIntersection(repo, distance_sel.users),
+            MeanPairwiseIntersection(repo, podium_sel.users));
+}
+
+TEST(DistanceSelectorTest, MaxMinVariantRuns) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  const DiversificationInstance instance = Table2Instance(repo);
+  DistanceSelector selector(DistanceObjective::kMaxMin);
+  Result<Selection> selection = selector.Select(instance, 3);
+  ASSERT_TRUE(selection.ok());
+  std::set<UserId> unique(selection->users.begin(), selection->users.end());
+  EXPECT_EQ(unique.size(), 3u);
+}
+
+/// Synthetic two-cluster repository: users 0..n/2-1 share property block A,
+/// the rest share block B.
+ProfileRepository TwoClusterRepository(std::size_t n) {
+  ProfileRepository repo;
+  util::Rng rng(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    const UserId u = repo.AddUser("u" + std::to_string(i)).value();
+    const bool first_cluster = i < n / 2;
+    for (int p = 0; p < 6; ++p) {
+      const std::string label =
+          (first_cluster ? "a" : "b") + std::to_string(p);
+      EXPECT_TRUE(
+          repo.SetScore(u, label, 0.5 + 0.4 * rng.NextDouble()).ok());
+    }
+  }
+  return repo;
+}
+
+TEST(KMeansSelectorTest, PicksOneRepresentativePerCluster) {
+  const ProfileRepository repo = TwoClusterRepository(40);
+  InstanceOptions options;
+  options.budget = 2;
+  const DiversificationInstance instance =
+      DiversificationInstance::Build(repo, options).value();
+  KMeansSelector selector;
+  Result<Selection> selection = selector.Select(instance, 2);
+  ASSERT_TRUE(selection.ok());
+  ASSERT_EQ(selection->users.size(), 2u);
+  // One representative from each latent cluster.
+  const bool first_a = selection->users[0] < 20;
+  const bool second_a = selection->users[1] < 20;
+  EXPECT_NE(first_a, second_a);
+}
+
+TEST(KMeansSelectorTest, DeterministicForFixedSeed) {
+  const ProfileRepository repo = TwoClusterRepository(30);
+  InstanceOptions options;
+  options.budget = 3;
+  const DiversificationInstance instance =
+      DiversificationInstance::Build(repo, options).value();
+  KMeansSelector::Options kopts;
+  kopts.seed = 77;
+  KMeansSelector a(kopts);
+  KMeansSelector b(kopts);
+  EXPECT_EQ(a.Select(instance, 3)->users, b.Select(instance, 3)->users);
+}
+
+TEST(KMeansSelectorTest, HandlesBudgetOfOne) {
+  const ProfileRepository repo = TwoClusterRepository(10);
+  InstanceOptions options;
+  options.budget = 1;
+  const DiversificationInstance instance =
+      DiversificationInstance::Build(repo, options).value();
+  KMeansSelector selector;
+  Result<Selection> selection = selector.Select(instance, 1);
+  ASSERT_TRUE(selection.ok());
+  EXPECT_EQ(selection->users.size(), 1u);
+}
+
+TEST(BaselineCommonTest, AllRejectZeroBudget) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  const DiversificationInstance instance = Table2Instance(repo);
+  EXPECT_FALSE(RandomSelector().Select(instance, 0).ok());
+  EXPECT_FALSE(DistanceSelector().Select(instance, 0).ok());
+  EXPECT_FALSE(KMeansSelector().Select(instance, 0).ok());
+}
+
+TEST(BaselineCommonTest, NamesAreStable) {
+  EXPECT_EQ(RandomSelector().Name(), "Random");
+  EXPECT_EQ(DistanceSelector().Name(), "Distance");
+  EXPECT_EQ(KMeansSelector().Name(), "Clustering");
+  EXPECT_EQ(GreedySelector().Name(), "Podium");
+}
+
+}  // namespace
+}  // namespace podium::baselines

@@ -1,0 +1,186 @@
+// Tests for the comparison-space baselines beyond the paper's own three:
+// stratified sampling (Table 1) and MMR (related work).
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "podium/baselines/mmr_selector.h"
+#include "podium/baselines/stratified_selector.h"
+#include "podium/core/score.h"
+#include "podium/util/rng.h"
+#include "tests/testing/table2.h"
+
+namespace podium::baselines {
+namespace {
+
+/// 100 users: 60 in CityA, 30 in CityB, 10 in CityC, each with a couple
+/// of filler score properties.
+ProfileRepository CityRepository() {
+  ProfileRepository repo;
+  util::Rng rng(5);
+  auto add_user = [&](int index, const char* city) {
+    const UserId u =
+        repo.AddUser("u" + std::to_string(index)).value();
+    EXPECT_TRUE(repo.SetScore(u, std::string("livesIn ") + city, 1.0,
+                              PropertyKind::kBoolean)
+                    .ok());
+    EXPECT_TRUE(repo.SetScore(u, "activity", rng.NextDouble()).ok());
+    return u;
+  };
+  int index = 0;
+  for (int i = 0; i < 60; ++i) add_user(index++, "CityA");
+  for (int i = 0; i < 30; ++i) add_user(index++, "CityB");
+  for (int i = 0; i < 10; ++i) add_user(index++, "CityC");
+  return repo;
+}
+
+DiversificationInstance MakeInstance(const ProfileRepository& repo,
+                                     std::size_t budget) {
+  InstanceOptions options;
+  options.budget = budget;
+  return DiversificationInstance::Build(repo, options).value();
+}
+
+std::string CityOf(const ProfileRepository& repo, UserId u) {
+  for (const PropertyScore& entry : repo.user(u).entries()) {
+    const std::string& label = repo.properties().Label(entry.property);
+    if (label.rfind("livesIn ", 0) == 0 && entry.score > 0.5) {
+      return label.substr(8);
+    }
+  }
+  return "";
+}
+
+TEST(StratifiedSelectorTest, AllocatesProportionally) {
+  const ProfileRepository repo = CityRepository();
+  const DiversificationInstance instance = MakeInstance(repo, 10);
+  StratifiedSelector selector("livesIn ");
+  Result<Selection> selection = selector.Select(instance, 10);
+  ASSERT_TRUE(selection.ok()) << selection.status();
+  ASSERT_EQ(selection->users.size(), 10u);
+
+  // Def. 2.1 exactly: 60/30/10 of 100 at budget 10 -> 6/3/1.
+  std::map<std::string, int> per_city;
+  for (UserId u : selection->users) ++per_city[CityOf(repo, u)];
+  EXPECT_EQ(per_city["CityA"], 6);
+  EXPECT_EQ(per_city["CityB"], 3);
+  EXPECT_EQ(per_city["CityC"], 1);
+}
+
+TEST(StratifiedSelectorTest, LargestRemainderRounding) {
+  const ProfileRepository repo = CityRepository();
+  const DiversificationInstance instance = MakeInstance(repo, 4);
+  StratifiedSelector selector("livesIn ");
+  const Selection selection = selector.Select(instance, 4).value();
+  // Quotas 2.4 / 1.2 / 0.4: floors 2/1/0, one remainder seat to CityC
+  // (0.4 >= 0.4 and 0.2; CityA's 0.4 ties CityC's 0.4 — stable order
+  // favours the earlier stratum, CityA).
+  std::map<std::string, int> per_city;
+  for (UserId u : selection.users) ++per_city[CityOf(repo, u)];
+  EXPECT_EQ(selection.users.size(), 4u);
+  EXPECT_GE(per_city["CityA"], 2);
+  EXPECT_GE(per_city["CityB"], 1);
+}
+
+TEST(StratifiedSelectorTest, DistinctUsersAndDeterminism) {
+  const ProfileRepository repo = CityRepository();
+  const DiversificationInstance instance = MakeInstance(repo, 10);
+  StratifiedSelector a("livesIn ", 9);
+  StratifiedSelector b("livesIn ", 9);
+  const Selection sa = a.Select(instance, 10).value();
+  const Selection sb = b.Select(instance, 10).value();
+  EXPECT_EQ(sa.users, sb.users);
+  std::set<UserId> unique(sa.users.begin(), sa.users.end());
+  EXPECT_EQ(unique.size(), sa.users.size());
+}
+
+TEST(StratifiedSelectorTest, CatchAllStratumForUsersWithoutProperty) {
+  ProfileRepository repo;
+  for (int i = 0; i < 10; ++i) {
+    const UserId u = repo.AddUser("plain" + std::to_string(i)).value();
+    ASSERT_TRUE(repo.SetScore(u, "x", 0.5).ok());
+  }
+  const DiversificationInstance instance = MakeInstance(repo, 4);
+  StratifiedSelector selector("livesIn ");
+  const Selection selection = selector.Select(instance, 4).value();
+  EXPECT_EQ(selection.users.size(), 4u);  // everyone is in the catch-all
+}
+
+TEST(StratifiedSelectorTest, MatchesTable2Proportions) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  Result<DiversificationInstance> instance =
+      DiversificationInstance::FromGroups(repo,
+                                          testing::MakeTable2Groups(repo),
+                                          WeightKind::kLbs,
+                                          CoverageKind::kSingle, 5);
+  ASSERT_TRUE(instance.ok());
+  StratifiedSelector selector("livesIn ");
+  const Selection selection = selector.Select(instance.value(), 5).value();
+  EXPECT_EQ(selection.users.size(), 5u);  // budget = population
+}
+
+TEST(MmrSelectorTest, FirstPickIsMostRelevant) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  Result<DiversificationInstance> instance =
+      DiversificationInstance::FromGroups(repo,
+                                          testing::MakeTable2Groups(repo),
+                                          WeightKind::kLbs,
+                                          CoverageKind::kSingle, 3);
+  ASSERT_TRUE(instance.ok());
+  MmrSelector selector(0.5);
+  const Selection selection = selector.Select(instance.value(), 3).value();
+  ASSERT_EQ(selection.users.size(), 3u);
+  // Alice has the largest profile (6 properties).
+  EXPECT_EQ(repo.user(selection.users[0]).name(), "Alice");
+  std::set<UserId> unique(selection.users.begin(), selection.users.end());
+  EXPECT_EQ(unique.size(), 3u);
+}
+
+TEST(MmrSelectorTest, LambdaOneIsPureRelevance) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  Result<DiversificationInstance> instance =
+      DiversificationInstance::FromGroups(repo,
+                                          testing::MakeTable2Groups(repo),
+                                          WeightKind::kLbs,
+                                          CoverageKind::kSingle, 2);
+  ASSERT_TRUE(instance.ok());
+  MmrSelector relevance_only(1.0);
+  const Selection selection =
+      relevance_only.Select(instance.value(), 2).value();
+  // Largest profiles: Alice (6), then Bob/Eve (5 each, Bob first by id).
+  EXPECT_EQ(repo.user(selection.users[0]).name(), "Alice");
+  EXPECT_EQ(repo.user(selection.users[1]).name(), "Bob");
+}
+
+TEST(MmrSelectorTest, LambdaZeroMaximizesDissimilarity) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  Result<DiversificationInstance> instance =
+      DiversificationInstance::FromGroups(repo,
+                                          testing::MakeTable2Groups(repo),
+                                          WeightKind::kLbs,
+                                          CoverageKind::kSingle, 2);
+  ASSERT_TRUE(instance.ok());
+  MmrSelector diversity_only(0.0);
+  const Selection selection =
+      diversity_only.Select(instance.value(), 2).value();
+  // Second pick minimizes similarity to Alice: Carol (Jaccard sim 3/7 is
+  // the smallest among the candidates).
+  EXPECT_EQ(repo.user(selection.users[1]).name(), "Carol");
+}
+
+TEST(MmrSelectorTest, RejectsInvalidParameters) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  Result<DiversificationInstance> instance =
+      DiversificationInstance::FromGroups(repo,
+                                          testing::MakeTable2Groups(repo),
+                                          WeightKind::kLbs,
+                                          CoverageKind::kSingle, 2);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_FALSE(MmrSelector(1.5).Select(instance.value(), 2).ok());
+  EXPECT_FALSE(MmrSelector(0.5).Select(instance.value(), 0).ok());
+}
+
+}  // namespace
+}  // namespace podium::baselines

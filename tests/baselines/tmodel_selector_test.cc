@@ -1,0 +1,143 @@
+#include "podium/baselines/tmodel_selector.h"
+
+#include <gtest/gtest.h>
+
+#include "podium/core/greedy.h"
+#include "podium/util/rng.h"
+
+namespace podium::baselines {
+namespace {
+
+/// 30 users with an "opinion" score: 10 low (~0.1), 10 medium (~0.5),
+/// 10 high (~0.9); plus 3 users without the property at all.
+ProfileRepository OpinionRepository() {
+  ProfileRepository repo;
+  util::Rng rng(3);
+  int index = 0;
+  for (double center : {0.1, 0.5, 0.9}) {
+    for (int i = 0; i < 10; ++i) {
+      const UserId u =
+          repo.AddUser("u" + std::to_string(index++)).value();
+      EXPECT_TRUE(
+          repo.SetScore(u, "opinion", center + rng.NextDouble(-0.05, 0.05))
+              .ok());
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    const UserId u = repo.AddUser("blank" + std::to_string(i)).value();
+    EXPECT_TRUE(repo.SetScore(u, "other", 0.5).ok());
+  }
+  return repo;
+}
+
+DiversificationInstance MakeInstance(const ProfileRepository& repo) {
+  InstanceOptions options;
+  options.grouping.bucket_method = "equal-width";
+  options.grouping.max_buckets = 3;
+  options.budget = 6;
+  return DiversificationInstance::Build(repo, options).value();
+}
+
+int BucketOf(const ProfileRepository& repo,
+             const DiversificationInstance& instance, UserId u) {
+  const PropertyId p = repo.properties().Find("opinion");
+  const auto score = repo.user(u).Get(p);
+  if (!score.has_value()) return -1;
+  return bucketing::FindBucket(
+      instance.groups().buckets_per_property()[p], *score);
+}
+
+TEST(TModelSelectorTest, UniformTargetBalancesBuckets) {
+  const ProfileRepository repo = OpinionRepository();
+  const DiversificationInstance instance = MakeInstance(repo);
+  TModelSelector::Options options;
+  options.property_label = "opinion";
+  options.target = {1.0, 1.0, 1.0};
+  TModelSelector selector(options);
+  const Selection selection = selector.Select(instance, 6).value();
+  ASSERT_EQ(selection.users.size(), 6u);
+  int counts[3] = {0, 0, 0};
+  for (UserId u : selection.users) {
+    const int b = BucketOf(repo, instance, u);
+    ASSERT_GE(b, 0);
+    ++counts[b];
+  }
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 2);
+}
+
+TEST(TModelSelectorTest, SkewedTargetConcentratesSelection) {
+  const ProfileRepository repo = OpinionRepository();
+  const DiversificationInstance instance = MakeInstance(repo);
+  TModelSelector::Options options;
+  options.property_label = "opinion";
+  options.target = {1.0, 0.0, 0.0};  // only low-opinion users wanted
+  TModelSelector selector(options);
+  const Selection selection = selector.Select(instance, 5).value();
+  for (UserId u : selection.users) {
+    EXPECT_EQ(BucketOf(repo, instance, u), 0);
+  }
+}
+
+TEST(TModelSelectorTest, DefaultTargetIsPopulationDistribution) {
+  // Population: 10/10/10 over the opinion buckets -> selecting 3 should
+  // take one per bucket.
+  const ProfileRepository repo = OpinionRepository();
+  const DiversificationInstance instance = MakeInstance(repo);
+  TModelSelector::Options options;
+  options.property_label = "opinion";
+  TModelSelector selector(options);
+  const Selection selection = selector.Select(instance, 3).value();
+  int counts[3] = {0, 0, 0};
+  for (UserId u : selection.users) ++counts[BucketOf(repo, instance, u)];
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 1);
+}
+
+TEST(TModelSelectorTest, SingleCategoryBlindness) {
+  // Table 1's limitation: T-Model ignores every property except its one
+  // category. Its total Podium-score is (weakly) below the greedy's.
+  const ProfileRepository repo = OpinionRepository();
+  const DiversificationInstance instance = MakeInstance(repo);
+  TModelSelector::Options options;
+  options.property_label = "opinion";
+  const Selection tmodel =
+      TModelSelector(options).Select(instance, 4).value();
+  GreedySelector podium;
+  const Selection greedy = podium.Select(instance, 4).value();
+  EXPECT_LE(tmodel.score, greedy.score);
+}
+
+TEST(TModelSelectorTest, RejectsInvalidInput) {
+  const ProfileRepository repo = OpinionRepository();
+  const DiversificationInstance instance = MakeInstance(repo);
+
+  TModelSelector::Options unknown;
+  unknown.property_label = "ghost";
+  EXPECT_EQ(TModelSelector(unknown).Select(instance, 3).status().code(),
+            StatusCode::kNotFound);
+
+  TModelSelector::Options bad_size;
+  bad_size.property_label = "opinion";
+  bad_size.target = {0.5, 0.5};  // 2 entries vs. 3 buckets
+  EXPECT_FALSE(TModelSelector(bad_size).Select(instance, 3).ok());
+
+  TModelSelector::Options no_mass;
+  no_mass.property_label = "opinion";
+  no_mass.target = {0.0, 0.0, 0.0};
+  EXPECT_FALSE(TModelSelector(no_mass).Select(instance, 3).ok());
+
+  TModelSelector::Options negative;
+  negative.property_label = "opinion";
+  negative.target = {1.0, -0.5, 0.5};
+  EXPECT_FALSE(TModelSelector(negative).Select(instance, 3).ok());
+
+  TModelSelector::Options fine;
+  fine.property_label = "opinion";
+  EXPECT_FALSE(TModelSelector(fine).Select(instance, 0).ok());
+}
+
+}  // namespace
+}  // namespace podium::baselines

@@ -1,0 +1,62 @@
+#include "bench/common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace podium::bench {
+namespace {
+
+/// Builds argv from string literals; argv[0] is the program name.
+class ArgvFixture {
+ public:
+  explicit ArgvFixture(std::vector<std::string> args)
+      : storage_(std::move(args)) {
+    pointers_.push_back(const_cast<char*>("prog"));
+    for (std::string& arg : storage_) {
+      pointers_.push_back(arg.data());
+    }
+  }
+  int argc() { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+TEST(FlagsTest, ParsesTypedValues) {
+  ArgvFixture args({"--users=500", "--rate=0.25", "--name=yelp",
+                    "--verbose=true", "--quiet=false", "--bare"});
+  Flags flags(args.argc(), args.argv());
+  EXPECT_EQ(flags.Int("users", 0), 500);
+  EXPECT_DOUBLE_EQ(flags.Double("rate", 0.0), 0.25);
+  EXPECT_EQ(flags.String("name", ""), "yelp");
+  EXPECT_TRUE(flags.Bool("verbose", false));
+  EXPECT_FALSE(flags.Bool("quiet", true));
+  EXPECT_TRUE(flags.Bool("bare", false));  // bare flag means true
+  flags.CheckConsumed();                   // everything consumed: no exit
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  ArgvFixture args({});
+  Flags flags(args.argc(), args.argv());
+  EXPECT_EQ(flags.Int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(flags.Double("missing", 1.5), 1.5);
+  EXPECT_EQ(flags.String("missing", "x"), "x");
+  EXPECT_TRUE(flags.Bool("missing", true));
+}
+
+TEST(FlagsDeathTest, UnknownFlagAborts) {
+  ArgvFixture args({"--typo=1"});
+  Flags flags(args.argc(), args.argv());
+  EXPECT_EXIT(flags.CheckConsumed(), ::testing::ExitedWithCode(2),
+              "unknown flag --typo");
+}
+
+TEST(FlagsDeathTest, NonFlagArgumentAborts) {
+  ArgvFixture args({"positional"});
+  EXPECT_EXIT(Flags(args.argc(), args.argv()),
+              ::testing::ExitedWithCode(2), "unexpected argument");
+}
+
+}  // namespace
+}  // namespace podium::bench

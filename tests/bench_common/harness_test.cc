@@ -1,0 +1,40 @@
+#include "bench/common/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/table2.h"
+
+namespace podium::bench {
+namespace {
+
+TEST(HarnessTest, StandardSelectorsAreThePaperFour) {
+  const auto selectors = StandardSelectors(1);
+  ASSERT_EQ(selectors.size(), 4u);
+  EXPECT_EQ(selectors[0]->Name(), "Podium");
+  EXPECT_EQ(selectors[1]->Name(), "Random");
+  EXPECT_EQ(selectors[2]->Name(), "Clustering");
+  EXPECT_EQ(selectors[3]->Name(), "Distance");
+}
+
+TEST(HarnessTest, RunSelectorsProducesTimedResults) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  Result<DiversificationInstance> instance =
+      DiversificationInstance::FromGroups(repo,
+                                          testing::MakeTable2Groups(repo),
+                                          WeightKind::kLbs,
+                                          CoverageKind::kSingle, 2);
+  ASSERT_TRUE(instance.ok());
+  const auto selectors = StandardSelectors(1);
+  const auto runs = RunSelectors(selectors, instance.value(), 2);
+  ASSERT_EQ(runs.size(), 4u);
+  for (const TimedSelection& run : runs) {
+    EXPECT_FALSE(run.name.empty());
+    EXPECT_EQ(run.selection.users.size(), 2u);
+    EXPECT_GE(run.seconds, 0.0);
+  }
+  // Podium leads its own objective.
+  EXPECT_GE(runs[0].selection.score, runs[1].selection.score);
+}
+
+}  // namespace
+}  // namespace podium::bench

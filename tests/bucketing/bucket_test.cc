@@ -1,0 +1,81 @@
+#include "podium/bucketing/bucket.h"
+
+#include <gtest/gtest.h>
+
+namespace podium::bucketing {
+namespace {
+
+TEST(BucketTest, ContainsRespectsBoundaries) {
+  const Bucket half_open{0.4, 0.65, false, "medium"};
+  EXPECT_FALSE(half_open.Contains(0.39));
+  EXPECT_TRUE(half_open.Contains(0.4));
+  EXPECT_TRUE(half_open.Contains(0.64));
+  EXPECT_FALSE(half_open.Contains(0.65));
+
+  const Bucket closed{0.65, 1.0, true, "high"};
+  EXPECT_TRUE(closed.Contains(0.65));
+  EXPECT_TRUE(closed.Contains(1.0));
+  EXPECT_FALSE(closed.Contains(1.0001));
+}
+
+TEST(PartitionTest, BuildsFromBreakpoints) {
+  const auto buckets = PartitionFromBreakpoints({0.4, 0.65});
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0].label, "low");
+  EXPECT_EQ(buckets[1].label, "medium");
+  EXPECT_EQ(buckets[2].label, "high");
+  EXPECT_DOUBLE_EQ(buckets[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(buckets[1].lo, 0.4);
+  EXPECT_DOUBLE_EQ(buckets[2].hi, 1.0);
+  EXPECT_FALSE(buckets[0].hi_closed);
+  EXPECT_FALSE(buckets[1].hi_closed);
+  EXPECT_TRUE(buckets[2].hi_closed);
+}
+
+TEST(PartitionTest, EmptyBreakpointsGiveSingleBucket) {
+  const auto buckets = PartitionFromBreakpoints({});
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_TRUE(buckets[0].Contains(0.0));
+  EXPECT_TRUE(buckets[0].Contains(1.0));
+}
+
+TEST(PartitionTest, EveryScoreFallsInExactlyOneBucket) {
+  const auto buckets = PartitionFromBreakpoints({0.25, 0.5, 0.75});
+  for (double score : {0.0, 0.1, 0.25, 0.49999, 0.5, 0.75, 0.99, 1.0}) {
+    int hits = 0;
+    for (const Bucket& bucket : buckets) {
+      if (bucket.Contains(score)) ++hits;
+    }
+    EXPECT_EQ(hits, 1) << "score " << score;
+  }
+}
+
+TEST(FindBucketTest, LocatesCorrectBucket) {
+  const auto buckets = PartitionFromBreakpoints({0.4, 0.65});
+  EXPECT_EQ(FindBucket(buckets, 0.0), 0);
+  EXPECT_EQ(FindBucket(buckets, 0.5), 1);
+  EXPECT_EQ(FindBucket(buckets, 1.0), 2);
+  EXPECT_EQ(FindBucket(buckets, 1.5), -1);
+}
+
+TEST(BooleanBucketsTest, SeparateTrueAndFalse) {
+  const auto buckets = FixedBooleanBuckets();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(FindBucket(buckets, 0.0), 0);
+  EXPECT_EQ(FindBucket(buckets, 1.0), 1);
+  EXPECT_EQ(buckets[0].label, "false");
+  EXPECT_EQ(buckets[1].label, "true");
+}
+
+TEST(LabelsTest, NamedScales) {
+  EXPECT_EQ(DefaultBucketLabels(2),
+            (std::vector<std::string>{"low", "high"}));
+  EXPECT_EQ(DefaultBucketLabels(3),
+            (std::vector<std::string>{"low", "medium", "high"}));
+  EXPECT_EQ(DefaultBucketLabels(5).front(), "very low");
+  EXPECT_EQ(DefaultBucketLabels(7).front(), "q1");
+  EXPECT_EQ(DefaultBucketLabels(7).back(), "q7");
+}
+
+}  // namespace
+}  // namespace podium::bucketing

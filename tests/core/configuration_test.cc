@@ -1,0 +1,126 @@
+#include "podium/core/configuration.h"
+
+#include <gtest/gtest.h>
+
+#include "podium/json/parser.h"
+#include "tests/testing/table2.h"
+
+namespace podium {
+namespace {
+
+json::Value MustParse(const char* text) {
+  Result<json::Value> value = json::Parse(text);
+  EXPECT_TRUE(value.ok()) << value.status();
+  return std::move(value).value();
+}
+
+TEST(ConfigurationParseTest, ParsesFullConfiguration) {
+  const json::Value document = MustParse(R"({
+    "configurations": [{
+      "name": "Summer Pavilion",
+      "description": "Scope to one restaurant",
+      "property_filters": ["Mexican"],
+      "weights": "Iden",
+      "coverage": "Prop",
+      "bucket_method": "equal-width",
+      "max_buckets": 4,
+      "budget": 3,
+      "must_have": ["livesIn Tokyo"],
+      "priority": ["high avgRating Mexican"]
+    }]})");
+  Result<std::vector<DiversificationConfig>> configs =
+      ConfigurationsFromJson(document);
+  ASSERT_TRUE(configs.ok()) << configs.status();
+  ASSERT_EQ(configs->size(), 1u);
+  const DiversificationConfig& config = configs->front();
+  EXPECT_EQ(config.name, "Summer Pavilion");
+  EXPECT_EQ(config.description, "Scope to one restaurant");
+  EXPECT_EQ(config.instance.grouping.property_filters,
+            (std::vector<std::string>{"Mexican"}));
+  EXPECT_EQ(config.instance.weight_kind, WeightKind::kIden);
+  EXPECT_EQ(config.instance.coverage_kind, CoverageKind::kProp);
+  EXPECT_EQ(config.instance.grouping.bucket_method, "equal-width");
+  EXPECT_EQ(config.instance.grouping.max_buckets, 4);
+  EXPECT_EQ(config.instance.budget, 3u);
+  EXPECT_EQ(config.must_have_labels,
+            (std::vector<std::string>{"livesIn Tokyo"}));
+  EXPECT_EQ(config.priority_labels,
+            (std::vector<std::string>{"high avgRating Mexican"}));
+}
+
+TEST(ConfigurationParseTest, DefaultsApply) {
+  const json::Value document =
+      MustParse(R"({"configurations": [{"name": "defaults"}]})");
+  const auto configs = ConfigurationsFromJson(document).value();
+  ASSERT_EQ(configs.size(), 1u);
+  EXPECT_EQ(configs[0].instance.weight_kind, WeightKind::kLbs);
+  EXPECT_EQ(configs[0].instance.coverage_kind, CoverageKind::kSingle);
+  EXPECT_EQ(configs[0].instance.budget, 8u);
+  EXPECT_TRUE(configs[0].instance.grouping.property_filters.empty());
+}
+
+TEST(ConfigurationParseTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ConfigurationsFromJson(MustParse("[]")).ok());
+  EXPECT_FALSE(ConfigurationsFromJson(MustParse("{}")).ok());
+  EXPECT_FALSE(
+      ConfigurationsFromJson(MustParse(R"({"configurations": [{}]})")).ok());
+  EXPECT_FALSE(ConfigurationsFromJson(
+                   MustParse(R"({"configurations": [
+                       {"name": "x", "weights": "Bogus"}]})"))
+                   .ok());
+  EXPECT_FALSE(ConfigurationsFromJson(
+                   MustParse(R"({"configurations": [
+                       {"name": "x", "budget": 0}]})"))
+                   .ok());
+  EXPECT_FALSE(ConfigurationsFromJson(
+                   MustParse(R"({"configurations": [
+                       {"name": "x", "must_have": [1]}]})"))
+                   .ok());
+}
+
+TEST(ConfigurationRunTest, PropertyFiltersScopeTheGroups) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  DiversificationConfig config;
+  config.name = "mexican-only";
+  config.instance.grouping.bucket_method = "equal-width";
+  config.instance.grouping.property_filters = {"Mexican"};
+  config.instance.budget = 2;
+
+  Result<ConfiguredSelection> result = RunConfiguration(repo, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (GroupId g = 0; g < result->instance.groups().group_count(); ++g) {
+    EXPECT_NE(result->instance.groups().label(g).find("Mexican"),
+              std::string::npos);
+  }
+  EXPECT_EQ(result->selection.users.size(), 2u);
+  EXPECT_FALSE(result->custom_score.has_value());
+}
+
+TEST(ConfigurationRunTest, LabelFeedbackIsResolvedAndApplied) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  DiversificationConfig config;
+  config.name = "tokyo-first";
+  config.instance.grouping.bucket_method = "equal-width";
+  config.instance.budget = 1;
+  config.priority_labels = {"livesIn NYC"};
+
+  Result<ConfiguredSelection> result = RunConfiguration(repo, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result->custom_score.has_value());
+  ASSERT_EQ(result->selection.users.size(), 1u);
+  EXPECT_EQ(repo.user(result->selection.users[0]).name(), "Bob");
+}
+
+TEST(ConfigurationRunTest, UnknownLabelFails) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  DiversificationConfig config;
+  config.name = "bad";
+  config.instance.grouping.bucket_method = "equal-width";
+  config.must_have_labels = {"no such group"};
+  Result<ConfiguredSelection> result = RunConfiguration(repo, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace podium

@@ -1,0 +1,203 @@
+#include "podium/core/customization.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "podium/core/score.h"
+#include "tests/testing/table2.h"
+
+namespace podium {
+namespace {
+
+GroupId FindGroup(const GroupIndex& index, std::string_view label) {
+  for (GroupId g = 0; g < index.group_count(); ++g) {
+    if (index.label(g) == label) return g;
+  }
+  return kInvalidGroup;
+}
+
+class CustomizationTest : public ::testing::Test {
+ protected:
+  CustomizationTest()
+      : repo_(testing::MakeTable2Repository()),
+        instance_(DiversificationInstance::FromGroups(
+                      repo_, testing::MakeTable2Groups(repo_),
+                      WeightKind::kLbs, CoverageKind::kSingle, 2)
+                      .value()) {}
+
+  std::vector<GroupId> GroupsWithPrefix(std::string_view prefix) {
+    std::vector<GroupId> groups;
+    for (GroupId g = 0; g < instance_.groups().group_count(); ++g) {
+      if (instance_.groups().label(g).find(prefix) != std::string::npos) {
+        groups.push_back(g);
+      }
+    }
+    return groups;
+  }
+
+  /// The customization feedback of Example 6.2: must-have = all buckets of
+  /// avgRating Mexican; priority = the livesIn <city> groups.
+  CustomizationFeedback Example62Feedback() {
+    CustomizationFeedback feedback;
+    feedback.must_have = GroupsWithPrefix("avgRating Mexican");
+    feedback.priority = GroupsWithPrefix("livesIn");
+    return feedback;
+  }
+
+  std::vector<std::string> Names(const std::vector<UserId>& users) {
+    std::vector<std::string> names;
+    for (UserId u : users) names.push_back(repo_.user(u).name());
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  ProfileRepository repo_;
+  DiversificationInstance instance_;
+};
+
+TEST_F(CustomizationTest, RefinementExcludesCarol) {
+  // Example 6.4: the refined user set excludes Carol, who did not rate
+  // Mexican food.
+  Result<std::vector<UserId>> refined =
+      RefineUsers(instance_, Example62Feedback());
+  ASSERT_TRUE(refined.ok()) << refined.status();
+  EXPECT_EQ(Names(refined.value()),
+            (std::vector<std::string>{"Alice", "Bob", "David", "Eve"}));
+}
+
+TEST_F(CustomizationTest, MustHaveIsDisjunctiveWithinAProperty) {
+  // Alice (high) and Bob (low) sit in different buckets of the same
+  // property; listing both buckets admits both users.
+  CustomizationFeedback feedback;
+  feedback.must_have = GroupsWithPrefix("avgRating Mexican");
+  ASSERT_EQ(feedback.must_have.size(), 2u);  // low + high (medium empty)
+  Result<std::vector<UserId>> refined = RefineUsers(instance_, feedback);
+  ASSERT_TRUE(refined.ok());
+  const auto names = Names(refined.value());
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "Alice") != names.end());
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "Bob") != names.end());
+}
+
+TEST_F(CustomizationTest, MustHaveIsConjunctiveAcrossProperties) {
+  CustomizationFeedback feedback;
+  feedback.must_have = {
+      FindGroup(instance_.groups(), "livesIn Tokyo"),
+      FindGroup(instance_.groups(), "high avgRating Mexican")};
+  Result<std::vector<UserId>> refined = RefineUsers(instance_, feedback);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_EQ(Names(refined.value()),
+            (std::vector<std::string>{"Alice", "David"}));
+}
+
+TEST_F(CustomizationTest, MustNotFilters) {
+  CustomizationFeedback feedback;
+  feedback.must_not = {FindGroup(instance_.groups(), "livesIn Tokyo")};
+  Result<std::vector<UserId>> refined = RefineUsers(instance_, feedback);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_EQ(Names(refined.value()),
+            (std::vector<std::string>{"Bob", "Carol", "Eve"}));
+}
+
+TEST_F(CustomizationTest, Example64SelectsAliceAndEve) {
+  // Example 6.4: under the Example 6.2 feedback, the best subset is still
+  // {Alice, Eve}: priority score 3 (Tokyo 2 + Paris 1), standard score 14.
+  Result<CustomSelection> result =
+      SelectCustomized(instance_, Example62Feedback(), 2);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(Names(result->selection.users),
+            (std::vector<std::string>{"Alice", "Eve"}));
+  EXPECT_EQ(result->refined_pool_size, 4u);
+  EXPECT_DOUBLE_EQ(result->score.priority, 3.0);
+  EXPECT_DOUBLE_EQ(result->score.standard, 14.0);
+}
+
+TEST_F(CustomizationTest, CustomizedScoreMatchesManualComputation) {
+  const CustomizationFeedback feedback = Example62Feedback();
+  const std::vector<UserId> subset = {repo_.FindUser("Alice"),
+                                      repo_.FindUser("Eve")};
+  Result<DualScore> score = CustomizedScore(instance_, feedback, subset);
+  ASSERT_TRUE(score.ok());
+  // Priority: livesIn Tokyo (2) + livesIn Paris (1) = 3; standard: the
+  // remaining covered group weights = 17 - 3 = 14.
+  EXPECT_DOUBLE_EQ(score->priority, 3.0);
+  EXPECT_DOUBLE_EQ(score->standard,
+                   TotalScore(instance_, subset) - score->priority);
+}
+
+TEST_F(CustomizationTest, DualScoreOrdersLexicographically) {
+  EXPECT_LT((DualScore{1.0, 100.0}), (DualScore{2.0, 0.0}));
+  EXPECT_LT((DualScore{2.0, 1.0}), (DualScore{2.0, 5.0}));
+  EXPECT_FALSE((DualScore{2.0, 5.0}) < (DualScore{2.0, 5.0}));
+  EXPECT_EQ((DualScore{2.0, 5.0}), (DualScore{2.0, 5.0}));
+}
+
+TEST_F(CustomizationTest, EmptyStandardSetIgnoresNonPriorityGroups) {
+  // Example 6.4's closing note: with 𝒢_d? = ∅ any subset maximizing the
+  // livesIn weights may be selected — non-priority groups contribute 0.
+  CustomizationFeedback feedback;
+  feedback.priority = GroupsWithPrefix("livesIn");
+  feedback.standard_is_rest = false;  // 𝒢_d? = ∅
+  Result<CustomSelection> result = SelectCustomized(instance_, feedback, 2);
+  ASSERT_TRUE(result.ok());
+  // Two users from different cities maximize the priority score at 3
+  // (Tokyo 2 + any singleton city) and the standard score stays 0.
+  EXPECT_DOUBLE_EQ(result->score.priority, 3.0);
+  EXPECT_DOUBLE_EQ(result->score.standard, 0.0);
+}
+
+TEST_F(CustomizationTest, PriorityBeatsRawWeight) {
+  // Prioritizing only "livesIn NYC" (weight 1) must force Bob into the
+  // selection even though his raw marginal contribution is the lowest.
+  CustomizationFeedback feedback;
+  feedback.priority = {FindGroup(instance_.groups(), "livesIn NYC")};
+  Result<CustomSelection> result = SelectCustomized(instance_, feedback, 1);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->selection.users.size(), 1u);
+  EXPECT_EQ(repo_.user(result->selection.users[0]).name(), "Bob");
+}
+
+TEST_F(CustomizationTest, ImpossibleFeedbackFails) {
+  CustomizationFeedback feedback;
+  const GroupId tokyo = FindGroup(instance_.groups(), "livesIn Tokyo");
+  feedback.must_have = {tokyo};
+  feedback.must_not = {tokyo};
+  Result<CustomSelection> result = SelectCustomized(instance_, feedback, 2);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CustomizationTest, UnknownGroupIdsAreRejected) {
+  CustomizationFeedback feedback;
+  feedback.priority = {static_cast<GroupId>(12345)};
+  EXPECT_FALSE(RefineUsers(instance_, feedback).ok());
+  EXPECT_FALSE(SelectCustomized(instance_, feedback, 2).ok());
+}
+
+TEST_F(CustomizationTest, EbsIsUnimplementedWithCustomization) {
+  DiversificationInstance ebs =
+      DiversificationInstance::FromGroups(repo_,
+                                          testing::MakeTable2Groups(repo_),
+                                          WeightKind::kEbs,
+                                          CoverageKind::kSingle, 2)
+          .value();
+  Result<CustomSelection> result =
+      SelectCustomized(ebs, CustomizationFeedback{}, 2);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(CustomizationTest, DefaultFeedbackMatchesBaseSelection) {
+  // Empty feedback: 𝒰' = 𝒰, 𝒢_d = ∅, 𝒢_d? = 𝒢 — the greedy reduces to the
+  // base problem.
+  Result<CustomSelection> custom =
+      SelectCustomized(instance_, CustomizationFeedback{}, 2);
+  ASSERT_TRUE(custom.ok());
+  GreedySelector base;
+  Result<Selection> base_selection = base.Select(instance_, 2);
+  ASSERT_TRUE(base_selection.ok());
+  EXPECT_EQ(custom->selection.users, base_selection->users);
+}
+
+}  // namespace
+}  // namespace podium

@@ -1,0 +1,86 @@
+#include "podium/core/exhaustive.h"
+
+#include <gtest/gtest.h>
+
+#include "podium/core/score.h"
+#include "tests/testing/table2.h"
+
+namespace podium {
+namespace {
+
+DiversificationInstance MakeInstance(const ProfileRepository& repo,
+                                     std::size_t budget) {
+  Result<DiversificationInstance> instance =
+      DiversificationInstance::FromGroups(repo, testing::MakeTable2Groups(repo),
+                                          WeightKind::kLbs,
+                                          CoverageKind::kSingle, budget);
+  EXPECT_TRUE(instance.ok());
+  return std::move(instance).value();
+}
+
+TEST(ExhaustiveTest, FindsOptimumOnRunningExample) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  const DiversificationInstance instance = MakeInstance(repo, 2);
+  ExhaustiveSelector selector;
+  Result<Selection> best = selector.Select(instance, 2);
+  ASSERT_TRUE(best.ok()) << best.status();
+  EXPECT_DOUBLE_EQ(best->score, 17.0);
+}
+
+TEST(ExhaustiveTest, ScoreMatchesTotalScoreRecomputation) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  const DiversificationInstance instance = MakeInstance(repo, 3);
+  ExhaustiveSelector selector;
+  Result<Selection> best = selector.Select(instance, 3);
+  ASSERT_TRUE(best.ok());
+  EXPECT_DOUBLE_EQ(best->score, TotalScore(instance, best->users));
+}
+
+TEST(ExhaustiveTest, BudgetCoveringWholePopulationIsWholePopulation) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  const DiversificationInstance instance = MakeInstance(repo, 5);
+  ExhaustiveSelector selector;
+  Result<Selection> best = selector.Select(instance, 7);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->users.size(), 5u);
+}
+
+TEST(ExhaustiveTest, EnumerationIsExactlyAllCombinations) {
+  // On a 4-user instance with distinct singleton groups, every size-2
+  // subset has the same score; the selector must return the first in
+  // lexicographic order (deterministic enumeration).
+  ProfileRepository repo;
+  for (int i = 0; i < 4; ++i) {
+    const UserId u = repo.AddUser("u" + std::to_string(i)).value();
+    ASSERT_TRUE(repo.SetScore(u, "p" + std::to_string(i), 1.0,
+                              PropertyKind::kBoolean)
+                    .ok());
+  }
+  InstanceOptions options;
+  options.budget = 2;
+  const DiversificationInstance instance =
+      DiversificationInstance::Build(repo, options).value();
+  ExhaustiveSelector selector;
+  Result<Selection> best = selector.Select(instance, 2);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->users, (std::vector<UserId>{0, 1}));
+}
+
+TEST(ExhaustiveTest, RefusesExplosiveInstances) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  const DiversificationInstance instance = MakeInstance(repo, 2);
+  ExhaustiveSelector tiny_limit(/*max_subsets=*/5);  // C(5,2) = 10 > 5
+  Result<Selection> result = tiny_limit.Select(instance, 2);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ExhaustiveTest, ZeroBudgetIsRejected) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  const DiversificationInstance instance = MakeInstance(repo, 2);
+  ExhaustiveSelector selector;
+  EXPECT_FALSE(selector.Select(instance, 0).ok());
+}
+
+}  // namespace
+}  // namespace podium

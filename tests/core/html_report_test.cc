@@ -1,0 +1,88 @@
+#include "podium/core/html_report.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "podium/core/greedy.h"
+#include "tests/testing/table2.h"
+
+namespace podium {
+namespace {
+
+class HtmlReportTest : public ::testing::Test {
+ protected:
+  HtmlReportTest() : repo_(testing::MakeTable2Repository()) {
+    InstanceOptions options;
+    options.grouping.bucket_method = "equal-width";
+    options.budget = 2;
+    instance_ = DiversificationInstance::Build(repo_, options).value();
+    selection_ = GreedySelector().Select(instance_, 2).value();
+  }
+
+  ProfileRepository repo_;
+  DiversificationInstance instance_;
+  Selection selection_;
+};
+
+TEST_F(HtmlReportTest, ContainsTheThreePanes) {
+  HtmlReportOptions options;
+  options.title = "Summer Pavilion";
+  const std::string html = RenderHtmlReport(instance_, selection_, options);
+
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("<title>Summer Pavilion</title>"), std::string::npos);
+  EXPECT_NE(html.find("Selected users"), std::string::npos);
+  EXPECT_NE(html.find("Group coverage"), std::string::npos);
+  EXPECT_NE(html.find("Score distributions"), std::string::npos);
+  // Selected users and key groups appear.
+  EXPECT_NE(html.find("Alice"), std::string::npos);
+  EXPECT_NE(html.find("Eve"), std::string::npos);
+  EXPECT_NE(html.find("avgRating Mexican"), std::string::npos);
+  // Both covered and uncovered markers occur on this instance.
+  EXPECT_NE(html.find("class=\"group covered\""), std::string::npos);
+  EXPECT_NE(html.find("class=\"group uncovered\""), std::string::npos);
+  // Distribution bars rendered.
+  EXPECT_NE(html.find("bar pop"), std::string::npos);
+  EXPECT_NE(html.find("bar sel"), std::string::npos);
+}
+
+TEST_F(HtmlReportTest, EscapesHtmlInLabels) {
+  ProfileRepository repo;
+  const UserId u = repo.AddUser("<script>alert(1)</script>").value();
+  ASSERT_TRUE(repo.SetScore(u, "a&b <tag>", 1.0,
+                            PropertyKind::kBoolean).ok());
+  InstanceOptions options;
+  options.budget = 1;
+  const DiversificationInstance instance =
+      DiversificationInstance::Build(repo, options).value();
+  const Selection selection = GreedySelector().Select(instance, 1).value();
+  const std::string html = RenderHtmlReport(instance, selection);
+  EXPECT_EQ(html.find("<script>alert"), std::string::npos);
+  EXPECT_NE(html.find("&lt;script&gt;"), std::string::npos);
+  EXPECT_NE(html.find("a&amp;b &lt;tag&gt;"), std::string::npos);
+}
+
+TEST_F(HtmlReportTest, WritesToFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "podium_report.html")
+          .string();
+  ASSERT_TRUE(WriteHtmlReport(instance_, selection_, path).ok());
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("</html>"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(HtmlReportTest, FailsOnUnwritablePath) {
+  EXPECT_FALSE(
+      WriteHtmlReport(instance_, selection_, "/nonexistent/dir/x.html")
+          .ok());
+}
+
+}  // namespace
+}  // namespace podium

@@ -1,0 +1,160 @@
+#include "podium/core/refinement.h"
+
+#include <gtest/gtest.h>
+
+#include "podium/core/greedy.h"
+#include "tests/testing/table2.h"
+
+namespace podium {
+namespace {
+
+GroupId FindGroup(const GroupIndex& index, std::string_view label) {
+  for (GroupId g = 0; g < index.group_count(); ++g) {
+    if (index.label(g) == label) return g;
+  }
+  return kInvalidGroup;
+}
+
+class RefinementTest : public ::testing::Test {
+ protected:
+  RefinementTest()
+      : repo_(testing::MakeTable2Repository()),
+        instance_(DiversificationInstance::FromGroups(
+                      repo_, testing::MakeTable2Groups(repo_),
+                      WeightKind::kLbs, CoverageKind::kSingle, 2)
+                      .value()) {}
+
+  ProfileRepository repo_;
+  DiversificationInstance instance_;
+};
+
+TEST_F(RefinementTest, SuggestsPrioritizingUncoveredGroups) {
+  // {Alice, Eve} leaves Bob's groups (livesIn NYC, the 'low' Mexican
+  // buckets, ...) uncovered.
+  const Selection selection = GreedySelector().Select(instance_, 2).value();
+  const auto suggestions = SuggestRefinements(instance_, selection);
+  ASSERT_FALSE(suggestions.empty());
+
+  bool found_nyc = false;
+  for (const RefinementSuggestion& suggestion : suggestions) {
+    if (suggestion.label == "livesIn NYC") {
+      found_nyc = true;
+      EXPECT_EQ(suggestion.kind, RefinementKind::kPrioritize);
+      EXPECT_FALSE(suggestion.rationale.empty());
+    }
+    // No suggestion may reference a covered group as prioritize.
+    if (suggestion.kind == RefinementKind::kPrioritize) {
+      std::uint32_t covered = 0;
+      for (UserId u : selection.users) {
+        if (instance_.groups().Contains(suggestion.group, u)) ++covered;
+      }
+      EXPECT_LT(covered, instance_.coverage(suggestion.group));
+    }
+  }
+  EXPECT_TRUE(found_nyc);
+}
+
+TEST_F(RefinementTest, SuggestionsAreOrderedByStrength) {
+  const Selection selection = GreedySelector().Select(instance_, 2).value();
+  const auto suggestions = SuggestRefinements(instance_, selection);
+  for (std::size_t i = 0; i + 1 < suggestions.size(); ++i) {
+    EXPECT_GE(suggestions[i].strength, suggestions[i + 1].strength);
+  }
+}
+
+TEST_F(RefinementTest, HonorsMaxSuggestions) {
+  const Selection selection = GreedySelector().Select(instance_, 2).value();
+  RefinementOptions options;
+  options.max_suggestions = 2;
+  EXPECT_LE(SuggestRefinements(instance_, selection, options).size(), 2u);
+}
+
+TEST_F(RefinementTest, FlagsNearUniversalGroupsAsIgnorable) {
+  // Give everyone a shared property so its group is universal.
+  ProfileRepository repo = testing::MakeTable2Repository().Clone();
+  for (UserId u = 0; u < repo.user_count(); ++u) {
+    ASSERT_TRUE(repo.SetScore(u, "isHuman", 1.0,
+                              PropertyKind::kBoolean).ok());
+  }
+  InstanceOptions options;
+  options.grouping.bucket_method = "equal-width";
+  options.budget = 2;
+  const DiversificationInstance instance =
+      DiversificationInstance::Build(repo, options).value();
+  const Selection selection = GreedySelector().Select(instance, 2).value();
+
+  const auto suggestions = SuggestRefinements(instance, selection);
+  bool found = false;
+  for (const RefinementSuggestion& suggestion : suggestions) {
+    if (suggestion.label == "isHuman") {
+      found = true;
+      EXPECT_EQ(suggestion.kind, RefinementKind::kIgnore);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(RefinementTest, FlagsOverRepresentedGroupsForExclusion) {
+  // Selection of Alice and David: both live in Tokyo (100% of the panel,
+  // 40% of the population: factor 2.5 < default 3 -> raise sensitivity).
+  Selection selection;
+  selection.users = {repo_.FindUser("Alice"), repo_.FindUser("David")};
+  RefinementOptions options;
+  options.over_representation_factor = 2.0;
+  options.max_suggestions = 50;
+  const auto suggestions = SuggestRefinements(instance_, selection, options);
+  bool found = false;
+  for (const RefinementSuggestion& suggestion : suggestions) {
+    if (suggestion.label == "livesIn Tokyo") {
+      found = true;
+      EXPECT_EQ(suggestion.kind, RefinementKind::kExclude);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(RefinementTest, ApplySuggestionsFoldsIntoFeedback) {
+  const GroupId nyc = FindGroup(instance_.groups(), "livesIn NYC");
+  const GroupId tokyo = FindGroup(instance_.groups(), "livesIn Tokyo");
+  std::vector<RefinementSuggestion> suggestions = {
+      {RefinementKind::kPrioritize, nyc, "livesIn NYC", "", 1.0},
+      {RefinementKind::kExclude, tokyo, "livesIn Tokyo", "", 0.5},
+      {RefinementKind::kIgnore, tokyo, "livesIn Tokyo", "", 0.2},
+  };
+  CustomizationFeedback feedback;
+  ApplySuggestions(suggestions, feedback);
+  EXPECT_EQ(feedback.priority, (std::vector<GroupId>{nyc}));
+  EXPECT_EQ(feedback.must_not, (std::vector<GroupId>{tokyo}));
+
+  // With an explicit standard set, kIgnore removes the group from it.
+  CustomizationFeedback explicit_standard;
+  explicit_standard.standard_is_rest = false;
+  explicit_standard.standard = {tokyo, nyc};
+  ApplySuggestions(suggestions, explicit_standard);
+  EXPECT_EQ(explicit_standard.standard, (std::vector<GroupId>{nyc}));
+}
+
+TEST_F(RefinementTest, RefinedSelectionCoversSuggestedGroups) {
+  // End-to-end: suggest, apply, re-select; the prioritized groups gain
+  // coverage.
+  const Selection selection = GreedySelector().Select(instance_, 2).value();
+  RefinementOptions options;
+  options.max_suggestions = 3;
+  const auto suggestions = SuggestRefinements(instance_, selection, options);
+  CustomizationFeedback feedback;
+  ApplySuggestions(suggestions, feedback);
+  if (feedback.priority.empty()) GTEST_SKIP();
+
+  const CustomSelection refined =
+      SelectCustomized(instance_, feedback, 2).value();
+  const DualScore before =
+      CustomizedScore(instance_, feedback, selection.users).value();
+  EXPECT_GE(refined.score.priority, before.priority);
+}
+
+TEST_F(RefinementTest, EmptySelectionYieldsNoSuggestions) {
+  EXPECT_TRUE(SuggestRefinements(instance_, Selection{}).empty());
+}
+
+}  // namespace
+}  // namespace podium

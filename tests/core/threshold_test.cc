@@ -1,0 +1,96 @@
+#include "podium/core/threshold.h"
+
+#include <gtest/gtest.h>
+
+#include "podium/core/score.h"
+#include "tests/testing/table2.h"
+
+namespace podium {
+namespace {
+
+DiversificationInstance MakeInstance(const ProfileRepository& repo,
+                                     WeightKind weight = WeightKind::kLbs) {
+  return DiversificationInstance::FromGroups(
+             repo, testing::MakeTable2Groups(repo), weight,
+             CoverageKind::kSingle, 5)
+      .value();
+}
+
+TEST(ThresholdTest, MaxAchievableScoreSumsCappedWeights) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  const DiversificationInstance instance = MakeInstance(repo);
+  // LBS/Single: every group contributes |G| * 1.
+  double expected = 0.0;
+  for (GroupId g = 0; g < instance.groups().group_count(); ++g) {
+    expected += static_cast<double>(instance.groups().group_size(g));
+  }
+  EXPECT_DOUBLE_EQ(MaxAchievableScore(instance), expected);
+  // The whole population achieves it.
+  const std::vector<UserId> everyone = {0, 1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(TotalScore(instance, everyone),
+                   MaxAchievableScore(instance));
+}
+
+TEST(ThresholdTest, StopsAtSmallestSufficientPrefix) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  const DiversificationInstance instance = MakeInstance(repo);
+  // Greedy picks Alice (10) then Eve (17 total). A threshold of 15 needs
+  // exactly those two; a threshold of 10 needs Alice alone.
+  Result<Selection> two = SelectToThreshold(instance, 15.0, 5);
+  ASSERT_TRUE(two.ok()) << two.status();
+  EXPECT_EQ(two->users.size(), 2u);
+  EXPECT_GE(two->score, 15.0);
+
+  Result<Selection> one = SelectToThreshold(instance, 10.0, 5);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->users.size(), 1u);
+  EXPECT_EQ(repo.user(one->users[0]).name(), "Alice");
+}
+
+TEST(ThresholdTest, ReachesMaximumWithWholePopulation) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  const DiversificationInstance instance = MakeInstance(repo);
+  Result<Selection> all =
+      SelectToThreshold(instance, MaxAchievableScore(instance), 5);
+  ASSERT_TRUE(all.ok()) << all.status();
+  EXPECT_DOUBLE_EQ(all->score, MaxAchievableScore(instance));
+  // David's groups are all covered by Alice/Eve picks, so 4 users suffice
+  // under Single coverage — the threshold solver returns the smaller set.
+  EXPECT_EQ(all->users.size(), 4u);
+}
+
+TEST(ThresholdTest, UnreachableThresholdFails) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  const DiversificationInstance instance = MakeInstance(repo);
+  Result<Selection> result =
+      SelectToThreshold(instance, MaxAchievableScore(instance) + 1.0, 5);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+
+  // Reachable overall but not within the budget cap.
+  Result<Selection> capped =
+      SelectToThreshold(instance, MaxAchievableScore(instance), 2);
+  ASSERT_FALSE(capped.ok());
+  EXPECT_EQ(capped.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ThresholdTest, ZeroThresholdYieldsOneUser) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  const DiversificationInstance instance = MakeInstance(repo);
+  Result<Selection> result = SelectToThreshold(instance, 0.0, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->users.size(), 1u);  // first pick already reaches 0
+}
+
+TEST(ThresholdTest, RejectsEbsAndZeroBudget) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  const DiversificationInstance ebs = MakeInstance(repo, WeightKind::kEbs);
+  EXPECT_EQ(SelectToThreshold(ebs, 1.0, 5).status().code(),
+            StatusCode::kUnimplemented);
+  const DiversificationInstance lbs = MakeInstance(repo);
+  EXPECT_EQ(SelectToThreshold(lbs, 1.0, 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace podium

@@ -1,0 +1,116 @@
+#include "podium/csv/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace podium::csv {
+namespace {
+
+Table MustParse(std::string_view text, const ParseOptions& options = {}) {
+  Result<Table> result = Parse(text, options);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? std::move(result).value() : Table{};
+}
+
+TEST(CsvParseTest, HeaderAndRows) {
+  const Table t = MustParse("a,b,c\n1,2,3\n4,5,6\n");
+  EXPECT_EQ(t.header, (Row{"a", "b", "c"}));
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[0], (Row{"1", "2", "3"}));
+  EXPECT_EQ(t.rows[1], (Row{"4", "5", "6"}));
+}
+
+TEST(CsvParseTest, ColumnIndexLookup) {
+  const Table t = MustParse("user,property,score\n");
+  EXPECT_EQ(t.ColumnIndex("property"), 1);
+  EXPECT_EQ(t.ColumnIndex("absent"), -1);
+}
+
+TEST(CsvParseTest, NoTrailingNewline) {
+  const Table t = MustParse("a,b\n1,2");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0], (Row{"1", "2"}));
+}
+
+TEST(CsvParseTest, CrLfLineEndings) {
+  const Table t = MustParse("a,b\r\n1,2\r\n");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0], (Row{"1", "2"}));
+}
+
+TEST(CsvParseTest, QuotedFields) {
+  const Table t = MustParse(
+      "name,notes\n"
+      "\"Doe, Jane\",\"said \"\"hi\"\"\"\n"
+      "plain,\"multi\nline\"\n");
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[0], (Row{"Doe, Jane", "said \"hi\""}));
+  EXPECT_EQ(t.rows[1], (Row{"plain", "multi\nline"}));
+}
+
+TEST(CsvParseTest, EmptyFields) {
+  const Table t = MustParse("a,b,c\n,,\nx,,z\n");
+  EXPECT_EQ(t.rows[0], (Row{"", "", ""}));
+  EXPECT_EQ(t.rows[1], (Row{"x", "", "z"}));
+}
+
+TEST(CsvParseTest, CustomDelimiter) {
+  ParseOptions options;
+  options.delimiter = ';';
+  const Table t = MustParse("a;b\n1;2\n", options);
+  EXPECT_EQ(t.rows[0], (Row{"1", "2"}));
+}
+
+TEST(CsvParseTest, NoHeaderMode) {
+  ParseOptions options;
+  options.has_header = false;
+  const Table t = MustParse("1,2\n3,4\n", options);
+  EXPECT_TRUE(t.header.empty());
+  EXPECT_EQ(t.rows.size(), 2u);
+}
+
+TEST(CsvParseTest, RejectsRaggedRows) {
+  EXPECT_FALSE(Parse("a,b\n1,2,3\n").ok());
+  ParseOptions lax;
+  lax.require_rectangular = false;
+  EXPECT_TRUE(Parse("a,b\n1,2,3\n", lax).ok());
+}
+
+TEST(CsvParseTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(Parse("a\n\"unterminated\n").ok());
+}
+
+TEST(CsvParseTest, RejectsQuoteInsideUnquotedField) {
+  EXPECT_FALSE(Parse("a\nfo\"o\n").ok());
+}
+
+TEST(CsvParseTest, RejectsMissingHeader) {
+  EXPECT_FALSE(Parse("").ok());
+  ParseOptions no_header;
+  no_header.has_header = false;
+  EXPECT_TRUE(Parse("", no_header).ok());
+}
+
+TEST(CsvWriteTest, QuotesOnlyWhenNeeded) {
+  Table t;
+  t.header = {"a", "b"};
+  t.rows = {{"plain", "with,comma"}, {"with\"quote", "with\nnewline"}};
+  EXPECT_EQ(Write(t),
+            "a,b\n"
+            "plain,\"with,comma\"\n"
+            "\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(CsvWriteTest, RoundTrip) {
+  Table t;
+  t.header = {"user", "property", "score"};
+  t.rows = {{"Alice", "livesIn Tokyo", "1"},
+            {"Bob, Jr.", "avg \"rating\"", "0.5"},
+            {"Carol", "notes\nwith newline", ""}};
+  Result<Table> back = Parse(Write(t));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->header, t.header);
+  EXPECT_EQ(back->rows, t.rows);
+}
+
+}  // namespace
+}  // namespace podium::csv

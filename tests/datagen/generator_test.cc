@@ -1,0 +1,257 @@
+#include "podium/datagen/generator.h"
+
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "podium/datagen/vocabularies.h"
+#include "podium/util/string_util.h"
+
+namespace podium::datagen {
+namespace {
+
+DatasetConfig SmallConfig() {
+  DatasetConfig config;
+  config.num_users = 120;
+  config.num_restaurants = 300;
+  config.leaf_categories = 30;
+  config.num_cities = 8;
+  config.num_personas = 5;
+  config.min_reviews_per_user = 5;
+  config.max_reviews_per_user = 30;
+  config.holdout_destinations = 5;
+  config.min_holdout_reviews = 5;
+  config.with_usefulness = true;
+  config.seed = 42;
+  return config;
+}
+
+TEST(VocabulariesTest, CuisineTaxonomyShapes) {
+  const CuisineTaxonomy small = BuildCuisineTaxonomy(10);
+  EXPECT_EQ(small.leaves.size(), 10u);
+  // Root exists and every leaf reaches it.
+  const taxonomy::CategoryId food = small.taxonomy.Find("Food");
+  ASSERT_NE(food, taxonomy::kInvalidCategory);
+  for (taxonomy::CategoryId leaf : small.leaves) {
+    EXPECT_TRUE(small.taxonomy.IsAncestor(food, leaf));
+  }
+
+  const CuisineTaxonomy big = BuildCuisineTaxonomy(200);
+  EXPECT_EQ(big.leaves.size(), 200u);
+  std::set<taxonomy::CategoryId> unique(big.leaves.begin(), big.leaves.end());
+  EXPECT_EQ(unique.size(), 200u);
+  // Synthesized leaves hang under seed cuisines (3-level taxonomy).
+  const taxonomy::CategoryId mexican = big.taxonomy.Find("Mexican");
+  ASSERT_NE(mexican, taxonomy::kInvalidCategory);
+  EXPECT_FALSE(big.taxonomy.Children(mexican).empty());
+}
+
+TEST(VocabulariesTest, NameListsExtendOnDemand) {
+  EXPECT_EQ(CityNames(3).size(), 3u);
+  EXPECT_EQ(CityNames(100).size(), 100u);
+  EXPECT_EQ(CityNames(5)[0], "Tokyo");
+  EXPECT_EQ(AgeGroupLabels(4).size(), 4u);
+  EXPECT_EQ(TopicNames(50).size(), 50u);
+}
+
+TEST(GeneratorTest, ProducesConsistentDataset) {
+  Result<Dataset> result = GenerateDataset(SmallConfig());
+  ASSERT_TRUE(result.ok()) << result.status();
+  const Dataset& data = result.value();
+
+  EXPECT_EQ(data.repository.user_count(), 120u);
+  EXPECT_EQ(data.opinions.destination_count(), 300u);
+  EXPECT_GT(data.opinions.review_count(), 120u * 5u / 2u);
+  EXPECT_EQ(data.holdout.size(), 5u);
+  EXPECT_EQ(data.cities.size(), 8u);
+
+  // All profile scores are valid and properties exist.
+  for (UserId u = 0; u < data.repository.user_count(); ++u) {
+    const UserProfile& profile = data.repository.user(u);
+    EXPECT_FALSE(profile.empty());
+    for (const PropertyScore& entry : profile.entries()) {
+      EXPECT_GE(entry.score, 0.0);
+      EXPECT_LE(entry.score, 1.0);
+      EXPECT_LT(entry.property, data.repository.property_count());
+    }
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  Result<Dataset> a = GenerateDataset(SmallConfig());
+  Result<Dataset> b = GenerateDataset(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->repository.user_count(), b->repository.user_count());
+  for (UserId u = 0; u < a->repository.user_count(); ++u) {
+    EXPECT_EQ(a->repository.user(u).entries(),
+              b->repository.user(u).entries());
+  }
+  EXPECT_EQ(a->opinions.review_count(), b->opinions.review_count());
+  EXPECT_EQ(a->holdout, b->holdout);
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  DatasetConfig other = SmallConfig();
+  other.seed = 43;
+  Result<Dataset> a = GenerateDataset(SmallConfig());
+  Result<Dataset> b = GenerateDataset(other);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_difference = false;
+  for (UserId u = 0; u < a->repository.user_count(); ++u) {
+    if (!(a->repository.user(u).entries() ==
+          b->repository.user(u).entries())) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GeneratorTest, HoldoutReviewsAreExcludedFromProfiles) {
+  // A dataset with NO holdout must yield (weakly) larger visit counts
+  // than the same dataset with holdout, and holdout destinations must be
+  // popular ones.
+  DatasetConfig with_holdout = SmallConfig();
+  DatasetConfig without_holdout = SmallConfig();
+  without_holdout.holdout_destinations = 0;
+  Result<Dataset> held = GenerateDataset(with_holdout);
+  Result<Dataset> full = GenerateDataset(without_holdout);
+  ASSERT_TRUE(held.ok());
+  ASSERT_TRUE(full.ok());
+
+  for (opinion::DestinationId d : held->holdout) {
+    EXPECT_GE(held->opinions.reviews_of(d).size(),
+              with_holdout.min_holdout_reviews);
+  }
+
+  // Total profile mass shrinks when popular destinations are held out.
+  EXPECT_LT(held->repository.MeanProfileSize() + 1e-9,
+            full->repository.MeanProfileSize());
+}
+
+TEST(GeneratorTest, BooleanDemographicsArePresent) {
+  Result<Dataset> result = GenerateDataset(SmallConfig());
+  ASSERT_TRUE(result.ok());
+  const Dataset& data = result.value();
+  const PropertyTable& table = data.repository.properties();
+
+  std::size_t with_city = 0;
+  std::size_t with_age = 0;
+  for (UserId u = 0; u < data.repository.user_count(); ++u) {
+    for (const PropertyScore& entry : data.repository.user(u).entries()) {
+      const std::string& label = table.Label(entry.property);
+      if (util::StartsWith(label, "livesIn ")) {
+        EXPECT_EQ(table.Kind(entry.property), PropertyKind::kBoolean);
+        EXPECT_DOUBLE_EQ(entry.score, 1.0);
+        ++with_city;
+      }
+      if (util::StartsWith(label, "ageGroup ")) ++with_age;
+    }
+  }
+  EXPECT_EQ(with_city, data.repository.user_count());
+  EXPECT_EQ(with_age, data.repository.user_count());
+}
+
+TEST(GeneratorTest, EnthusiasmToggleControlsPropertyFamilies) {
+  DatasetConfig with = SmallConfig();
+  with.derive_enthusiasm = true;
+  DatasetConfig without = SmallConfig();
+  without.derive_enthusiasm = false;
+
+  Result<Dataset> rich = GenerateDataset(with);
+  Result<Dataset> simple = GenerateDataset(without);
+  ASSERT_TRUE(rich.ok());
+  ASSERT_TRUE(simple.ok());
+
+  auto has_enthusiasm = [](const Dataset& data) {
+    const PropertyTable& table = data.repository.properties();
+    for (PropertyId p = 0; p < table.size(); ++p) {
+      if (util::StartsWith(table.Label(p), "enthusiasm ")) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_enthusiasm(rich.value()));
+  EXPECT_FALSE(has_enthusiasm(simple.value()));
+  EXPECT_GT(rich->repository.MeanProfileSize(),
+            simple->repository.MeanProfileSize());
+}
+
+TEST(GeneratorTest, PersonaStructureInducesCorrelation) {
+  // Users of the same persona share taste; the generated profiles must be
+  // more similar within a persona than across. Proxy: with few personas
+  // and many users, some property should be shared by a large user block.
+  DatasetConfig config = SmallConfig();
+  config.num_personas = 2;
+  Result<Dataset> result = GenerateDataset(config);
+  ASSERT_TRUE(result.ok());
+  const Dataset& data = result.value();
+  std::size_t max_support = 0;
+  for (PropertyId p = 0; p < data.repository.property_count(); ++p) {
+    max_support = std::max(max_support, data.repository.SupportCount(p));
+  }
+  // At least one derived property spans a third of the population.
+  EXPECT_GT(max_support, data.repository.user_count() / 3);
+}
+
+TEST(GeneratorTest, UsefulnessToggle) {
+  DatasetConfig with = SmallConfig();
+  DatasetConfig without = SmallConfig();
+  without.with_usefulness = false;
+  Result<Dataset> yes = GenerateDataset(with);
+  Result<Dataset> no = GenerateDataset(without);
+  ASSERT_TRUE(yes.ok());
+  ASSERT_TRUE(no.ok());
+
+  auto total_votes = [](const Dataset& data) {
+    long total = 0;
+    for (opinion::DestinationId d = 0;
+         d < data.opinions.destination_count(); ++d) {
+      for (const opinion::Review& review : data.opinions.reviews_of(d)) {
+        total += review.useful_votes;
+      }
+    }
+    return total;
+  };
+  EXPECT_GT(total_votes(yes.value()), 0);
+  EXPECT_EQ(total_votes(no.value()), 0);
+}
+
+TEST(GeneratorTest, ReviewsAreValid) {
+  Result<Dataset> result = GenerateDataset(SmallConfig());
+  ASSERT_TRUE(result.ok());
+  const Dataset& data = result.value();
+  std::size_t with_topics = 0;
+  for (opinion::DestinationId d = 0; d < data.opinions.destination_count();
+       ++d) {
+    std::unordered_set<UserId> reviewers;
+    for (const opinion::Review& review : data.opinions.reviews_of(d)) {
+      EXPECT_GE(review.rating, 1);
+      EXPECT_LE(review.rating, 5);
+      EXPECT_LT(review.user, data.repository.user_count());
+      EXPECT_TRUE(reviewers.insert(review.user).second)
+          << "duplicate review by one user for one destination";
+      if (!review.topics.empty()) ++with_topics;
+      for (const opinion::TopicMention& mention : review.topics) {
+        EXPECT_LT(mention.topic, data.opinions.topic_count());
+      }
+    }
+  }
+  EXPECT_GT(with_topics, 0u);
+}
+
+TEST(GeneratorTest, RejectsInvalidConfig) {
+  DatasetConfig no_users = SmallConfig();
+  no_users.num_users = 0;
+  EXPECT_FALSE(GenerateDataset(no_users).ok());
+
+  DatasetConfig bad_range = SmallConfig();
+  bad_range.min_reviews_per_user = 10;
+  bad_range.max_reviews_per_user = 5;
+  EXPECT_FALSE(GenerateDataset(bad_range).ok());
+}
+
+}  // namespace
+}  // namespace podium::datagen

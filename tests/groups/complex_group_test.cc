@@ -1,0 +1,94 @@
+#include "podium/groups/complex_group.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/table2.h"
+
+namespace podium {
+namespace {
+
+GroupId FindGroup(const GroupIndex& index, std::string_view label) {
+  for (GroupId g = 0; g < index.group_count(); ++g) {
+    if (index.label(g) == label) return g;
+  }
+  return kInvalidGroup;
+}
+
+class ComplexGroupTest : public ::testing::Test {
+ protected:
+  ComplexGroupTest()
+      : repo_(testing::MakeTable2Repository()),
+        index_(testing::MakeTable2Groups(repo_)) {}
+
+  ProfileRepository repo_;
+  GroupIndex index_;
+};
+
+TEST_F(ComplexGroupTest, IntersectionOfExample35) {
+  // "Tokyo residents who are also Mexican food lovers" = {Alice, David}.
+  const GroupId tokyo = FindGroup(index_, "livesIn Tokyo");
+  const GroupId lovers = FindGroup(index_, "high avgRating Mexican");
+  const std::vector<UserId> both = IntersectGroups(index_, {tokyo, lovers});
+  ASSERT_EQ(both.size(), 2u);
+  EXPECT_EQ(repo_.user(both[0]).name(), "Alice");
+  EXPECT_EQ(repo_.user(both[1]).name(), "David");
+}
+
+TEST_F(ComplexGroupTest, IntersectionEdgeCases) {
+  const GroupId tokyo = FindGroup(index_, "livesIn Tokyo");
+  const GroupId nyc = FindGroup(index_, "livesIn NYC");
+  EXPECT_TRUE(IntersectGroups(index_, {tokyo, nyc}).empty());
+  EXPECT_TRUE(IntersectGroups(index_, {}).empty());
+  EXPECT_EQ(IntersectGroups(index_, {tokyo}), index_.members(tokyo));
+}
+
+TEST_F(ComplexGroupTest, Union) {
+  const GroupId tokyo = FindGroup(index_, "livesIn Tokyo");
+  const GroupId nyc = FindGroup(index_, "livesIn NYC");
+  const std::vector<UserId> either = UniteGroups(index_, {tokyo, nyc});
+  ASSERT_EQ(either.size(), 3u);  // Alice, Bob, David
+  EXPECT_TRUE(UniteGroups(index_, {}).empty());
+}
+
+TEST_F(ComplexGroupTest, IntersectionLabelJoinsMemberLabels) {
+  const GroupId tokyo = FindGroup(index_, "livesIn Tokyo");
+  const GroupId lovers = FindGroup(index_, "high avgRating Mexican");
+  EXPECT_EQ(IntersectionLabel(index_, {tokyo, lovers}),
+            "livesIn Tokyo ∩ high avgRating Mexican");
+}
+
+TEST_F(ComplexGroupTest, LargePairIntersectionsFindsBigOverlaps) {
+  const auto complexes = LargePairIntersections(index_, /*min_size=*/2,
+                                                /*limit=*/100);
+  ASSERT_FALSE(complexes.empty());
+  // Sorted by decreasing size, all at least min_size, pairs over distinct
+  // properties only.
+  for (std::size_t i = 0; i < complexes.size(); ++i) {
+    EXPECT_GE(complexes[i].members.size(), 2u);
+    ASSERT_EQ(complexes[i].parts.size(), 2u);
+    EXPECT_NE(index_.def(complexes[i].parts[0]).property,
+              index_.def(complexes[i].parts[1]).property);
+    if (i > 0) {
+      EXPECT_GE(complexes[i - 1].members.size(), complexes[i].members.size());
+    }
+  }
+  // The Tokyo ∩ Mexican-lovers pair must be among them.
+  const GroupId tokyo = FindGroup(index_, "livesIn Tokyo");
+  const GroupId lovers = FindGroup(index_, "high avgRating Mexican");
+  bool found = false;
+  for (const ComplexGroup& c : complexes) {
+    if ((c.parts[0] == tokyo && c.parts[1] == lovers) ||
+        (c.parts[0] == lovers && c.parts[1] == tokyo)) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ComplexGroupTest, LargePairIntersectionsHonorsLimit) {
+  const auto limited = LargePairIntersections(index_, 1, 3);
+  EXPECT_LE(limited.size(), 3u);
+}
+
+}  // namespace
+}  // namespace podium

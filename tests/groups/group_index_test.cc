@@ -1,0 +1,182 @@
+#include "podium/groups/group_index.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/table2.h"
+
+namespace podium {
+namespace {
+
+GroupId FindGroup(const GroupIndex& index, std::string_view label) {
+  for (GroupId g = 0; g < index.group_count(); ++g) {
+    if (index.label(g) == label) return g;
+  }
+  return kInvalidGroup;
+}
+
+std::vector<std::string> MemberNames(const ProfileRepository& repo,
+                                     const GroupIndex& index, GroupId g) {
+  std::vector<std::string> names;
+  for (UserId u : index.members(g)) names.push_back(repo.user(u).name());
+  return names;
+}
+
+TEST(GroupIndexFromDefsTest, Table2GroupMemberships) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  const GroupIndex index = testing::MakeTable2Groups(repo);
+
+  // Example 3.5: G_{livesIn Tokyo,[1,1]} = {Alice, David}.
+  const GroupId tokyo = FindGroup(index, "livesIn Tokyo");
+  ASSERT_NE(tokyo, kInvalidGroup);
+  EXPECT_EQ(MemberNames(repo, index, tokyo),
+            (std::vector<std::string>{"Alice", "David"}));
+
+  // Example 3.5: Mexican food lovers = {Alice, David, Eve}.
+  const GroupId mex_high = FindGroup(index, "high avgRating Mexican");
+  ASSERT_NE(mex_high, kInvalidGroup);
+  EXPECT_EQ(MemberNames(repo, index, mex_high),
+            (std::vector<std::string>{"Alice", "David", "Eve"}));
+
+  // Carol never rated Mexican food: no Mexican group contains her.
+  const UserId carol = repo.FindUser("Carol");
+  for (GroupId g : index.groups_of(carol)) {
+    EXPECT_EQ(index.label(g).find("Mexican"), std::string::npos);
+  }
+
+  // visitFreq CheapEats: low {Carol, Eve}, medium {Alice}, high {Bob}.
+  EXPECT_EQ(MemberNames(repo, index,
+                        FindGroup(index, "low visitFreq CheapEats")),
+            (std::vector<std::string>{"Carol", "Eve"}));
+  EXPECT_EQ(MemberNames(repo, index,
+                        FindGroup(index, "medium visitFreq CheapEats")),
+            (std::vector<std::string>{"Alice"}));
+  EXPECT_EQ(MemberNames(repo, index,
+                        FindGroup(index, "high visitFreq CheapEats")),
+            (std::vector<std::string>{"Bob"}));
+}
+
+TEST(GroupIndexFromDefsTest, EmptyGroupsAreDropped) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  const GroupIndex index = testing::MakeTable2Groups(repo);
+  // "medium avgRating Mexican" has no members (scores 0.95/0.3/0.75/0.8).
+  EXPECT_EQ(FindGroup(index, "medium avgRating Mexican"), kInvalidGroup);
+  for (GroupId g = 0; g < index.group_count(); ++g) {
+    EXPECT_GT(index.group_size(g), 0u);
+  }
+}
+
+TEST(GroupIndexFromDefsTest, BidirectionalLinksAreConsistent) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  const GroupIndex index = testing::MakeTable2Groups(repo);
+  for (GroupId g = 0; g < index.group_count(); ++g) {
+    for (UserId u : index.members(g)) {
+      const auto& groups = index.groups_of(u);
+      EXPECT_TRUE(std::find(groups.begin(), groups.end(), g) != groups.end());
+      EXPECT_TRUE(index.Contains(g, u));
+    }
+  }
+  for (UserId u = 0; u < index.user_count(); ++u) {
+    for (GroupId g : index.groups_of(u)) {
+      const auto& members = index.members(g);
+      EXPECT_TRUE(std::binary_search(members.begin(), members.end(), u));
+    }
+  }
+}
+
+TEST(GroupIndexFromDefsTest, RejectsUnknownProperty) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  std::vector<GroupDef> defs = {GroupDef{
+      static_cast<PropertyId>(999), bucketing::Bucket{0, 1, true, "x"}, "x"}};
+  EXPECT_FALSE(GroupIndex::FromDefs(repo, defs).ok());
+}
+
+TEST(GroupIndexBuildTest, BuildsSimpleGroupsFromRepository) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  GroupingOptions options;
+  options.bucket_method = "quantile";
+  options.max_buckets = 3;
+  Result<GroupIndex> index = GroupIndex::Build(repo, options);
+  ASSERT_TRUE(index.ok()) << index.status();
+  EXPECT_GT(index->group_count(), 0u);
+  EXPECT_EQ(index->user_count(), repo.user_count());
+
+  // Every (user, property) observation lands in exactly one group of that
+  // property.
+  for (UserId u = 0; u < repo.user_count(); ++u) {
+    for (const PropertyScore& entry : repo.user(u).entries()) {
+      std::size_t memberships = 0;
+      for (GroupId g : index->groups_of(u)) {
+        if (index->def(g).property == entry.property) ++memberships;
+      }
+      // Boolean false-side groups are skipped by default, so boolean
+      // properties with score 0 may have no group; everything else must
+      // have exactly one.
+      const bool is_false_boolean =
+          repo.properties().Kind(entry.property) == PropertyKind::kBoolean &&
+          entry.score == 0.0;
+      EXPECT_EQ(memberships, is_false_boolean ? 0u : 1u);
+    }
+  }
+}
+
+TEST(GroupIndexBuildTest, BooleanFalseGroupsOptIn) {
+  ProfileRepository repo;
+  const UserId a = repo.AddUser("a").value();
+  const UserId b = repo.AddUser("b").value();
+  ASSERT_TRUE(
+      repo.SetScore(a, "livesIn Tokyo", 1.0, PropertyKind::kBoolean).ok());
+  ASSERT_TRUE(
+      repo.SetScore(b, "livesIn Tokyo", 0.0, PropertyKind::kBoolean).ok());
+
+  GroupingOptions default_options;
+  GroupIndex without = GroupIndex::Build(repo, default_options).value();
+  EXPECT_EQ(without.group_count(), 1u);
+  EXPECT_EQ(without.label(0), "livesIn Tokyo");
+
+  GroupingOptions with;
+  with.include_boolean_false_groups = true;
+  GroupIndex index = GroupIndex::Build(repo, with).value();
+  ASSERT_EQ(index.group_count(), 2u);
+  EXPECT_NE(FindGroup(index, "not livesIn Tokyo"), kInvalidGroup);
+}
+
+TEST(GroupIndexBuildTest, MinGroupSizeFiltersSmallGroups) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  GroupingOptions options;
+  options.min_group_size = 2;
+  GroupIndex index = GroupIndex::Build(repo, options).value();
+  EXPECT_GT(index.group_count(), 0u);
+  for (GroupId g = 0; g < index.group_count(); ++g) {
+    EXPECT_GE(index.group_size(g), 2u);
+  }
+}
+
+TEST(GroupIndexBuildTest, RejectsBadOptions) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  GroupingOptions bad_method;
+  bad_method.bucket_method = "nope";
+  EXPECT_FALSE(GroupIndex::Build(repo, bad_method).ok());
+  GroupingOptions bad_buckets;
+  bad_buckets.max_buckets = 0;
+  EXPECT_FALSE(GroupIndex::Build(repo, bad_buckets).ok());
+}
+
+TEST(GroupIndexStatsTest, MaxStatsAndSizeOrder) {
+  const ProfileRepository repo = testing::MakeTable2Repository();
+  const GroupIndex index = testing::MakeTable2Groups(repo);
+  EXPECT_EQ(index.MaxGroupSize(), 3u);      // high avgRating Mexican
+  EXPECT_EQ(index.MaxGroupsPerUser(), 6u);  // Alice, Bob and Eve have 6
+
+  const std::vector<GroupId> order = index.GroupsBySizeDescending();
+  ASSERT_EQ(order.size(), index.group_count());
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    EXPECT_GE(index.group_size(order[i]), index.group_size(order[i + 1]));
+  }
+  EXPECT_EQ(index.label(order[0]), "high avgRating Mexican");
+}
+
+}  // namespace
+}  // namespace podium

@@ -1,0 +1,211 @@
+#include "podium/ingest/yelp.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "podium/core/greedy.h"
+#include "podium/core/instance.h"
+
+namespace podium::ingest {
+namespace {
+
+/// Writes a trio of Yelp-format JSON-lines fixture files:
+///   3 businesses (2 restaurants in 2 cities, 1 non-restaurant),
+///   3 users, 6 reviews (one targeting the non-restaurant).
+class YelpFixture {
+ public:
+  YelpFixture() {
+    const auto dir = std::filesystem::temp_directory_path();
+    business_path_ = (dir / "podium_yelp_business.json").string();
+    review_path_ = (dir / "podium_yelp_review.json").string();
+    user_path_ = (dir / "podium_yelp_user.json").string();
+
+    Write(business_path_, R"({"business_id":"b1","name":"Taco Hut","city":"Springfield","categories":"Restaurants, Mexican, Cheap Eats"}
+{"business_id":"b2","name":"Le Bistro","city":"Shelbyville","categories":"Restaurants, French"}
+{"business_id":"b3","name":"Quick Lube","city":"Springfield","categories":"Automotive"}
+)");
+    Write(user_path_, R"({"user_id":"alice","review_count":50}
+{"user_id":"bob","review_count":30}
+{"user_id":"carol","review_count":2}
+)");
+    Write(review_path_, R"({"review_id":"r1","user_id":"alice","business_id":"b1","stars":5,"useful":3,"text":"Great service and amazing price."}
+{"review_id":"r2","user_id":"alice","business_id":"b2","stars":2,"useful":1,"text":"Terrible service, long wait time."}
+{"review_id":"r3","user_id":"bob","business_id":"b1","stars":4,"useful":0,"text":"Good value."}
+{"review_id":"r4","user_id":"bob","business_id":"b3","stars":5,"useful":9,"text":"Fixed my car."}
+{"review_id":"r5","user_id":"carol","business_id":"b2","stars":3,"useful":0,"text":"ok"}
+{"review_id":"r6","user_id":"carol","business_id":"b1","stars":1,"useful":2,"text":"Awful price."}
+)");
+  }
+
+  ~YelpFixture() {
+    std::remove(business_path_.c_str());
+    std::remove(review_path_.c_str());
+    std::remove(user_path_.c_str());
+  }
+
+  static void Write(const std::string& path, const char* content) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+
+  std::string business_path_;
+  std::string review_path_;
+  std::string user_path_;
+};
+
+TEST(YelpIngestTest, BuildsRepositoryAndOpinions) {
+  YelpFixture fixture;
+  Result<YelpDataset> result =
+      IngestYelp(fixture.business_path_, fixture.review_path_,
+                 fixture.user_path_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const YelpDataset& data = result.value();
+
+  // The automotive business is filtered; its review never lands.
+  EXPECT_EQ(data.businesses_kept, 2u);
+  EXPECT_EQ(data.reviews_kept, 5u);
+  EXPECT_EQ(data.repository.user_count(), 3u);
+
+  // Alice reviewed Mexican (5 stars) and French (2 stars): her avgRating
+  // Mexican score must exceed her avgRating French score.
+  const UserId alice = data.repository.FindUser("alice");
+  ASSERT_NE(alice, kInvalidUser);
+  const PropertyId mex =
+      data.repository.properties().Find("avgRating Mexican");
+  const PropertyId french =
+      data.repository.properties().Find("avgRating French");
+  ASSERT_NE(mex, kInvalidProperty);
+  ASSERT_NE(french, kInvalidProperty);
+  EXPECT_GT(*data.repository.user(alice).Get(mex),
+            *data.repository.user(alice).Get(french));
+
+  // visitFreq: Alice has 1 of 2 reviews in Mexican.
+  const PropertyId freq =
+      data.repository.properties().Find("visitFreq Mexican");
+  EXPECT_DOUBLE_EQ(*data.repository.user(alice).Get(freq), 0.5);
+
+  // The trivial "Restaurants" category derives no property.
+  EXPECT_EQ(data.repository.properties().Find("avgRating Restaurants"),
+            kInvalidProperty);
+}
+
+TEST(YelpIngestTest, InfersHomeCityFromModalReviews) {
+  YelpFixture fixture;
+  const YelpDataset data =
+      IngestYelp(fixture.business_path_, fixture.review_path_,
+                 fixture.user_path_)
+          .value();
+  // Bob's only restaurant review is in Springfield.
+  const UserId bob = data.repository.FindUser("bob");
+  const PropertyId springfield =
+      data.repository.properties().Find("livesIn Springfield");
+  ASSERT_NE(springfield, kInvalidProperty);
+  EXPECT_DOUBLE_EQ(*data.repository.user(bob).Get(springfield), 1.0);
+  EXPECT_EQ(data.repository.properties().Kind(springfield),
+            PropertyKind::kBoolean);
+}
+
+TEST(YelpIngestTest, ExtractsTopicMentionsWithSentiment) {
+  YelpFixture fixture;
+  const YelpDataset data =
+      IngestYelp(fixture.business_path_, fixture.review_path_,
+                 fixture.user_path_)
+          .value();
+  // Find Alice's 2-star Le Bistro review: mentions "service" and
+  // "wait time", both negative (stars <= 2).
+  const UserId alice = data.repository.FindUser("alice");
+  bool found = false;
+  for (opinion::DestinationId d = 0; d < data.opinions.destination_count();
+       ++d) {
+    for (const opinion::Review& review : data.opinions.reviews_of(d)) {
+      if (review.user != alice || review.rating != 2) continue;
+      found = true;
+      ASSERT_EQ(review.topics.size(), 2u);
+      for (const opinion::TopicMention& mention : review.topics) {
+        EXPECT_EQ(mention.sentiment, opinion::Sentiment::kNegative);
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(YelpIngestTest, MaxUsersKeepsMostActive) {
+  YelpFixture fixture;
+  YelpIngestOptions options;
+  options.max_users = 2;  // alice (50) and bob (30); carol dropped
+  const YelpDataset data =
+      IngestYelp(fixture.business_path_, fixture.review_path_,
+                 fixture.user_path_, options)
+          .value();
+  EXPECT_EQ(data.repository.user_count(), 2u);
+  EXPECT_NE(data.repository.FindUser("alice"), kInvalidUser);
+  EXPECT_NE(data.repository.FindUser("bob"), kInvalidUser);
+  EXPECT_EQ(data.repository.FindUser("carol"), kInvalidUser);
+}
+
+TEST(YelpIngestTest, MinReviewsFilter) {
+  YelpFixture fixture;
+  YelpIngestOptions options;
+  options.min_reviews_per_user = 2;
+  const YelpDataset data =
+      IngestYelp(fixture.business_path_, fixture.review_path_,
+                 fixture.user_path_, options)
+          .value();
+  // Bob has only 1 restaurant review after filtering -> dropped.
+  EXPECT_EQ(data.repository.FindUser("bob"), kInvalidUser);
+  EXPECT_NE(data.repository.FindUser("alice"), kInvalidUser);
+  EXPECT_NE(data.repository.FindUser("carol"), kInvalidUser);
+}
+
+TEST(YelpIngestTest, EndToEndSelection) {
+  // The ingested repository feeds the normal pipeline.
+  YelpFixture fixture;
+  const YelpDataset data =
+      IngestYelp(fixture.business_path_, fixture.review_path_,
+                 fixture.user_path_)
+          .value();
+  InstanceOptions options;
+  options.grouping.bucket_method = "equal-width";
+  options.budget = 2;
+  Result<DiversificationInstance> instance =
+      DiversificationInstance::Build(data.repository, options);
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  GreedySelector selector;
+  Result<Selection> selection = selector.Select(instance.value(), 2);
+  ASSERT_TRUE(selection.ok());
+  EXPECT_EQ(selection->users.size(), 2u);
+}
+
+TEST(YelpIngestTest, FailsCleanlyOnBadInput) {
+  YelpFixture fixture;
+  EXPECT_EQ(IngestYelp("/nonexistent", fixture.review_path_,
+                       fixture.user_path_)
+                .status()
+                .code(),
+            StatusCode::kIoError);
+
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string bad = (dir / "podium_yelp_bad.json").string();
+  YelpFixture::Write(bad.c_str(), "not json\n");
+  Result<YelpDataset> result =
+      IngestYelp(bad, fixture.review_path_, fixture.user_path_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  // The error names the file and line.
+  EXPECT_NE(result.status().message().find("podium_yelp_bad.json:1"),
+            std::string::npos);
+  std::remove(bad.c_str());
+
+  const std::string no_id = (dir / "podium_yelp_noid.json").string();
+  YelpFixture::Write(no_id.c_str(), R"({"name":"x"})"
+                                    "\n");
+  EXPECT_FALSE(IngestYelp(no_id, fixture.review_path_, fixture.user_path_)
+                   .ok());
+  std::remove(no_id.c_str());
+}
+
+}  // namespace
+}  // namespace podium::ingest

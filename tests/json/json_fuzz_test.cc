@@ -1,0 +1,126 @@
+// Robustness sweeps for the JSON parser: random byte strings, random
+// truncations of valid documents, and adversarial near-JSON inputs must
+// never crash and must either parse cleanly or return a ParseError.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "podium/json/parser.h"
+#include "podium/json/writer.h"
+#include "podium/util/rng.h"
+
+namespace podium::json {
+namespace {
+
+class JsonFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JsonFuzzTest, RandomBytesNeverCrash) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string input;
+    const std::size_t length = rng.NextBounded(128);
+    for (std::size_t i = 0; i < length; ++i) {
+      input.push_back(static_cast<char>(rng.NextBounded(256)));
+    }
+    Result<Value> result = Parse(input);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST_P(JsonFuzzTest, StructuredNoiseNeverCrashes) {
+  util::Rng rng(GetParam() + 1000);
+  const std::string alphabet = "{}[]\",:0123456789.eE+-truefalsn \n\\u";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string input;
+    const std::size_t length = rng.NextBounded(96);
+    for (std::size_t i = 0; i < length; ++i) {
+      input.push_back(alphabet[rng.NextBounded(alphabet.size())]);
+    }
+    (void)Parse(input);  // must not crash or hang
+  }
+}
+
+TEST_P(JsonFuzzTest, TruncationsOfValidDocumentsFailCleanly) {
+  util::Rng rng(GetParam() + 2000);
+  // Build a random nested document, serialize it, then parse every prefix.
+  Object root;
+  for (int i = 0; i < 8; ++i) {
+    Array array;
+    for (int j = 0; j < 4; ++j) {
+      array.push_back(Value(rng.NextDouble()));
+    }
+    Object inner;
+    inner.Set("scores", Value(std::move(array)));
+    inner.Set("label", Value("item-" + std::to_string(i) + " \"quoted\""));
+    inner.Set("flag", Value(rng.NextBernoulli(0.5)));
+    root.Set("key" + std::to_string(i), Value(std::move(inner)));
+  }
+  const std::string text = Write(Value(std::move(root)));
+  const Result<Value> full = Parse(text);
+  ASSERT_TRUE(full.ok());
+  for (std::size_t cut = 0; cut < text.size(); ++cut) {
+    Result<Value> result = Parse(text.substr(0, cut));
+    EXPECT_FALSE(result.ok()) << "prefix of length " << cut;
+  }
+}
+
+TEST_P(JsonFuzzTest, RandomDocumentsRoundTrip) {
+  util::Rng rng(GetParam() + 3000);
+
+  // Recursive random document generator.
+  struct Generator {
+    util::Rng& rng;
+    Value Make(int depth) {
+      const std::uint64_t kind = rng.NextBounded(depth <= 0 ? 4 : 6);
+      switch (kind) {
+        case 0:
+          return Value(nullptr);
+        case 1:
+          return Value(rng.NextBernoulli(0.5));
+        case 2:
+          return Value(rng.NextDouble(-1e6, 1e6));
+        case 3: {
+          std::string s;
+          const std::size_t length = rng.NextBounded(12);
+          for (std::size_t i = 0; i < length; ++i) {
+            s.push_back(static_cast<char>(32 + rng.NextBounded(95)));
+          }
+          return Value(std::move(s));
+        }
+        case 4: {
+          Array array;
+          const std::size_t length = rng.NextBounded(5);
+          for (std::size_t i = 0; i < length; ++i) {
+            array.push_back(Make(depth - 1));
+          }
+          return Value(std::move(array));
+        }
+        default: {
+          Object object;
+          const std::size_t length = rng.NextBounded(5);
+          for (std::size_t i = 0; i < length; ++i) {
+            object.Set("k" + std::to_string(i), Make(depth - 1));
+          }
+          return Value(std::move(object));
+        }
+      }
+    }
+  };
+
+  Generator generator{rng};
+  for (int trial = 0; trial < 50; ++trial) {
+    const Value document = generator.Make(4);
+    const std::string compact = Write(document);
+    Result<Value> reparsed = Parse(compact);
+    ASSERT_TRUE(reparsed.ok()) << compact;
+    EXPECT_EQ(reparsed.value(), document) << compact;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzzTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace podium::json

@@ -1,0 +1,60 @@
+#include "podium/metrics/cd_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace podium::metrics {
+namespace {
+
+TEST(CdSimTest, Example82) {
+  // Example 8.2: population [0.23, 0.4, 0.37], selection [0.4, 0.5, 0.1]
+  // scores 1 - ((0.37 - 0.1)/0.37)/3 ≈ 0.757 ("0.76" in the paper),
+  // taxing only the under-represented third bucket.
+  const double sim = CdSim({0.4, 0.5, 0.1}, {0.23, 0.4, 0.37});
+  EXPECT_NEAR(sim, 0.7568, 1e-3);
+}
+
+TEST(CdSimTest, IdenticalDistributionsScoreOne) {
+  EXPECT_DOUBLE_EQ(CdSim({0.5, 0.5}, {0.5, 0.5}), 1.0);
+  EXPECT_DOUBLE_EQ(CdSim({}, {}), 1.0);
+}
+
+TEST(CdSimTest, OverRepresentationIsFree) {
+  // Subset over-represents bucket 0, matches bucket 1 exactly from above.
+  EXPECT_DOUBLE_EQ(CdSim({0.9, 0.6}, {0.5, 0.5}), 1.0);
+}
+
+TEST(CdSimTest, TotalUnderRepresentationScoresZero) {
+  EXPECT_DOUBLE_EQ(CdSim({0.0, 0.0}, {0.5, 0.5}), 0.0);
+}
+
+TEST(CdSimTest, EmptyPopulationBucketsContributeNothing) {
+  // f_all = 0 in bucket 1: nothing to under-represent there, so only the
+  // fully-missed bucket 0 is taxed (1 of 2 buckets).
+  EXPECT_DOUBLE_EQ(CdSim({0.0, 1.0}, {1.0, 0.0}), 0.5);
+  EXPECT_DOUBLE_EQ(CdSim({1.0, 0.0}, {1.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(CdSim({0.0, 1.0}, {0.0, 1.0}), 1.0);
+}
+
+TEST(CdSimTest, PartialUnderRepresentation) {
+  // Bucket 0 at half its population share: tax = 0.5 / 2 buckets = 0.25.
+  EXPECT_DOUBLE_EQ(CdSim({0.25, 0.75}, {0.5, 0.5}), 0.75);
+}
+
+TEST(CdSimTest, RelativeTaxFavoursMissingFromLargeGroups) {
+  // Missing 0.1 of a 0.8 bucket is cheaper than 0.1 of a 0.15 bucket —
+  // "under-representations of larger groups are preferred".
+  const double large_miss = CdSim({0.7, 0.3}, {0.8, 0.2});
+  const double small_miss = CdSim({0.9, 0.05}, {0.85, 0.15});
+  EXPECT_GT(large_miss, small_miss);
+}
+
+TEST(CdSimTest, StaysWithinUnitIntervalForDistributions) {
+  for (double a : {0.0, 0.3, 0.7, 1.0}) {
+    const double sim = CdSim({a, 1.0 - a}, {0.4, 0.6});
+    EXPECT_GE(sim, 0.0);
+    EXPECT_LE(sim, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace podium::metrics

@@ -1,0 +1,129 @@
+#include "podium/metrics/opinion_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace podium::metrics {
+namespace {
+
+using opinion::DestinationId;
+using opinion::OpinionStore;
+using opinion::Review;
+using opinion::Sentiment;
+using opinion::TopicId;
+using opinion::TopicMention;
+
+/// One destination, four reviewers:
+///   u0: rating 5, service+  (useful 3)
+///   u1: rating 1, service-  (useful 0)
+///   u2: rating 5, price+    (useful 2)
+///   u3: rating 3, service+  (useful 1)
+struct Fixture {
+  OpinionStore store;
+  DestinationId d;
+  TopicId service;
+  TopicId price;
+
+  Fixture() {
+    d = store.AddDestination({"dest", "city", {"Mexican"}});
+    service = store.InternTopic("service");
+    price = store.InternTopic("price");
+    Add(0, 5, {{service, Sentiment::kPositive}}, 3);
+    Add(1, 1, {{service, Sentiment::kNegative}}, 0);
+    Add(2, 5, {{price, Sentiment::kPositive}}, 2);
+    Add(3, 3, {{service, Sentiment::kPositive}}, 1);
+  }
+
+  void Add(UserId user, int rating, std::vector<TopicMention> topics,
+           int useful) {
+    Review review;
+    review.user = user;
+    review.destination = d;
+    review.rating = rating;
+    review.topics = std::move(topics);
+    review.useful_votes = useful;
+    ASSERT_TRUE(store.AddReview(std::move(review)).ok());
+  }
+};
+
+TEST(OpinionMetricsTest, FullSelectionCoversEverything) {
+  Fixture f;
+  const OpinionMetrics m =
+      EvaluateDestination(f.store, f.d, {0, 1, 2, 3});
+  // Population pairs: service+/-, price+ -> 3 targets, all covered.
+  EXPECT_DOUBLE_EQ(m.topic_sentiment_coverage, 1.0);
+  EXPECT_DOUBLE_EQ(m.usefulness, 6.0);
+  EXPECT_DOUBLE_EQ(m.rating_distribution_similarity, 1.0);
+  EXPECT_EQ(m.procured_reviews, 4u);
+  // Ratings 5,1,5,3: mean 3.5, var = (1.5^2 + 2.5^2 + 1.5^2 + 0.5^2)/4.
+  EXPECT_DOUBLE_EQ(m.rating_variance, (2.25 + 6.25 + 2.25 + 0.25) / 4.0);
+}
+
+TEST(OpinionMetricsTest, PartialSelectionCoversPartially) {
+  Fixture f;
+  // {u0}: service+ only -> 1/3 of pairs.
+  const OpinionMetrics m = EvaluateDestination(f.store, f.d, {0});
+  EXPECT_NEAR(m.topic_sentiment_coverage, 1.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.usefulness, 3.0);
+  EXPECT_DOUBLE_EQ(m.rating_variance, 0.0);
+  EXPECT_EQ(m.procured_reviews, 1u);
+  // Rating histogram: population [1:0.25, 3:0.25, 5:0.5], subset all 5s.
+  // Under-representation tax = (0.25/0.25 + 0.25/0.25) / 5 = 0.4.
+  EXPECT_NEAR(m.rating_distribution_similarity, 0.6, 1e-9);
+}
+
+TEST(OpinionMetricsTest, DiverseSubsetBeatsUniformSubsetOnSimilarity) {
+  Fixture f;
+  const OpinionMetrics diverse = EvaluateDestination(f.store, f.d, {0, 1});
+  const OpinionMetrics uniform = EvaluateDestination(f.store, f.d, {0, 2});
+  EXPECT_GT(diverse.rating_distribution_similarity,
+            uniform.rating_distribution_similarity);
+  EXPECT_GT(diverse.rating_variance, uniform.rating_variance);
+}
+
+TEST(OpinionMetricsTest, NoProcuredReviewsScoresZero) {
+  Fixture f;
+  const OpinionMetrics m = EvaluateDestination(f.store, f.d, {99});
+  EXPECT_DOUBLE_EQ(m.topic_sentiment_coverage, 0.0);
+  EXPECT_DOUBLE_EQ(m.usefulness, 0.0);
+  EXPECT_DOUBLE_EQ(m.rating_distribution_similarity, 0.0);
+  EXPECT_DOUBLE_EQ(m.rating_variance, 0.0);
+  EXPECT_EQ(m.procured_reviews, 0u);
+}
+
+TEST(OpinionMetricsTest, PrevalenceThresholdFiltersRareTopics) {
+  Fixture f;
+  // "price" appears in 1 of 4 reviews (25%). With a 50% threshold only
+  // "service" pairs remain as targets.
+  OpinionMetricOptions options;
+  options.prevalent_topic_fraction = 0.5;
+  const OpinionMetrics m =
+      EvaluateDestination(f.store, f.d, {0, 1}, options);
+  EXPECT_DOUBLE_EQ(m.topic_sentiment_coverage, 1.0);  // service +/- covered
+}
+
+TEST(OpinionMetricsTest, AverageAcrossDestinations) {
+  Fixture f;
+  // A second destination reviewed only by u9.
+  const DestinationId d2 = f.store.AddDestination({"other", "city", {}});
+  Review review;
+  review.user = 9;
+  review.destination = d2;
+  review.rating = 4;
+  review.topics = {{f.service, Sentiment::kPositive}};
+  review.useful_votes = 7;
+  ASSERT_TRUE(f.store.AddReview(std::move(review)).ok());
+
+  const OpinionMetrics avg =
+      AverageOpinionMetrics(f.store, {f.d, d2}, {0, 1, 2, 3});
+  // d covered fully; d2 contributes zeros (u9 not selected).
+  EXPECT_DOUBLE_EQ(avg.topic_sentiment_coverage, 0.5);
+  EXPECT_DOUBLE_EQ(avg.usefulness, 3.0);  // (6 + 0) / 2
+  EXPECT_DOUBLE_EQ(avg.rating_distribution_similarity, 0.5);
+  EXPECT_EQ(avg.procured_reviews, 4u);
+
+  const OpinionMetrics empty = AverageOpinionMetrics(f.store, {}, {0});
+  EXPECT_DOUBLE_EQ(empty.topic_sentiment_coverage, 0.0);
+}
+
+}  // namespace
+}  // namespace podium::metrics

@@ -1,0 +1,131 @@
+#include "podium/metrics/procurement_experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "podium/baselines/random_selector.h"
+#include "podium/core/greedy.h"
+#include "podium/datagen/generator.h"
+
+namespace podium::metrics {
+namespace {
+
+TEST(SubRepositoryTest, ReindexesAndPreservesProfiles) {
+  ProfileRepository repo;
+  const UserId a = repo.AddUser("a").value();
+  const UserId b = repo.AddUser("b").value();
+  const UserId c = repo.AddUser("c").value();
+  ASSERT_TRUE(repo.SetScore(a, "x", 0.1).ok());
+  ASSERT_TRUE(repo.SetScore(b, "x", 0.2).ok());
+  ASSERT_TRUE(repo.SetScore(c, "y", 0.3).ok());
+
+  const ProfileRepository sub = SubRepository(repo, {c, a});
+  ASSERT_EQ(sub.user_count(), 2u);
+  EXPECT_EQ(sub.user(0).name(), "c");
+  EXPECT_EQ(sub.user(1).name(), "a");
+  // Property table is shared wholesale (same ids).
+  EXPECT_EQ(sub.property_count(), repo.property_count());
+  EXPECT_EQ(sub.user(0).Get(repo.properties().Find("y")), 0.3);
+  EXPECT_EQ(sub.user(1).Get(repo.properties().Find("x")), 0.1);
+}
+
+class ProcurementExperimentTest : public ::testing::Test {
+ protected:
+  ProcurementExperimentTest() {
+    datagen::DatasetConfig config;
+    config.num_users = 150;
+    config.num_restaurants = 200;
+    config.leaf_categories = 20;
+    config.num_cities = 5;
+    config.min_reviews_per_user = 8;
+    config.max_reviews_per_user = 40;
+    config.holdout_destinations = 6;
+    config.min_holdout_reviews = 8;
+    config.seed = 77;
+    data_ = std::move(datagen::GenerateDataset(config)).value();
+  }
+
+  datagen::Dataset data_;
+};
+
+TEST_F(ProcurementExperimentTest, SelectsAmongReviewersOnly) {
+  GreedySelector selector;
+  ProcurementOptions options;
+  options.budget = 4;
+  options.instance.budget = 4;
+  Result<ProcurementResult> result = RunProcurementExperiment(
+      data_.repository, data_.opinions, data_.holdout, selector, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_FALSE(result->per_destination.empty());
+
+  for (const DestinationOutcome& outcome : result->per_destination) {
+    EXPECT_LE(outcome.selected.size(), 4u);
+    // Every selected user actually reviewed the destination, so exactly
+    // that many reviews are procured.
+    EXPECT_EQ(outcome.metrics.procured_reviews, outcome.selected.size());
+    for (UserId u : outcome.selected) {
+      bool reviewed = false;
+      for (const opinion::Review& review :
+           data_.opinions.reviews_of(outcome.destination)) {
+        if (review.user == u) reviewed = true;
+      }
+      EXPECT_TRUE(reviewed);
+    }
+  }
+}
+
+TEST_F(ProcurementExperimentTest, AverageAggregatesPerDestinationMetrics) {
+  GreedySelector selector;
+  ProcurementOptions options;
+  options.budget = 4;
+  options.instance.budget = 4;
+  const ProcurementResult result =
+      RunProcurementExperiment(data_.repository, data_.opinions,
+                               data_.holdout, selector, options)
+          .value();
+  double coverage_sum = 0.0;
+  for (const DestinationOutcome& outcome : result.per_destination) {
+    coverage_sum += outcome.metrics.topic_sentiment_coverage;
+  }
+  EXPECT_NEAR(result.average.topic_sentiment_coverage,
+              coverage_sum /
+                  static_cast<double>(result.per_destination.size()),
+              1e-9);
+}
+
+TEST_F(ProcurementExperimentTest, WorksWithBaselineSelectors) {
+  baselines::RandomSelector selector(5);
+  ProcurementOptions options;
+  options.budget = 3;
+  options.instance.budget = 3;
+  Result<ProcurementResult> result = RunProcurementExperiment(
+      data_.repository, data_.opinions, data_.holdout, selector, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->per_destination.size(), data_.holdout.size());
+}
+
+TEST_F(ProcurementExperimentTest, SkipsDestinationsWithTooFewReviewers) {
+  // A fresh destination with one review cannot host a selection.
+  opinion::OpinionStore& store = data_.opinions;
+  const opinion::DestinationId lonely =
+      store.AddDestination({"lonely", "city", {}});
+  opinion::Review review;
+  review.user = 0;
+  review.destination = lonely;
+  review.rating = 4;
+  ASSERT_TRUE(store.AddReview(std::move(review)).ok());
+
+  GreedySelector selector;
+  ProcurementOptions options;
+  options.budget = 3;
+  options.instance.budget = 3;
+  std::vector<opinion::DestinationId> destinations = {lonely};
+  const ProcurementResult result =
+      RunProcurementExperiment(data_.repository, store, destinations,
+                               selector, options)
+          .value();
+  EXPECT_TRUE(result.per_destination.empty());
+  EXPECT_DOUBLE_EQ(result.average.topic_sentiment_coverage, 0.0);
+}
+
+}  // namespace
+}  // namespace podium::metrics

@@ -1,0 +1,101 @@
+#include "podium/opinion/opinion_store.h"
+
+#include <gtest/gtest.h>
+
+namespace podium::opinion {
+namespace {
+
+Review MakeReview(UserId user, DestinationId destination, int rating,
+                  std::vector<TopicMention> topics = {}, int useful = 0) {
+  Review review;
+  review.user = user;
+  review.destination = destination;
+  review.rating = rating;
+  review.topics = std::move(topics);
+  review.useful_votes = useful;
+  return review;
+}
+
+TEST(OpinionStoreTest, AddAndLookupDestinations) {
+  OpinionStore store;
+  const DestinationId d =
+      store.AddDestination({"Summer Pavilion", "Tokyo", {"Japanese"}});
+  EXPECT_EQ(store.destination_count(), 1u);
+  EXPECT_EQ(store.destination(d).name, "Summer Pavilion");
+  EXPECT_EQ(store.destination(d).city, "Tokyo");
+}
+
+TEST(OpinionStoreTest, TopicInterningIsIdempotent) {
+  OpinionStore store;
+  const TopicId a = store.InternTopic("service");
+  const TopicId b = store.InternTopic("price");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(store.InternTopic("service"), a);
+  EXPECT_EQ(store.topic_count(), 2u);
+  EXPECT_EQ(store.topic_name(a), "service");
+}
+
+TEST(OpinionStoreTest, AddReviewValidates) {
+  OpinionStore store;
+  const DestinationId d = store.AddDestination({"x", "y", {}});
+  const TopicId t = store.InternTopic("service");
+
+  EXPECT_TRUE(store.AddReview(MakeReview(0, d, 5)).ok());
+  EXPECT_FALSE(store.AddReview(MakeReview(0, 99, 5)).ok());  // bad dest
+  EXPECT_FALSE(store.AddReview(MakeReview(0, d, 0)).ok());   // bad rating
+  EXPECT_FALSE(store.AddReview(MakeReview(0, d, 6)).ok());
+  Review bad_topic = MakeReview(0, d, 3);
+  bad_topic.topics.push_back({static_cast<TopicId>(t + 10),
+                              Sentiment::kPositive});
+  EXPECT_FALSE(store.AddReview(bad_topic).ok());
+  EXPECT_EQ(store.review_count(), 1u);
+}
+
+TEST(OpinionStoreTest, ReviewsIndexedByDestination) {
+  OpinionStore store;
+  const DestinationId a = store.AddDestination({"a", "c1", {}});
+  const DestinationId b = store.AddDestination({"b", "c2", {}});
+  ASSERT_TRUE(store.AddReview(MakeReview(1, a, 5)).ok());
+  ASSERT_TRUE(store.AddReview(MakeReview(2, a, 3)).ok());
+  ASSERT_TRUE(store.AddReview(MakeReview(1, b, 1)).ok());
+  EXPECT_EQ(store.reviews_of(a).size(), 2u);
+  EXPECT_EQ(store.reviews_of(b).size(), 1u);
+  EXPECT_EQ(store.review_count(), 3u);
+}
+
+TEST(OpinionStoreTest, ProcuredReviewsFilterBySelectedUsers) {
+  OpinionStore store;
+  const DestinationId d = store.AddDestination({"d", "c", {}});
+  ASSERT_TRUE(store.AddReview(MakeReview(1, d, 5)).ok());
+  ASSERT_TRUE(store.AddReview(MakeReview(2, d, 3)).ok());
+  ASSERT_TRUE(store.AddReview(MakeReview(3, d, 1)).ok());
+
+  const std::vector<Review> procured = store.ProcuredReviews(d, {1, 3});
+  ASSERT_EQ(procured.size(), 2u);
+  EXPECT_EQ(procured[0].user, 1u);
+  EXPECT_EQ(procured[1].user, 3u);
+  EXPECT_TRUE(store.ProcuredReviews(d, {}).empty());
+}
+
+TEST(OpinionStoreTest, PopularDestinationsSortedByReviewCount) {
+  OpinionStore store;
+  const DestinationId a = store.AddDestination({"a", "c", {}});
+  const DestinationId b = store.AddDestination({"b", "c", {}});
+  const DestinationId c = store.AddDestination({"c", "c", {}});
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store.AddReview(MakeReview(i, b, 3)).ok());
+  }
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(store.AddReview(MakeReview(i, c, 3)).ok());
+  }
+  ASSERT_TRUE(store.AddReview(MakeReview(0, a, 3)).ok());
+
+  const auto popular = store.PopularDestinations(2);
+  ASSERT_EQ(popular.size(), 2u);
+  EXPECT_EQ(popular[0], b);
+  EXPECT_EQ(popular[1], c);
+  EXPECT_EQ(store.PopularDestinations(10).size(), 0u);
+}
+
+}  // namespace
+}  // namespace podium::opinion

@@ -1,0 +1,149 @@
+#include "podium/profile/repository_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "podium/json/parser.h"
+
+namespace podium {
+namespace {
+
+ProfileRepository MakeSample() {
+  ProfileRepository repo;
+  const UserId alice = repo.AddUser("Alice").value();
+  const UserId bob = repo.AddUser("Bob").value();
+  EXPECT_TRUE(repo.SetScore(alice, "livesIn Tokyo", 1.0,
+                            PropertyKind::kBoolean).ok());
+  EXPECT_TRUE(repo.SetScore(alice, "avgRating Mexican", 0.95).ok());
+  EXPECT_TRUE(repo.SetScore(bob, "avgRating Mexican", 0.3).ok());
+  EXPECT_TRUE(repo.SetScore(bob, "visitFreq CheapEats", 0.85).ok());
+  return repo;
+}
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void ExpectSameRepository(const ProfileRepository& a,
+                          const ProfileRepository& b) {
+  ASSERT_EQ(a.user_count(), b.user_count());
+  for (UserId u = 0; u < a.user_count(); ++u) {
+    const UserProfile& pa = a.user(u);
+    const UserId bu = b.FindUser(pa.name());
+    ASSERT_NE(bu, kInvalidUser) << pa.name();
+    const UserProfile& pb = b.user(bu);
+    ASSERT_EQ(pa.size(), pb.size()) << pa.name();
+    for (const PropertyScore& entry : pa.entries()) {
+      const std::string& label = a.properties().Label(entry.property);
+      const PropertyId bp = b.properties().Find(label);
+      ASSERT_NE(bp, kInvalidProperty) << label;
+      EXPECT_EQ(pb.Get(bp), entry.score) << label;
+      EXPECT_EQ(a.properties().Kind(entry.property), b.properties().Kind(bp))
+          << label;
+    }
+  }
+}
+
+TEST(RepositoryJsonTest, RoundTripsThroughValue) {
+  const ProfileRepository repo = MakeSample();
+  Result<ProfileRepository> back = RepositoryFromJson(RepositoryToJson(repo));
+  ASSERT_TRUE(back.ok()) << back.status();
+  ExpectSameRepository(repo, back.value());
+}
+
+TEST(RepositoryJsonTest, RoundTripsThroughFile) {
+  const std::string path = TempPath("podium_repo_test.json");
+  const ProfileRepository repo = MakeSample();
+  ASSERT_TRUE(SaveRepositoryJson(repo, path).ok());
+  Result<ProfileRepository> back = LoadRepositoryJson(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ExpectSameRepository(repo, back.value());
+  std::remove(path.c_str());
+}
+
+TEST(RepositoryJsonTest, AcceptsBooleanScores) {
+  Result<json::Value> doc = json::Parse(
+      R"({"users":[{"name":"A","properties":{"flag":true,"x":0.5}}]})");
+  ASSERT_TRUE(doc.ok());
+  Result<ProfileRepository> repo = RepositoryFromJson(doc.value());
+  ASSERT_TRUE(repo.ok()) << repo.status();
+  const PropertyId flag = repo->properties().Find("flag");
+  EXPECT_EQ(repo->properties().Kind(flag), PropertyKind::kBoolean);
+  EXPECT_EQ(repo->user(0).Get(flag), 1.0);
+}
+
+TEST(RepositoryJsonTest, RejectsMalformedDocuments) {
+  auto parse = [](const char* text) {
+    Result<json::Value> doc = json::Parse(text);
+    EXPECT_TRUE(doc.ok());
+    return RepositoryFromJson(doc.value());
+  };
+  EXPECT_FALSE(parse("[]").ok());                       // not an object
+  EXPECT_FALSE(parse("{}").ok());                       // no users
+  EXPECT_FALSE(parse(R"({"users":[{}]})").ok());        // user without name
+  EXPECT_FALSE(parse(R"({"users":[1]})").ok());         // user not an object
+  EXPECT_FALSE(
+      parse(R"({"users":[{"name":"A","properties":{"x":"high"}}]})").ok());
+  EXPECT_FALSE(
+      parse(R"({"users":[{"name":"A","properties":{"x":1.5}}]})").ok());
+  EXPECT_FALSE(
+      parse(R"({"users":[{"name":"A"},{"name":"A"}]})").ok());  // duplicate
+  EXPECT_FALSE(parse(R"({"users":[], "kinds":{"x":"weird"}})").ok());
+}
+
+TEST(RepositoryCsvTest, RoundTripsThroughFile) {
+  const std::string path = TempPath("podium_repo_test.csv");
+  const ProfileRepository repo = MakeSample();
+  ASSERT_TRUE(SaveRepositoryCsv(repo, path).ok());
+  Result<ProfileRepository> back = LoadRepositoryCsv(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ExpectSameRepository(repo, back.value());
+  std::remove(path.c_str());
+}
+
+TEST(RepositoryCsvTest, KindColumnIsOptional) {
+  const std::string path = TempPath("podium_kindless.csv");
+  {
+    std::ofstream out(path);
+    out << "user,property,score\nAlice,avgRating Mexican,0.95\n";
+  }
+  Result<ProfileRepository> repo = LoadRepositoryCsv(path);
+  ASSERT_TRUE(repo.ok()) << repo.status();
+  const PropertyId p = repo->properties().Find("avgRating Mexican");
+  EXPECT_EQ(repo->properties().Kind(p), PropertyKind::kScore);
+  EXPECT_EQ(repo->user(0).Get(p), 0.95);
+  std::remove(path.c_str());
+}
+
+TEST(RepositoryCsvTest, RejectsBadContent) {
+  const std::string path = TempPath("podium_bad.csv");
+  {
+    std::ofstream out(path);
+    out << "user,property,score\nAlice,p,not-a-number\n";
+  }
+  EXPECT_FALSE(LoadRepositoryCsv(path).ok());
+  {
+    std::ofstream out(path);
+    out << "who,what\nAlice,p\n";  // missing required columns
+  }
+  EXPECT_FALSE(LoadRepositoryCsv(path).ok());
+  {
+    std::ofstream out(path);
+    out << "user,property,score\nAlice,p,7\n";  // out of [0,1]
+  }
+  EXPECT_FALSE(LoadRepositoryCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(RepositoryIoTest, MissingFileIsIoError) {
+  EXPECT_EQ(LoadRepositoryJson("/nonexistent/path.json").status().code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(LoadRepositoryCsv("/nonexistent/path.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace podium

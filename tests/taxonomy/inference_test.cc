@@ -1,0 +1,174 @@
+#include "podium/taxonomy/inference.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace podium::taxonomy {
+namespace {
+
+Taxonomy MakeCuisine() {
+  Taxonomy tax;
+  EXPECT_TRUE(tax.AddEdge("Latin", "Food").ok());
+  EXPECT_TRUE(tax.AddEdge("Mexican", "Latin").ok());
+  EXPECT_TRUE(tax.AddEdge("Brazilian", "Latin").ok());
+  EXPECT_TRUE(tax.AddEdge("Asian", "Food").ok());
+  EXPECT_TRUE(tax.AddEdge("Japanese", "Asian").ok());
+  return tax;
+}
+
+double Score(const ProfileRepository& repo, UserId u, const char* label) {
+  const PropertyId p = repo.properties().Find(label);
+  EXPECT_NE(p, kInvalidProperty) << label;
+  const auto score = repo.user(u).Get(p);
+  EXPECT_TRUE(score.has_value()) << label;
+  return score.value_or(-1.0);
+}
+
+TEST(GeneralizationRuleTest, DerivesParentFromChildren) {
+  // Example 3.2: avgRating Mexican generalizes to avgRating Latin.
+  Taxonomy tax = MakeCuisine();
+  ProfileRepository repo;
+  const UserId alice = repo.AddUser("Alice").value();
+  ASSERT_TRUE(repo.SetScore(alice, "avgRating Mexican", 0.9).ok());
+  ASSERT_TRUE(repo.SetScore(alice, "avgRating Brazilian", 0.5).ok());
+
+  GeneralizationRule rule("avgRating ", &tax);
+  Result<std::size_t> added = rule.Apply(repo);
+  ASSERT_TRUE(added.ok()) << added.status();
+  // Latin (from 2 children) and Food (from Latin) are derived.
+  EXPECT_EQ(added.value(), 2u);
+  EXPECT_DOUBLE_EQ(Score(repo, alice, "avgRating Latin"), 0.7);
+  EXPECT_DOUBLE_EQ(Score(repo, alice, "avgRating Food"), 0.7);
+}
+
+TEST(GeneralizationRuleTest, DoesNotOverwriteObservedScores) {
+  Taxonomy tax = MakeCuisine();
+  ProfileRepository repo;
+  const UserId u = repo.AddUser("u").value();
+  ASSERT_TRUE(repo.SetScore(u, "avgRating Mexican", 0.9).ok());
+  ASSERT_TRUE(repo.SetScore(u, "avgRating Latin", 0.2).ok());  // observed
+
+  GeneralizationRule rule("avgRating ", &tax);
+  ASSERT_TRUE(rule.Apply(repo).ok());
+  EXPECT_DOUBLE_EQ(Score(repo, u, "avgRating Latin"), 0.2);
+  // Food derives from the observed Latin value, not the Mexican one.
+  EXPECT_DOUBLE_EQ(Score(repo, u, "avgRating Food"), 0.2);
+}
+
+TEST(GeneralizationRuleTest, MaxAggregation) {
+  Taxonomy tax = MakeCuisine();
+  ProfileRepository repo;
+  const UserId u = repo.AddUser("u").value();
+  ASSERT_TRUE(repo.SetScore(u, "avgRating Mexican", 0.9).ok());
+  ASSERT_TRUE(repo.SetScore(u, "avgRating Brazilian", 0.5).ok());
+
+  GeneralizationRule rule("avgRating ", &tax, Aggregation::kMax);
+  ASSERT_TRUE(rule.Apply(repo).ok());
+  EXPECT_DOUBLE_EQ(Score(repo, u, "avgRating Latin"), 0.9);
+}
+
+TEST(GeneralizationRuleTest, SupportWeightedMean) {
+  Taxonomy tax = MakeCuisine();
+  ProfileRepository repo;
+  const UserId a = repo.AddUser("a").value();
+  const UserId b = repo.AddUser("b").value();
+  // Mexican has support 2, Brazilian support 1.
+  ASSERT_TRUE(repo.SetScore(a, "avgRating Mexican", 1.0).ok());
+  ASSERT_TRUE(repo.SetScore(b, "avgRating Mexican", 0.5).ok());
+  ASSERT_TRUE(repo.SetScore(a, "avgRating Brazilian", 0.1).ok());
+
+  GeneralizationRule rule("avgRating ", &tax, Aggregation::kSupportMean);
+  ASSERT_TRUE(rule.Apply(repo).ok());
+  // a's Latin = (1.0*2 + 0.1*1) / 3 = 0.7.
+  EXPECT_DOUBLE_EQ(Score(repo, a, "avgRating Latin"), 0.7);
+}
+
+TEST(GeneralizationRuleTest, UntouchedUsersGetNothing) {
+  Taxonomy tax = MakeCuisine();
+  ProfileRepository repo;
+  repo.AddUser("empty").value();
+  GeneralizationRule rule("avgRating ", &tax);
+  Result<std::size_t> added = rule.Apply(repo);
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(added.value(), 0u);
+  EXPECT_TRUE(repo.user(0).empty());
+}
+
+TEST(FunctionalPropertyRuleTest, InfersFalsehoods) {
+  // Example 3.2: livesIn Tokyo = 1 implies livesIn X = 0 for X != Tokyo.
+  ProfileRepository repo;
+  const UserId alice = repo.AddUser("Alice").value();
+  ASSERT_TRUE(repo.SetScore(alice, "livesIn Tokyo", 1.0,
+                            PropertyKind::kBoolean).ok());
+
+  FunctionalPropertyRule rule("livesIn ", {"Tokyo", "NYC", "Paris"});
+  Result<std::size_t> added = rule.Apply(repo);
+  ASSERT_TRUE(added.ok()) << added.status();
+  EXPECT_EQ(added.value(), 2u);
+  EXPECT_DOUBLE_EQ(Score(repo, alice, "livesIn NYC"), 0.0);
+  EXPECT_DOUBLE_EQ(Score(repo, alice, "livesIn Paris"), 0.0);
+  EXPECT_DOUBLE_EQ(Score(repo, alice, "livesIn Tokyo"), 1.0);
+}
+
+TEST(FunctionalPropertyRuleTest, DiscoversDomainFromRepository) {
+  ProfileRepository repo;
+  const UserId a = repo.AddUser("a").value();
+  const UserId b = repo.AddUser("b").value();
+  ASSERT_TRUE(repo.SetScore(a, "livesIn Tokyo", 1.0).ok());
+  ASSERT_TRUE(repo.SetScore(b, "livesIn NYC", 1.0).ok());
+
+  FunctionalPropertyRule rule("livesIn ");
+  ASSERT_TRUE(rule.Apply(repo).ok());
+  EXPECT_DOUBLE_EQ(Score(repo, a, "livesIn NYC"), 0.0);
+  EXPECT_DOUBLE_EQ(Score(repo, b, "livesIn Tokyo"), 0.0);
+}
+
+TEST(FunctionalPropertyRuleTest, NoTrueValueMeansOpenWorld) {
+  ProfileRepository repo;
+  repo.AddUser("carol").value();
+  FunctionalPropertyRule rule("livesIn ", {"Tokyo", "NYC"});
+  Result<std::size_t> added = rule.Apply(repo);
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(added.value(), 0u);
+  EXPECT_TRUE(repo.user(0).empty());
+}
+
+TEST(FunctionalPropertyRuleTest, ConflictingTruthsFail) {
+  ProfileRepository repo;
+  const UserId u = repo.AddUser("u").value();
+  ASSERT_TRUE(repo.SetScore(u, "livesIn Tokyo", 1.0).ok());
+  ASSERT_TRUE(repo.SetScore(u, "livesIn NYC", 1.0).ok());
+  FunctionalPropertyRule rule("livesIn ", {"Tokyo", "NYC"});
+  Result<std::size_t> added = rule.Apply(repo);
+  ASSERT_FALSE(added.ok());
+  EXPECT_EQ(added.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EnricherTest, AppliesRulesInOrderAndToFixpoint) {
+  Taxonomy tax = MakeCuisine();
+  ProfileRepository repo;
+  const UserId u = repo.AddUser("u").value();
+  ASSERT_TRUE(repo.SetScore(u, "avgRating Mexican", 0.8).ok());
+  ASSERT_TRUE(repo.SetScore(u, "livesIn Tokyo", 1.0).ok());
+
+  Enricher enricher;
+  enricher.AddRule(std::make_unique<GeneralizationRule>("avgRating ", &tax));
+  enricher.AddRule(std::make_unique<FunctionalPropertyRule>(
+      "livesIn ", std::vector<std::string>{"Tokyo", "NYC"}));
+  EXPECT_EQ(enricher.rule_count(), 2u);
+
+  Result<std::size_t> added = enricher.ApplyToFixpoint(repo);
+  ASSERT_TRUE(added.ok()) << added.status();
+  EXPECT_EQ(added.value(), 3u);  // Latin, Food, livesIn NYC=0
+  EXPECT_DOUBLE_EQ(Score(repo, u, "avgRating Food"), 0.8);
+  EXPECT_DOUBLE_EQ(Score(repo, u, "livesIn NYC"), 0.0);
+
+  // Fixpoint: a second run adds nothing.
+  Result<std::size_t> again = enricher.Apply(repo);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), 0u);
+}
+
+}  // namespace
+}  // namespace podium::taxonomy

@@ -1,0 +1,116 @@
+#include "podium/taxonomy/taxonomy.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace podium::taxonomy {
+namespace {
+
+Taxonomy MakeCuisine() {
+  // Food -> {Latin, Asian}; Latin -> {Mexican, Brazilian}; Asian -> Japanese.
+  Taxonomy tax;
+  EXPECT_TRUE(tax.AddEdge("Latin", "Food").ok());
+  EXPECT_TRUE(tax.AddEdge("Asian", "Food").ok());
+  EXPECT_TRUE(tax.AddEdge("Mexican", "Latin").ok());
+  EXPECT_TRUE(tax.AddEdge("Brazilian", "Latin").ok());
+  EXPECT_TRUE(tax.AddEdge("Japanese", "Asian").ok());
+  return tax;
+}
+
+TEST(TaxonomyTest, AddCategoryIsIdempotent) {
+  Taxonomy tax;
+  const CategoryId a = tax.AddCategory("Mexican");
+  EXPECT_EQ(tax.AddCategory("Mexican"), a);
+  EXPECT_EQ(tax.size(), 1u);
+  EXPECT_EQ(tax.Name(a), "Mexican");
+}
+
+TEST(TaxonomyTest, FindMissing) {
+  Taxonomy tax;
+  EXPECT_EQ(tax.Find("ghost"), kInvalidCategory);
+}
+
+TEST(TaxonomyTest, ParentsAndChildren) {
+  Taxonomy tax = MakeCuisine();
+  const CategoryId latin = tax.Find("Latin");
+  const CategoryId mexican = tax.Find("Mexican");
+  ASSERT_EQ(tax.Parents(mexican).size(), 1u);
+  EXPECT_EQ(tax.Parents(mexican)[0], latin);
+  EXPECT_EQ(tax.Children(latin).size(), 2u);
+}
+
+TEST(TaxonomyTest, AncestorsAreTransitive) {
+  Taxonomy tax = MakeCuisine();
+  const auto ancestors = tax.Ancestors(tax.Find("Mexican"));
+  ASSERT_EQ(ancestors.size(), 2u);
+  EXPECT_EQ(ancestors[0], tax.Find("Latin"));
+  EXPECT_EQ(ancestors[1], tax.Find("Food"));
+}
+
+TEST(TaxonomyTest, DescendantsAreTransitive) {
+  Taxonomy tax = MakeCuisine();
+  const auto descendants = tax.Descendants(tax.Find("Food"));
+  EXPECT_EQ(descendants.size(), 5u);
+}
+
+TEST(TaxonomyTest, MultiParentDag) {
+  Taxonomy tax;
+  ASSERT_TRUE(tax.AddEdge("Fusion", "Asian").ok());
+  ASSERT_TRUE(tax.AddEdge("Fusion", "European").ok());
+  const auto ancestors = tax.Ancestors(tax.Find("Fusion"));
+  EXPECT_EQ(ancestors.size(), 2u);
+}
+
+TEST(TaxonomyTest, DiamondAncestorsDeduplicated) {
+  Taxonomy tax;
+  ASSERT_TRUE(tax.AddEdge("B", "Top").ok());
+  ASSERT_TRUE(tax.AddEdge("C", "Top").ok());
+  ASSERT_TRUE(tax.AddEdge("D", "B").ok());
+  ASSERT_TRUE(tax.AddEdge("D", "C").ok());
+  const auto ancestors = tax.Ancestors(tax.Find("D"));
+  EXPECT_EQ(ancestors.size(), 3u);  // B, C, Top once
+}
+
+TEST(TaxonomyTest, RejectsSelfEdge) {
+  Taxonomy tax;
+  const CategoryId a = tax.AddCategory("A");
+  EXPECT_FALSE(tax.AddEdge(a, a).ok());
+}
+
+TEST(TaxonomyTest, RejectsDuplicateEdge) {
+  Taxonomy tax;
+  ASSERT_TRUE(tax.AddEdge("A", "B").ok());
+  EXPECT_EQ(tax.AddEdge("A", "B").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(TaxonomyTest, RejectsCycles) {
+  Taxonomy tax;
+  ASSERT_TRUE(tax.AddEdge("A", "B").ok());
+  ASSERT_TRUE(tax.AddEdge("B", "C").ok());
+  EXPECT_FALSE(tax.AddEdge("C", "A").ok());  // would close the cycle
+}
+
+TEST(TaxonomyTest, RejectsOutOfRangeIds) {
+  Taxonomy tax;
+  tax.AddCategory("A");
+  EXPECT_FALSE(tax.AddEdge(CategoryId{0}, CategoryId{7}).ok());
+}
+
+TEST(TaxonomyTest, Roots) {
+  Taxonomy tax = MakeCuisine();
+  const auto roots = tax.Roots();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(tax.Name(roots[0]), "Food");
+}
+
+TEST(TaxonomyTest, IsAncestor) {
+  Taxonomy tax = MakeCuisine();
+  EXPECT_TRUE(tax.IsAncestor(tax.Find("Food"), tax.Find("Mexican")));
+  EXPECT_TRUE(tax.IsAncestor(tax.Find("Latin"), tax.Find("Mexican")));
+  EXPECT_FALSE(tax.IsAncestor(tax.Find("Mexican"), tax.Find("Latin")));
+  EXPECT_FALSE(tax.IsAncestor(tax.Find("Asian"), tax.Find("Mexican")));
+}
+
+}  // namespace
+}  // namespace podium::taxonomy

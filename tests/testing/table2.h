@@ -1,0 +1,93 @@
+#ifndef PODIUM_TESTS_TESTING_TABLE2_H_
+#define PODIUM_TESTS_TESTING_TABLE2_H_
+
+// The paper's running example: the five user profiles of Table 2 and the
+// bucketing of Example 3.8 (score properties split into low [0, 0.4),
+// medium [0.4, 0.65) and high [0.65, 1]).
+
+#include <vector>
+
+#include "podium/groups/group_index.h"
+#include "podium/profile/repository.h"
+
+namespace podium::testing {
+
+inline ProfileRepository MakeTable2Repository() {
+  ProfileRepository repo;
+  auto add = [&repo](const char* name) { return repo.AddUser(name).value(); };
+  const UserId alice = add("Alice");
+  const UserId bob = add("Bob");
+  const UserId carol = add("Carol");
+  const UserId david = add("David");
+  const UserId eve = add("Eve");
+
+  auto set = [&repo](UserId u, const char* label, double score,
+                     PropertyKind kind = PropertyKind::kScore) {
+    Status status = repo.SetScore(u, label, score, kind);
+    if (!status.ok()) std::abort();
+  };
+  constexpr PropertyKind kBool = PropertyKind::kBoolean;
+
+  set(alice, "livesIn Tokyo", 1.0, kBool);
+  set(alice, "ageGroup 50-64", 1.0, kBool);
+  set(alice, "avgRating Mexican", 0.95);
+  set(alice, "visitFreq Mexican", 0.8);
+  set(alice, "avgRating CheapEats", 0.1);
+  set(alice, "visitFreq CheapEats", 0.6);
+
+  set(bob, "livesIn NYC", 1.0, kBool);
+  set(bob, "avgRating Mexican", 0.3);
+  set(bob, "visitFreq Mexican", 0.25);
+  set(bob, "avgRating CheapEats", 0.9);
+  set(bob, "visitFreq CheapEats", 0.85);
+
+  set(carol, "livesIn Bali", 1.0, kBool);
+  set(carol, "ageGroup 50-64", 1.0, kBool);
+  set(carol, "avgRating CheapEats", 0.45);
+  set(carol, "visitFreq CheapEats", 0.2);
+
+  set(david, "livesIn Tokyo", 1.0, kBool);
+  set(david, "avgRating Mexican", 0.75);
+  set(david, "visitFreq Mexican", 0.6);
+
+  set(eve, "livesIn Paris", 1.0, kBool);
+  set(eve, "avgRating Mexican", 0.8);
+  set(eve, "visitFreq Mexican", 0.45);
+  set(eve, "avgRating CheapEats", 0.6);
+  set(eve, "visitFreq CheapEats", 0.3);
+
+  return repo;
+}
+
+/// Group definitions per Example 3.8: low/medium/high buckets for every
+/// score property, a "true" bucket for every boolean property.
+inline std::vector<GroupDef> MakeTable2GroupDefs(
+    const ProfileRepository& repo) {
+  std::vector<GroupDef> defs;
+  const PropertyTable& table = repo.properties();
+  const bucketing::Bucket low{0.0, 0.4, false, "low"};
+  const bucketing::Bucket medium{0.4, 0.65, false, "medium"};
+  const bucketing::Bucket high{0.65, 1.0, true, "high"};
+  const bucketing::Bucket truthy{0.5, 1.0, true, "true"};
+  for (PropertyId p = 0; p < table.size(); ++p) {
+    if (table.Kind(p) == PropertyKind::kBoolean) {
+      defs.push_back(GroupDef{p, truthy, table.Label(p)});
+    } else {
+      defs.push_back(GroupDef{p, low, "low " + table.Label(p)});
+      defs.push_back(GroupDef{p, medium, "medium " + table.Label(p)});
+      defs.push_back(GroupDef{p, high, "high " + table.Label(p)});
+    }
+  }
+  return defs;
+}
+
+inline GroupIndex MakeTable2Groups(const ProfileRepository& repo) {
+  Result<GroupIndex> index =
+      GroupIndex::FromDefs(repo, MakeTable2GroupDefs(repo));
+  if (!index.ok()) std::abort();
+  return std::move(index).value();
+}
+
+}  // namespace podium::testing
+
+#endif  // PODIUM_TESTS_TESTING_TABLE2_H_

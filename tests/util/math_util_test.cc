@@ -1,0 +1,55 @@
+#include "podium/util/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace podium::util {
+namespace {
+
+TEST(MeanTest, BasicAndEmpty) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(VarianceTest, PopulationVariance) {
+  EXPECT_DOUBLE_EQ(Variance({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 4.0);
+  EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+}
+
+TEST(StdDevTest, SquareRootOfVariance) {
+  EXPECT_DOUBLE_EQ(StdDev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.0);
+}
+
+TEST(QuantileTest, InterpolatesSortedValues) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 1.0 / 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted({}, 0.5), 0.0);
+}
+
+TEST(ClampTest, Clamps) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(AlmostEqualTest, Tolerance) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.001));
+  EXPECT_TRUE(AlmostEqual(1.0, 1.01, 0.1));
+}
+
+TEST(StableSumTest, CompensatesCancellation) {
+  // 1 + 1e-16 repeated: naive summation loses the small terms.
+  std::vector<double> values(1000, 1e-16);
+  values.insert(values.begin(), 1.0);
+  // The compensated sum is exact up to the final rounding of 1 + 1e-13
+  // into a double (~1.1e-16); a naive left-to-right sum would lose the
+  // entire 1e-13 tail instead.
+  EXPECT_NEAR(StableSum(values) - 1.0, 1000e-16, 2e-16);
+}
+
+}  // namespace
+}  // namespace podium::util

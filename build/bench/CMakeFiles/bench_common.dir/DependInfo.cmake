@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/common/experiments.cc" "bench/CMakeFiles/bench_common.dir/common/experiments.cc.o" "gcc" "bench/CMakeFiles/bench_common.dir/common/experiments.cc.o.d"
+  "/root/repo/bench/common/flags.cc" "bench/CMakeFiles/bench_common.dir/common/flags.cc.o" "gcc" "bench/CMakeFiles/bench_common.dir/common/flags.cc.o.d"
+  "/root/repo/bench/common/harness.cc" "bench/CMakeFiles/bench_common.dir/common/harness.cc.o" "gcc" "bench/CMakeFiles/bench_common.dir/common/harness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/podium.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_common.dir/common/experiments.cc.o"
+  "CMakeFiles/bench_common.dir/common/experiments.cc.o.d"
+  "CMakeFiles/bench_common.dir/common/flags.cc.o"
+  "CMakeFiles/bench_common.dir/common/flags.cc.o.d"
+  "CMakeFiles/bench_common.dir/common/harness.cc.o"
+  "CMakeFiles/bench_common.dir/common/harness.cc.o.d"
+  "libbench_common.a"
+  "libbench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

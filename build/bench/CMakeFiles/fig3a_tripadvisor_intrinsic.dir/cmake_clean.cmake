@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_tripadvisor_intrinsic.dir/fig3a_tripadvisor_intrinsic.cc.o"
+  "CMakeFiles/fig3a_tripadvisor_intrinsic.dir/fig3a_tripadvisor_intrinsic.cc.o.d"
+  "fig3a_tripadvisor_intrinsic"
+  "fig3a_tripadvisor_intrinsic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_tripadvisor_intrinsic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_tripadvisor_opinion.dir/fig3b_tripadvisor_opinion.cc.o"
+  "CMakeFiles/fig3b_tripadvisor_opinion.dir/fig3b_tripadvisor_opinion.cc.o.d"
+  "fig3b_tripadvisor_opinion"
+  "fig3b_tripadvisor_opinion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_tripadvisor_opinion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3c_yelp_intrinsic.dir/fig3c_yelp_intrinsic.cc.o"
+  "CMakeFiles/fig3c_yelp_intrinsic.dir/fig3c_yelp_intrinsic.cc.o.d"
+  "fig3c_yelp_intrinsic"
+  "fig3c_yelp_intrinsic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_yelp_intrinsic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

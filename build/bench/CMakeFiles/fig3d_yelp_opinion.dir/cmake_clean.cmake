@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3d_yelp_opinion.dir/fig3d_yelp_opinion.cc.o"
+  "CMakeFiles/fig3d_yelp_opinion.dir/fig3d_yelp_opinion.cc.o.d"
+  "fig3d_yelp_opinion"
+  "fig3d_yelp_opinion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3d_yelp_opinion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_customization.dir/fig4_customization.cc.o"
+  "CMakeFiles/fig4_customization.dir/fig4_customization.cc.o.d"
+  "fig4_customization"
+  "fig4_customization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_customization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_scalability_users.dir/fig5_scalability_users.cc.o"
+  "CMakeFiles/fig5_scalability_users.dir/fig5_scalability_users.cc.o.d"
+  "fig5_scalability_users"
+  "fig5_scalability_users.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_scalability_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

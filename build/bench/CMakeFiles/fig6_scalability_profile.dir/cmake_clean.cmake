@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_scalability_profile.dir/fig6_scalability_profile.cc.o"
+  "CMakeFiles/fig6_scalability_profile.dir/fig6_scalability_profile.cc.o.d"
+  "fig6_scalability_profile"
+  "fig6_scalability_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_scalability_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimal_approx.dir/optimal_approx.cc.o"
+  "CMakeFiles/optimal_approx.dir/optimal_approx.cc.o.d"
+  "optimal_approx"
+  "optimal_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimal_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panel_planner.dir/panel_planner.cc.o"
+  "CMakeFiles/panel_planner.dir/panel_planner.cc.o.d"
+  "panel_planner"
+  "panel_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panel_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_io.dir/profile_io.cc.o"
+  "CMakeFiles/profile_io.dir/profile_io.cc.o.d"
+  "profile_io"
+  "profile_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

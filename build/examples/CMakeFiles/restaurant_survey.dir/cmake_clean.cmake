@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restaurant_survey.dir/restaurant_survey.cc.o"
+  "CMakeFiles/restaurant_survey.dir/restaurant_survey.cc.o.d"
+  "restaurant_survey"
+  "restaurant_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restaurant_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

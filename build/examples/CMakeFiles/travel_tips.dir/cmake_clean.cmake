@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/travel_tips.dir/travel_tips.cc.o"
+  "CMakeFiles/travel_tips.dir/travel_tips.cc.o.d"
+  "travel_tips"
+  "travel_tips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/travel_tips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/podium/baselines/distance_selector.cc" "src/CMakeFiles/podium.dir/podium/baselines/distance_selector.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/baselines/distance_selector.cc.o.d"
+  "/root/repo/src/podium/baselines/kmeans_selector.cc" "src/CMakeFiles/podium.dir/podium/baselines/kmeans_selector.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/baselines/kmeans_selector.cc.o.d"
+  "/root/repo/src/podium/baselines/mmr_selector.cc" "src/CMakeFiles/podium.dir/podium/baselines/mmr_selector.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/baselines/mmr_selector.cc.o.d"
+  "/root/repo/src/podium/baselines/random_selector.cc" "src/CMakeFiles/podium.dir/podium/baselines/random_selector.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/baselines/random_selector.cc.o.d"
+  "/root/repo/src/podium/baselines/stratified_selector.cc" "src/CMakeFiles/podium.dir/podium/baselines/stratified_selector.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/baselines/stratified_selector.cc.o.d"
+  "/root/repo/src/podium/baselines/tmodel_selector.cc" "src/CMakeFiles/podium.dir/podium/baselines/tmodel_selector.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/baselines/tmodel_selector.cc.o.d"
+  "/root/repo/src/podium/bucketing/bucket.cc" "src/CMakeFiles/podium.dir/podium/bucketing/bucket.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/bucketing/bucket.cc.o.d"
+  "/root/repo/src/podium/bucketing/bucketizer.cc" "src/CMakeFiles/podium.dir/podium/bucketing/bucketizer.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/bucketing/bucketizer.cc.o.d"
+  "/root/repo/src/podium/bucketing/jenks.cc" "src/CMakeFiles/podium.dir/podium/bucketing/jenks.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/bucketing/jenks.cc.o.d"
+  "/root/repo/src/podium/bucketing/kde.cc" "src/CMakeFiles/podium.dir/podium/bucketing/kde.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/bucketing/kde.cc.o.d"
+  "/root/repo/src/podium/bucketing/kmeans1d.cc" "src/CMakeFiles/podium.dir/podium/bucketing/kmeans1d.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/bucketing/kmeans1d.cc.o.d"
+  "/root/repo/src/podium/core/configuration.cc" "src/CMakeFiles/podium.dir/podium/core/configuration.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/core/configuration.cc.o.d"
+  "/root/repo/src/podium/core/customization.cc" "src/CMakeFiles/podium.dir/podium/core/customization.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/core/customization.cc.o.d"
+  "/root/repo/src/podium/core/exhaustive.cc" "src/CMakeFiles/podium.dir/podium/core/exhaustive.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/core/exhaustive.cc.o.d"
+  "/root/repo/src/podium/core/explanation.cc" "src/CMakeFiles/podium.dir/podium/core/explanation.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/core/explanation.cc.o.d"
+  "/root/repo/src/podium/core/greedy.cc" "src/CMakeFiles/podium.dir/podium/core/greedy.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/core/greedy.cc.o.d"
+  "/root/repo/src/podium/core/html_report.cc" "src/CMakeFiles/podium.dir/podium/core/html_report.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/core/html_report.cc.o.d"
+  "/root/repo/src/podium/core/instance.cc" "src/CMakeFiles/podium.dir/podium/core/instance.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/core/instance.cc.o.d"
+  "/root/repo/src/podium/core/refinement.cc" "src/CMakeFiles/podium.dir/podium/core/refinement.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/core/refinement.cc.o.d"
+  "/root/repo/src/podium/core/score.cc" "src/CMakeFiles/podium.dir/podium/core/score.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/core/score.cc.o.d"
+  "/root/repo/src/podium/core/threshold.cc" "src/CMakeFiles/podium.dir/podium/core/threshold.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/core/threshold.cc.o.d"
+  "/root/repo/src/podium/csv/csv.cc" "src/CMakeFiles/podium.dir/podium/csv/csv.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/csv/csv.cc.o.d"
+  "/root/repo/src/podium/datagen/config.cc" "src/CMakeFiles/podium.dir/podium/datagen/config.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/datagen/config.cc.o.d"
+  "/root/repo/src/podium/datagen/generator.cc" "src/CMakeFiles/podium.dir/podium/datagen/generator.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/datagen/generator.cc.o.d"
+  "/root/repo/src/podium/datagen/persona.cc" "src/CMakeFiles/podium.dir/podium/datagen/persona.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/datagen/persona.cc.o.d"
+  "/root/repo/src/podium/datagen/vocabularies.cc" "src/CMakeFiles/podium.dir/podium/datagen/vocabularies.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/datagen/vocabularies.cc.o.d"
+  "/root/repo/src/podium/groups/complex_group.cc" "src/CMakeFiles/podium.dir/podium/groups/complex_group.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/groups/complex_group.cc.o.d"
+  "/root/repo/src/podium/groups/coverage.cc" "src/CMakeFiles/podium.dir/podium/groups/coverage.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/groups/coverage.cc.o.d"
+  "/root/repo/src/podium/groups/group_index.cc" "src/CMakeFiles/podium.dir/podium/groups/group_index.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/groups/group_index.cc.o.d"
+  "/root/repo/src/podium/groups/weight.cc" "src/CMakeFiles/podium.dir/podium/groups/weight.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/groups/weight.cc.o.d"
+  "/root/repo/src/podium/ingest/yelp.cc" "src/CMakeFiles/podium.dir/podium/ingest/yelp.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/ingest/yelp.cc.o.d"
+  "/root/repo/src/podium/json/parser.cc" "src/CMakeFiles/podium.dir/podium/json/parser.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/json/parser.cc.o.d"
+  "/root/repo/src/podium/json/value.cc" "src/CMakeFiles/podium.dir/podium/json/value.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/json/value.cc.o.d"
+  "/root/repo/src/podium/json/writer.cc" "src/CMakeFiles/podium.dir/podium/json/writer.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/json/writer.cc.o.d"
+  "/root/repo/src/podium/metrics/cd_sim.cc" "src/CMakeFiles/podium.dir/podium/metrics/cd_sim.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/metrics/cd_sim.cc.o.d"
+  "/root/repo/src/podium/metrics/intrinsic.cc" "src/CMakeFiles/podium.dir/podium/metrics/intrinsic.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/metrics/intrinsic.cc.o.d"
+  "/root/repo/src/podium/metrics/opinion_metrics.cc" "src/CMakeFiles/podium.dir/podium/metrics/opinion_metrics.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/metrics/opinion_metrics.cc.o.d"
+  "/root/repo/src/podium/metrics/procurement_experiment.cc" "src/CMakeFiles/podium.dir/podium/metrics/procurement_experiment.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/metrics/procurement_experiment.cc.o.d"
+  "/root/repo/src/podium/opinion/opinion_store.cc" "src/CMakeFiles/podium.dir/podium/opinion/opinion_store.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/opinion/opinion_store.cc.o.d"
+  "/root/repo/src/podium/profile/property.cc" "src/CMakeFiles/podium.dir/podium/profile/property.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/profile/property.cc.o.d"
+  "/root/repo/src/podium/profile/repository.cc" "src/CMakeFiles/podium.dir/podium/profile/repository.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/profile/repository.cc.o.d"
+  "/root/repo/src/podium/profile/repository_io.cc" "src/CMakeFiles/podium.dir/podium/profile/repository_io.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/profile/repository_io.cc.o.d"
+  "/root/repo/src/podium/profile/user_profile.cc" "src/CMakeFiles/podium.dir/podium/profile/user_profile.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/profile/user_profile.cc.o.d"
+  "/root/repo/src/podium/taxonomy/inference.cc" "src/CMakeFiles/podium.dir/podium/taxonomy/inference.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/taxonomy/inference.cc.o.d"
+  "/root/repo/src/podium/taxonomy/taxonomy.cc" "src/CMakeFiles/podium.dir/podium/taxonomy/taxonomy.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/taxonomy/taxonomy.cc.o.d"
+  "/root/repo/src/podium/util/math_util.cc" "src/CMakeFiles/podium.dir/podium/util/math_util.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/util/math_util.cc.o.d"
+  "/root/repo/src/podium/util/rng.cc" "src/CMakeFiles/podium.dir/podium/util/rng.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/util/rng.cc.o.d"
+  "/root/repo/src/podium/util/status.cc" "src/CMakeFiles/podium.dir/podium/util/status.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/util/status.cc.o.d"
+  "/root/repo/src/podium/util/string_util.cc" "src/CMakeFiles/podium.dir/podium/util/string_util.cc.o" "gcc" "src/CMakeFiles/podium.dir/podium/util/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bucketing_test.dir/bucketing/bucket_test.cc.o"
+  "CMakeFiles/bucketing_test.dir/bucketing/bucket_test.cc.o.d"
+  "CMakeFiles/bucketing_test.dir/bucketing/bucketizer_test.cc.o"
+  "CMakeFiles/bucketing_test.dir/bucketing/bucketizer_test.cc.o.d"
+  "bucketing_test"
+  "bucketing_test.pdb"
+  "bucketing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bucketing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

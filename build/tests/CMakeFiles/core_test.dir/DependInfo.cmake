@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/configuration_test.cc" "tests/CMakeFiles/core_test.dir/core/configuration_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/configuration_test.cc.o.d"
+  "/root/repo/tests/core/customization_test.cc" "tests/CMakeFiles/core_test.dir/core/customization_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/customization_test.cc.o.d"
+  "/root/repo/tests/core/exhaustive_test.cc" "tests/CMakeFiles/core_test.dir/core/exhaustive_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/exhaustive_test.cc.o.d"
+  "/root/repo/tests/core/explanation_test.cc" "tests/CMakeFiles/core_test.dir/core/explanation_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/explanation_test.cc.o.d"
+  "/root/repo/tests/core/greedy_test.cc" "tests/CMakeFiles/core_test.dir/core/greedy_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/greedy_test.cc.o.d"
+  "/root/repo/tests/core/html_report_test.cc" "tests/CMakeFiles/core_test.dir/core/html_report_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/html_report_test.cc.o.d"
+  "/root/repo/tests/core/instance_test.cc" "tests/CMakeFiles/core_test.dir/core/instance_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/instance_test.cc.o.d"
+  "/root/repo/tests/core/randomization_test.cc" "tests/CMakeFiles/core_test.dir/core/randomization_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/randomization_test.cc.o.d"
+  "/root/repo/tests/core/refinement_test.cc" "tests/CMakeFiles/core_test.dir/core/refinement_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/refinement_test.cc.o.d"
+  "/root/repo/tests/core/running_example_test.cc" "tests/CMakeFiles/core_test.dir/core/running_example_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/running_example_test.cc.o.d"
+  "/root/repo/tests/core/threshold_test.cc" "tests/CMakeFiles/core_test.dir/core/threshold_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/threshold_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/podium.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/configuration_test.cc.o"
+  "CMakeFiles/core_test.dir/core/configuration_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/customization_test.cc.o"
+  "CMakeFiles/core_test.dir/core/customization_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/exhaustive_test.cc.o"
+  "CMakeFiles/core_test.dir/core/exhaustive_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/explanation_test.cc.o"
+  "CMakeFiles/core_test.dir/core/explanation_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/greedy_test.cc.o"
+  "CMakeFiles/core_test.dir/core/greedy_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/html_report_test.cc.o"
+  "CMakeFiles/core_test.dir/core/html_report_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/instance_test.cc.o"
+  "CMakeFiles/core_test.dir/core/instance_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/randomization_test.cc.o"
+  "CMakeFiles/core_test.dir/core/randomization_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/refinement_test.cc.o"
+  "CMakeFiles/core_test.dir/core/refinement_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/running_example_test.cc.o"
+  "CMakeFiles/core_test.dir/core/running_example_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/threshold_test.cc.o"
+  "CMakeFiles/core_test.dir/core/threshold_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groups_test.dir/groups/complex_group_test.cc.o"
+  "CMakeFiles/groups_test.dir/groups/complex_group_test.cc.o.d"
+  "CMakeFiles/groups_test.dir/groups/group_index_test.cc.o"
+  "CMakeFiles/groups_test.dir/groups/group_index_test.cc.o.d"
+  "CMakeFiles/groups_test.dir/groups/weight_coverage_test.cc.o"
+  "CMakeFiles/groups_test.dir/groups/weight_coverage_test.cc.o.d"
+  "groups_test"
+  "groups_test.pdb"
+  "groups_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groups_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

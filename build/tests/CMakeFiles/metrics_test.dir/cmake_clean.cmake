@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_test.dir/metrics/cd_sim_test.cc.o"
+  "CMakeFiles/metrics_test.dir/metrics/cd_sim_test.cc.o.d"
+  "CMakeFiles/metrics_test.dir/metrics/intrinsic_test.cc.o"
+  "CMakeFiles/metrics_test.dir/metrics/intrinsic_test.cc.o.d"
+  "CMakeFiles/metrics_test.dir/metrics/opinion_metrics_test.cc.o"
+  "CMakeFiles/metrics_test.dir/metrics/opinion_metrics_test.cc.o.d"
+  "CMakeFiles/metrics_test.dir/metrics/procurement_experiment_test.cc.o"
+  "CMakeFiles/metrics_test.dir/metrics/procurement_experiment_test.cc.o.d"
+  "metrics_test"
+  "metrics_test.pdb"
+  "metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

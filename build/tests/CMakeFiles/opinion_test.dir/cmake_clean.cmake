@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opinion_test.dir/opinion/opinion_store_test.cc.o"
+  "CMakeFiles/opinion_test.dir/opinion/opinion_store_test.cc.o.d"
+  "opinion_test"
+  "opinion_test.pdb"
+  "opinion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opinion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/podium_cli.dir/podium_cli.cc.o"
+  "CMakeFiles/podium_cli.dir/podium_cli.cc.o.d"
+  "podium"
+  "podium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/podium_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

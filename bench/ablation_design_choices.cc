@@ -13,7 +13,7 @@
 //      [20]) and the T-Model (Table 1's predicted-coverage row), against
 //      Podium on the intrinsic metrics.
 //
-// Flags: --users --restaurants --leaves --budget --seed
+// Flags: --users --restaurants --leaves --budget --seed --telemetry-out
 
 #include <cstdio>
 #include <cstdlib>
@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.Int("leaves", 160));
   config.seed = static_cast<std::uint64_t>(flags.Int("seed", 7));
   const auto budget = static_cast<std::size_t>(flags.Int("budget", 8));
+  const std::string telemetry_out = podium::bench::InitTelemetry(flags);
   flags.CheckConsumed();
 
   podium::bench::PrintBanner("Ablation — Podium design choices",
@@ -214,5 +215,6 @@ int main(int argc, char** argv) {
         "high-dimensional groups; MMR diversifies by distance and\n"
         "misses coverage, like the distance-based baseline.\n");
   }
+  podium::bench::FinishTelemetry(telemetry_out);
   return 0;
 }

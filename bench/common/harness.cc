@@ -8,9 +8,39 @@
 #include "podium/baselines/kmeans_selector.h"
 #include "podium/baselines/random_selector.h"
 #include "podium/core/greedy.h"
+#include "podium/telemetry/export.h"
+#include "podium/telemetry/phase.h"
+#include "podium/telemetry/telemetry.h"
 #include "podium/util/stopwatch.h"
 
 namespace podium::bench {
+
+namespace {
+
+/// Selector-internal setup seconds recorded in `tree` (the phase names the
+/// GreedySelector emits before its selection loop).
+double SetupSeconds(const telemetry::PhaseStats& tree) {
+  return telemetry::SumPhaseSeconds(tree, "greedy.setup") +
+         telemetry::SumPhaseSeconds(tree, "greedy.init");
+}
+
+}  // namespace
+
+std::string InitTelemetry(Flags& flags) {
+  telemetry::SetEnabled(true);
+  return flags.String("telemetry-out", "");
+}
+
+void FinishTelemetry(const std::string& path) {
+  if (path.empty()) return;
+  const Status status = telemetry::WriteTelemetryJson(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "telemetry export failed: %s\n",
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("\nwrote telemetry to %s\n", path.c_str());
+}
 
 std::vector<std::unique_ptr<Selector>> StandardSelectors(std::uint64_t seed) {
   std::vector<std::unique_ptr<Selector>> selectors;
@@ -28,16 +58,28 @@ std::vector<TimedSelection> RunSelectors(
     const DiversificationInstance& instance, std::size_t budget) {
   std::vector<TimedSelection> results;
   for (const auto& selector : selectors) {
+    const bool split_phases = telemetry::Enabled();
+    double setup_before = 0.0;
+    if (split_phases) setup_before = SetupSeconds(telemetry::PhaseTreeSnapshot());
     util::Stopwatch stopwatch;
-    Result<Selection> selection = selector->Select(instance, budget);
+    Result<Selection> selection = [&] {
+      telemetry::PhaseSpan span("select." + selector->Name());
+      return selector->Select(instance, budget);
+    }();
     const double seconds = stopwatch.ElapsedSeconds();
     if (!selection.ok()) {
       std::fprintf(stderr, "%s failed: %s\n", selector->Name().c_str(),
                    selection.status().ToString().c_str());
       std::exit(1);
     }
-    results.push_back(TimedSelection{selector->Name(),
-                                     std::move(selection).value(), seconds});
+    TimedSelection timed{selector->Name(), std::move(selection).value(),
+                         seconds, 0.0, seconds};
+    if (split_phases) {
+      timed.setup_seconds =
+          SetupSeconds(telemetry::PhaseTreeSnapshot()) - setup_before;
+      timed.select_seconds = seconds - timed.setup_seconds;
+    }
+    results.push_back(std::move(timed));
   }
   return results;
 }

@@ -6,10 +6,22 @@
 #include <string>
 #include <vector>
 
+#include "bench/common/flags.h"
 #include "podium/core/instance.h"
 #include "podium/core/selection.h"
 
 namespace podium::bench {
+
+/// Experiment-binary telemetry wiring: enables podium::telemetry (phase
+/// spans, counters, greedy tracing) and consumes the --telemetry-out flag.
+/// Returns the flag's value — the path the JSON export should be written
+/// to — or "" when the flag was absent. Call before CheckConsumed().
+std::string InitTelemetry(Flags& flags);
+
+/// When `path` is non-empty, writes the telemetry JSON export (schema in
+/// DESIGN.md §"Telemetry & profiling") to it and prints a note. Call at
+/// the end of main().
+void FinishTelemetry(const std::string& path);
 
 /// The four standard selectors of Section 8.3 (Podium + the baselines),
 /// ready to run over one instance.
@@ -19,7 +31,16 @@ std::vector<std::unique_ptr<Selector>> StandardSelectors(std::uint64_t seed);
 struct TimedSelection {
   std::string name;
   Selection selection;
+  /// Whole Select() call, wall clock.
   double seconds = 0.0;
+  /// The selector's internal pre-algorithm work (pool materialization,
+  /// rank tables, marginal-gain initialization), measured via phase spans.
+  /// 0 for uninstrumented selectors or when telemetry is disabled.
+  double setup_seconds = 0.0;
+  /// `seconds - setup_seconds`: the algorithm proper. Scalability figures
+  /// report this so instance-construction cost is not attributed to the
+  /// selection loop.
+  double select_seconds = 0.0;
 };
 
 /// Runs every selector on the instance; aborts on error (experiment

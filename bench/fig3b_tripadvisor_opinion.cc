@@ -7,7 +7,7 @@
 // reviews are scored for topic+sentiment coverage, rating-distribution
 // similarity (CD-sim) and rating variance, averaged over destinations.
 //
-// Flags: --users --restaurants --leaves --budget --holdout --seed --bucket --reps
+// Flags: --users --restaurants --leaves --budget --holdout --seed --bucket --reps --telemetry-out
 
 #include "bench/common/experiments.h"
 #include "bench/common/flags.h"
@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   const auto budget = static_cast<std::size_t>(flags.Int("budget", 8));
   const std::string bucket_method = flags.String("bucket", "quantile");
   const auto reps = static_cast<std::size_t>(flags.Int("reps", 3));
+  const std::string telemetry_out = podium::bench::InitTelemetry(flags);
   flags.CheckConsumed();
 
   podium::bench::PrintBanner(
@@ -39,5 +40,6 @@ int main(int argc, char** argv) {
                                       /*report_usefulness=*/false,
                                       /*selector_seed=*/config.seed + 1,
                                       bucket_method, reps);
+  podium::bench::FinishTelemetry(telemetry_out);
   return 0;
 }

@@ -6,7 +6,7 @@
 // default is 20000 so the whole harness stays minutes-scale on one core —
 // pass --users=60000 to match the paper.
 //
-// Flags: --users --restaurants --leaves --budget --topk --seed --bucket --reps
+// Flags: --users --restaurants --leaves --budget --topk --seed --bucket --reps --telemetry-out
 
 #include "bench/common/experiments.h"
 #include "bench/common/flags.h"
@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   const auto top_k = static_cast<std::size_t>(flags.Int("topk", 200));
   const std::string bucket_method = flags.String("bucket", "quantile");
   const auto reps = static_cast<std::size_t>(flags.Int("reps", 3));
+  const std::string telemetry_out = podium::bench::InitTelemetry(flags);
   flags.CheckConsumed();
 
   podium::bench::PrintBanner(
@@ -36,5 +37,6 @@ int main(int argc, char** argv) {
   podium::bench::RunIntrinsicExperiment(config, budget, top_k,
                                         /*selector_seed=*/config.seed + 1,
                                         bucket_method, reps);
+  podium::bench::FinishTelemetry(telemetry_out);
   return 0;
 }

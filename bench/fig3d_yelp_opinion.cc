@@ -4,7 +4,7 @@
 // destinations averaging ~1730 reviews) and including the Yelp-only
 // usefulness metric (sum of useful votes over procured reviews).
 //
-// Flags: --users --restaurants --leaves --budget --holdout --seed --bucket --reps
+// Flags: --users --restaurants --leaves --budget --holdout --seed --bucket --reps --telemetry-out
 
 #include "bench/common/experiments.h"
 #include "bench/common/flags.h"
@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   const auto budget = static_cast<std::size_t>(flags.Int("budget", 8));
   const std::string bucket_method = flags.String("bucket", "quantile");
   const auto reps = static_cast<std::size_t>(flags.Int("reps", 3));
+  const std::string telemetry_out = podium::bench::InitTelemetry(flags);
   flags.CheckConsumed();
 
   podium::bench::PrintBanner(
@@ -35,5 +36,6 @@ int main(int argc, char** argv) {
                                       /*report_usefulness=*/true,
                                       /*selector_seed=*/config.seed + 1,
                                       bucket_method, reps);
+  podium::bench::FinishTelemetry(telemetry_out);
   return 0;
 }

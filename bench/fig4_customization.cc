@@ -8,7 +8,7 @@
 // baseline for comparison. The paper runs this at 30K users; the default
 // is 8000 for runtime (pass --users=30000 to match).
 //
-// Flags: --users --restaurants --leaves --budget --reps --seed
+// Flags: --users --restaurants --leaves --budget --reps --seed --telemetry-out
 
 #include <cstdio>
 #include <cstdlib>
@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
   config.seed = static_cast<std::uint64_t>(flags.Int("seed", config.seed));
   const auto budget = static_cast<std::size_t>(flags.Int("budget", 8));
   const auto reps = static_cast<std::size_t>(flags.Int("reps", 20));
+  const std::string telemetry_out = podium::bench::InitTelemetry(flags);
   flags.CheckConsumed();
 
   podium::bench::PrintBanner(
@@ -122,5 +123,6 @@ int main(int argc, char** argv) {
       "\nExpected shape (paper): intrinsic metrics dip only slightly as "
       "|Gd| grows; feedback coverage drops significantly with more "
       "priority groups.\n");
+  podium::bench::FinishTelemetry(telemetry_out);
   return 0;
 }

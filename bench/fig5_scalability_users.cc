@@ -7,7 +7,7 @@
 // The Optimal baseline is exponential and reported separately by
 // bench/optimal_approx.
 //
-// Flags: --budget --seed --max_users
+// Flags: --budget --seed --max_users --telemetry-out
 
 #include <cstdio>
 #include <cstdlib>
@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.Int("seed", 7));
   const auto max_users =
       static_cast<std::size_t>(flags.Int("max_users", 16000));
+  const std::string telemetry_out = podium::bench::InitTelemetry(flags);
   flags.CheckConsumed();
 
   podium::bench::PrintBanner(
@@ -77,8 +78,10 @@ int main(int argc, char** argv) {
         podium::bench::RunSelectors(selectors, instance, budget);
     // Column order: Podium, Random, Clustering, Distance (per
     // StandardSelectors), plus the offline grouping time for context.
+    // select_seconds excludes selector-internal setup (pool and rank-table
+    // construction) so the column tracks the selection loop itself.
     std::vector<double> row;
-    for (const auto& run : runs) row.push_back(run.seconds);
+    for (const auto& run : runs) row.push_back(run.select_seconds);
     row.push_back(grouping_seconds);
     cells.push_back(row);
     row_labels.push_back(podium::util::StringPrintf(
@@ -93,5 +96,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpected shape (paper): Podium and Distance grow linearly in |U| "
       "and run well below Clustering.\n");
+  podium::bench::FinishTelemetry(telemetry_out);
   return 0;
 }

@@ -13,6 +13,8 @@
 #include "podium/json/writer.h"
 #include "podium/metrics/cd_sim.h"
 #include "podium/profile/repository_io.h"
+#include "podium/telemetry/export.h"
+#include "podium/telemetry/telemetry.h"
 #include "podium/util/rng.h"
 
 namespace podium {
@@ -65,6 +67,28 @@ void BM_GreedySelect(benchmark::State& state) {
 }
 BENCHMARK(BM_GreedySelect)
     ->ArgsProduct({{0, 1}, {8, 32}})
+    ->Unit(benchmark::kMillisecond);
+
+// Telemetry overhead on the greedy hot path: arg 0 runs with telemetry
+// disabled (the library default — one relaxed atomic load per
+// instrumented site), arg 1 with phase spans + counters + tracing live.
+// The disabled row must stay within noise of BM_GreedySelect.
+void BM_GreedySelectTelemetry(benchmark::State& state) {
+  const DiversificationInstance& instance = SharedInstance();
+  GreedyOptions options;
+  options.mode = GreedyMode::kLazyHeap;
+  GreedySelector selector(options);
+  telemetry::SetEnabled(state.range(0) == 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.Select(instance, 8));
+  }
+  telemetry::SetEnabled(false);
+  telemetry::ResetAllTelemetry();
+  state.SetLabel(state.range(0) == 1 ? "telemetry:on" : "telemetry:off");
+}
+BENCHMARK(BM_GreedySelectTelemetry)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 void BM_DistanceSelect(benchmark::State& state) {

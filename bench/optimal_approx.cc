@@ -8,7 +8,7 @@
 // hardware; absolute numbers differ here, the blow-up shape is the
 // point).
 //
-// Flags: --seed --max_users --max_budget
+// Flags: --seed --max_users --max_budget --telemetry-out
 
 #include <cstdio>
 #include <cstdlib>
@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
   const auto max_users = static_cast<std::size_t>(flags.Int("max_users", 40));
   const auto max_budget =
       static_cast<std::size_t>(flags.Int("max_budget", 5));
+  const std::string telemetry_out = podium::bench::InitTelemetry(flags);
   flags.CheckConsumed();
 
   podium::bench::PrintBanner(
@@ -94,5 +95,6 @@ int main(int argc, char** argv) {
       "\nworst observed ratio: %.4f (guarantee: %.4f; paper observes "
       "~0.998 at 5-of-40)\n",
       worst_ratio, 1.0 - 1.0 / 2.718281828459045);
+  podium::bench::FinishTelemetry(telemetry_out);
   return 0;
 }

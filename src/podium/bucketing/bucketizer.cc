@@ -4,9 +4,29 @@
 #include <cmath>
 
 #include "podium/bucketing/internal.h"
+#include "podium/telemetry/phase.h"
+#include "podium/telemetry/telemetry.h"
 #include "podium/util/math_util.h"
 
 namespace podium::bucketing {
+
+namespace {
+
+/// Per-split accounting shared by every bucketizer: one counter increment
+/// per Split() call plus a histogram of input sizes, so group derivation
+/// cost can be traced back to the score distributions that drove it.
+void RecordSplit(std::string_view method, std::size_t num_values) {
+  if (!telemetry::Enabled()) return;
+  auto& registry = telemetry::MetricsRegistry::Global();
+  registry.counter(std::string("bucketizer.splits.") + std::string(method))
+      .Add();
+  registry
+      .histogram("bucketizer.split_input_values",
+                 {10.0, 100.0, 1000.0, 10000.0, 100000.0, 1000000.0})
+      .Observe(static_cast<double>(num_values));
+}
+
+}  // namespace
 
 namespace internal {
 
@@ -90,6 +110,8 @@ void CompressWeighted(const std::vector<double>& sorted_values,
 Result<std::vector<Bucket>> EqualWidthBucketizer::Split(
     std::vector<double> values, int max_buckets) const {
   PODIUM_RETURN_IF_ERROR(internal::ValidateSplitInput(values, max_buckets));
+  RecordSplit("equal-width", values.size());
+  telemetry::PhaseSpan span("bucketize.equal-width");
   std::vector<double> breakpoints;
   for (int i = 1; i < max_buckets; ++i) {
     breakpoints.push_back(static_cast<double>(i) /
@@ -101,6 +123,8 @@ Result<std::vector<Bucket>> EqualWidthBucketizer::Split(
 Result<std::vector<Bucket>> QuantileBucketizer::Split(
     std::vector<double> values, int max_buckets) const {
   PODIUM_RETURN_IF_ERROR(internal::ValidateSplitInput(values, max_buckets));
+  RecordSplit("quantile", values.size());
+  telemetry::PhaseSpan span("bucketize.quantile");
   if (internal::Degenerate(values)) {
     return internal::BuildPartition({});
   }

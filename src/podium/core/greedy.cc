@@ -5,11 +5,46 @@
 #include <queue>
 
 #include "podium/core/score.h"
+#include "podium/telemetry/phase.h"
+#include "podium/telemetry/telemetry.h"
+#include "podium/telemetry/trace.h"
 #include "podium/util/rng.h"
 
 namespace podium {
 
 namespace {
+
+/// Buffers per-round trace events and data-structure counters for one
+/// Select() run, flushing to the global sinks once at the end — the hot
+/// loop touches only locals, so the enabled-mode overhead is a handful of
+/// integer increments per round.
+struct GreedyRunStats {
+  bool enabled = false;
+  std::vector<telemetry::GreedyRoundEvent> events;
+  std::uint64_t heap_pops = 0;
+  std::uint64_t stale_reinserts = 0;
+  std::uint64_t retired_links = 0;
+  std::uint64_t retired_groups = 0;
+
+  explicit GreedyRunStats(std::size_t budget)
+      : enabled(telemetry::Enabled()) {
+    if (enabled) events.reserve(budget);
+  }
+
+  void Flush() {
+    if (!enabled) return;
+    const std::uint32_t run = telemetry::GreedyTrace::NextRunId();
+    for (telemetry::GreedyRoundEvent& event : events) event.run = run;
+    telemetry::GreedyTrace::Record(events);
+    auto& registry = telemetry::MetricsRegistry::Global();
+    registry.counter("greedy.runs").Add();
+    registry.counter("greedy.rounds").Add(events.size());
+    registry.counter("greedy.heap_pops").Add(heap_pops);
+    registry.counter("greedy.stale_reinserts").Add(stale_reinserts);
+    registry.counter("greedy.retired_links").Add(retired_links);
+    registry.counter("greedy.retired_groups").Add(retired_groups);
+  }
+};
 
 /// Tier count used by the scalar path: tier 0 ("priority coverage") and
 /// tier 1 ("standard coverage"). Base instances use tier 0 only.
@@ -40,6 +75,10 @@ Selection RunScalarGreedy(const DiversificationInstance& instance,
   const GroupIndex& groups = instance.groups();
   const std::size_t num_users = instance.repository().user_count();
 
+  // Phase accounting: "greedy.init" covers the marginal-gain/heap setup,
+  // "greedy.rounds" the selection loop, "greedy.score" the final scoring.
+  std::optional<telemetry::PhaseSpan> phase;
+  phase.emplace("greedy.init");
   ScalarState state;
   state.marginal.assign(num_users, GainPair{0.0, 0.0});
   state.remaining = instance.coverage();
@@ -82,11 +121,15 @@ Selection RunScalarGreedy(const DiversificationInstance& instance,
     }
   }
 
+  phase.emplace("greedy.rounds");
+  GreedyRunStats stats(budget);
   Selection selection;
   std::size_t pool_left = pool.size();
   for (std::size_t round = 0; round < budget && pool_left > 0; ++round) {
     // Line 5: maxUser = argmax marg.
     UserId chosen = kInvalidUser;
+    std::uint32_t round_pops = 0;
+    std::uint32_t round_stale = 0;
     if (mode == GreedyMode::kPlainScan) {
       for (UserId u : pool) {
         if (!state.in_pool[u]) continue;
@@ -96,10 +139,12 @@ Selection RunScalarGreedy(const DiversificationInstance& instance,
       while (!heap.empty()) {
         HeapEntry top = heap.top();
         heap.pop();
+        ++round_pops;
         if (!state.in_pool[top.user]) continue;
         if (top.gain != state.marginal[top.user]) {
           top.gain = state.marginal[top.user];
           heap.push(top);
+          ++round_stale;
           continue;
         }
         chosen = top.user;
@@ -110,20 +155,45 @@ Selection RunScalarGreedy(const DiversificationInstance& instance,
 
     // Lines 6-10: move the user, decrement coverage, retire dead groups
     // and charge their weight back from other members' marginal gains.
+    const GainPair chosen_gain = state.marginal[chosen];
     selection.users.push_back(chosen);
     state.in_pool[chosen] = false;
     --pool_left;
+    std::uint32_t round_retired_links = 0;
+    std::uint32_t round_retired_groups = 0;
     for (GroupId g : groups.groups_of(chosen)) {
       const std::uint8_t tier = tiers[g];
       if (tier >= kIgnoredTier || state.group_dead[g]) continue;
       if (--state.remaining[g] > 0) continue;
       state.group_dead[g] = true;
+      ++round_retired_groups;
       const double weight = weights[g];
       for (UserId member : groups.members(g)) {
-        if (state.in_pool[member]) state.marginal[member][tier] -= weight;
+        if (state.in_pool[member]) {
+          state.marginal[member][tier] -= weight;
+          ++round_retired_links;
+        }
       }
     }
+    if (stats.enabled) {
+      telemetry::GreedyRoundEvent event;
+      event.round = static_cast<std::uint32_t>(round);
+      event.user = chosen;
+      event.gain = chosen_gain[0];
+      event.gain_secondary = chosen_gain[1];
+      event.heap_pops = round_pops;
+      event.stale_reinserts = round_stale;
+      event.retired_links = round_retired_links;
+      event.retired_groups = round_retired_groups;
+      stats.events.push_back(event);
+      stats.heap_pops += round_pops;
+      stats.stale_reinserts += round_stale;
+      stats.retired_links += round_retired_links;
+      stats.retired_groups += round_retired_groups;
+    }
   }
+  stats.Flush();
+  phase.emplace("greedy.score");
   selection.score = TotalScore(instance, selection.users);
   return selection;
 }
@@ -157,6 +227,8 @@ Selection RunEbsGreedy(const DiversificationInstance& instance,
   const GroupIndex& groups = instance.groups();
   const std::size_t num_users = instance.repository().user_count();
 
+  std::optional<telemetry::PhaseSpan> phase;
+  phase.emplace("greedy.init");
   std::vector<EbsGain> gains(num_users);
   std::vector<std::uint32_t> remaining = instance.coverage();
   std::vector<bool> group_dead(groups.group_count(), false);
@@ -170,6 +242,8 @@ Selection RunEbsGreedy(const DiversificationInstance& instance,
     std::sort(ranks.begin(), ranks.end(), std::greater<std::uint32_t>());
   }
 
+  phase.emplace("greedy.rounds");
+  GreedyRunStats stats(budget);
   Selection selection;
   std::size_t pool_left = pool.size();
   for (std::size_t round = 0; round < budget && pool_left > 0; ++round) {
@@ -182,19 +256,41 @@ Selection RunEbsGreedy(const DiversificationInstance& instance,
         chosen = u;
       }
     }
+    // EBS gains are rank sets, not scalars; the traced gain is the number
+    // of alive groups the chosen user still covers.
+    const auto chosen_gain = static_cast<double>(gains[chosen].ranks.size());
     selection.users.push_back(chosen);
     in_pool[chosen] = false;
     --pool_left;
+    std::uint32_t round_retired_links = 0;
+    std::uint32_t round_retired_groups = 0;
     for (GroupId g : groups.groups_of(chosen)) {
       if (group_dead[g]) continue;
       if (--remaining[g] > 0) continue;
       group_dead[g] = true;
+      ++round_retired_groups;
       const std::uint32_t rank = instance.weights().rank(g);
       for (UserId member : groups.members(g)) {
-        if (in_pool[member]) gains[member].Remove(rank);
+        if (in_pool[member]) {
+          gains[member].Remove(rank);
+          ++round_retired_links;
+        }
       }
     }
+    if (stats.enabled) {
+      telemetry::GreedyRoundEvent event;
+      event.round = static_cast<std::uint32_t>(round);
+      event.user = chosen;
+      event.gain = chosen_gain;
+      event.retired_links = round_retired_links;
+      event.retired_groups = round_retired_groups;
+      stats.events.push_back(event);
+      stats.retired_links += round_retired_links;
+      stats.retired_groups += round_retired_groups;
+    }
   }
+  stats.Flush();
+  phase.emplace("greedy.score");
   selection.score = TotalScore(instance, selection.users);
   return selection;
 }
@@ -203,6 +299,13 @@ Selection RunEbsGreedy(const DiversificationInstance& instance,
 
 Result<Selection> GreedySelector::Select(
     const DiversificationInstance& instance, std::size_t budget) const {
+  telemetry::PhaseSpan select_span("greedy.select");
+  // "greedy.setup" covers everything before the algorithm proper: option
+  // validation, candidate-pool materialization, tie-break ranks, weight
+  // perturbation. Closed right before dispatching to the run loop so the
+  // bench harness can separate setup from selection cost.
+  std::optional<telemetry::PhaseSpan> setup_span;
+  setup_span.emplace("greedy.setup");
   const std::size_t num_users = instance.repository().user_count();
   const std::size_t num_groups = instance.groups().group_count();
   if (budget == 0) {
@@ -255,6 +358,7 @@ Result<Selection> GreedySelector::Select(
       return Status::Unimplemented(
           "customized selection is not supported with EBS weights");
     }
+    setup_span.reset();
     return RunEbsGreedy(instance, budget, pool, tie_rank);
   }
 
@@ -274,6 +378,7 @@ Result<Selection> GreedySelector::Select(
       weight *= 1.0 + options_.weight_noise * noise_rng.NextDouble(-1.0, 1.0);
     }
   }
+  setup_span.reset();
   return RunScalarGreedy(instance, budget, pool, tiers, tie_rank, weights,
                          options_.mode);
 }

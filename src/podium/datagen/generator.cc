@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "podium/datagen/persona.h"
 #include "podium/datagen/vocabularies.h"
+#include "podium/telemetry/phase.h"
+#include "podium/telemetry/telemetry.h"
 #include "podium/util/math_util.h"
 #include "podium/util/rng.h"
 #include "podium/util/string_util.h"
@@ -94,6 +97,7 @@ Result<Dataset> GenerateDataset(const DatasetConfig& config) {
     return Status::InvalidArgument("invalid review count range");
   }
 
+  telemetry::PhaseSpan generate_span("datagen.generate");
   Dataset dataset;
   dataset.config = config;
   util::Rng rng(config.seed);
@@ -126,6 +130,8 @@ Result<Dataset> GenerateDataset(const DatasetConfig& config) {
   }
 
   // --- Personas and users -------------------------------------------------
+  std::optional<telemetry::PhaseSpan> section;
+  section.emplace("datagen.users");
   util::Rng persona_rng = rng.Fork(1);
   std::vector<Persona> personas;
   personas.reserve(config.num_personas);
@@ -174,6 +180,7 @@ Result<Dataset> GenerateDataset(const DatasetConfig& config) {
   }
 
   // --- Restaurants --------------------------------------------------------
+  section.emplace("datagen.restaurants");
   util::Rng restaurant_rng = rng.Fork(3);
   std::vector<Restaurant> restaurants(config.num_restaurants);
   std::vector<std::vector<std::uint32_t>> restaurants_by_leaf(num_leaves);
@@ -222,6 +229,7 @@ Result<Dataset> GenerateDataset(const DatasetConfig& config) {
   // --- Reviews ------------------------------------------------------------
   // Category choice per review: softmax-ish over the user's positive
   // affinities with an exploration floor.
+  section.emplace("datagen.reviews");
   util::Rng review_rng = rng.Fork(4);
   std::vector<std::vector<ReviewStub>> stubs(config.num_users);
   std::vector<double> category_weights(num_leaves);
@@ -280,6 +288,7 @@ Result<Dataset> GenerateDataset(const DatasetConfig& config) {
   // --- Profile derivation (Section 8.1) ------------------------------------
   // Property ids are interned once up front so per-user work is pure
   // aggregation.
+  section.emplace("datagen.profiles");
   ProfileRepository& repo = dataset.repository;
   PropertyTable& properties = repo.properties();
   const std::size_t num_categories = dataset.cuisine.size();
@@ -382,7 +391,15 @@ Result<Dataset> GenerateDataset(const DatasetConfig& config) {
         PropertyScore{age_group_property[users[u].age_group], 1.0});
     repo.mutable_user(added.value()).ReplaceEntries(std::move(entries));
   }
+  section.reset();
 
+  if (telemetry::Enabled()) {
+    auto& registry = telemetry::MetricsRegistry::Global();
+    registry.counter("datagen.datasets").Add();
+    registry.counter("datagen.users").Add(config.num_users);
+    registry.counter("datagen.restaurants").Add(config.num_restaurants);
+    registry.counter("datagen.reviews").Add(dataset.opinions.review_count());
+  }
   return dataset;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "podium/telemetry/telemetry.h"
+
 namespace podium {
 
 std::string_view CoverageKindName(CoverageKind kind) {
@@ -33,6 +35,14 @@ std::vector<std::uint32_t> ComputeCoverage(const GroupIndex& index,
       coverage[g] =
           static_cast<std::uint32_t>(std::max<std::size_t>(proportional, 1));
     }
+  }
+  if (telemetry::Enabled()) {
+    auto& registry = telemetry::MetricsRegistry::Global();
+    registry.counter("coverage.computations").Add();
+    std::uint64_t total = 0;
+    for (std::uint32_t c : coverage) total += c;
+    registry.gauge("coverage.total_required")
+        .Set(static_cast<double>(total));
   }
   return coverage;
 }

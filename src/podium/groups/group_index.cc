@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "podium/telemetry/phase.h"
+#include "podium/telemetry/telemetry.h"
+
 namespace podium {
 
 namespace {
@@ -23,6 +26,7 @@ std::string MakeLabel(const PropertyTable& table, PropertyId property,
 
 Result<GroupIndex> GroupIndex::Build(const ProfileRepository& repository,
                                      const GroupingOptions& options) {
+  telemetry::PhaseSpan span("group_index.build");
   Result<std::unique_ptr<bucketing::Bucketizer>> bucketizer =
       bucketing::MakeBucketizer(options.bucket_method);
   if (!bucketizer.ok()) return bucketizer.status();
@@ -110,6 +114,18 @@ Result<GroupIndex> GroupIndex::Build(const ProfileRepository& repository,
     }
     index.defs_.push_back(std::move(provisional_defs[slot]));
     index.members_.push_back(std::move(provisional_members[slot]));
+  }
+  if (telemetry::Enabled()) {
+    auto& registry = telemetry::MetricsRegistry::Global();
+    registry.counter("group_index.builds").Add();
+    registry.counter("group_index.groups")
+        .Add(static_cast<std::uint64_t>(index.defs_.size()));
+    registry.counter("group_index.pruned_groups")
+        .Add(static_cast<std::uint64_t>(provisional_defs.size() -
+                                        index.defs_.size()));
+    std::uint64_t links = 0;
+    for (const auto& members : index.members_) links += members.size();
+    registry.counter("group_index.links").Add(links);
   }
   return index;
 }

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <unordered_map>
 
 #include "podium/datagen/vocabularies.h"
 #include "podium/json/parser.h"
+#include "podium/telemetry/phase.h"
+#include "podium/telemetry/telemetry.h"
 #include "podium/util/math_util.h"
 #include "podium/util/string_util.h"
 
@@ -80,6 +83,7 @@ Result<YelpDataset> IngestYelp(const std::string& business_path,
                                const std::string& review_path,
                                const std::string& user_path,
                                const YelpIngestOptions& options) {
+  telemetry::PhaseSpan ingest_span("ingest.yelp");
   YelpDataset dataset;
 
   // --- Topic vocabulary -----------------------------------------------------
@@ -92,6 +96,8 @@ Result<YelpDataset> IngestYelp(const std::string& business_path,
   }
 
   // --- businesses -----------------------------------------------------------
+  std::optional<telemetry::PhaseSpan> section;
+  section.emplace("ingest.businesses");
   std::unordered_map<std::string, Business> businesses;
   PODIUM_RETURN_IF_ERROR(ForEachJsonLine(
       business_path, [&](const json::Value& value) -> Status {
@@ -135,6 +141,7 @@ Result<YelpDataset> IngestYelp(const std::string& business_path,
 
   // --- users (activity ranking) ----------------------------------------------
   // user.json carries review_count; the paper keeps the most active.
+  section.emplace("ingest.users");
   std::vector<std::pair<std::string, double>> activity;
   PODIUM_RETURN_IF_ERROR(ForEachJsonLine(
       user_path, [&](const json::Value& value) -> Status {
@@ -161,6 +168,7 @@ Result<YelpDataset> IngestYelp(const std::string& business_path,
   }
 
   // --- reviews ---------------------------------------------------------------
+  section.emplace("ingest.reviews");
   PODIUM_RETURN_IF_ERROR(ForEachJsonLine(
       review_path, [&](const json::Value& value) -> Status {
         if (!value.is_object()) {
@@ -202,6 +210,7 @@ Result<YelpDataset> IngestYelp(const std::string& business_path,
       }));
 
   // --- profile derivation (Section 8.1) ---------------------------------------
+  section.emplace("ingest.profiles");
   PropertyTable& properties = dataset.repository.properties();
   std::unordered_map<std::string, PropertyId> avg_property;
   std::unordered_map<std::string, PropertyId> freq_property;
@@ -286,6 +295,16 @@ Result<YelpDataset> IngestYelp(const std::string& business_path,
           1.0});
     }
     dataset.repository.mutable_user(user).ReplaceEntries(std::move(entries));
+  }
+  section.reset();
+
+  if (telemetry::Enabled()) {
+    auto& registry = telemetry::MetricsRegistry::Global();
+    registry.counter("ingest.yelp.runs").Add();
+    registry.counter("ingest.yelp.businesses").Add(dataset.businesses_kept);
+    registry.counter("ingest.yelp.reviews").Add(dataset.reviews_kept);
+    registry.counter("ingest.yelp.users")
+        .Add(dataset.repository.user_count());
   }
   return dataset;
 }

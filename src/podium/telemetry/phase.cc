@@ -1,0 +1,135 @@
+#include "podium/telemetry/phase.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "podium/telemetry/telemetry.h"
+
+namespace podium::telemetry {
+
+namespace internal {
+
+/// One position in the phase tree. Accumulation is atomic so concurrent
+/// spans at the same position (same phase name on several threads) add up
+/// losslessly; child creation is guarded by a global mutex (rare — once
+/// per distinct name/position).
+struct PhaseNode {
+  std::string name;
+  PhaseNode* parent = nullptr;
+  std::atomic<std::uint64_t> nanos{0};
+  std::atomic<std::uint64_t> count{0};
+  std::vector<std::unique_ptr<PhaseNode>> children;
+};
+
+namespace {
+
+std::mutex g_tree_mutex;
+
+PhaseNode& Root() {
+  static PhaseNode* root = [] {
+    auto* node = new PhaseNode();
+    node->name = "process";
+    return node;
+  }();
+  return *root;
+}
+
+/// The innermost active span's node on this thread; spans opened next
+/// become its children.
+thread_local PhaseNode* t_current = nullptr;
+
+PhaseNode* ChildNamed(PhaseNode& parent, std::string_view name) {
+  std::lock_guard<std::mutex> lock(g_tree_mutex);
+  for (const auto& child : parent.children) {
+    if (child->name == name) return child.get();
+  }
+  auto node = std::make_unique<PhaseNode>();
+  node->name = std::string(name);
+  node->parent = &parent;
+  parent.children.push_back(std::move(node));
+  return parent.children.back().get();
+}
+
+void SnapshotInto(const PhaseNode& node, PhaseStats& out) {
+  out.name = node.name;
+  out.seconds =
+      static_cast<double>(node.nanos.load(std::memory_order_relaxed)) * 1e-9;
+  out.count = node.count.load(std::memory_order_relaxed);
+  for (const auto& child : node.children) {
+    PhaseStats stats;
+    SnapshotInto(*child, stats);
+    // Prune positions that never completed a span (created but reset, or
+    // only holding still-active spans) unless a descendant has data.
+    if (stats.count == 0 && stats.children.empty()) continue;
+    out.children.push_back(std::move(stats));
+  }
+}
+
+void ResetNode(PhaseNode& node) {
+  node.nanos.store(0, std::memory_order_relaxed);
+  node.count.store(0, std::memory_order_relaxed);
+  for (const auto& child : node.children) ResetNode(*child);
+}
+
+}  // namespace
+}  // namespace internal
+
+PhaseSpan::PhaseSpan(std::string_view name) {
+  if (!Enabled()) return;
+  internal::PhaseNode* parent =
+      internal::t_current != nullptr ? internal::t_current : &internal::Root();
+  node_ = internal::ChildNamed(*parent, name);
+  internal::t_current = node_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+PhaseSpan::~PhaseSpan() {
+  if (node_ == nullptr) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  node_->nanos.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()),
+      std::memory_order_relaxed);
+  node_->count.fetch_add(1, std::memory_order_relaxed);
+  internal::t_current = node_->parent == &internal::Root() ? nullptr
+                                                           : node_->parent;
+}
+
+double PhaseSpan::ElapsedSeconds() const {
+  if (node_ == nullptr) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+PhaseStats PhaseTreeSnapshot() {
+  std::lock_guard<std::mutex> lock(internal::g_tree_mutex);
+  PhaseStats root;
+  internal::SnapshotInto(internal::Root(), root);
+  return root;
+}
+
+void ResetPhaseTree() {
+  std::lock_guard<std::mutex> lock(internal::g_tree_mutex);
+  internal::ResetNode(internal::Root());
+}
+
+double SumPhaseSeconds(const PhaseStats& tree, std::string_view name) {
+  double total = tree.name == name ? tree.seconds : 0.0;
+  for (const PhaseStats& child : tree.children) {
+    total += SumPhaseSeconds(child, name);
+  }
+  return total;
+}
+
+const PhaseStats* FindPhase(const PhaseStats& tree, std::string_view name) {
+  if (tree.name == name) return &tree;
+  for (const PhaseStats& child : tree.children) {
+    if (const PhaseStats* found = FindPhase(child, name)) return found;
+  }
+  return nullptr;
+}
+
+}  // namespace podium::telemetry

@@ -1,0 +1,64 @@
+#ifndef PODIUM_TELEMETRY_PHASE_H_
+#define PODIUM_TELEMETRY_PHASE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace podium::telemetry {
+
+namespace internal {
+struct PhaseNode;
+}  // namespace internal
+
+/// Snapshot of one node of the phase tree: total wall time and completion
+/// count accumulated by every PhaseSpan with this name at this position.
+struct PhaseStats {
+  std::string name;
+  double seconds = 0.0;
+  std::uint64_t count = 0;
+  std::vector<PhaseStats> children;
+};
+
+/// RAII wall-clock span. Spans nest per thread: a span opened while another
+/// is active becomes (a) child of it in the process-wide phase tree, and
+/// its time rolls up under the parent's. Each thread gets its own branch
+/// under the shared root, so concurrent spans never contend on the hot
+/// path — only node creation (first occurrence of a name at a position)
+/// takes a lock. When telemetry is disabled construction is a single
+/// relaxed atomic load and nothing is recorded.
+class PhaseSpan {
+ public:
+  explicit PhaseSpan(std::string_view name);
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+  ~PhaseSpan();
+
+  /// Seconds since construction; 0 when telemetry was disabled at
+  /// construction time.
+  double ElapsedSeconds() const;
+
+ private:
+  internal::PhaseNode* node_ = nullptr;  // null <=> disabled at construction
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Copy of the process-wide phase tree. The root is the synthetic node
+/// "process"; nodes that never completed a span are pruned.
+PhaseStats PhaseTreeSnapshot();
+
+/// Zeroes all accumulated times and counts. The tree structure (and any
+/// active spans) survive; safe to call at any time.
+void ResetPhaseTree();
+
+/// Sum of `seconds` over every node named `name` anywhere in `tree`.
+double SumPhaseSeconds(const PhaseStats& tree, std::string_view name);
+
+/// First node named `name` in depth-first order, or nullptr.
+const PhaseStats* FindPhase(const PhaseStats& tree, std::string_view name);
+
+}  // namespace podium::telemetry
+
+#endif  // PODIUM_TELEMETRY_PHASE_H_

@@ -1,0 +1,45 @@
+#include "podium/telemetry/trace.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace podium::telemetry {
+
+namespace {
+
+std::mutex g_trace_mutex;
+
+std::vector<GreedyRoundEvent>& Events() {
+  static auto* events = new std::vector<GreedyRoundEvent>();
+  return *events;
+}
+
+std::atomic<std::uint32_t> g_next_run{0};
+
+}  // namespace
+
+std::uint32_t GreedyTrace::NextRunId() {
+  return g_next_run.fetch_add(1, std::memory_order_relaxed);
+}
+
+void GreedyTrace::Record(const GreedyRoundEvent& event) {
+  std::lock_guard<std::mutex> lock(g_trace_mutex);
+  Events().push_back(event);
+}
+
+void GreedyTrace::Record(const std::vector<GreedyRoundEvent>& events) {
+  std::lock_guard<std::mutex> lock(g_trace_mutex);
+  Events().insert(Events().end(), events.begin(), events.end());
+}
+
+std::vector<GreedyRoundEvent> GreedyTrace::Snapshot() {
+  std::lock_guard<std::mutex> lock(g_trace_mutex);
+  return Events();
+}
+
+void GreedyTrace::Clear() {
+  std::lock_guard<std::mutex> lock(g_trace_mutex);
+  Events().clear();
+}
+
+}  // namespace podium::telemetry

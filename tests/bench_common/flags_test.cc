@@ -45,6 +45,20 @@ TEST(FlagsTest, DefaultsWhenAbsent) {
   EXPECT_TRUE(flags.Bool("missing", true));
 }
 
+TEST(FlagsTest, TelemetryOutFlagParses) {
+  ArgvFixture args({"--telemetry-out=/tmp/telemetry.json"});
+  Flags flags(args.argc(), args.argv());
+  EXPECT_EQ(flags.String("telemetry-out", ""), "/tmp/telemetry.json");
+  flags.CheckConsumed();  // consumed: no exit
+}
+
+TEST(FlagsDeathTest, UnconsumedTelemetryOutAborts) {
+  ArgvFixture args({"--telemetry-out=/tmp/telemetry.json"});
+  Flags flags(args.argc(), args.argv());
+  EXPECT_EXIT(flags.CheckConsumed(), ::testing::ExitedWithCode(2),
+              "unknown flag --telemetry-out");
+}
+
 TEST(FlagsDeathTest, UnknownFlagAborts) {
   ArgvFixture args({"--typo=1"});
   Flags flags(args.argc(), args.argv());

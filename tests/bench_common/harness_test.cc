@@ -2,10 +2,49 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "podium/json/parser.h"
+#include "podium/telemetry/export.h"
+#include "podium/telemetry/telemetry.h"
 #include "tests/testing/table2.h"
 
 namespace podium::bench {
 namespace {
+
+/// Builds argv from string literals; argv[0] is the program name.
+class ArgvFixture {
+ public:
+  explicit ArgvFixture(std::vector<std::string> args)
+      : storage_(std::move(args)) {
+    pointers_.push_back(const_cast<char*>("prog"));
+    for (std::string& arg : storage_) {
+      pointers_.push_back(arg.data());
+    }
+  }
+  int argc() { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+/// Shared repository: the instance keeps a pointer into it, so it must
+/// outlive every instance the tests build.
+const ProfileRepository& Table2Repo() {
+  static const ProfileRepository* repo =
+      new ProfileRepository(testing::MakeTable2Repository());
+  return *repo;
+}
+
+Result<DiversificationInstance> MakeTable2Instance(std::size_t budget) {
+  return DiversificationInstance::FromGroups(
+      Table2Repo(), testing::MakeTable2Groups(Table2Repo()), WeightKind::kLbs,
+      CoverageKind::kSingle, budget);
+}
 
 TEST(HarnessTest, StandardSelectorsAreThePaperFour) {
   const auto selectors = StandardSelectors(1);
@@ -34,6 +73,91 @@ TEST(HarnessTest, RunSelectorsProducesTimedResults) {
   }
   // Podium leads its own objective.
   EXPECT_GE(runs[0].selection.score, runs[1].selection.score);
+}
+
+TEST(HarnessTest, InitTelemetryConsumesFlagAndEnables) {
+  telemetry::SetEnabled(false);
+  ArgvFixture args({"--telemetry-out=/tmp/out.json"});
+  Flags flags(args.argc(), args.argv());
+  EXPECT_EQ(InitTelemetry(flags), "/tmp/out.json");
+  EXPECT_TRUE(telemetry::Enabled());
+  flags.CheckConsumed();  // --telemetry-out was consumed: no exit
+  telemetry::SetEnabled(false);
+  telemetry::ResetAllTelemetry();
+}
+
+TEST(HarnessTest, InitTelemetryDefaultsToNoExport) {
+  ArgvFixture args({});
+  Flags flags(args.argc(), args.argv());
+  EXPECT_EQ(InitTelemetry(flags), "");
+  telemetry::SetEnabled(false);
+  telemetry::ResetAllTelemetry();
+}
+
+TEST(HarnessTest, RunSelectorsSplitsSetupFromSelection) {
+  telemetry::SetEnabled(true);
+  telemetry::ResetAllTelemetry();
+  Result<DiversificationInstance> instance = MakeTable2Instance(2);
+  ASSERT_TRUE(instance.ok());
+  const auto runs =
+      RunSelectors(StandardSelectors(1), instance.value(), 2);
+  ASSERT_EQ(runs.size(), 4u);
+  for (const TimedSelection& run : runs) {
+    EXPECT_GE(run.setup_seconds, 0.0);
+    EXPECT_NEAR(run.setup_seconds + run.select_seconds, run.seconds, 1e-9);
+  }
+  // Podium (the GreedySelector) is instrumented: its setup phases were
+  // recorded and attributed, leaving select_seconds strictly inside the
+  // whole-call time.
+  EXPECT_GT(runs[0].setup_seconds, 0.0);
+  EXPECT_LT(runs[0].select_seconds, runs[0].seconds);
+  telemetry::SetEnabled(false);
+  telemetry::ResetAllTelemetry();
+}
+
+// The exported document's layout is a stable, versioned schema; this is
+// the golden check for its skeleton (top-level keys, schema header, and
+// per-trace-event keys). Schema changes must update kTelemetrySchemaVersion
+// and DESIGN.md in the same commit as this test.
+TEST(HarnessTest, ExportedTelemetryJsonMatchesGoldenSchema) {
+  telemetry::SetEnabled(true);
+  telemetry::ResetAllTelemetry();
+  Result<DiversificationInstance> instance = MakeTable2Instance(2);
+  ASSERT_TRUE(instance.ok());
+  RunSelectors(StandardSelectors(1), instance.value(), 2);
+
+  const std::string path =
+      ::testing::TempDir() + "/podium_harness_telemetry.json";
+  ASSERT_TRUE(telemetry::WriteTelemetryJson(path).ok());
+  Result<json::Value> parsed = json::ParseFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed.value().is_object());
+  const json::Object& root = parsed.value().AsObject();
+
+  const std::vector<std::string> golden_keys = {
+      "schema", "counters", "gauges", "histograms", "phases", "greedy_trace"};
+  ASSERT_EQ(root.size(), golden_keys.size());
+  for (std::size_t i = 0; i < golden_keys.size(); ++i) {
+    EXPECT_EQ(root.entries()[i].first, golden_keys[i]);
+  }
+  const json::Object& schema = root.Find("schema")->AsObject();
+  EXPECT_EQ(schema.Find("name")->AsString(), "podium.telemetry");
+  EXPECT_EQ(schema.Find("version")->AsNumber(),
+            telemetry::kTelemetrySchemaVersion);
+  ASSERT_FALSE(root.Find("greedy_trace")->AsArray().empty());
+  const json::Object& event =
+      root.Find("greedy_trace")->AsArray()[0].AsObject();
+  const std::vector<std::string> golden_event_keys = {
+      "run",       "round",           "user",
+      "gain",      "gain_secondary",  "heap_pops",
+      "stale_reinserts", "retired_links", "retired_groups"};
+  ASSERT_EQ(event.size(), golden_event_keys.size());
+  for (std::size_t i = 0; i < golden_event_keys.size(); ++i) {
+    EXPECT_EQ(event.entries()[i].first, golden_event_keys[i]);
+  }
+  std::remove(path.c_str());
+  telemetry::SetEnabled(false);
+  telemetry::ResetAllTelemetry();
 }
 
 }  // namespace

@@ -1,0 +1,43 @@
+#include "podium/util/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace podium::util {
+namespace {
+
+TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotonic) {
+  Stopwatch stopwatch;
+  const double first = stopwatch.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const double second = stopwatch.ElapsedSeconds();
+  EXPECT_GE(second, first);
+  EXPECT_GT(second, 0.0);
+}
+
+TEST(StopwatchTest, MillisMatchSeconds) {
+  Stopwatch stopwatch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double seconds = stopwatch.ElapsedSeconds();
+  const double millis = stopwatch.ElapsedMillis();
+  // Millis are taken after seconds, so they can only be larger.
+  EXPECT_GE(millis, seconds * 1e3 * 0.5);
+  EXPECT_GE(millis / 1e3, seconds);
+}
+
+TEST(StopwatchTest, ResetRestartsTheClock) {
+  Stopwatch stopwatch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double before = stopwatch.ElapsedSeconds();
+  stopwatch.Reset();
+  const double after = stopwatch.ElapsedSeconds();
+  EXPECT_GE(before, 0.005);
+  EXPECT_LT(after, before);
+  EXPECT_GE(after, 0.0);
+}
+
+}  // namespace
+}  // namespace podium::util

@@ -8,9 +8,13 @@
 //                  [--coverage=Single|Prop] [--bucket=METHOD]
 //                  [--must-have=LABEL;...] [--must-not=LABEL;...]
 //                  [--priority=LABEL;...] [--json] [--html=FILE]
+//                  [--timing] [--telemetry-out=FILE]
 //       Select a diverse user subset and print the explanation report
 //       (or a JSON document with --json). The customization lists take
 //       group labels as printed by `podium groups`, ';'-separated.
+//       --timing prints a human-readable phase/counter summary after the
+//       report; --telemetry-out writes the full telemetry JSON export
+//       (schema in DESIGN.md §"Telemetry & profiling").
 //   podium suggest --profiles=FILE [--budget=B] [--max=N]
 //       Select, then print refinement suggestions (groups to prioritize,
 //       exclude or stop diversifying on) with rationales.
@@ -38,6 +42,8 @@
 #include "podium/core/podium.h"
 #include "podium/ingest/yelp.h"
 #include "podium/json/writer.h"
+#include "podium/telemetry/export.h"
+#include "podium/telemetry/telemetry.h"
 #include "podium/util/string_util.h"
 
 namespace {
@@ -163,6 +169,11 @@ int RunSelect(podium::bench::Flags& flags) {
     return 2;
   }
   const auto budget = static_cast<std::size_t>(flags.Int("budget", 8));
+  const bool timing = flags.Bool("timing", false);
+  const std::string telemetry_out = flags.String("telemetry-out", "");
+  // Enable before instance construction so grouping/bucketizing phases
+  // are captured too.
+  if (timing || !telemetry_out.empty()) podium::telemetry::SetEnabled(true);
   const podium::ProfileRepository repository = LoadRepository(path);
   const podium::DiversificationInstance instance =
       BuildInstance(repository, flags, budget);
@@ -205,6 +216,14 @@ int RunSelect(podium::bench::Flags& flags) {
     std::printf("%s", podium::RenderReport(podium::BuildSelectionReport(
                           instance, selection))
                           .c_str());
+  }
+  if (timing) {
+    std::printf("\n-- timing --\n%s",
+                podium::telemetry::RenderTimingSummary().c_str());
+  }
+  if (!telemetry_out.empty()) {
+    Check(podium::telemetry::WriteTelemetryJson(telemetry_out));
+    std::printf("wrote telemetry to %s\n", telemetry_out.c_str());
   }
   return 0;
 }

@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
   config.seed = static_cast<std::uint64_t>(flags.Int("seed", 7));
   const auto budget = static_cast<std::size_t>(flags.Int("budget", 8));
   const std::string telemetry_out = podium::bench::InitTelemetry(flags);
+  podium::bench::InitThreads(flags);
   flags.CheckConsumed();
 
   podium::bench::PrintBanner("Ablation — Podium design choices",

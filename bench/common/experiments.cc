@@ -8,6 +8,7 @@
 #include "podium/metrics/procurement_experiment.h"
 #include "podium/util/stopwatch.h"
 #include "podium/util/string_util.h"
+#include "podium/util/thread_pool.h"
 
 namespace podium::bench {
 
@@ -58,7 +59,8 @@ void RunIntrinsicExperiment(const datagen::DatasetConfig& base_config,
                             std::size_t budget, std::size_t top_k,
                             std::uint64_t selector_seed,
                             const std::string& bucket_method,
-                            std::size_t repetitions) {
+                            std::size_t repetitions,
+                            bool parallel_selectors) {
   std::vector<std::string> names;
   std::vector<MetricRow> totals = {
       {"total score (LBS/Single)", {}},
@@ -93,7 +95,8 @@ void RunIntrinsicExperiment(const datagen::DatasetConfig& base_config,
     }
 
     const auto selectors = StandardSelectors(selector_seed + rep);
-    const auto runs = RunSelectors(selectors, instance.value(), budget);
+    const auto runs =
+        RunSelectors(selectors, instance.value(), budget, parallel_selectors);
     std::vector<std::vector<double>> values(totals.size());
     if (names.empty()) {
       for (const TimedSelection& run : runs) names.push_back(run.name);
@@ -125,7 +128,8 @@ void RunOpinionExperiment(const datagen::DatasetConfig& base_config,
                           std::size_t budget, bool report_usefulness,
                           std::uint64_t selector_seed,
                           const std::string& bucket_method,
-                          std::size_t repetitions) {
+                          std::size_t repetitions,
+                          bool parallel_selectors) {
   std::vector<std::string> names;
   std::vector<MetricRow> totals = {{"topic+sentiment coverage", {}},
                                    {"usefulness (votes/dest)", {}},
@@ -163,29 +167,52 @@ void RunOpinionExperiment(const datagen::DatasetConfig& base_config,
 
     const auto selectors = StandardSelectors(selector_seed + rep);
     std::vector<std::vector<double>> values(totals.size());
-    for (const auto& selector : selectors) {
+    // Each selector's experiment is independent; with parallel_selectors
+    // they run as one chunk-per-selector loop. Failures and the rep-0
+    // progress lines are reported after the loop, in selector order.
+    std::vector<metrics::ProcurementResult> results(selectors.size());
+    std::vector<Status> failures(selectors.size());
+    std::vector<double> seconds(selectors.size(), 0.0);
+    auto run_one = [&](std::size_t i) {
       util::Stopwatch stopwatch;
       Result<metrics::ProcurementResult> result =
           metrics::RunProcurementExperiment(data.repository, data.opinions,
-                                            data.holdout, *selector,
+                                            data.holdout, *selectors[i],
                                             options);
+      seconds[i] = stopwatch.ElapsedSeconds();
       if (!result.ok()) {
-        std::fprintf(stderr, "%s failed: %s\n", selector->Name().c_str(),
-                     result.status().ToString().c_str());
+        failures[i] = result.status();
+        return;
+      }
+      results[i] = std::move(result).value();
+    };
+    if (parallel_selectors) {
+      util::ParallelFor(
+          "bench.selectors", selectors.size(),
+          [&](std::size_t begin, std::size_t end, std::size_t) {
+            for (std::size_t i = begin; i < end; ++i) run_one(i);
+          },
+          1);
+    } else {
+      for (std::size_t i = 0; i < selectors.size(); ++i) run_one(i);
+    }
+    for (std::size_t i = 0; i < selectors.size(); ++i) {
+      if (!failures[i].ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", selectors[i]->Name().c_str(),
+                     failures[i].ToString().c_str());
         std::exit(1);
       }
       if (names.size() < selectors.size()) {
-        names.push_back(selector->Name());
+        names.push_back(selectors[i]->Name());
       }
-      values[0].push_back(result->average.topic_sentiment_coverage);
-      values[1].push_back(result->average.usefulness);
-      values[2].push_back(result->average.rating_distribution_similarity);
-      values[3].push_back(result->average.rating_variance);
+      values[0].push_back(results[i].average.topic_sentiment_coverage);
+      values[1].push_back(results[i].average.usefulness);
+      values[2].push_back(results[i].average.rating_distribution_similarity);
+      values[3].push_back(results[i].average.rating_variance);
       if (rep == 0) {
         std::printf("%s: evaluated %zu destinations in %.1fs\n",
-                    selector->Name().c_str(),
-                    result->per_destination.size(),
-                    stopwatch.ElapsedSeconds());
+                    selectors[i]->Name().c_str(),
+                    results[i].per_destination.size(), seconds[i]);
       }
     }
     AddInto(totals, values);

@@ -10,11 +10,15 @@ namespace podium::bench {
 /// The intrinsic-diversity experiment behind Figures 3a and 3c: generate
 /// the dataset, build the LBS/Single instance, run Podium and the three
 /// baselines, and print every intrinsic metric normalized to the leader.
+/// `parallel_selectors` runs the four selectors of each repetition
+/// concurrently on the thread pool (quality metrics are unchanged; the
+/// per-selector wall clocks overlap, so leave it off when timing).
 void RunIntrinsicExperiment(const datagen::DatasetConfig& config,
                             std::size_t budget, std::size_t top_k,
                             std::uint64_t selector_seed,
                             const std::string& bucket_method = "quantile",
-                            std::size_t repetitions = 3);
+                            std::size_t repetitions = 3,
+                            bool parallel_selectors = false);
 
 /// The opinion-diversity experiment behind Figures 3b and 3d: per hold-out
 /// destination, select `budget` of its reviewers by profile, procure their
@@ -28,7 +32,8 @@ void RunOpinionExperiment(const datagen::DatasetConfig& config,
                           std::size_t budget, bool report_usefulness,
                           std::uint64_t selector_seed,
                           const std::string& bucket_method = "quantile",
-                          std::size_t repetitions = 3);
+                          std::size_t repetitions = 3,
+                          bool parallel_selectors = false);
 
 }  // namespace podium::bench
 

@@ -12,6 +12,7 @@
 #include "podium/telemetry/phase.h"
 #include "podium/telemetry/telemetry.h"
 #include "podium/util/stopwatch.h"
+#include "podium/util/thread_pool.h"
 
 namespace podium::bench {
 
@@ -42,6 +43,16 @@ void FinishTelemetry(const std::string& path) {
   std::printf("\nwrote telemetry to %s\n", path.c_str());
 }
 
+std::size_t InitThreads(Flags& flags) {
+  const std::int64_t threads = flags.Int("threads", 0);
+  if (threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0 (0 = automatic)\n");
+    std::exit(1);
+  }
+  util::ThreadPool::SetGlobalThreadCount(static_cast<std::size_t>(threads));
+  return util::ThreadPool::GlobalThreadCount();
+}
+
 std::vector<std::unique_ptr<Selector>> StandardSelectors(std::uint64_t seed) {
   std::vector<std::unique_ptr<Selector>> selectors;
   selectors.push_back(std::make_unique<GreedySelector>());
@@ -55,7 +66,42 @@ std::vector<std::unique_ptr<Selector>> StandardSelectors(std::uint64_t seed) {
 
 std::vector<TimedSelection> RunSelectors(
     const std::vector<std::unique_ptr<Selector>>& selectors,
-    const DiversificationInstance& instance, std::size_t budget) {
+    const DiversificationInstance& instance, std::size_t budget,
+    bool concurrent) {
+  if (concurrent) {
+    // One chunk per selector; failures are collected and reported in
+    // selector order after the loop so the abort is deterministic.
+    std::vector<TimedSelection> results(selectors.size());
+    std::vector<Status> failures(selectors.size());
+    util::ParallelFor(
+        "bench.selectors", selectors.size(),
+        [&](std::size_t begin, std::size_t end, std::size_t) {
+          for (std::size_t i = begin; i < end; ++i) {
+            util::Stopwatch stopwatch;
+            Result<Selection> selection = [&] {
+              telemetry::PhaseSpan span("select." + selectors[i]->Name());
+              return selectors[i]->Select(instance, budget);
+            }();
+            const double seconds = stopwatch.ElapsedSeconds();
+            if (!selection.ok()) {
+              failures[i] = selection.status();
+              continue;
+            }
+            results[i] = TimedSelection{selectors[i]->Name(),
+                                        std::move(selection).value(), seconds,
+                                        0.0, seconds};
+          }
+        },
+        1);
+    for (std::size_t i = 0; i < selectors.size(); ++i) {
+      if (failures[i].ok()) continue;
+      std::fprintf(stderr, "%s failed: %s\n", selectors[i]->Name().c_str(),
+                   failures[i].ToString().c_str());
+      std::exit(1);
+    }
+    return results;
+  }
+
   std::vector<TimedSelection> results;
   for (const auto& selector : selectors) {
     const bool split_phases = telemetry::Enabled();

@@ -1,6 +1,7 @@
 #ifndef PODIUM_BENCH_COMMON_HARNESS_H_
 #define PODIUM_BENCH_COMMON_HARNESS_H_
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <string>
@@ -23,6 +24,11 @@ std::string InitTelemetry(Flags& flags);
 /// the end of main().
 void FinishTelemetry(const std::string& path);
 
+/// Consumes --threads (0 = automatic: PODIUM_THREADS env, then
+/// hardware_concurrency) and sizes the global thread pool accordingly.
+/// Returns the pool size in effect. Call before CheckConsumed().
+std::size_t InitThreads(Flags& flags);
+
 /// The four standard selectors of Section 8.3 (Podium + the baselines),
 /// ready to run over one instance.
 std::vector<std::unique_ptr<Selector>> StandardSelectors(std::uint64_t seed);
@@ -44,10 +50,16 @@ struct TimedSelection {
 };
 
 /// Runs every selector on the instance; aborts on error (experiment
-/// binaries treat selector failures as fatal).
+/// binaries treat selector failures as fatal). With `concurrent` set, the
+/// selectors run as one parallel loop over the pool — results stay in
+/// selector order and selections are unchanged, but per-selector wall
+/// clocks overlap and the phase-based setup/select split is unavailable
+/// (setup_seconds stays 0), so quality sweeps use it and timing figures
+/// must not.
 std::vector<TimedSelection> RunSelectors(
     const std::vector<std::unique_ptr<Selector>>& selectors,
-    const DiversificationInstance& instance, std::size_t budget);
+    const DiversificationInstance& instance, std::size_t budget,
+    bool concurrent = false);
 
 /// Figure-style table: rows are metrics, columns are algorithms, scores
 /// normalized to the per-metric leader (as in the paper's Figure 3, which

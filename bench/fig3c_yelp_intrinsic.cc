@@ -27,7 +27,9 @@ int main(int argc, char** argv) {
   const auto top_k = static_cast<std::size_t>(flags.Int("topk", 200));
   const std::string bucket_method = flags.String("bucket", "quantile");
   const auto reps = static_cast<std::size_t>(flags.Int("reps", 3));
+  const bool parallel_selectors = flags.Bool("parallel-selectors", false);
   const std::string telemetry_out = podium::bench::InitTelemetry(flags);
+  podium::bench::InitThreads(flags);
   flags.CheckConsumed();
 
   podium::bench::PrintBanner(
@@ -36,7 +38,8 @@ int main(int argc, char** argv) {
       "Single coverage");
   podium::bench::RunIntrinsicExperiment(config, budget, top_k,
                                         /*selector_seed=*/config.seed + 1,
-                                        bucket_method, reps);
+                                        bucket_method, reps,
+                                        parallel_selectors);
   podium::bench::FinishTelemetry(telemetry_out);
   return 0;
 }

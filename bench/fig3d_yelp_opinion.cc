@@ -26,7 +26,9 @@ int main(int argc, char** argv) {
   const auto budget = static_cast<std::size_t>(flags.Int("budget", 8));
   const std::string bucket_method = flags.String("bucket", "quantile");
   const auto reps = static_cast<std::size_t>(flags.Int("reps", 3));
+  const bool parallel_selectors = flags.Bool("parallel-selectors", false);
   const std::string telemetry_out = podium::bench::InitTelemetry(flags);
+  podium::bench::InitThreads(flags);
   flags.CheckConsumed();
 
   podium::bench::PrintBanner(
@@ -35,7 +37,8 @@ int main(int argc, char** argv) {
   podium::bench::RunOpinionExperiment(config, budget,
                                       /*report_usefulness=*/true,
                                       /*selector_seed=*/config.seed + 1,
-                                      bucket_method, reps);
+                                      bucket_method, reps,
+                                      parallel_selectors);
   podium::bench::FinishTelemetry(telemetry_out);
   return 0;
 }

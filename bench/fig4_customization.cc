@@ -21,6 +21,7 @@
 #include "podium/metrics/intrinsic.h"
 #include "podium/util/rng.h"
 #include "podium/util/string_util.h"
+#include "podium/util/thread_pool.h"
 
 namespace {
 
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
   const auto budget = static_cast<std::size_t>(flags.Int("budget", 8));
   const auto reps = static_cast<std::size_t>(flags.Int("reps", 20));
   const std::string telemetry_out = podium::bench::InitTelemetry(flags);
+  podium::bench::InitThreads(flags);
   flags.CheckConsumed();
 
   podium::bench::PrintBanner(
@@ -75,36 +77,67 @@ int main(int argc, char** argv) {
   podium::util::Rng rng(config.seed + 17);
 
   for (std::size_t size : sizes) {
+    const std::size_t runs = size == 0 ? 1 : reps;
+    // The per-repetition streams are forked serially, in the order the
+    // old sequential loop forked them, so the sampled priority sets — and
+    // every number below — are independent of the thread count.
+    std::vector<podium::util::Rng> rep_rngs;
+    if (size > 0) {
+      rep_rngs.reserve(runs);
+      for (std::size_t rep = 0; rep < runs; ++rep) {
+        rep_rngs.push_back(rng.Fork(rep + 1));
+      }
+    }
+    struct RepMetrics {
+      double total_score = 0.0;
+      double top_k = 0.0;
+      double intersected = 0.0;
+      double similarity = 0.0;
+      double feedback_cov = 0.0;
+    };
+    std::vector<RepMetrics> rep_metrics(runs);
+    podium::util::ParallelFor(
+        "fig4.reps", runs,
+        [&](std::size_t begin, std::size_t end, std::size_t) {
+          for (std::size_t rep = begin; rep < end; ++rep) {
+            podium::CustomizationFeedback feedback;
+            if (size > 0) {
+              // Nested sampling: draw 80 groups once per repetition and
+              // use the first `size` of them, realizing 𝒢₂₀ ⊆ ... ⊆ 𝒢₈₀
+              // per repetition.
+              const auto sample = rep_rngs[rep].SampleWithoutReplacement(
+                  num_groups, std::max<std::size_t>(sizes.back(), size));
+              for (std::size_t i = 0; i < size; ++i) {
+                feedback.priority.push_back(
+                    static_cast<podium::GroupId>(sample[i]));
+              }
+            }
+            const podium::CustomSelection custom = Unwrap(
+                podium::SelectCustomized(instance, feedback, budget));
+            const podium::metrics::IntrinsicMetrics m =
+                podium::metrics::ComputeIntrinsicMetrics(
+                    instance, custom.selection.users, 200);
+            RepMetrics& out = rep_metrics[rep];
+            out.total_score = m.total_score;
+            out.top_k = m.top_k_coverage;
+            out.intersected = m.intersected_coverage;
+            out.similarity = m.distribution_similarity;
+            out.feedback_cov = podium::metrics::FeedbackGroupCoverage(
+                instance, custom.selection.users, feedback.priority);
+          }
+        },
+        1);
     double total_score = 0.0;
     double top_k = 0.0;
     double intersected = 0.0;
     double similarity = 0.0;
     double feedback_cov = 0.0;
-    const std::size_t runs = size == 0 ? 1 : reps;
-    for (std::size_t rep = 0; rep < runs; ++rep) {
-      podium::CustomizationFeedback feedback;
-      if (size > 0) {
-        // Nested sampling: draw 80 groups once per repetition and use the
-        // first `size` of them, realizing 𝒢₂₀ ⊆ ... ⊆ 𝒢₈₀ per repetition.
-        podium::util::Rng rep_rng = rng.Fork(rep + 1);
-        const auto sample = rep_rng.SampleWithoutReplacement(
-            num_groups, std::max<std::size_t>(sizes.back(), size));
-        for (std::size_t i = 0; i < size; ++i) {
-          feedback.priority.push_back(
-              static_cast<podium::GroupId>(sample[i]));
-        }
-      }
-      const podium::CustomSelection custom = Unwrap(
-          podium::SelectCustomized(instance, feedback, budget));
-      const podium::metrics::IntrinsicMetrics m =
-          podium::metrics::ComputeIntrinsicMetrics(
-              instance, custom.selection.users, 200);
+    for (const RepMetrics& m : rep_metrics) {
       total_score += m.total_score;
-      top_k += m.top_k_coverage;
-      intersected += m.intersected_coverage;
-      similarity += m.distribution_similarity;
-      feedback_cov += podium::metrics::FeedbackGroupCoverage(
-          instance, custom.selection.users, feedback.priority);
+      top_k += m.top_k;
+      intersected += m.intersected;
+      similarity += m.similarity;
+      feedback_cov += m.feedback_cov;
     }
     const auto n = static_cast<double>(runs);
     row_labels.push_back(size == 0 ? "none"

@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
   const auto max_users =
       static_cast<std::size_t>(flags.Int("max_users", 16000));
   const std::string telemetry_out = podium::bench::InitTelemetry(flags);
+  podium::bench::InitThreads(flags);
   flags.CheckConsumed();
 
   podium::bench::PrintBanner(

@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   const auto budget = static_cast<std::size_t>(flags.Int("budget", 8));
   const auto seed = static_cast<std::uint64_t>(flags.Int("seed", 7));
   const std::string telemetry_out = podium::bench::InitTelemetry(flags);
+  podium::bench::InitThreads(flags);
   flags.CheckConsumed();
 
   podium::bench::PrintBanner(

@@ -16,6 +16,7 @@
 #include "podium/telemetry/export.h"
 #include "podium/telemetry/telemetry.h"
 #include "podium/util/rng.h"
+#include "podium/util/thread_pool.h"
 
 namespace podium {
 namespace {
@@ -53,6 +54,79 @@ void BM_GroupIndexBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GroupIndexBuild)->Unit(benchmark::kMillisecond);
+
+// Thread scaling of the parallel instance build. The arg is the pool
+// size; results are byte-identical across rows (the determinism
+// contract), only the wall clock moves.
+void BM_GroupIndexBuildThreads(benchmark::State& state) {
+  const ProfileRepository& repo = SharedDataset().repository;
+  GroupingOptions options;
+  util::ThreadPool::SetGlobalThreadCount(
+      static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GroupIndex::Build(repo, options));
+  }
+  util::ThreadPool::SetGlobalThreadCount(0);
+}
+BENCHMARK(BM_GroupIndexBuildThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Thread scaling of the greedy Line-2 initialization (marginal gains +
+// heap). A budget of 1 makes the selection loop negligible, so the run is
+// dominated by setup + init.
+void BM_GreedyInitThreads(benchmark::State& state) {
+  const DiversificationInstance& instance = SharedInstance();
+  GreedyOptions options;
+  options.mode = GreedyMode::kLazyHeap;
+  GreedySelector selector(options);
+  util::ThreadPool::SetGlobalThreadCount(
+      static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.Select(instance, 1));
+  }
+  util::ThreadPool::SetGlobalThreadCount(0);
+}
+BENCHMARK(BM_GreedyInitThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// The retirement inner loop's memory layout: walk every group's member
+// list and test a per-user byte, via nested per-group vectors (arg 0, the
+// pre-CSR layout) vs the CSR spans (arg 1). CSR reads one contiguous
+// values array instead of chasing per-group vector headers.
+void BM_CsrVsNestedRetirement(benchmark::State& state) {
+  const GroupIndex& index = SharedInstance().groups();
+  std::vector<std::vector<UserId>> nested(index.group_count());
+  for (GroupId g = 0; g < index.group_count(); ++g) {
+    const auto members = index.members(g);
+    nested[g].assign(members.begin(), members.end());
+  }
+  std::vector<std::uint8_t> in_pool(SharedDataset().repository.user_count(),
+                                    1);
+  const bool use_csr = state.range(0) == 1;
+  for (auto _ : state) {
+    std::size_t alive = 0;
+    if (use_csr) {
+      for (GroupId g = 0; g < index.group_count(); ++g) {
+        for (UserId u : index.members(g)) alive += in_pool[u];
+      }
+    } else {
+      for (GroupId g = 0; g < index.group_count(); ++g) {
+        for (UserId u : nested[g]) alive += in_pool[u];
+      }
+    }
+    benchmark::DoNotOptimize(alive);
+  }
+  state.SetLabel(use_csr ? "csr" : "nested");
+}
+BENCHMARK(BM_CsrVsNestedRetirement)->Arg(0)->Arg(1);
 
 void BM_GreedySelect(benchmark::State& state) {
   const DiversificationInstance& instance = SharedInstance();

@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
   const auto max_budget =
       static_cast<std::size_t>(flags.Int("max_budget", 5));
   const std::string telemetry_out = podium::bench::InitTelemetry(flags);
+  podium::bench::InitThreads(flags);
   flags.CheckConsumed();
 
   podium::bench::PrintBanner(

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdint>
 #include <queue>
+#include <utility>
 
 #include "podium/core/score.h"
 #include "podium/telemetry/phase.h"
 #include "podium/telemetry/telemetry.h"
 #include "podium/telemetry/trace.h"
 #include "podium/util/rng.h"
+#include "podium/util/thread_pool.h"
 
 namespace podium {
 
@@ -58,11 +61,19 @@ bool GainLess(const GainPair& a, const GainPair& b) {
   return a[1] < b[1];
 }
 
+/// Grain for loops chunked over the candidate pool during initialization.
+constexpr std::size_t kPoolGrain = 512;
+
+// group_dead / in_pool are byte vectors, not vector<bool>: the retirement
+// inner loop tests in_pool[member] once per link, and the bit-packed
+// specialization's mask-and-shift reads cost more than the byte load
+// (and cannot be written from concurrent chunks without racing on the
+// shared byte).
 struct ScalarState {
-  std::vector<GainPair> marginal;         // per user
-  std::vector<std::uint32_t> remaining;   // per group: cov(G) minus selected
-  std::vector<bool> group_dead;           // remaining hit zero
-  std::vector<bool> in_pool;              // per user
+  std::vector<GainPair> marginal;          // per user
+  std::vector<std::uint32_t> remaining;    // per group: cov(G) minus selected
+  std::vector<std::uint8_t> group_dead;    // remaining hit zero
+  std::vector<std::uint8_t> in_pool;       // per user
 };
 
 Selection RunScalarGreedy(const DiversificationInstance& instance,
@@ -82,18 +93,25 @@ Selection RunScalarGreedy(const DiversificationInstance& instance,
   ScalarState state;
   state.marginal.assign(num_users, GainPair{0.0, 0.0});
   state.remaining = instance.coverage();
-  state.group_dead.assign(groups.group_count(), false);
-  state.in_pool.assign(num_users, false);
-  for (UserId u : pool) state.in_pool[u] = true;
+  state.group_dead.assign(groups.group_count(), 0);
+  state.in_pool.assign(num_users, 0);
+  for (UserId u : pool) state.in_pool[u] = 1;
 
-  // Line 2 of Algorithm 1: marg_{u,∅} = Σ_{G ∋ u} wei(G).
-  for (UserId u : pool) {
-    for (GroupId g : groups.groups_of(u)) {
-      const std::uint8_t tier = tiers[g];
-      if (tier >= kIgnoredTier) continue;
-      state.marginal[u][tier] += weights[g];
-    }
-  }
+  // Line 2 of Algorithm 1: marg_{u,∅} = Σ_{G ∋ u} wei(G). Pool users are
+  // distinct (Select() dedupes), so chunks write disjoint marginal slots.
+  util::ParallelFor(
+      "greedy.init_gains", pool.size(),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const UserId u = pool[i];
+          for (GroupId g : groups.groups_of(u)) {
+            const std::uint8_t tier = tiers[g];
+            if (tier >= kIgnoredTier) continue;
+            state.marginal[u][tier] += weights[g];
+          }
+        }
+      },
+      kPoolGrain);
 
   // Prefer larger gains; among equal gains, smaller tie rank.
   auto better = [&](UserId a, UserId b) {
@@ -114,11 +132,23 @@ Selection RunScalarGreedy(const DiversificationInstance& instance,
       return tie > other.tie;
     }
   };
+  // The initial heap is built from a pre-sized entry vector and heapified
+  // in one O(n) pass instead of n pushes; pop order is unchanged because
+  // (gain, tie_rank) is a strict total order over distinct pool users.
   std::priority_queue<HeapEntry> heap;
   if (mode == GreedyMode::kLazyHeap) {
-    for (UserId u : pool) {
-      heap.push(HeapEntry{state.marginal[u], tie_rank[u], u});
-    }
+    std::vector<HeapEntry> entries(pool.size());
+    util::ParallelFor(
+        "greedy.init_heap", pool.size(),
+        [&](std::size_t begin, std::size_t end, std::size_t) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const UserId u = pool[i];
+            entries[i] = HeapEntry{state.marginal[u], tie_rank[u], u};
+          }
+        },
+        kPoolGrain);
+    heap = std::priority_queue<HeapEntry>(std::less<HeapEntry>(),
+                                          std::move(entries));
   }
 
   phase.emplace("greedy.rounds");
@@ -157,7 +187,7 @@ Selection RunScalarGreedy(const DiversificationInstance& instance,
     // and charge their weight back from other members' marginal gains.
     const GainPair chosen_gain = state.marginal[chosen];
     selection.users.push_back(chosen);
-    state.in_pool[chosen] = false;
+    state.in_pool[chosen] = 0;
     --pool_left;
     std::uint32_t round_retired_links = 0;
     std::uint32_t round_retired_groups = 0;
@@ -165,7 +195,7 @@ Selection RunScalarGreedy(const DiversificationInstance& instance,
       const std::uint8_t tier = tiers[g];
       if (tier >= kIgnoredTier || state.group_dead[g]) continue;
       if (--state.remaining[g] > 0) continue;
-      state.group_dead[g] = true;
+      state.group_dead[g] = 1;
       ++round_retired_groups;
       const double weight = weights[g];
       for (UserId member : groups.members(g)) {
@@ -231,16 +261,24 @@ Selection RunEbsGreedy(const DiversificationInstance& instance,
   phase.emplace("greedy.init");
   std::vector<EbsGain> gains(num_users);
   std::vector<std::uint32_t> remaining = instance.coverage();
-  std::vector<bool> group_dead(groups.group_count(), false);
-  std::vector<bool> in_pool(num_users, false);
-  for (UserId u : pool) in_pool[u] = true;
-  for (UserId u : pool) {
-    auto& ranks = gains[u].ranks;
-    for (GroupId g : groups.groups_of(u)) {
-      ranks.push_back(instance.weights().rank(g));
-    }
-    std::sort(ranks.begin(), ranks.end(), std::greater<std::uint32_t>());
-  }
+  std::vector<std::uint8_t> group_dead(groups.group_count(), 0);
+  std::vector<std::uint8_t> in_pool(num_users, 0);
+  for (UserId u : pool) in_pool[u] = 1;
+  // Pool users are distinct (Select() dedupes), so chunks build disjoint
+  // rank sets.
+  util::ParallelFor(
+      "greedy.init_gains", pool.size(),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const UserId u = pool[i];
+          auto& ranks = gains[u].ranks;
+          for (GroupId g : groups.groups_of(u)) {
+            ranks.push_back(instance.weights().rank(g));
+          }
+          std::sort(ranks.begin(), ranks.end(), std::greater<std::uint32_t>());
+        }
+      },
+      kPoolGrain);
 
   phase.emplace("greedy.rounds");
   GreedyRunStats stats(budget);
@@ -260,14 +298,14 @@ Selection RunEbsGreedy(const DiversificationInstance& instance,
     // of alive groups the chosen user still covers.
     const auto chosen_gain = static_cast<double>(gains[chosen].ranks.size());
     selection.users.push_back(chosen);
-    in_pool[chosen] = false;
+    in_pool[chosen] = 0;
     --pool_left;
     std::uint32_t round_retired_links = 0;
     std::uint32_t round_retired_groups = 0;
     for (GroupId g : groups.groups_of(chosen)) {
       if (group_dead[g]) continue;
       if (--remaining[g] > 0) continue;
-      group_dead[g] = true;
+      group_dead[g] = 1;
       ++round_retired_groups;
       const std::uint32_t rank = instance.weights().rank(g);
       for (UserId member : groups.members(g)) {
@@ -318,16 +356,25 @@ Result<Selection> GreedySelector::Select(
   }
 
   // Candidate pool: full population unless restricted (Def. 6.3's 𝒰').
+  // Duplicate entries are dropped (first occurrence wins): a repeated user
+  // would otherwise accumulate its Line-2 gain twice, and the parallel
+  // init relies on pool users being distinct.
   std::vector<UserId> pool = options_.candidate_pool;
   if (pool.empty()) {
     pool.resize(num_users);
     for (UserId u = 0; u < num_users; ++u) pool[u] = u;
   } else {
+    std::vector<std::uint8_t> seen(num_users, 0);
+    std::size_t kept = 0;
     for (UserId u : pool) {
       if (u >= num_users) {
         return Status::OutOfRange("candidate pool user id out of range");
       }
+      if (seen[u]) continue;
+      seen[u] = 1;
+      pool[kept++] = u;
     }
+    pool.resize(kept);
   }
 
   // Tie-break ranks: position in tie_break_order, else a seeded random

@@ -13,6 +13,7 @@
 #include "podium/util/math_util.h"
 #include "podium/util/rng.h"
 #include "podium/util/string_util.h"
+#include "podium/util/thread_pool.h"
 
 namespace podium::datagen {
 
@@ -321,76 +322,99 @@ Result<Dataset> GenerateDataset(const DatasetConfig& config) {
   // scores stay within [0, 1].
   std::vector<std::vector<taxonomy::CategoryId>> restaurant_categories(
       restaurants.size());
-  for (std::size_t r = 0; r < restaurants.size(); ++r) {
-    std::vector<taxonomy::CategoryId>& categories = restaurant_categories[r];
-    for (std::uint32_t leaf : restaurants[r].leaf_indices) {
-      categories.insert(categories.end(), closure[leaf].begin(),
-                        closure[leaf].end());
-    }
-    std::sort(categories.begin(), categories.end());
-    categories.erase(std::unique(categories.begin(), categories.end()),
-                     categories.end());
-  }
-
-  struct CategoryAggregate {
-    std::uint32_t count = 0;
-    double rating_sum = 0.0;
-  };
-  std::unordered_map<taxonomy::CategoryId, CategoryAggregate> aggregates;
-  for (std::uint32_t u = 0; u < users.size(); ++u) {
-    Result<UserId> added =
-        repo.AddUser(util::StringPrintf("user-%05u", u));
-    if (!added.ok()) return added.status();
-
-    aggregates.clear();
-    std::uint32_t total_reviews = 0;
-    double total_rating = 0.0;
-    for (const ReviewStub& stub : stubs[u]) {
-      if (holdout_set.contains(stub.destination)) continue;
-      ++total_reviews;
-      total_rating += static_cast<double>(stub.rating);
-      for (taxonomy::CategoryId category :
-           restaurant_categories[stub.destination]) {
-        CategoryAggregate& aggregate = aggregates[category];
-        ++aggregate.count;
-        aggregate.rating_sum += static_cast<double>(stub.rating);
-      }
-    }
-
-    std::vector<PropertyScore> entries;
-    entries.reserve(3 * aggregates.size() + 2);
-    if (total_reviews > 0) {
-      const double overall_avg =
-          total_rating / static_cast<double>(total_reviews);
-      for (const auto& [category, aggregate] : aggregates) {
-        const double category_avg =
-            aggregate.rating_sum / static_cast<double>(aggregate.count);
-        // Average Rating, normalized by the user's overall average: the
-        // ratio concentrates around 1, so center it at 0.5 and clamp —
-        // ratio 0.5 -> score 0, ratio 1 -> 0.5, ratio 1.5+ -> 1 — keeping
-        // the bucket structure informative.
-        entries.push_back(PropertyScore{
-            avg_rating_property[category],
-            util::Clamp(category_avg / overall_avg - 0.5, 0.0, 1.0)});
-        // Visit Frequency: fraction of the user's visits in the category.
-        entries.push_back(PropertyScore{
-            visit_freq_property[category],
-            static_cast<double>(aggregate.count) /
-                static_cast<double>(total_reviews)});
-        // Enthusiasm Level: fraction of rating points given to the
-        // category.
-        if (config.derive_enthusiasm) {
-          entries.push_back(PropertyScore{
-              enthusiasm_property[category],
-              aggregate.rating_sum / total_rating});
+  util::ParallelFor(
+      "datagen.closures", restaurants.size(),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t r = begin; r < end; ++r) {
+          std::vector<taxonomy::CategoryId>& categories =
+              restaurant_categories[r];
+          for (std::uint32_t leaf : restaurants[r].leaf_indices) {
+            categories.insert(categories.end(), closure[leaf].begin(),
+                              closure[leaf].end());
+          }
+          std::sort(categories.begin(), categories.end());
+          categories.erase(
+              std::unique(categories.begin(), categories.end()),
+              categories.end());
         }
-      }
-    }
-    entries.push_back(PropertyScore{lives_in_property[users[u].city], 1.0});
-    entries.push_back(
-        PropertyScore{age_group_property[users[u].age_group], 1.0});
-    repo.mutable_user(added.value()).ReplaceEntries(std::move(entries));
+      },
+      256);
+
+  // Users are registered serially (AddUser mutates shared repository
+  // storage), then the per-user aggregation — the expensive part — runs in
+  // parallel: each chunk touches only its own users' profiles, and
+  // ReplaceEntries normalizes entry order (stable sort by property id over
+  // unique properties), so the hash-map iteration order inside a chunk
+  // cannot leak into the result. Byte-identical at any --threads.
+  std::vector<UserId> user_ids(users.size());
+  for (std::uint32_t u = 0; u < users.size(); ++u) {
+    Result<UserId> added = repo.AddUser(util::StringPrintf("user-%05u", u));
+    if (!added.ok()) return added.status();
+    user_ids[u] = added.value();
   }
+  util::ParallelFor(
+      "datagen.profiles", users.size(),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        struct CategoryAggregate {
+          std::uint32_t count = 0;
+          double rating_sum = 0.0;
+        };
+        std::unordered_map<taxonomy::CategoryId, CategoryAggregate>
+            aggregates;
+        for (std::size_t u = begin; u < end; ++u) {
+          aggregates.clear();
+          std::uint32_t total_reviews = 0;
+          double total_rating = 0.0;
+          for (const ReviewStub& stub : stubs[u]) {
+            if (holdout_set.contains(stub.destination)) continue;
+            ++total_reviews;
+            total_rating += static_cast<double>(stub.rating);
+            for (taxonomy::CategoryId category :
+                 restaurant_categories[stub.destination]) {
+              CategoryAggregate& aggregate = aggregates[category];
+              ++aggregate.count;
+              aggregate.rating_sum += static_cast<double>(stub.rating);
+            }
+          }
+
+          std::vector<PropertyScore> entries;
+          entries.reserve(3 * aggregates.size() + 2);
+          if (total_reviews > 0) {
+            const double overall_avg =
+                total_rating / static_cast<double>(total_reviews);
+            for (const auto& [category, aggregate] : aggregates) {
+              const double category_avg =
+                  aggregate.rating_sum / static_cast<double>(aggregate.count);
+              // Average Rating, normalized by the user's overall average:
+              // the ratio concentrates around 1, so center it at 0.5 and
+              // clamp — ratio 0.5 -> score 0, ratio 1 -> 0.5, ratio 1.5+
+              // -> 1 — keeping the bucket structure informative.
+              entries.push_back(PropertyScore{
+                  avg_rating_property[category],
+                  util::Clamp(category_avg / overall_avg - 0.5, 0.0, 1.0)});
+              // Visit Frequency: fraction of the user's visits in the
+              // category.
+              entries.push_back(PropertyScore{
+                  visit_freq_property[category],
+                  static_cast<double>(aggregate.count) /
+                      static_cast<double>(total_reviews)});
+              // Enthusiasm Level: fraction of rating points given to the
+              // category.
+              if (config.derive_enthusiasm) {
+                entries.push_back(PropertyScore{
+                    enthusiasm_property[category],
+                    aggregate.rating_sum / total_rating});
+              }
+            }
+          }
+          entries.push_back(
+              PropertyScore{lives_in_property[users[u].city], 1.0});
+          entries.push_back(
+              PropertyScore{age_group_property[users[u].age_group], 1.0});
+          repo.mutable_user(user_ids[u]).ReplaceEntries(std::move(entries));
+        }
+      },
+      128);
   section.reset();
 
   if (telemetry::Enabled()) {

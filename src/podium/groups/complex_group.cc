@@ -1,16 +1,18 @@
 #include "podium/groups/complex_group.h"
 
 #include <algorithm>
+#include <span>
 
 namespace podium {
 
 std::vector<UserId> IntersectGroups(const GroupIndex& index,
                                     const std::vector<GroupId>& groups) {
   if (groups.empty()) return {};
-  std::vector<UserId> current = index.members(groups[0]);
+  const std::span<const UserId> first = index.members(groups[0]);
+  std::vector<UserId> current(first.begin(), first.end());
   std::vector<UserId> next;
   for (std::size_t i = 1; i < groups.size() && !current.empty(); ++i) {
-    const std::vector<UserId>& other = index.members(groups[i]);
+    const std::span<const UserId> other = index.members(groups[i]);
     next.clear();
     std::set_intersection(current.begin(), current.end(), other.begin(),
                           other.end(), std::back_inserter(next));
@@ -24,7 +26,7 @@ std::vector<UserId> UniteGroups(const GroupIndex& index,
   std::vector<UserId> current;
   std::vector<UserId> next;
   for (GroupId g : groups) {
-    const std::vector<UserId>& other = index.members(g);
+    const std::span<const UserId> other = index.members(g);
     next.clear();
     std::set_union(current.begin(), current.end(), other.begin(), other.end(),
                    std::back_inserter(next));

@@ -2,13 +2,19 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "podium/telemetry/phase.h"
 #include "podium/telemetry/telemetry.h"
+#include "podium/util/thread_pool.h"
 
 namespace podium {
 
 namespace {
+
+/// Grain for loops chunked over users: profile entry lists are short, so
+/// a chunk needs a few hundred users to amortize dispatch.
+constexpr std::size_t kUserGrain = 256;
 
 /// Group label per Section 5: "<bucket label> <property label>" for score
 /// properties; boolean "true" groups read as just the property label
@@ -24,6 +30,40 @@ std::string MakeLabel(const PropertyTable& table, PropertyId property,
 
 }  // namespace
 
+void GroupIndex::FinalizeAdjacency(
+    const std::vector<std::vector<UserId>>& members,
+    const std::vector<bool>& keep, std::size_t num_users) {
+  member_offsets_.assign(1, 0);
+  std::size_t links = 0;
+  for (std::size_t slot = 0; slot < members.size(); ++slot) {
+    if (keep[slot]) links += members[slot].size();
+  }
+  member_values_.clear();
+  member_values_.reserve(links);
+  for (std::size_t slot = 0; slot < members.size(); ++slot) {
+    if (!keep[slot]) continue;
+    member_values_.insert(member_values_.end(), members[slot].begin(),
+                          members[slot].end());
+    member_offsets_.push_back(member_values_.size());
+  }
+
+  // Reverse direction: count, prefix-sum, fill. Kept groups are visited in
+  // ascending id order, so each user's group list comes out ascending.
+  user_offsets_.assign(num_users + 1, 0);
+  for (UserId u : member_values_) ++user_offsets_[u + 1];
+  std::partial_sum(user_offsets_.begin(), user_offsets_.end(),
+                   user_offsets_.begin());
+  user_values_.resize(links);
+  std::vector<std::size_t> cursor(user_offsets_.begin(),
+                                  user_offsets_.end() - 1);
+  const std::size_t num_groups = member_offsets_.size() - 1;
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    for (UserId u : this->members(static_cast<GroupId>(g))) {
+      user_values_[cursor[u]++] = static_cast<GroupId>(g);
+    }
+  }
+}
+
 Result<GroupIndex> GroupIndex::Build(const ProfileRepository& repository,
                                      const GroupingOptions& options) {
   telemetry::PhaseSpan span("group_index.build");
@@ -36,22 +76,47 @@ Result<GroupIndex> GroupIndex::Build(const ProfileRepository& repository,
 
   const PropertyTable& table = repository.properties();
   const std::size_t num_properties = table.size();
+  const std::size_t num_users = repository.user_count();
 
-  // Collect observed scores per property in one pass over the profiles.
+  // Collect observed scores per property: chunked over users into
+  // per-chunk slices, then concatenated per property in chunk order —
+  // identical to the old single pass in ascending user order.
+  const util::ChunkPlan user_plan = util::PlanChunks(num_users, kUserGrain);
+  std::vector<std::vector<std::vector<double>>> chunk_scores(
+      user_plan.num_chunks);
+  util::ParallelFor(
+      "group_index.collect", num_users,
+      [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+        auto& local = chunk_scores[chunk];
+        local.resize(num_properties);
+        for (UserId u = begin; u < end; ++u) {
+          for (const PropertyScore& entry : repository.user(u).entries()) {
+            local[entry.property].push_back(entry.score);
+          }
+        }
+      },
+      kUserGrain);
   std::vector<std::vector<double>> scores(num_properties);
-  for (UserId u = 0; u < repository.user_count(); ++u) {
-    for (const PropertyScore& entry : repository.user(u).entries()) {
-      scores[entry.property].push_back(entry.score);
-    }
-  }
+  util::ParallelFor(
+      "group_index.merge", num_properties,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (PropertyId p = begin; p < end; ++p) {
+          std::size_t total = 0;
+          for (const auto& local : chunk_scores) total += local[p].size();
+          scores[p].reserve(total);
+          for (const auto& local : chunk_scores) {
+            scores[p].insert(scores[p].end(), local[p].begin(),
+                             local[p].end());
+          }
+        }
+      },
+      16);
+  chunk_scores.clear();
+  chunk_scores.shrink_to_fit();
 
   GroupIndex index;
   index.buckets_per_property_.resize(num_properties);
-  index.groups_of_user_.resize(repository.user_count());
 
-  // Bucket each property and pre-create one (possibly empty) member list
-  // per (property, bucket) pair; `slot_of[p]` is the id of property p's
-  // first bucket group, or kInvalidGroup when the bucket was skipped.
   auto passes_filter = [&options, &table](PropertyId p) {
     if (options.property_filters.empty()) return true;
     const std::string& label = table.Label(p);
@@ -61,21 +126,44 @@ Result<GroupIndex> GroupIndex::Build(const ProfileRepository& repository,
     return false;
   };
 
+  // Bucket the properties in parallel. Bucketizers are stateless (k-means
+  // seeding is fixed), so a per-chunk instance splits identically to the
+  // old shared one; errors land in per-property slots and the first one in
+  // property order is returned, matching the serial early-exit.
+  std::vector<Status> bucket_errors(num_properties);
+  util::ParallelFor(
+      "group_index.bucketize", num_properties,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        const auto local_bucketizer =
+            bucketing::MakeBucketizer(options.bucket_method);
+        for (PropertyId p = begin; p < end; ++p) {
+          if (scores[p].empty() || !passes_filter(p)) continue;
+          if (table.Kind(p) == PropertyKind::kBoolean) {
+            index.buckets_per_property_[p] = bucketing::FixedBooleanBuckets();
+            continue;
+          }
+          Result<std::vector<bucketing::Bucket>> split =
+              local_bucketizer.value()->Split(scores[p], options.max_buckets);
+          if (!split.ok()) {
+            bucket_errors[p] = split.status();
+            continue;
+          }
+          index.buckets_per_property_[p] = std::move(split).value();
+        }
+      },
+      4);
+  for (PropertyId p = 0; p < num_properties; ++p) {
+    if (!bucket_errors[p].ok()) return bucket_errors[p];
+  }
+
+  // Provisional group ids are assigned serially in (property, bucket)
+  // order; `slot_of[p][b]` is the id of property p's bucket-b group, or
+  // kInvalidGroup when the bucket was skipped.
   std::vector<std::vector<GroupId>> slot_of(num_properties);
   std::vector<GroupDef> provisional_defs;
-  std::vector<std::vector<UserId>> provisional_members;
   for (PropertyId p = 0; p < num_properties; ++p) {
-    if (scores[p].empty() || !passes_filter(p)) continue;
-    std::vector<bucketing::Bucket> buckets;
-    if (table.Kind(p) == PropertyKind::kBoolean) {
-      buckets = bucketing::FixedBooleanBuckets();
-    } else {
-      Result<std::vector<bucketing::Bucket>> split =
-          bucketizer.value()->Split(scores[p], options.max_buckets);
-      if (!split.ok()) return split.status();
-      buckets = std::move(split).value();
-    }
-    index.buckets_per_property_[p] = buckets;
+    const auto& buckets = index.buckets_per_property_[p];
+    if (buckets.empty()) continue;
     slot_of[p].assign(buckets.size(), kInvalidGroup);
     for (std::size_t b = 0; b < buckets.size(); ++b) {
       if (!options.include_boolean_false_groups &&
@@ -86,102 +174,138 @@ Result<GroupIndex> GroupIndex::Build(const ProfileRepository& repository,
       slot_of[p][b] = static_cast<GroupId>(provisional_defs.size());
       provisional_defs.push_back(
           GroupDef{p, buckets[b], MakeLabel(table, p, buckets[b])});
-      provisional_members.emplace_back();
     }
   }
 
-  // Single pass over profiles assigns every (user, property, score) entry
-  // to its bucket's group.
-  for (UserId u = 0; u < repository.user_count(); ++u) {
-    for (const PropertyScore& entry : repository.user(u).entries()) {
-      const auto& buckets = index.buckets_per_property_[entry.property];
-      if (buckets.empty()) continue;
-      const int b = bucketing::FindBucket(buckets, entry.score);
-      if (b < 0) continue;  // unreachable for valid partitions
-      const GroupId slot = slot_of[entry.property][static_cast<std::size_t>(b)];
-      if (slot == kInvalidGroup) continue;
-      provisional_members[slot].push_back(u);
-    }
-  }
+  // Assign every (user, property, score) entry to its bucket's group:
+  // chunked over users into per-chunk per-slot lists, then merged per slot
+  // in chunk order — ascending user id, as the old single pass produced.
+  const std::size_t num_slots = provisional_defs.size();
+  std::vector<std::vector<std::vector<UserId>>> chunk_members(
+      user_plan.num_chunks);
+  util::ParallelFor(
+      "group_index.assign", num_users,
+      [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+        auto& local = chunk_members[chunk];
+        local.resize(num_slots);
+        for (UserId u = begin; u < end; ++u) {
+          for (const PropertyScore& entry : repository.user(u).entries()) {
+            const auto& buckets = index.buckets_per_property_[entry.property];
+            if (buckets.empty()) continue;
+            const int b = bucketing::FindBucket(buckets, entry.score);
+            if (b < 0) continue;  // unreachable for valid partitions
+            const GroupId slot =
+                slot_of[entry.property][static_cast<std::size_t>(b)];
+            if (slot == kInvalidGroup) continue;
+            local[slot].push_back(u);
+          }
+        }
+      },
+      kUserGrain);
+  std::vector<std::vector<UserId>> provisional_members(num_slots);
+  util::ParallelFor(
+      "group_index.gather", num_slots,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t slot = begin; slot < end; ++slot) {
+          std::size_t total = 0;
+          for (const auto& local : chunk_members) total += local[slot].size();
+          provisional_members[slot].reserve(total);
+          for (const auto& local : chunk_members) {
+            provisional_members[slot].insert(provisional_members[slot].end(),
+                                             local[slot].begin(),
+                                             local[slot].end());
+          }
+        }
+      },
+      16);
+  chunk_members.clear();
+  chunk_members.shrink_to_fit();
 
-  // Compact away empty / undersized groups and build the reverse links.
+  // Compact away empty / undersized groups and flatten both directions.
   const std::size_t min_size = std::max<std::size_t>(options.min_group_size, 1);
-  for (std::size_t slot = 0; slot < provisional_defs.size(); ++slot) {
+  std::vector<bool> keep(num_slots, false);
+  for (std::size_t slot = 0; slot < num_slots; ++slot) {
     if (provisional_members[slot].size() < min_size) continue;
-    const auto id = static_cast<GroupId>(index.defs_.size());
-    for (UserId u : provisional_members[slot]) {
-      index.groups_of_user_[u].push_back(id);
-    }
+    keep[slot] = true;
     index.defs_.push_back(std::move(provisional_defs[slot]));
-    index.members_.push_back(std::move(provisional_members[slot]));
   }
+  index.FinalizeAdjacency(provisional_members, keep, num_users);
+
   if (telemetry::Enabled()) {
     auto& registry = telemetry::MetricsRegistry::Global();
     registry.counter("group_index.builds").Add();
     registry.counter("group_index.groups")
         .Add(static_cast<std::uint64_t>(index.defs_.size()));
     registry.counter("group_index.pruned_groups")
-        .Add(static_cast<std::uint64_t>(provisional_defs.size() -
-                                        index.defs_.size()));
-    std::uint64_t links = 0;
-    for (const auto& members : index.members_) links += members.size();
-    registry.counter("group_index.links").Add(links);
+        .Add(static_cast<std::uint64_t>(num_slots - index.defs_.size()));
+    registry.counter("group_index.links")
+        .Add(static_cast<std::uint64_t>(index.link_count()));
   }
   return index;
 }
 
 Result<GroupIndex> GroupIndex::FromDefs(const ProfileRepository& repository,
                                         std::vector<GroupDef> defs) {
-  GroupIndex index;
-  index.groups_of_user_.resize(repository.user_count());
-  index.buckets_per_property_.resize(repository.property_count());
-
-  for (GroupDef& def : defs) {
+  for (const GroupDef& def : defs) {
     if (def.property >= repository.property_count()) {
       return Status::OutOfRange("group definition references unknown property");
     }
-    std::vector<UserId> members;
-    for (UserId u = 0; u < repository.user_count(); ++u) {
-      const auto score = repository.user(u).Get(def.property);
-      if (score.has_value() && def.bucket.Contains(*score)) {
-        members.push_back(u);
-      }
-    }
-    if (members.empty()) continue;  // empty groups can never be covered
-    const auto id = static_cast<GroupId>(index.defs_.size());
-    for (UserId u : members) index.groups_of_user_[u].push_back(id);
-    index.defs_.push_back(std::move(def));
-    index.members_.push_back(std::move(members));
   }
+
+  // Each definition scans the repository independently.
+  std::vector<std::vector<UserId>> members(defs.size());
+  util::ParallelFor(
+      "group_index.from_defs", defs.size(),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t d = begin; d < end; ++d) {
+          for (UserId u = 0; u < repository.user_count(); ++u) {
+            const auto score = repository.user(u).Get(defs[d].property);
+            if (score.has_value() && defs[d].bucket.Contains(*score)) {
+              members[d].push_back(u);
+            }
+          }
+        }
+      },
+      1);
+
+  GroupIndex index;
+  index.buckets_per_property_.resize(repository.property_count());
+  std::vector<bool> keep(defs.size(), false);
+  for (std::size_t d = 0; d < defs.size(); ++d) {
+    if (members[d].empty()) continue;  // empty groups can never be covered
+    keep[d] = true;
+    index.defs_.push_back(std::move(defs[d]));
+  }
+  index.FinalizeAdjacency(members, keep, repository.user_count());
   return index;
 }
 
 std::size_t GroupIndex::MaxGroupSize() const {
   std::size_t best = 0;
-  for (const auto& members : members_) best = std::max(best, members.size());
+  for (GroupId g = 0; g < group_count(); ++g) {
+    best = std::max(best, group_size(g));
+  }
   return best;
 }
 
 std::size_t GroupIndex::MaxGroupsPerUser() const {
   std::size_t best = 0;
-  for (const auto& groups : groups_of_user_) {
-    best = std::max(best, groups.size());
+  for (UserId u = 0; u < user_count(); ++u) {
+    best = std::max(best, groups_of(u).size());
   }
   return best;
 }
 
 bool GroupIndex::Contains(GroupId g, UserId u) const {
-  const std::vector<UserId>& members = members_[g];
-  return std::binary_search(members.begin(), members.end(), u);
+  const std::span<const UserId> m = members(g);
+  return std::binary_search(m.begin(), m.end(), u);
 }
 
 std::vector<GroupId> GroupIndex::GroupsBySizeDescending() const {
   std::vector<GroupId> order(group_count());
   std::iota(order.begin(), order.end(), 0u);
   std::stable_sort(order.begin(), order.end(), [this](GroupId a, GroupId b) {
-    if (members_[a].size() != members_[b].size()) {
-      return members_[a].size() > members_[b].size();
-    }
+    if (group_size(a) != group_size(b)) return group_size(a) > group_size(b);
     return a < b;
   });
   return order;

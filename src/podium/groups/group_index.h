@@ -1,6 +1,8 @@
 #ifndef PODIUM_GROUPS_GROUP_INDEX_H_
 #define PODIUM_GROUPS_GROUP_INDEX_H_
 
+#include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -44,6 +46,12 @@ struct GroupingOptions {
 /// user ↔ group adjacency that Algorithm 1's data-structure section calls
 /// for ("links in both directions between the lists").
 ///
+/// Both directions are stored in CSR (compressed sparse row) form: one
+/// contiguous values array per direction plus an offsets array, so the
+/// retirement inner loop walks cache-line-dense spans instead of chasing
+/// per-group vector headers. Accessors hand out spans; call sites that
+/// only iterate are unaffected.
+///
 /// Immutable after Build(); the greedy selector keeps its own mutable
 /// per-run state.
 class GroupIndex {
@@ -64,19 +72,30 @@ class GroupIndex {
                                      std::vector<GroupDef> defs);
 
   std::size_t group_count() const { return defs_.size(); }
-  std::size_t user_count() const { return groups_of_user_.size(); }
+  std::size_t user_count() const {
+    return user_offsets_.empty() ? 0 : user_offsets_.size() - 1;
+  }
 
   const GroupDef& def(GroupId g) const { return defs_[g]; }
   const std::string& label(GroupId g) const { return defs_[g].label; }
 
   /// Members of group g, ascending by user id.
-  const std::vector<UserId>& members(GroupId g) const { return members_[g]; }
-  std::size_t group_size(GroupId g) const { return members_[g].size(); }
+  std::span<const UserId> members(GroupId g) const {
+    return {member_values_.data() + member_offsets_[g],
+            member_offsets_[g + 1] - member_offsets_[g]};
+  }
+  std::size_t group_size(GroupId g) const {
+    return member_offsets_[g + 1] - member_offsets_[g];
+  }
 
   /// Groups containing user u, ascending by group id.
-  const std::vector<GroupId>& groups_of(UserId u) const {
-    return groups_of_user_[u];
+  std::span<const GroupId> groups_of(UserId u) const {
+    return {user_values_.data() + user_offsets_[u],
+            user_offsets_[u + 1] - user_offsets_[u]};
   }
+
+  /// Total number of user↔group links (the CSR values length).
+  std::size_t link_count() const { return member_values_.size(); }
 
   /// max_{G} |G| and max_u |{G : u in G}| (the complexity-bound factors of
   /// Prop. 4.4).
@@ -97,10 +116,19 @@ class GroupIndex {
   }
 
  private:
+  /// Builds both CSR directions from per-group member lists (each
+  /// ascending by user id); `keep[slot]` selects which lists survive.
+  void FinalizeAdjacency(const std::vector<std::vector<UserId>>& members,
+                         const std::vector<bool>& keep,
+                         std::size_t num_users);
 
   std::vector<GroupDef> defs_;
-  std::vector<std::vector<UserId>> members_;
-  std::vector<std::vector<GroupId>> groups_of_user_;
+  // CSR adjacency, both directions. offsets have size count + 1; the
+  // values of row i live in [offsets[i], offsets[i + 1]).
+  std::vector<std::size_t> member_offsets_;  // per group
+  std::vector<UserId> member_values_;
+  std::vector<std::size_t> user_offsets_;    // per user
+  std::vector<GroupId> user_values_;
   std::vector<std::vector<bucketing::Bucket>> buckets_per_property_;
 };
 

@@ -39,7 +39,9 @@ TEST_F(ComplexGroupTest, IntersectionEdgeCases) {
   const GroupId nyc = FindGroup(index_, "livesIn NYC");
   EXPECT_TRUE(IntersectGroups(index_, {tokyo, nyc}).empty());
   EXPECT_TRUE(IntersectGroups(index_, {}).empty());
-  EXPECT_EQ(IntersectGroups(index_, {tokyo}), index_.members(tokyo));
+  const auto tokyo_members = index_.members(tokyo);
+  EXPECT_EQ(IntersectGroups(index_, {tokyo}),
+            std::vector<UserId>(tokyo_members.begin(), tokyo_members.end()));
 }
 
 TEST_F(ComplexGroupTest, Union) {

@@ -1,0 +1,196 @@
+// The parallel execution engine's determinism contract, end to end: the
+// same inputs produce byte-identical datasets, group indices and
+// selections at --threads = 1, 2 and 8 (DESIGN.md §7). Every comparison
+// below is exact — including doubles — because the chunk decomposition
+// (and therefore every reduction order and RNG stream) is independent of
+// the thread count.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "podium/core/greedy.h"
+#include "podium/core/instance.h"
+#include "podium/datagen/generator.h"
+#include "podium/groups/group_index.h"
+#include "podium/profile/repository.h"
+#include "podium/util/thread_pool.h"
+
+namespace podium {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+class ScopedThreadCount {
+ public:
+  explicit ScopedThreadCount(std::size_t count) {
+    util::ThreadPool::SetGlobalThreadCount(count);
+  }
+  ~ScopedThreadCount() { util::ThreadPool::SetGlobalThreadCount(0); }
+};
+
+datagen::DatasetConfig SmallTripAdvisorConfig() {
+  datagen::DatasetConfig config = datagen::DatasetConfig::TripAdvisorLike();
+  config.num_users = 700;
+  config.num_restaurants = 1000;
+  config.leaf_categories = 40;
+  config.seed = 11;
+  return config;
+}
+
+/// Everything observable about a repository, in comparable form.
+struct RepositorySnapshot {
+  std::vector<std::string> property_labels;
+  std::vector<std::string> user_names;
+  std::vector<std::vector<PropertyScore>> entries;
+
+  friend bool operator==(const RepositorySnapshot&,
+                         const RepositorySnapshot&) = default;
+};
+
+RepositorySnapshot Snapshot(const ProfileRepository& repo) {
+  RepositorySnapshot snapshot;
+  for (PropertyId p = 0; p < repo.property_count(); ++p) {
+    snapshot.property_labels.push_back(repo.properties().Label(p));
+  }
+  for (UserId u = 0; u < repo.user_count(); ++u) {
+    snapshot.user_names.push_back(repo.user(u).name());
+    const auto& entries = repo.user(u).entries();
+    snapshot.entries.emplace_back(entries.begin(), entries.end());
+  }
+  return snapshot;
+}
+
+/// Both CSR directions plus labels, in comparable form.
+struct IndexSnapshot {
+  std::vector<std::string> labels;
+  std::vector<std::vector<UserId>> members;
+  std::vector<std::vector<GroupId>> groups_of;
+
+  friend bool operator==(const IndexSnapshot&, const IndexSnapshot&) = default;
+};
+
+IndexSnapshot Snapshot(const GroupIndex& index) {
+  IndexSnapshot snapshot;
+  for (GroupId g = 0; g < index.group_count(); ++g) {
+    snapshot.labels.push_back(index.label(g));
+    const auto members = index.members(g);
+    snapshot.members.emplace_back(members.begin(), members.end());
+  }
+  for (UserId u = 0; u < index.user_count(); ++u) {
+    const auto groups = index.groups_of(u);
+    snapshot.groups_of.emplace_back(groups.begin(), groups.end());
+  }
+  return snapshot;
+}
+
+TEST(DeterminismTest, DatasetGenerationIsThreadCountInvariant) {
+  std::vector<RepositorySnapshot> snapshots;
+  for (std::size_t threads : kThreadCounts) {
+    ScopedThreadCount scoped(threads);
+    Result<datagen::Dataset> dataset =
+        datagen::GenerateDataset(SmallTripAdvisorConfig());
+    ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+    snapshots.push_back(Snapshot(dataset->repository));
+  }
+  ASSERT_FALSE(snapshots[0].entries.empty());
+  for (std::size_t i = 1; i < snapshots.size(); ++i) {
+    EXPECT_EQ(snapshots[0], snapshots[i])
+        << "threads=" << kThreadCounts[i] << " diverged from threads=1";
+  }
+}
+
+TEST(DeterminismTest, GroupIndexBuildIsThreadCountInvariant) {
+  // One dataset (built at a fixed pool size), indexed at each pool size.
+  Result<datagen::Dataset> dataset = [] {
+    ScopedThreadCount scoped(1);
+    return datagen::GenerateDataset(SmallTripAdvisorConfig());
+  }();
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+
+  std::vector<IndexSnapshot> snapshots;
+  for (std::size_t threads : kThreadCounts) {
+    ScopedThreadCount scoped(threads);
+    Result<GroupIndex> index =
+        GroupIndex::Build(dataset->repository, GroupingOptions{});
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    snapshots.push_back(Snapshot(index.value()));
+  }
+  ASSERT_FALSE(snapshots[0].labels.empty());
+  for (std::size_t i = 1; i < snapshots.size(); ++i) {
+    EXPECT_EQ(snapshots[0], snapshots[i])
+        << "threads=" << kThreadCounts[i] << " diverged from threads=1";
+  }
+}
+
+TEST(DeterminismTest, GreedySelectionIsThreadCountInvariant) {
+  Result<datagen::Dataset> dataset = [] {
+    ScopedThreadCount scoped(1);
+    return datagen::GenerateDataset(SmallTripAdvisorConfig());
+  }();
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+
+  for (WeightKind weights : {WeightKind::kLbs, WeightKind::kEbs}) {
+    std::vector<std::vector<UserId>> selections;
+    std::vector<double> scores;
+    for (std::size_t threads : kThreadCounts) {
+      ScopedThreadCount scoped(threads);
+      InstanceOptions options;
+      options.weight_kind = weights;
+      options.budget = 12;
+      Result<DiversificationInstance> instance =
+          DiversificationInstance::Build(dataset->repository, options);
+      ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+      Result<Selection> selection =
+          GreedySelector().Select(instance.value(), 12);
+      ASSERT_TRUE(selection.ok()) << selection.status().ToString();
+      selections.push_back(selection->users);
+      scores.push_back(selection->score);
+    }
+    ASSERT_EQ(selections[0].size(), 12u);
+    for (std::size_t i = 1; i < selections.size(); ++i) {
+      EXPECT_EQ(selections[0], selections[i])
+          << "threads=" << kThreadCounts[i] << " diverged from threads=1";
+      EXPECT_EQ(scores[0], scores[i])  // exact: same summation order
+          << "threads=" << kThreadCounts[i] << " diverged from threads=1";
+    }
+  }
+}
+
+TEST(DeterminismTest, DuplicatePoolUsersCountOnce) {
+  // A repeated candidate must not accumulate its initial gain twice (and
+  // the parallel init relies on the pool being duplicate-free).
+  Result<datagen::Dataset> dataset = [] {
+    ScopedThreadCount scoped(1);
+    datagen::DatasetConfig config = SmallTripAdvisorConfig();
+    config.num_users = 200;
+    config.num_restaurants = 300;
+    return datagen::GenerateDataset(config);
+  }();
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  Result<DiversificationInstance> instance =
+      DiversificationInstance::Build(dataset->repository, InstanceOptions{});
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+
+  GreedyOptions clean_options;
+  for (UserId u = 0; u < 100; ++u) {
+    clean_options.candidate_pool.push_back(u);
+  }
+  GreedyOptions duplicated_options = clean_options;
+  for (UserId u = 0; u < 100; u += 2) {
+    duplicated_options.candidate_pool.push_back(u);
+  }
+
+  Result<Selection> clean =
+      GreedySelector(clean_options).Select(instance.value(), 6);
+  Result<Selection> duplicated =
+      GreedySelector(duplicated_options).Select(instance.value(), 6);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  ASSERT_TRUE(duplicated.ok()) << duplicated.status().ToString();
+  EXPECT_EQ(clean->users, duplicated->users);
+  EXPECT_EQ(clean->score, duplicated->score);
+}
+
+}  // namespace
+}  // namespace podium

@@ -32,6 +32,10 @@
 //
 // Profiles are read from JSON (see RepositoryFromJson) or CSV (long form)
 // depending on the extension.
+//
+// Every command accepts --threads=N to size the parallel execution
+// engine's thread pool (0 = automatic: the PODIUM_THREADS environment
+// variable, then the hardware concurrency).
 
 #include <cstdio>
 #include <cstdlib>
@@ -45,6 +49,7 @@
 #include "podium/telemetry/export.h"
 #include "podium/telemetry/telemetry.h"
 #include "podium/util/string_util.h"
+#include "podium/util/thread_pool.h"
 
 namespace {
 
@@ -359,6 +364,15 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   podium::bench::Flags flags(argc - 1, argv + 1);
+  // Every command honors --threads (0 = automatic: PODIUM_THREADS, then
+  // hardware concurrency).
+  const std::int64_t threads = flags.Int("threads", 0);
+  if (threads < 0) {
+    std::fprintf(stderr, "podium: --threads must be >= 0\n");
+    return 2;
+  }
+  podium::util::ThreadPool::SetGlobalThreadCount(
+      static_cast<std::size_t>(threads));
   if (command == "groups") return RunGroups(flags);
   if (command == "select") return RunSelect(flags);
   if (command == "suggest") return RunSuggest(flags);

@@ -19,6 +19,12 @@ class Parser {
       : text_(text), options_(options) {}
 
   Result<Value> ParseDocument() {
+    if (options_.max_document_bytes > 0 &&
+        text_.size() > options_.max_document_bytes) {
+      return Error(util::StringPrintf(
+          "document size %zu exceeds limit of %zu bytes", text_.size(),
+          options_.max_document_bytes));
+    }
     SkipWhitespace();
     Result<Value> value = ParseValue(0);
     if (!value.ok()) return value;
@@ -67,7 +73,14 @@ class Parser {
   }
 
   Result<Value> ParseValue(int depth) {
-    if (depth > options_.max_depth) return Error("nesting depth exceeded");
+    // The root value sits at depth 0, so a document nested more than
+    // max_depth levels deep is rejected exactly at the limit.
+    if (depth >= options_.max_depth) return Error("nesting depth exceeded");
+    if (options_.max_total_nodes > 0 &&
+        ++node_count_ > options_.max_total_nodes) {
+      return Error(util::StringPrintf("node count exceeds limit of %zu",
+                                      options_.max_total_nodes));
+    }
     if (AtEnd()) return Error("unexpected end of input");
     switch (Peek()) {
       case '{':
@@ -148,8 +161,7 @@ class Parser {
     Advance();  // '"'
     std::string out;
     for (;;) {
-      if (AtEnd()) return Status(StatusCode::kParseError,
-                                 "unterminated string");
+      if (AtEnd()) return Error("unterminated string");
       char c = Advance();
       if (c == '"') break;
       if (static_cast<unsigned char>(c) < 0x20) {
@@ -294,6 +306,7 @@ class Parser {
 
   std::string_view text_;
   const ParseOptions& options_;
+  std::size_t node_count_ = 0;
   std::size_t pos_ = 0;
   int line_ = 1;
   std::size_t line_start_ = 0;

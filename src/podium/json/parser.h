@@ -1,6 +1,7 @@
 #ifndef PODIUM_JSON_PARSER_H_
 #define PODIUM_JSON_PARSER_H_
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 
@@ -9,10 +10,22 @@
 
 namespace podium::json {
 
-/// Parser limits; defaults are generous for profile repositories.
+/// Parser limits; defaults are generous for profile repositories. Servers
+/// parsing untrusted input should tighten all three (see serve/handlers.cc
+/// for the limits the HTTP front end uses). Violations are ParseError
+/// statuses carrying the line:column position where the limit was crossed.
 struct ParseOptions {
   /// Maximum nesting depth of arrays/objects before the parser bails out.
   int max_depth = 128;
+
+  /// Maximum size of the whole document in bytes; 0 means unlimited.
+  std::size_t max_document_bytes = 0;
+
+  /// Maximum number of values (nulls, bools, numbers, strings, arrays,
+  /// objects — object keys not counted) in the document; 0 means
+  /// unlimited. Bounds the parsed tree's memory on hostile inputs that
+  /// stay shallow but wide.
+  std::size_t max_total_nodes = 0;
 };
 
 /// Parses a complete JSON document from `text`. Trailing non-whitespace is

@@ -1,0 +1,149 @@
+#include "podium/serve/handlers.h"
+
+#include <utility>
+
+#include "podium/json/writer.h"
+#include "podium/serve/request.h"
+#include "podium/telemetry/export.h"
+#include "podium/util/string_util.h"
+
+namespace podium::serve {
+
+namespace {
+
+HttpResponse JsonResponse(int status, const std::string& reason,
+                          std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.reason = reason;
+  response.headers.emplace_back("Content-Type", "application/json");
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse ErrorResponse(const Status& status) {
+  json::Object root;
+  root.Set("error", json::Value(std::string(StatusCodeToString(status.code()))));
+  root.Set("message", json::Value(status.message()));
+  const int http_status = HttpStatusFor(status);
+  return JsonResponse(http_status, http_status >= 500 ? "Server Error" : "Error",
+                      json::Write(json::Value(std::move(root))) + "\n");
+}
+
+HttpResponse HandleSelect(SelectionService& service,
+                          const HttpRequest& request) {
+  Result<json::Value> document =
+      json::Parse(request.body, UntrustedParseOptions());
+  if (!document.ok()) return ErrorResponse(document.status());
+  Result<SelectionRequest> parsed = SelectionRequestFromJson(document.value());
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  Result<ServiceReply> reply = service.Select(parsed.value());
+  if (!reply.ok()) return ErrorResponse(reply.status());
+
+  HttpResponse response = JsonResponse(200, "OK", std::move(reply->body));
+  response.headers.emplace_back("X-Podium-Cache",
+                                reply->cache_hit ? "hit" : "miss");
+  response.headers.emplace_back(
+      "X-Podium-Queue-Ms",
+      util::FormatDouble(reply->queue_seconds * 1e3, 3));
+  response.headers.emplace_back("X-Podium-Run-Ms",
+                                util::FormatDouble(reply->run_seconds * 1e3, 3));
+  response.headers.emplace_back(
+      "X-Podium-Snapshot",
+      util::StringPrintf("%llu", static_cast<unsigned long long>(
+                                     reply->snapshot_generation)));
+  return response;
+}
+
+HttpResponse HandleHealthz(SelectionService& service) {
+  const std::shared_ptr<const Snapshot> snapshot = service.snapshot();
+  json::Object root;
+  root.Set("status", json::Value(snapshot ? "ok" : "loading"));
+  if (snapshot) {
+    root.Set("snapshot_generation",
+             json::Value(static_cast<double>(snapshot->generation())));
+    root.Set("users", json::Value(snapshot->repository().user_count()));
+    root.Set("groups",
+             json::Value(snapshot->default_instance().groups().group_count()));
+  }
+  return JsonResponse(snapshot ? 200 : 503, snapshot ? "OK" : "Loading",
+                      json::Write(json::Value(std::move(root))) + "\n");
+}
+
+HttpResponse HandleMetrics() {
+  json::WriteOptions options;
+  options.indent = 2;
+  return JsonResponse(
+      200, "OK", json::Write(telemetry::TelemetryToJson(), options) + "\n");
+}
+
+HttpResponse HandleReload(const std::function<Status()>& reload) {
+  if (!reload) {
+    return ErrorResponse(
+        Status::NotFound("reload is not configured for this server"));
+  }
+  const Status status = reload();
+  if (!status.ok()) return ErrorResponse(status);
+  return JsonResponse(200, "OK", "{\"status\":\"reloaded\"}\n");
+}
+
+}  // namespace
+
+json::ParseOptions UntrustedParseOptions() {
+  json::ParseOptions options;
+  options.max_depth = 32;
+  options.max_document_bytes = 1 << 20;   // 1 MiB
+  options.max_total_nodes = 100000;
+  return options;
+}
+
+int HttpStatusFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kParseError:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kResourceExhausted:
+      return 429;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+    case StatusCode::kUnimplemented:
+      return 501;
+    default:
+      return 500;
+  }
+}
+
+HttpServer::Handler MakeServiceHandler(SelectionService& service,
+                                       std::function<Status()> reload) {
+  return [&service, reload = std::move(reload)](const HttpRequest& request)
+             -> HttpResponse {
+    if (request.target == "/v1/select") {
+      if (request.method != "POST") {
+        return ErrorResponse(Status::InvalidArgument(
+            "/v1/select requires POST"));
+      }
+      return HandleSelect(service, request);
+    }
+    if (request.target == "/healthz") {
+      return HandleHealthz(service);
+    }
+    if (request.target == "/metrics") {
+      return HandleMetrics();
+    }
+    if (request.target == "/v1/reload") {
+      if (request.method != "POST") {
+        return ErrorResponse(Status::InvalidArgument(
+            "/v1/reload requires POST"));
+      }
+      return HandleReload(reload);
+    }
+    return ErrorResponse(
+        Status::NotFound("no route for " + request.method + " " +
+                         request.target));
+  };
+}
+
+}  // namespace podium::serve

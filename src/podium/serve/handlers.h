@@ -1,0 +1,38 @@
+#ifndef PODIUM_SERVE_HANDLERS_H_
+#define PODIUM_SERVE_HANDLERS_H_
+
+#include <functional>
+
+#include "podium/json/parser.h"
+#include "podium/serve/http_server.h"
+#include "podium/serve/service.h"
+#include "podium/util/status.h"
+
+namespace podium::serve {
+
+/// The JSON parse limits the HTTP front end applies to untrusted request
+/// bodies (tight versions of json::ParseOptions' permissive defaults).
+json::ParseOptions UntrustedParseOptions();
+
+/// HTTP status for a library Status (ParseError/InvalidArgument → 400,
+/// NotFound → 404, ResourceExhausted → 429, DeadlineExceeded → 504,
+/// Unimplemented → 501, everything else → 500).
+int HttpStatusFor(const Status& status);
+
+/// Builds the service's request router:
+///
+///   POST /v1/select  — run a selection (JSON body; see request.h)
+///   GET  /healthz    — liveness + snapshot generation/size
+///   GET  /metrics    — full telemetry JSON export
+///   POST /v1/reload  — atomically swap in a fresh snapshot via `reload`
+///                      (404 when no reload callback is configured)
+///
+/// Timings and cache status travel as X-Podium-* headers so the JSON body
+/// of a cached reply is byte-identical to the uncached one.
+HttpServer::Handler MakeServiceHandler(
+    SelectionService& service,
+    std::function<Status()> reload = nullptr);
+
+}  // namespace podium::serve
+
+#endif  // PODIUM_SERVE_HANDLERS_H_

@@ -1,0 +1,300 @@
+#include "podium/serve/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "podium/util/string_util.h"
+
+namespace podium::serve {
+
+namespace {
+
+char LowerAscii(char c) {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (LowerAscii(a[i]) != LowerAscii(b[i])) return false;
+  }
+  return true;
+}
+
+const std::string* FindHeaderIn(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    std::string_view name) {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+struct ParsedHead {
+  std::string first_line;
+  std::vector<std::pair<std::string, std::string>> headers;
+};
+
+Result<ParsedHead> ParseHead(const std::string& block) {
+  ParsedHead head;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < block.size()) {
+    const std::size_t eol = block.find("\r\n", pos);
+    if (eol == std::string::npos) break;
+    const std::string_view line(block.data() + pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) break;
+    if (first) {
+      head.first_line = std::string(line);
+      first = false;
+      continue;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::ParseError("malformed HTTP header line");
+    }
+    head.headers.emplace_back(
+        std::string(util::StripWhitespace(line.substr(0, colon))),
+        std::string(util::StripWhitespace(line.substr(colon + 1))));
+  }
+  if (first) return Status::ParseError("empty HTTP message head");
+  return head;
+}
+
+Result<std::size_t> ContentLength(
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  const std::string* value = FindHeaderIn(headers, "Content-Length");
+  if (value == nullptr) return static_cast<std::size_t>(0);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(value->c_str(), &end, 10);
+  if (errno != 0 || end == value->c_str() || *end != '\0') {
+    return Status::ParseError("invalid Content-Length");
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace
+
+Result<std::string> BufferedReader::ReadHeaderBlock(std::size_t max_bytes) {
+  for (;;) {
+    const std::size_t terminator = buffer_.find("\r\n\r\n");
+    if (terminator != std::string::npos) {
+      std::string block = buffer_.substr(0, terminator + 4);
+      buffer_.erase(0, terminator + 4);
+      return block;
+    }
+    if (buffer_.size() > max_bytes) {
+      return Status::ParseError("HTTP header block exceeds limit");
+    }
+    PODIUM_RETURN_IF_ERROR(Fill(buffer_.empty()));
+  }
+}
+
+Result<std::string> BufferedReader::ReadBody(std::size_t length,
+                                             std::size_t max_bytes) {
+  if (length > max_bytes) {
+    return Status::ParseError("HTTP body exceeds limit");
+  }
+  while (buffer_.size() < length) {
+    PODIUM_RETURN_IF_ERROR(Fill(/*eof_is_not_found=*/false));
+  }
+  std::string body = buffer_.substr(0, length);
+  buffer_.erase(0, length);
+  return body;
+}
+
+Status BufferedReader::Fill(bool eof_is_not_found) {
+  char chunk[8192];
+  const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+  if (n > 0) {
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+    return Status::Ok();
+  }
+  if (n == 0) {
+    if (eof_is_not_found) return Status::NotFound("connection closed");
+    return Status::IoError("connection closed mid-message");
+  }
+  if (errno == EINTR) return Status::Ok();
+  return Status::IoError(std::string("recv: ") + std::strerror(errno));
+}
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  return FindHeaderIn(headers, name);
+}
+
+const std::string* HttpResponse::FindHeader(std::string_view name) const {
+  return FindHeaderIn(headers, name);
+}
+
+Result<HttpRequest> ReadHttpRequest(BufferedReader& reader,
+                                    const HttpLimits& limits) {
+  Result<std::string> block = reader.ReadHeaderBlock(limits.max_header_bytes);
+  if (!block.ok()) return block.status();
+  Result<ParsedHead> head = ParseHead(block.value());
+  if (!head.ok()) return head.status();
+
+  HttpRequest request;
+  const std::vector<std::string> parts =
+      util::Split(head->first_line, ' ');
+  if (parts.size() != 3) {
+    return Status::ParseError("malformed HTTP request line");
+  }
+  request.method = parts[0];
+  request.target = parts[1];
+  request.version = parts[2];
+  request.headers = std::move(head->headers);
+  if (FindHeaderIn(request.headers, "Transfer-Encoding") != nullptr) {
+    return Status::Unimplemented("chunked transfer encoding not supported");
+  }
+  Result<std::size_t> length = ContentLength(request.headers);
+  if (!length.ok()) return length.status();
+  if (length.value() > 0) {
+    Result<std::string> body =
+        reader.ReadBody(length.value(), limits.max_body_bytes);
+    if (!body.ok()) return body.status();
+    request.body = std::move(body).value();
+  }
+  return request;
+}
+
+Result<HttpResponse> ReadHttpResponse(BufferedReader& reader,
+                                      const HttpLimits& limits) {
+  Result<std::string> block = reader.ReadHeaderBlock(limits.max_header_bytes);
+  if (!block.ok()) return block.status();
+  Result<ParsedHead> head = ParseHead(block.value());
+  if (!head.ok()) return head.status();
+
+  HttpResponse response;
+  // "HTTP/1.1 200 OK"
+  const std::size_t space = head->first_line.find(' ');
+  if (space == std::string::npos) {
+    return Status::ParseError("malformed HTTP status line");
+  }
+  const std::string rest = head->first_line.substr(space + 1);
+  response.status = std::atoi(rest.c_str());
+  if (response.status < 100 || response.status > 599) {
+    return Status::ParseError("malformed HTTP status code");
+  }
+  const std::size_t reason = rest.find(' ');
+  if (reason != std::string::npos) response.reason = rest.substr(reason + 1);
+  response.headers = std::move(head->headers);
+  Result<std::size_t> length = ContentLength(response.headers);
+  if (!length.ok()) return length.status();
+  if (length.value() > 0) {
+    Result<std::string> body =
+        reader.ReadBody(length.value(), limits.max_body_bytes);
+    if (!body.ok()) return body.status();
+    response.body = std::move(body).value();
+  }
+  return response;
+}
+
+std::string SerializeResponse(const HttpResponse& response) {
+  std::string out = util::StringPrintf("HTTP/1.1 %d %s\r\n", response.status,
+                                       response.reason.c_str());
+  bool have_length = false;
+  bool have_connection = false;
+  for (const auto& [key, value] : response.headers) {
+    if (EqualsIgnoreCase(key, "Content-Length")) have_length = true;
+    if (EqualsIgnoreCase(key, "Connection")) have_connection = true;
+    out += key;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  if (!have_length) {
+    out += util::StringPrintf("Content-Length: %zu\r\n", response.body.size());
+  }
+  if (!have_connection) out += "Connection: keep-alive\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+std::string SerializeRequest(const HttpRequest& request) {
+  std::string out = request.method + " " + request.target + " HTTP/1.1\r\n";
+  bool have_length = false;
+  for (const auto& [key, value] : request.headers) {
+    if (EqualsIgnoreCase(key, "Content-Length")) have_length = true;
+    out += key;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  if (!have_length && (!request.body.empty() || request.method == "POST")) {
+    out += util::StringPrintf("Content-Length: %zu\r\n", request.body.size());
+  }
+  out += "\r\n";
+  out += request.body;
+  return out;
+}
+
+Status WriteAll(int fd, std::string_view data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + written, data.size() - written,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("send: ") + std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+HttpClient::~HttpClient() { Close(); }
+
+Status HttpClient::Connect(const std::string& host, int port) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<uint16_t>(port));
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &address.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot parse host address '" + host +
+                                   "' (IPv4 dotted quad or localhost)");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    const Status error(StatusCode::kIoError,
+                       std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return error;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  reader_ = std::make_unique<BufferedReader>(fd);
+  return Status::Ok();
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    reader_.reset();
+  }
+}
+
+Result<HttpResponse> HttpClient::RoundTrip(const HttpRequest& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  PODIUM_RETURN_IF_ERROR(WriteAll(fd_, SerializeRequest(request)));
+  return ReadHttpResponse(*reader_, limits_);
+}
+
+}  // namespace podium::serve

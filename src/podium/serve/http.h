@@ -1,0 +1,107 @@
+#ifndef PODIUM_SERVE_HTTP_H_
+#define PODIUM_SERVE_HTTP_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "podium/util/result.h"
+
+namespace podium::serve {
+
+/// Minimal dependency-free HTTP/1.1 message types over POSIX sockets:
+/// just enough for the selection service (and its load generator/tests) —
+/// request line + headers + Content-Length bodies, keep-alive. No chunked
+/// transfer, no TLS; front this with a real proxy in production.
+
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ...
+  std::string target;   // "/v1/select"
+  std::string version = "HTTP/1.1";
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+/// Size limits for reading untrusted messages from a socket.
+struct HttpLimits {
+  std::size_t max_header_bytes = 64 * 1024;
+  std::size_t max_body_bytes = 4 * 1024 * 1024;
+};
+
+/// Buffered reader over a socket; one per connection, persisting across
+/// keep-alive messages so pipelined bytes are never dropped.
+class BufferedReader {
+ public:
+  explicit BufferedReader(int fd) : fd_(fd) {}
+
+  /// Reads until "\r\n\r\n"; returns the head block including the blank
+  /// line. NotFound on clean EOF at a message boundary.
+  Result<std::string> ReadHeaderBlock(std::size_t max_bytes);
+  Result<std::string> ReadBody(std::size_t length, std::size_t max_bytes);
+
+ private:
+  Status Fill(bool eof_is_not_found);
+
+  int fd_;
+  std::string buffer_;
+};
+
+/// Reads one request (blocking). A clean EOF before any bytes yields
+/// NotFound("connection closed") — the keep-alive loop's normal exit;
+/// malformed or oversized messages yield ParseError.
+Result<HttpRequest> ReadHttpRequest(BufferedReader& reader,
+                                    const HttpLimits& limits);
+
+/// Reads one response; the client side of the above.
+Result<HttpResponse> ReadHttpResponse(BufferedReader& reader,
+                                      const HttpLimits& limits);
+
+/// Serializes a response/request, adding Content-Length (and a default
+/// Connection: keep-alive) if not already present.
+std::string SerializeResponse(const HttpResponse& response);
+std::string SerializeRequest(const HttpRequest& request);
+
+/// Writes the full buffer to `fd`, retrying short writes; SIGPIPE is
+/// suppressed (a peer hangup surfaces as IoError).
+Status WriteAll(int fd, std::string_view data);
+
+/// Blocking keep-alive HTTP client for the load generator and tests.
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient();
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Connects to host:port (IPv4 dotted quad or "localhost").
+  Status Connect(const std::string& host, int port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends `request` and reads the response on the persistent connection.
+  Result<HttpResponse> RoundTrip(const HttpRequest& request);
+
+ private:
+  int fd_ = -1;
+  HttpLimits limits_;
+  std::unique_ptr<BufferedReader> reader_;
+};
+
+}  // namespace podium::serve
+
+#endif  // PODIUM_SERVE_HTTP_H_

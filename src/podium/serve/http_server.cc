@@ -1,0 +1,190 @@
+#include "podium/serve/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "podium/telemetry/telemetry.h"
+
+namespace podium::serve {
+
+HttpServer::HttpServer(HttpServerOptions options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(),
+                  &address.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot parse bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) !=
+      0) {
+    const Status error(StatusCode::kIoError,
+                       std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return error;
+  }
+  if (::listen(fd, 128) != 0) {
+    const Status error(StatusCode::kIoError,
+                       std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return error;
+  }
+  socklen_t length = sizeof(address);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&address), &length) != 0) {
+    const Status error(StatusCode::kIoError,
+                       std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return error;
+  }
+  port_ = ntohs(address.sin_port);
+  listen_fd_ = fd;
+
+  stopping_.store(false, std::memory_order_relaxed);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(options_.worker_threads);
+  for (std::size_t i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  if (stopping_.exchange(true, std::memory_order_relaxed)) {
+    // A second caller still waits for the first shutdown to finish.
+  }
+  if (listen_fd_ >= 0) {
+    // Unblock accept(); closing also stops new connections.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Unblock workers parked in recv on live connections.
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  work_ready_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int fd : pending_) ::close(fd);
+    pending_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  stopped_.notify_all();
+}
+
+void HttpServer::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  stopped_.wait(lock,
+                [this] { return stopping_.load(std::memory_order_relaxed); });
+}
+
+void HttpServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      if (fd >= 0) ::close(fd);
+      return;
+    }
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listen socket gone
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (telemetry::Enabled()) {
+      telemetry::MetricsRegistry::Global()
+          .counter("serve.http.connections")
+          .Add();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      pending_.push_back(fd);
+    }
+    work_ready_.notify_one();
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_relaxed) || !pending_.empty();
+      });
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      fd = pending_.front();
+      pending_.pop_front();
+      active_fds_.insert(fd);
+    }
+    HandleConnection(fd);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      active_fds_.erase(fd);
+    }
+    ::close(fd);
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  BufferedReader reader(fd);
+  for (;;) {
+    Result<HttpRequest> request = ReadHttpRequest(reader, options_.limits);
+    if (!request.ok()) {
+      // NotFound = clean close between requests; anything else gets a 400
+      // best-effort before hanging up.
+      if (request.status().code() != StatusCode::kNotFound &&
+          !stopping_.load(std::memory_order_relaxed)) {
+        HttpResponse bad;
+        bad.status = 400;
+        bad.reason = "Bad Request";
+        bad.body = request.status().ToString() + "\n";
+        bad.headers.emplace_back("Content-Type", "text/plain");
+        bad.headers.emplace_back("Connection", "close");
+        (void)WriteAll(fd, SerializeResponse(bad));
+      }
+      return;
+    }
+    if (stopping_.load(std::memory_order_relaxed)) return;
+
+    HttpResponse response = handler_(request.value());
+    const std::string* connection = request->FindHeader("Connection");
+    const bool close_requested =
+        connection != nullptr && (*connection == "close" ||
+                                  *connection == "Close");
+    if (close_requested) {
+      response.headers.emplace_back("Connection", "close");
+    }
+    if (!WriteAll(fd, SerializeResponse(response)).ok()) return;
+    if (close_requested) return;
+  }
+}
+
+}  // namespace podium::serve

@@ -1,0 +1,80 @@
+#ifndef PODIUM_SERVE_HTTP_SERVER_H_
+#define PODIUM_SERVE_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "podium/serve/http.h"
+#include "podium/util/status.h"
+
+namespace podium::serve {
+
+struct HttpServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back via port() after Start().
+  int port = 0;
+  /// Threads handling connections; each owns one connection at a time
+  /// (HTTP/1.1 keep-alive serializes requests per connection anyway), so
+  /// this bounds concurrently-served clients.
+  std::size_t worker_threads = 8;
+  HttpLimits limits;
+};
+
+/// Minimal blocking HTTP/1.1 server: an acceptor thread queues accepted
+/// sockets, worker threads run the keep-alive request loop and call the
+/// handler per request. The handler must be thread-safe; it is invoked
+/// concurrently from every worker.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer(HttpServerOptions options, Handler handler);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens and spawns the acceptor + workers. port() is valid
+  /// after an OK return.
+  Status Start();
+
+  /// Shuts down: stops accepting, unblocks workers parked in recv (open
+  /// connections are shut down), joins every thread. Idempotent.
+  void Stop();
+
+  int port() const { return port_; }
+
+  /// Blocks until Stop() is called from another thread (or a signal
+  /// handler); the serve tool's main loop.
+  void Wait();
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void HandleConnection(int fd);
+
+  HttpServerOptions options_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable stopped_;
+  std::deque<int> pending_;               // accepted fds awaiting a worker
+  std::unordered_set<int> active_fds_;    // connections being served
+};
+
+}  // namespace podium::serve
+
+#endif  // PODIUM_SERVE_HTTP_SERVER_H_

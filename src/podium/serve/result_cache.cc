@@ -1,0 +1,60 @@
+#include "podium/serve/result_cache.h"
+
+#include "podium/telemetry/telemetry.h"
+
+namespace podium::serve {
+
+namespace {
+
+void RecordLookup(bool hit) {
+  if (!telemetry::Enabled()) return;
+  auto& registry = telemetry::MetricsRegistry::Global();
+  // Hoisted statics: the registry lookup takes a mutex, the Add does not.
+  static telemetry::Counter& hits = registry.counter("serve.cache.hits");
+  static telemetry::Counter& misses = registry.counter("serve.cache.misses");
+  (hit ? hits : misses).Add();
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::optional<std::string> ResultCache::Get(const std::string& key) {
+  if (capacity_ == 0) {
+    RecordLookup(false);
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    RecordLookup(false);
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  RecordLookup(true);
+  return it->second->second;
+}
+
+void ResultCache::Put(const std::string& key, std::string body) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(body);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(body));
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace podium::serve

@@ -1,0 +1,47 @@
+#ifndef PODIUM_SERVE_RESULT_CACHE_H_
+#define PODIUM_SERVE_RESULT_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace podium::serve {
+
+/// LRU cache of serialized response bodies keyed by CanonicalRequestKey.
+/// Keys embed the snapshot generation, so a snapshot swap invalidates
+/// entries implicitly: stale generations stop being looked up and age out
+/// of the LRU list. Thread-safe; every hit/miss is recorded on the
+/// "serve.cache.hits" / "serve.cache.misses" telemetry counters (when
+/// telemetry is enabled).
+class ResultCache {
+ public:
+  /// `capacity` = maximum number of entries; 0 disables caching (every
+  /// Get misses, Put is a no-op).
+  explicit ResultCache(std::size_t capacity);
+
+  /// The cached body for `key`, refreshing its recency, or nullopt.
+  std::optional<std::string> Get(const std::string& key);
+
+  /// Inserts (or refreshes) `key`, evicting least-recently-used entries
+  /// beyond capacity.
+  void Put(const std::string& key, std::string body);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  using Entry = std::pair<std::string, std::string>;  // key, body
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace podium::serve
+
+#endif  // PODIUM_SERVE_RESULT_CACHE_H_

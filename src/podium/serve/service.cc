@@ -1,0 +1,266 @@
+#include "podium/serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "podium/core/explanation.h"
+#include "podium/telemetry/phase.h"
+#include "podium/telemetry/telemetry.h"
+#include "podium/util/stopwatch.h"
+
+namespace podium::serve {
+
+namespace {
+
+struct ServeMetrics {
+  telemetry::Counter& requests;
+  telemetry::Counter& errors;
+  telemetry::Counter& rejected;
+  telemetry::Counter& deadline_exceeded;
+  telemetry::Histogram& latency;
+  telemetry::Histogram& queue_wait;
+  telemetry::Histogram& run_time;
+
+  static ServeMetrics& Get() {
+    auto& registry = telemetry::MetricsRegistry::Global();
+    static ServeMetrics metrics{
+        registry.counter("serve.requests"),
+        registry.counter("serve.errors"),
+        registry.counter("serve.rejected"),
+        registry.counter("serve.deadline_exceeded"),
+        registry.histogram("serve.latency_seconds",
+                           telemetry::DefaultLatencyBounds()),
+        registry.histogram("serve.queue_seconds",
+                           telemetry::DefaultLatencyBounds()),
+        registry.histogram("serve.run_seconds",
+                           telemetry::DefaultLatencyBounds())};
+    return metrics;
+  }
+};
+
+Result<std::vector<GroupId>> ResolveLabels(
+    const Snapshot& snapshot, const std::vector<std::string>& labels) {
+  std::vector<GroupId> groups;
+  groups.reserve(labels.size());
+  for (const std::string& label : labels) {
+    Result<GroupId> group = snapshot.ResolveLabel(label);
+    if (!group.ok()) return group.status();
+    groups.push_back(group.value());
+  }
+  return groups;
+}
+
+json::Value BuildExplanations(const DiversificationInstance& instance,
+                              const std::vector<UserId>& users) {
+  json::Array out;
+  out.reserve(users.size());
+  for (UserId u : users) {
+    const UserExplanation explanation = ExplainUser(instance, u);
+    json::Object user;
+    user.Set("name", json::Value(explanation.name));
+    json::Array groups;
+    groups.reserve(explanation.groups.size());
+    for (const GroupExplanation& g : explanation.groups) {
+      json::Object group;
+      group.Set("label", json::Value(g.label));
+      group.Set("weight", json::Value(g.weight));
+      group.Set("cov",
+                json::Value(static_cast<double>(g.required_coverage)));
+      groups.emplace_back(std::move(group));
+    }
+    user.Set("groups", json::Value(std::move(groups)));
+    out.emplace_back(std::move(user));
+  }
+  return json::Value(std::move(out));
+}
+
+}  // namespace
+
+SelectionService::SelectionService(std::shared_ptr<const Snapshot> snapshot,
+                                   ServiceOptions options)
+    : options_(std::move(options)), holder_(std::move(snapshot)),
+      cache_(options_.cache_entries) {}
+
+void SelectionService::SwapSnapshot(std::shared_ptr<const Snapshot> snapshot) {
+  holder_.Swap(std::move(snapshot));
+}
+
+Status SelectionService::Admit(std::int64_t deadline_ms,
+                               double* queue_seconds) {
+  const auto start = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (running_ < options_.max_concurrency) {
+    ++running_;
+    *queue_seconds = 0.0;
+    return Status::Ok();
+  }
+  if (waiting_ >= options_.max_queue_depth) {
+    if (telemetry::Enabled()) ServeMetrics::Get().rejected.Add();
+    return Status::ResourceExhausted("admission queue full");
+  }
+  ++waiting_;
+  bool admitted;
+  if (deadline_ms > 0) {
+    const auto deadline = start + std::chrono::milliseconds(deadline_ms);
+    admitted = slot_free_.wait_until(lock, deadline, [&] {
+      return running_ < options_.max_concurrency;
+    });
+  } else {
+    slot_free_.wait(lock,
+                    [&] { return running_ < options_.max_concurrency; });
+    admitted = true;
+  }
+  --waiting_;
+  *queue_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (!admitted) {
+    if (telemetry::Enabled()) ServeMetrics::Get().deadline_exceeded.Add();
+    return Status::DeadlineExceeded(
+        "deadline expired before an execution slot freed up");
+  }
+  ++running_;
+  return Status::Ok();
+}
+
+void SelectionService::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --running_;
+  }
+  slot_free_.notify_one();
+}
+
+Result<ServiceReply> SelectionService::Select(const SelectionRequest& request) {
+  const bool telemetry_on = telemetry::Enabled();
+  if (telemetry_on) ServeMetrics::Get().requests.Add();
+  util::Stopwatch total;
+
+  const std::shared_ptr<const Snapshot> snapshot = holder_.Current();
+  if (snapshot == nullptr) {
+    if (telemetry_on) ServeMetrics::Get().errors.Add();
+    return Status::FailedPrecondition("no snapshot loaded");
+  }
+
+  ServiceReply reply;
+  reply.snapshot_generation = snapshot->generation();
+
+  const std::string key = CanonicalRequestKey(snapshot->generation(), request);
+  if (std::optional<std::string> cached = cache_.Get(key);
+      cached.has_value()) {
+    reply.body = std::move(*cached);
+    reply.cache_hit = true;
+    if (telemetry_on) {
+      ServeMetrics::Get().latency.Observe(total.ElapsedSeconds());
+    }
+    return reply;
+  }
+
+  // Deadline: the request may tighten the server default freely but only
+  // loosen it up to 10x (a hostile client cannot pin a queue slot forever).
+  std::int64_t deadline_ms = options_.default_deadline_ms;
+  if (request.deadline_ms > 0) {
+    deadline_ms = options_.default_deadline_ms > 0
+                      ? std::min(request.deadline_ms,
+                                 10 * options_.default_deadline_ms)
+                      : request.deadline_ms;
+  }
+
+  Status admitted = Admit(deadline_ms, &reply.queue_seconds);
+  if (!admitted.ok()) {
+    if (telemetry_on) ServeMetrics::Get().errors.Add();
+    return admitted;
+  }
+  // Exception-safe release: selector code returns Status, but anything
+  // escaping (e.g. bad_alloc through ParallelFor) must not leak the slot.
+  struct SlotGuard {
+    SelectionService* service;
+    ~SlotGuard() { service->Release(); }
+  } slot_guard{this};
+  if (options_.post_admission_hook) options_.post_admission_hook();
+
+  util::Stopwatch run;
+  Result<std::string> body = RunSelection(*snapshot, request);
+  reply.run_seconds = run.ElapsedSeconds();
+
+  if (telemetry_on) {
+    ServeMetrics& metrics = ServeMetrics::Get();
+    metrics.queue_wait.Observe(reply.queue_seconds);
+    metrics.run_time.Observe(reply.run_seconds);
+    metrics.latency.Observe(total.ElapsedSeconds());
+    if (!body.ok()) metrics.errors.Add();
+  }
+  if (!body.ok()) return body.status();
+  reply.body = std::move(body).value();
+  cache_.Put(key, reply.body);
+  return reply;
+}
+
+Result<std::string> SelectionService::RunSelection(
+    const Snapshot& snapshot, const SelectionRequest& request) {
+  telemetry::PhaseSpan span("serve.select");
+
+  SelectionOutcome outcome;
+  outcome.snapshot_generation = snapshot.generation();
+  outcome.request = request;
+  outcome.mode = request.mode;
+  outcome.budget =
+      request.budget > 0 ? request.budget : snapshot.options().instance.budget;
+  outcome.weight_kind = request.weight_kind.value_or(
+      snapshot.options().instance.weight_kind);
+  outcome.coverage_kind = request.coverage_kind.value_or(
+      snapshot.options().instance.coverage_kind);
+
+  // Reuse the shared prebuilt instance whenever the request's parameters
+  // resolve to it; otherwise re-evaluate weights/coverage over the shared
+  // CSR group index (never the grouping itself).
+  DiversificationInstance local;
+  const DiversificationInstance* instance = &snapshot.default_instance();
+  if (!snapshot.MatchesDefaultInstance(outcome.weight_kind,
+                                       outcome.coverage_kind,
+                                       outcome.budget)) {
+    Result<DiversificationInstance> built = snapshot.MakeInstance(
+        outcome.weight_kind, outcome.coverage_kind, outcome.budget);
+    if (!built.ok()) return built.status();
+    local = std::move(built).value();
+    instance = &local;
+  }
+
+  if (request.customized()) {
+    CustomizationFeedback feedback;
+    PODIUM_ASSIGN_OR_RETURN(feedback.must_have,
+                            ResolveLabels(snapshot, request.must_have));
+    PODIUM_ASSIGN_OR_RETURN(feedback.must_not,
+                            ResolveLabels(snapshot, request.must_not));
+    PODIUM_ASSIGN_OR_RETURN(feedback.priority,
+                            ResolveLabels(snapshot, request.priority));
+    Result<CustomSelection> custom = SelectCustomized(
+        *instance, feedback, outcome.budget, request.mode);
+    if (!custom.ok()) return custom.status();
+    outcome.users = std::move(custom->selection.users);
+    outcome.score = custom->selection.score;
+    outcome.custom_score = custom->score;
+    outcome.refined_pool_size = custom->refined_pool_size;
+  } else {
+    GreedyOptions greedy_options;
+    greedy_options.mode = request.mode;
+    Result<Selection> selection =
+        GreedySelector(greedy_options).Select(*instance, outcome.budget);
+    if (!selection.ok()) return selection.status();
+    outcome.users = std::move(selection->users);
+    outcome.score = selection->score;
+  }
+
+  outcome.names.reserve(outcome.users.size());
+  for (UserId u : outcome.users) {
+    outcome.names.push_back(snapshot.repository().user(u).name());
+  }
+  if (request.explain) {
+    outcome.explanations = BuildExplanations(*instance, outcome.users);
+  }
+  return SerializeOutcome(outcome);
+}
+
+}  // namespace podium::serve

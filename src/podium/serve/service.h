@@ -1,0 +1,97 @@
+#ifndef PODIUM_SERVE_SERVICE_H_
+#define PODIUM_SERVE_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "podium/serve/request.h"
+#include "podium/serve/result_cache.h"
+#include "podium/serve/snapshot.h"
+#include "podium/util/result.h"
+
+namespace podium::serve {
+
+struct ServiceOptions {
+  /// Selections running at once. Each selection may itself fan out on the
+  /// global ThreadPool, which serializes one parallel loop at a time, so
+  /// the sweet spot is small; excess requests wait in the admission queue.
+  std::size_t max_concurrency = 4;
+
+  /// Requests allowed to wait for a slot beyond the running ones; arrivals
+  /// past this are rejected immediately (ResourceExhausted → HTTP 429).
+  std::size_t max_queue_depth = 64;
+
+  /// Default per-request deadline; a request whose slot has not freed up
+  /// within the deadline fails with DeadlineExceeded (→ HTTP 504). 0
+  /// disables deadlines. Requests may tighten (or, bounded by 10x this,
+  /// loosen) it via "deadline_ms".
+  std::int64_t default_deadline_ms = 5000;
+
+  /// ResultCache entries; 0 disables caching.
+  std::size_t cache_entries = 1024;
+
+  /// Test-only: runs inside the admission slot before the selection,
+  /// letting tests hold a slot open deterministically.
+  std::function<void()> post_admission_hook;
+};
+
+/// A served reply: the deterministic response body plus per-request
+/// metadata that must NOT enter the body (cached replies are byte
+/// identical to uncached ones; timings travel as HTTP headers).
+struct ServiceReply {
+  std::string body;
+  bool cache_hit = false;
+  double queue_seconds = 0.0;
+  double run_seconds = 0.0;
+  std::uint64_t snapshot_generation = 0;
+};
+
+/// The concurrent selection engine behind the HTTP front end: resolves a
+/// SelectionRequest against the current Snapshot, consults the
+/// ResultCache, admits the request through a bounded queue with a
+/// deadline, runs the selection (greedy or customized) and serializes the
+/// outcome. Thread-safe; one instance serves every connection.
+class SelectionService {
+ public:
+  SelectionService(std::shared_ptr<const Snapshot> snapshot,
+                   ServiceOptions options);
+
+  /// Serves one request. Errors map to HTTP statuses in handlers.cc.
+  Result<ServiceReply> Select(const SelectionRequest& request);
+
+  /// Atomically installs a new snapshot; in-flight requests finish on the
+  /// snapshot they started with, later requests (and cache keys) use the
+  /// new generation.
+  void SwapSnapshot(std::shared_ptr<const Snapshot> snapshot);
+
+  std::shared_ptr<const Snapshot> snapshot() const { return holder_.Current(); }
+  const ServiceOptions& options() const { return options_; }
+  ResultCache& cache() { return cache_; }
+
+ private:
+  /// Runs the selection itself (no queueing, no cache) and serializes it.
+  Result<std::string> RunSelection(const Snapshot& snapshot,
+                                   const SelectionRequest& request);
+
+  /// Blocks until a slot frees, the deadline passes, or the queue
+  /// overflows. On success the caller owns one slot and must Release().
+  Status Admit(std::int64_t deadline_ms, double* queue_seconds);
+  void Release();
+
+  ServiceOptions options_;
+  SnapshotHolder holder_;
+  ResultCache cache_;
+
+  std::mutex mutex_;
+  std::condition_variable slot_free_;
+  std::size_t running_ = 0;  // guarded by mutex_
+  std::size_t waiting_ = 0;  // guarded by mutex_
+};
+
+}  // namespace podium::serve
+
+#endif  // PODIUM_SERVE_SERVICE_H_

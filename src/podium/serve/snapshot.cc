@@ -1,0 +1,71 @@
+#include "podium/serve/snapshot.h"
+
+#include <utility>
+
+#include "podium/telemetry/phase.h"
+#include "podium/telemetry/telemetry.h"
+
+namespace podium::serve {
+
+Result<std::shared_ptr<const Snapshot>> Snapshot::Build(
+    ProfileRepository repository, const SnapshotOptions& options,
+    std::uint64_t generation) {
+  telemetry::PhaseSpan span("serve.snapshot_build");
+  // make_shared needs a public constructor; the factory keeps construction
+  // in two steps so the instance points at the repository's final address.
+  std::shared_ptr<Snapshot> snapshot(new Snapshot());
+  snapshot->repository_ = std::move(repository);
+  snapshot->options_ = options;
+  snapshot->generation_ = generation;
+
+  Result<DiversificationInstance> instance = DiversificationInstance::Build(
+      snapshot->repository_, options.instance);
+  if (!instance.ok()) return instance.status();
+  snapshot->default_instance_ = std::move(instance).value();
+
+  const GroupIndex& groups = snapshot->default_instance_.groups();
+  snapshot->label_index_.reserve(groups.group_count());
+  for (GroupId g = 0; g < groups.group_count(); ++g) {
+    snapshot->label_index_.emplace(groups.label(g), g);
+  }
+
+  if (telemetry::Enabled()) {
+    auto& registry = telemetry::MetricsRegistry::Global();
+    registry.gauge("serve.snapshot.generation")
+        .Set(static_cast<double>(generation));
+    registry.gauge("serve.snapshot.users")
+        .Set(static_cast<double>(snapshot->repository_.user_count()));
+    registry.gauge("serve.snapshot.groups")
+        .Set(static_cast<double>(groups.group_count()));
+  }
+  return std::shared_ptr<const Snapshot>(std::move(snapshot));
+}
+
+bool Snapshot::MatchesDefaultInstance(WeightKind weight_kind,
+                                      CoverageKind coverage_kind,
+                                      std::size_t budget) const {
+  if (weight_kind != options_.instance.weight_kind) return false;
+  if (coverage_kind != options_.instance.coverage_kind) return false;
+  if (budget == options_.instance.budget) return true;
+  return coverage_kind == CoverageKind::kSingle &&
+         weight_kind != WeightKind::kEbs;
+}
+
+Result<DiversificationInstance> Snapshot::MakeInstance(
+    WeightKind weight_kind, CoverageKind coverage_kind,
+    std::size_t budget) const {
+  telemetry::PhaseSpan span("serve.make_instance");
+  return DiversificationInstance::FromGroups(
+      repository_, default_instance_.groups(), weight_kind, coverage_kind,
+      budget);
+}
+
+Result<GroupId> Snapshot::ResolveLabel(const std::string& label) const {
+  auto it = label_index_.find(label);
+  if (it == label_index_.end()) {
+    return Status::NotFound("no group labeled '" + label + "'");
+  }
+  return it->second;
+}
+
+}  // namespace podium::serve

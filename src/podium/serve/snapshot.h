@@ -1,0 +1,107 @@
+#ifndef PODIUM_SERVE_SNAPSHOT_H_
+#define PODIUM_SERVE_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "podium/core/instance.h"
+#include "podium/profile/repository.h"
+#include "podium/util/result.h"
+
+namespace podium::serve {
+
+/// Snapshot construction options: the grouping and default instance
+/// parameters every request shares. Requests may override weight kind,
+/// coverage kind and budget per call; the grouping (and therefore the
+/// bucketized score groups) is fixed per snapshot — regrouping requires a
+/// reload.
+struct SnapshotOptions {
+  InstanceOptions instance;
+};
+
+/// An immutable bundle of everything a selection request reads: the
+/// profile repository, the prebuilt CSR GroupIndex with its bucketized
+/// score groups (inside the default DiversificationInstance), and a
+/// label → group id index for resolving customization feedback.
+///
+/// Built once at startup (or on reload) and shared across concurrent
+/// requests via shared_ptr — request threads hold a reference for the
+/// duration of a request, so a snapshot swapped out mid-flight stays
+/// alive until its last request completes. Nothing in here mutates after
+/// Build(), so no per-request locking is needed.
+class Snapshot {
+ public:
+  /// Builds a snapshot over `repository` (taking ownership). The group
+  /// index and the default instance (weights + coverage evaluated) are
+  /// built eagerly so no request pays for them. `generation`
+  /// distinguishes reloads; it is part of every cache key.
+  static Result<std::shared_ptr<const Snapshot>> Build(
+      ProfileRepository repository, const SnapshotOptions& options,
+      std::uint64_t generation);
+
+  const ProfileRepository& repository() const { return repository_; }
+  const SnapshotOptions& options() const { return options_; }
+  std::uint64_t generation() const { return generation_; }
+
+  /// The instance built with the snapshot's default weight/coverage/budget.
+  const DiversificationInstance& default_instance() const {
+    return default_instance_;
+  }
+
+  /// True when (weight_kind, coverage_kind, budget) can be served by
+  /// default_instance() without building a per-request instance. Budget
+  /// only matters to the instance itself under Prop coverage or EBS
+  /// weights (both read B); otherwise it is just the selector's stop
+  /// condition.
+  bool MatchesDefaultInstance(WeightKind weight_kind,
+                              CoverageKind coverage_kind,
+                              std::size_t budget) const;
+
+  /// Builds an instance with request-specific weight/coverage/budget over
+  /// the shared repository and a copy of the prebuilt group index (the
+  /// grouping itself is never recomputed). The instance references this
+  /// snapshot's repository; callers must keep their shared_ptr alive for
+  /// the instance's lifetime.
+  Result<DiversificationInstance> MakeInstance(WeightKind weight_kind,
+                                               CoverageKind coverage_kind,
+                                               std::size_t budget) const;
+
+  /// Resolves a group label to its id in O(1), or NotFound.
+  Result<GroupId> ResolveLabel(const std::string& label) const;
+
+ private:
+  Snapshot() = default;
+
+  ProfileRepository repository_;
+  SnapshotOptions options_;
+  std::uint64_t generation_ = 0;
+  DiversificationInstance default_instance_;
+  std::unordered_map<std::string, GroupId> label_index_;
+};
+
+/// The service's current snapshot, swappable atomically while requests
+/// are in flight (the reload path). Readers pay one atomic shared_ptr
+/// load; they never block a swap and a swap never blocks them.
+class SnapshotHolder {
+ public:
+  explicit SnapshotHolder(std::shared_ptr<const Snapshot> snapshot = nullptr)
+      : snapshot_(std::move(snapshot)) {}
+
+  std::shared_ptr<const Snapshot> Current() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
+  void Swap(std::shared_ptr<const Snapshot> next) {
+    snapshot_.store(std::move(next), std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const Snapshot>> snapshot_;
+};
+
+}  // namespace podium::serve
+
+#endif  // PODIUM_SERVE_SNAPSHOT_H_

@@ -1,0 +1,174 @@
+// Hostile-input behavior of the JSON parser: resource limits
+// (depth/node/byte bombs) and malformed documents an HTTP front end will
+// see from untrusted clients. Every rejection must be a ParseError whose
+// message carries a line:column position.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "podium/json/parser.h"
+#include "podium/json/value.h"
+
+namespace podium::json {
+namespace {
+
+Status MustFail(std::string_view text, const ParseOptions& options = {}) {
+  Result<Value> result = Parse(text, options);
+  EXPECT_FALSE(result.ok()) << "parse unexpectedly succeeded";
+  return result.ok() ? Status::Ok() : result.status();
+}
+
+bool CarriesPosition(const Status& status) {
+  // Positions are rendered as "... at line L column C".
+  return status.message().find("line ") != std::string::npos &&
+         status.message().find("column ") != std::string::npos;
+}
+
+std::string Nested(std::size_t depth, char open, char close) {
+  std::string text(depth, open);
+  text.append(depth, close);
+  return text;
+}
+
+TEST(JsonLimitsTest, DepthAtLimitParses) {
+  ParseOptions options;
+  options.max_depth = 16;
+  Result<Value> result = Parse(Nested(16, '[', ']'), options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const Value* inner = &result.value();
+  for (int i = 0; i < 15; ++i) inner = &inner->AsArray().at(0);
+  EXPECT_TRUE(inner->is_array());
+  EXPECT_TRUE(inner->AsArray().empty());
+}
+
+TEST(JsonLimitsTest, DepthBombRejected) {
+  ParseOptions options;
+  options.max_depth = 16;
+  const Status status = MustFail(Nested(17, '[', ']'), options);
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_NE(status.message().find("nesting depth"), std::string::npos)
+      << status;
+  EXPECT_TRUE(CarriesPosition(status)) << status;
+  // Objects count toward the same depth budget.
+  std::string objects;
+  for (int i = 0; i < 17; ++i) objects += "{\"k\":";
+  objects += "1";
+  objects.append(17, '}');
+  EXPECT_EQ(MustFail(objects, options).code(), StatusCode::kParseError);
+}
+
+TEST(JsonLimitsTest, DefaultDepthStopsDeepBomb) {
+  // The permissive default still refuses a 100k-deep bomb instead of
+  // overflowing the stack.
+  const Status status = MustFail(Nested(100000, '[', ']'));
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_NE(status.message().find("nesting depth"), std::string::npos)
+      << status;
+}
+
+TEST(JsonLimitsTest, NodeCountAtLimitParses) {
+  ParseOptions options;
+  options.max_total_nodes = 4;
+  // Array + three numbers = 4 nodes.
+  EXPECT_TRUE(Parse("[1,2,3]", options).ok());
+}
+
+TEST(JsonLimitsTest, NodeCountBombRejected) {
+  ParseOptions options;
+  options.max_total_nodes = 4;
+  const Status status = MustFail("[1,2,3,4]", options);
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_NE(status.message().find("node count"), std::string::npos) << status;
+  EXPECT_TRUE(CarriesPosition(status)) << status;
+}
+
+TEST(JsonLimitsTest, WideShallowBombRejected) {
+  // Shallow but wide: depth limits alone would not catch this.
+  ParseOptions options;
+  options.max_depth = 8;
+  options.max_total_nodes = 1000;
+  std::string wide = "[0";
+  for (int i = 0; i < 5000; ++i) wide += ",0";
+  wide += "]";
+  const Status status = MustFail(wide, options);
+  EXPECT_NE(status.message().find("node count"), std::string::npos) << status;
+}
+
+TEST(JsonLimitsTest, DocumentBytesEnforced) {
+  ParseOptions options;
+  options.max_document_bytes = 7;
+  EXPECT_TRUE(Parse("[1,2,3]", options).ok());  // 7 bytes
+  const Status status = MustFail("[1,2,33]", options);  // 8 bytes
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_NE(status.message().find("document size"), std::string::npos)
+      << status;
+}
+
+TEST(JsonLimitsTest, ZeroMeansUnlimited) {
+  ParseOptions options;
+  options.max_document_bytes = 0;
+  options.max_total_nodes = 0;
+  std::string big = "[0";
+  for (int i = 0; i < 20000; ++i) big += ",0";
+  big += "]";
+  EXPECT_TRUE(Parse(big, options).ok());
+}
+
+TEST(JsonLimitsTest, TruncatedDocuments) {
+  for (const char* text :
+       {"", "  ", "{", "[", "[1,", "{\"a\"", "{\"a\":", "{\"a\":1",
+        "\"unterminated", "\"esc\\", "tru", "nul", "fals", "-", "1e", "1."}) {
+    const Status status = MustFail(text);
+    EXPECT_EQ(status.code(), StatusCode::kParseError) << text;
+    EXPECT_TRUE(CarriesPosition(status)) << text << " -> " << status;
+  }
+}
+
+TEST(JsonLimitsTest, InvalidUnicodeEscapes) {
+  // Too few hex digits / non-hex digits.
+  EXPECT_NE(MustFail(R"("\u12")").message().find("\\u escape"),
+            std::string::npos);
+  EXPECT_NE(MustFail(R"("\u12zz")").message().find("hex digit"),
+            std::string::npos);
+  EXPECT_NE(MustFail(R"("\uGHIJ")").message().find("hex digit"),
+            std::string::npos);
+}
+
+TEST(JsonLimitsTest, LoneSurrogatesRejected) {
+  // High surrogate with nothing after it.
+  EXPECT_NE(MustFail(R"("\ud83d")").message().find("surrogate"),
+            std::string::npos);
+  // High surrogate followed by a non-surrogate escape.
+  EXPECT_NE(MustFail(R"("\ud83dA")").message().find("surrogate"),
+            std::string::npos);
+  // Low surrogate on its own.
+  EXPECT_NE(MustFail(R"("\ude00")").message().find("surrogate"),
+            std::string::npos);
+  // Valid pair still decodes.
+  Result<Value> smile = Parse(R"("\ud83d\ude00")");
+  ASSERT_TRUE(smile.ok());
+  EXPECT_EQ(smile->AsString(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonLimitsTest, OverflowingNumbersRejected) {
+  const Status status = MustFail("1e999999");
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_NE(status.message().find("out of range"), std::string::npos)
+      << status;
+  EXPECT_EQ(MustFail("-1e999999").code(), StatusCode::kParseError);
+  // Underflow sets ERANGE too; the parser is strict in both directions
+  // rather than silently flushing to zero.
+  EXPECT_EQ(MustFail("1e-999999").code(), StatusCode::kParseError);
+}
+
+TEST(JsonLimitsTest, LimitErrorsReportPosition) {
+  ParseOptions options;
+  options.max_depth = 2;
+  const Status status = MustFail("[\n [\n  [\n  ]\n ]\n]", options);
+  // The violation happens on line 3.
+  EXPECT_NE(status.message().find("line 3"), std::string::npos) << status;
+}
+
+}  // namespace
+}  // namespace podium::json

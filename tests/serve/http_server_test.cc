@@ -1,0 +1,228 @@
+// End-to-end tests of the HTTP front end: a real HttpServer on an
+// ephemeral port, driven through HttpClient over loopback.
+
+#include "podium/serve/http_server.h"
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "podium/json/parser.h"
+#include "podium/serve/handlers.h"
+#include "podium/serve/service.h"
+#include "podium/telemetry/export.h"
+#include "podium/telemetry/telemetry.h"
+#include "tests/testing/table2.h"
+
+namespace podium::serve {
+namespace {
+
+class HttpServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::SetEnabled(true);
+    telemetry::ResetAllTelemetry();
+
+    SnapshotOptions snapshot_options;
+    snapshot_options.instance.budget = 3;
+    Result<std::shared_ptr<const Snapshot>> snapshot = Snapshot::Build(
+        podium::testing::MakeTable2Repository(), snapshot_options,
+        /*generation=*/1);
+    ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+    service_ = std::make_unique<SelectionService>(std::move(snapshot).value(),
+                                                  ServiceOptions{});
+
+    HttpServerOptions http_options;
+    http_options.port = 0;  // ephemeral
+    http_options.worker_threads = 4;
+    server_ = std::make_unique<HttpServer>(http_options,
+                                           MakeServiceHandler(*service_));
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    telemetry::SetEnabled(false);
+    telemetry::ResetAllTelemetry();
+  }
+
+  HttpResponse RoundTrip(HttpClient& client, const std::string& method,
+                         const std::string& target, std::string body = "") {
+    if (!client.connected()) {
+      const Status connected = client.Connect("127.0.0.1", server_->port());
+      EXPECT_TRUE(connected.ok()) << connected;
+    }
+    HttpRequest request;
+    request.method = method;
+    request.target = target;
+    request.body = std::move(body);
+    Result<HttpResponse> response = client.RoundTrip(request);
+    EXPECT_TRUE(response.ok()) << response.status();
+    return response.ok() ? std::move(response).value() : HttpResponse{};
+  }
+
+  std::unique_ptr<SelectionService> service_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(HttpServerTest, HealthzReportsSnapshot) {
+  HttpClient client;
+  const HttpResponse response = RoundTrip(client, "GET", "/healthz");
+  EXPECT_EQ(response.status, 200);
+  Result<json::Value> body = json::Parse(response.body);
+  ASSERT_TRUE(body.ok()) << body.status();
+  EXPECT_EQ(body->AsObject().Find("status")->AsString(), "ok");
+  EXPECT_EQ(body->AsObject().Find("users")->AsNumber(), 5.0);
+  EXPECT_EQ(body->AsObject().Find("snapshot_generation")->AsNumber(), 1.0);
+}
+
+TEST_F(HttpServerTest, SelectMissThenByteIdenticalCachedHit) {
+  HttpClient client;
+  const HttpResponse first =
+      RoundTrip(client, "POST", "/v1/select", R"({"budget": 2})");
+  ASSERT_EQ(first.status, 200) << first.body;
+  ASSERT_NE(first.FindHeader("X-Podium-Cache"), nullptr);
+  EXPECT_EQ(*first.FindHeader("X-Podium-Cache"), "miss");
+  EXPECT_EQ(*first.FindHeader("X-Podium-Snapshot"), "1");
+  Result<json::Value> body = json::Parse(first.body);
+  ASSERT_TRUE(body.ok()) << body.status();
+  EXPECT_EQ(body->AsObject().Find("users")->AsArray().size(), 2u);
+
+  const HttpResponse second =
+      RoundTrip(client, "POST", "/v1/select", R"({"budget": 2})");
+  ASSERT_EQ(second.status, 200);
+  EXPECT_EQ(*second.FindHeader("X-Podium-Cache"), "hit");
+  // The cached body is byte-identical; timings travel only in headers.
+  EXPECT_EQ(second.body, first.body);
+  EXPECT_NE(second.FindHeader("X-Podium-Run-Ms"), nullptr);
+  EXPECT_NE(second.FindHeader("X-Podium-Queue-Ms"), nullptr);
+}
+
+TEST_F(HttpServerTest, MalformedJsonIs400) {
+  HttpClient client;
+  const HttpResponse response =
+      RoundTrip(client, "POST", "/v1/select", "{\"budget\": ");
+  EXPECT_EQ(response.status, 400);
+  Result<json::Value> body = json::Parse(response.body);
+  ASSERT_TRUE(body.ok()) << body.status();
+  EXPECT_EQ(body->AsObject().Find("error")->AsString(), "ParseError");
+}
+
+TEST_F(HttpServerTest, UnknownFieldIs400) {
+  HttpClient client;
+  const HttpResponse response =
+      RoundTrip(client, "POST", "/v1/select", R"({"budgetz": 2})");
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("budgetz"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, UnknownLabelIs404) {
+  HttpClient client;
+  const HttpResponse response = RoundTrip(
+      client, "POST", "/v1/select", R"({"must_have": ["livesIn Atlantis"]})");
+  EXPECT_EQ(response.status, 404);
+  EXPECT_NE(response.body.find("livesIn Atlantis"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, UnknownRouteIs404AndWrongMethodIs400) {
+  HttpClient client;
+  EXPECT_EQ(RoundTrip(client, "GET", "/v2/select").status, 404);
+  EXPECT_EQ(RoundTrip(client, "GET", "/v1/select").status, 400);
+  // Reload was not configured for this server.
+  EXPECT_EQ(RoundTrip(client, "POST", "/v1/reload").status, 404);
+}
+
+TEST_F(HttpServerTest, MetricsExposeServeCountersAndHistograms) {
+  HttpClient client;
+  ASSERT_EQ(RoundTrip(client, "POST", "/v1/select", R"({"budget": 2})").status,
+            200);
+  ASSERT_EQ(RoundTrip(client, "POST", "/v1/select", R"({"budget": 2})").status,
+            200);
+
+  const HttpResponse response = RoundTrip(client, "GET", "/metrics");
+  EXPECT_EQ(response.status, 200);
+  Result<json::Value> body = json::Parse(response.body);
+  ASSERT_TRUE(body.ok()) << body.status();
+  const json::Object& root = body->AsObject();
+  const json::Value* counters = root.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->AsObject().Find("serve.cache.hits")->AsNumber(), 1.0);
+  EXPECT_EQ(counters->AsObject().Find("serve.cache.misses")->AsNumber(), 1.0);
+  EXPECT_EQ(counters->AsObject().Find("serve.requests")->AsNumber(), 2.0);
+  const json::Value* histograms = root.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const json::Value* latency =
+      histograms->AsObject().Find("serve.latency_seconds");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->AsObject().Find("count")->AsNumber(), 2.0);
+}
+
+TEST_F(HttpServerTest, ConnectionCloseIsHonored) {
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  HttpRequest request;
+  request.method = "GET";
+  request.target = "/healthz";
+  request.headers.emplace_back("Connection", "close");
+  Result<HttpResponse> response = client.RoundTrip(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_NE(response->FindHeader("Connection"), nullptr);
+  EXPECT_EQ(*response->FindHeader("Connection"), "close");
+  // The server hangs up; the next round trip on this connection fails.
+  HttpRequest again;
+  again.method = "GET";
+  again.target = "/healthz";
+  EXPECT_FALSE(client.RoundTrip(again).ok());
+}
+
+TEST_F(HttpServerTest, ConcurrentClientsAllSucceed) {
+  constexpr int kClients = 6;
+  constexpr int kRequestsEach = 30;
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([this, t] {
+      HttpClient client;
+      ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+      std::string expected_body;
+      for (int i = 0; i < kRequestsEach; ++i) {
+        HttpRequest request;
+        request.method = "POST";
+        request.target = "/v1/select";
+        request.body = "{\"budget\": " + std::to_string(2 + t % 3) + "}";
+        Result<HttpResponse> response = client.RoundTrip(request);
+        ASSERT_TRUE(response.ok()) << response.status();
+        ASSERT_EQ(response->status, 200) << response->body;
+        if (expected_body.empty()) {
+          expected_body = response->body;
+        } else {
+          EXPECT_EQ(response->body, expected_body);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(telemetry::MetricsRegistry::Global()
+                .counter("serve.requests")
+                .Value(),
+            static_cast<std::uint64_t>(kClients) * kRequestsEach);
+  EXPECT_EQ(
+      telemetry::MetricsRegistry::Global().counter("serve.errors").Value(),
+      0u);
+}
+
+TEST_F(HttpServerTest, StopUnblocksIdleConnections) {
+  // A connected but idle client must not wedge Stop(): the server shuts
+  // the socket down and joins its workers.
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_EQ(RoundTrip(client, "GET", "/healthz").status, 200);
+  server_->Stop();  // TearDown's second Stop() is a no-op
+}
+
+}  // namespace
+}  // namespace podium::serve

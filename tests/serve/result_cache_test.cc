@@ -1,0 +1,119 @@
+#include "podium/serve/result_cache.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "podium/telemetry/export.h"
+#include "podium/telemetry/telemetry.h"
+
+namespace podium::serve {
+namespace {
+
+class ResultCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::SetEnabled(true);
+    telemetry::ResetAllTelemetry();
+  }
+  void TearDown() override {
+    telemetry::SetEnabled(false);
+    telemetry::ResetAllTelemetry();
+  }
+
+  std::uint64_t Hits() {
+    return telemetry::MetricsRegistry::Global()
+        .counter("serve.cache.hits")
+        .Value();
+  }
+  std::uint64_t Misses() {
+    return telemetry::MetricsRegistry::Global()
+        .counter("serve.cache.misses")
+        .Value();
+  }
+};
+
+TEST_F(ResultCacheTest, GetAfterPutHits) {
+  ResultCache cache(4);
+  EXPECT_FALSE(cache.Get("a").has_value());
+  cache.Put("a", "body-a");
+  const std::optional<std::string> body = cache.Get("a");
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(*body, "body-a");
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(Hits(), 1u);
+  EXPECT_EQ(Misses(), 1u);
+}
+
+TEST_F(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.Put("a", "A");
+  cache.Put("b", "B");
+  cache.Put("c", "C");  // evicts "a"
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_TRUE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+}
+
+TEST_F(ResultCacheTest, GetRefreshesRecency) {
+  ResultCache cache(2);
+  cache.Put("a", "A");
+  cache.Put("b", "B");
+  EXPECT_TRUE(cache.Get("a").has_value());  // "b" is now the LRU entry
+  cache.Put("c", "C");
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_FALSE(cache.Get("b").has_value());
+}
+
+TEST_F(ResultCacheTest, PutRefreshesExistingEntry) {
+  ResultCache cache(2);
+  cache.Put("a", "old");
+  cache.Put("b", "B");
+  cache.Put("a", "new");  // refresh, not insert: "b" stays resident
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(*cache.Get("a"), "new");
+  EXPECT_TRUE(cache.Get("b").has_value());
+}
+
+TEST_F(ResultCacheTest, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  cache.Put("a", "A");
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_EQ(Hits(), 0u);
+  EXPECT_EQ(Misses(), 1u);
+}
+
+TEST_F(ResultCacheTest, ConcurrentMixedUseKeepsInvariants) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  ResultCache cache(16);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key = "key-" + std::to_string((t * 7 + i) % 32);
+        if (i % 3 == 0) {
+          cache.Put(key, "value-" + key);
+        } else if (std::optional<std::string> body = cache.Get(key);
+                   body.has_value()) {
+          // A hit must always carry the value its key was stored with.
+          EXPECT_EQ(*body, "value-" + key);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_LE(cache.size(), 16u);
+  // Every Get recorded exactly one hit or miss.
+  const std::uint64_t gets_per_thread =
+      kOpsPerThread - (kOpsPerThread + 2) / 3;
+  EXPECT_EQ(Hits() + Misses(), kThreads * gets_per_thread);
+}
+
+}  // namespace
+}  // namespace podium::serve

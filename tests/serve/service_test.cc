@@ -1,0 +1,286 @@
+#include "podium/serve/service.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "podium/json/parser.h"
+#include "podium/telemetry/export.h"
+#include "podium/telemetry/telemetry.h"
+#include "tests/testing/table2.h"
+
+namespace podium::serve {
+namespace {
+
+std::shared_ptr<const Snapshot> BuildTable2Snapshot(std::uint64_t generation) {
+  SnapshotOptions options;
+  options.instance.budget = 3;
+  Result<std::shared_ptr<const Snapshot>> snapshot = Snapshot::Build(
+      podium::testing::MakeTable2Repository(), options, generation);
+  EXPECT_TRUE(snapshot.ok()) << snapshot.status();
+  return snapshot.ok() ? std::move(snapshot).value() : nullptr;
+}
+
+SelectionRequest ParseRequest(std::string_view text) {
+  Result<json::Value> document = json::Parse(text);
+  EXPECT_TRUE(document.ok()) << document.status();
+  Result<SelectionRequest> request =
+      SelectionRequestFromJson(document.value());
+  EXPECT_TRUE(request.ok()) << request.status();
+  return request.ok() ? std::move(request).value() : SelectionRequest{};
+}
+
+json::Value ParseBody(const std::string& body) {
+  Result<json::Value> document = json::Parse(body);
+  EXPECT_TRUE(document.ok()) << document.status() << "\nbody: " << body;
+  return document.ok() ? std::move(document).value() : json::Value();
+}
+
+std::uint64_t CounterValue(const char* name) {
+  return telemetry::MetricsRegistry::Global().counter(name).Value();
+}
+
+class SelectionServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::SetEnabled(true);
+    telemetry::ResetAllTelemetry();
+  }
+  void TearDown() override {
+    telemetry::SetEnabled(false);
+    telemetry::ResetAllTelemetry();
+  }
+};
+
+TEST_F(SelectionServiceTest, SelectsWithSnapshotDefaults) {
+  SelectionService service(BuildTable2Snapshot(1), ServiceOptions{});
+  Result<ServiceReply> reply = service.Select(ParseRequest("{}"));
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_FALSE(reply->cache_hit);
+  EXPECT_EQ(reply->snapshot_generation, 1u);
+
+  const json::Value body = ParseBody(reply->body);
+  // The effective (post-default) configuration is echoed back.
+  EXPECT_EQ(body.AsObject().Find("budget")->AsNumber(), 3.0);
+  EXPECT_EQ(body.AsObject().Find("selector")->AsString(), "greedy");
+  EXPECT_EQ(body.AsObject().Find("weights")->AsString(), "LBS");
+  EXPECT_EQ(body.AsObject().Find("coverage")->AsString(), "Single");
+  EXPECT_EQ(body.AsObject().Find("users")->AsArray().size(), 3u);
+  EXPECT_EQ(body.AsObject().Find("explanations"), nullptr);
+}
+
+TEST_F(SelectionServiceTest, RepeatedRequestServedFromCacheByteIdentical) {
+  SelectionService service(BuildTable2Snapshot(1), ServiceOptions{});
+  const SelectionRequest request = ParseRequest(R"({"budget": 2})");
+
+  Result<ServiceReply> first = service.Select(request);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first->cache_hit);
+
+  Result<ServiceReply> second = service.Select(request);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(second->body, first->body);
+  EXPECT_EQ(CounterValue("serve.cache.hits"), 1u);
+  EXPECT_EQ(CounterValue("serve.cache.misses"), 1u);
+  EXPECT_EQ(CounterValue("serve.requests"), 2u);
+}
+
+TEST_F(SelectionServiceTest, CustomizationRoundTripPreservesConfiguration) {
+  SelectionService service(BuildTable2Snapshot(1), ServiceOptions{});
+  const SelectionRequest request = ParseRequest(R"({
+    "budget": 2, "selector": "greedy-heap",
+    "weights": "Iden", "coverage": "Single",
+    "must_not": ["livesIn Tokyo"], "priority": ["livesIn NYC"]})");
+
+  Result<ServiceReply> reply = service.Select(request);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  const json::Value body = ParseBody(reply->body);
+  const json::Object& root = body.AsObject();
+
+  // The request's configuration must survive the round trip exactly.
+  EXPECT_EQ(root.Find("budget")->AsNumber(), 2.0);
+  EXPECT_EQ(root.Find("selector")->AsString(), "greedy-heap");
+  EXPECT_EQ(root.Find("weights")->AsString(), "Iden");
+  EXPECT_EQ(root.Find("coverage")->AsString(), "Single");
+  ASSERT_EQ(root.Find("must_not")->AsArray().size(), 1u);
+  EXPECT_EQ(root.Find("must_not")->AsArray().at(0).AsString(),
+            "livesIn Tokyo");
+  ASSERT_EQ(root.Find("priority")->AsArray().size(), 1u);
+  EXPECT_EQ(root.Find("priority")->AsArray().at(0).AsString(), "livesIn NYC");
+  EXPECT_TRUE(root.Find("must_have")->AsArray().empty());
+
+  // Customized selections carry the dual score block.
+  ASSERT_NE(root.Find("custom"), nullptr);
+  EXPECT_NE(root.Find("custom")->AsObject().Find("priority_score"), nullptr);
+  EXPECT_NE(root.Find("custom")->AsObject().Find("standard_score"), nullptr);
+
+  // must_not "livesIn Tokyo" bans Alice and David (Table 2).
+  for (const json::Value& user : root.Find("users")->AsArray()) {
+    const std::string& name = user.AsObject().Find("name")->AsString();
+    EXPECT_NE(name, "Alice");
+    EXPECT_NE(name, "David");
+  }
+}
+
+TEST_F(SelectionServiceTest, ExplainRequestsCarryExplanations) {
+  SelectionService service(BuildTable2Snapshot(1), ServiceOptions{});
+  Result<ServiceReply> reply =
+      service.Select(ParseRequest(R"({"budget": 2, "explain": true})"));
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  const json::Value body = ParseBody(reply->body);
+  const json::Value* explanations = body.AsObject().Find("explanations");
+  ASSERT_NE(explanations, nullptr);
+  ASSERT_EQ(explanations->AsArray().size(), 2u);
+  EXPECT_NE(explanations->AsArray().at(0).AsObject().Find("groups"), nullptr);
+}
+
+TEST_F(SelectionServiceTest, UnknownLabelIsNotFound) {
+  SelectionService service(BuildTable2Snapshot(1), ServiceOptions{});
+  Result<ServiceReply> reply = service.Select(
+      ParseRequest(R"({"must_have": ["livesIn Atlantis"]})"));
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(reply.status().message().find("livesIn Atlantis"),
+            std::string::npos);
+}
+
+TEST_F(SelectionServiceTest, MissingSnapshotIsFailedPrecondition) {
+  SelectionService service(nullptr, ServiceOptions{});
+  Result<ServiceReply> reply = service.Select(ParseRequest("{}"));
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SelectionServiceTest, SwapSnapshotBumpsGenerationAndBypassesOldCache) {
+  SelectionService service(BuildTable2Snapshot(1), ServiceOptions{});
+  const SelectionRequest request = ParseRequest(R"({"budget": 2})");
+  ASSERT_TRUE(service.Select(request).ok());
+  ASSERT_TRUE(service.Select(request).value().cache_hit);
+
+  service.SwapSnapshot(BuildTable2Snapshot(2));
+  Result<ServiceReply> reply = service.Select(request);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  // Generation is part of the cache key: the gen-1 entry no longer matches.
+  EXPECT_FALSE(reply->cache_hit);
+  EXPECT_EQ(reply->snapshot_generation, 2u);
+  const json::Value body = ParseBody(reply->body);
+  EXPECT_EQ(body.AsObject().Find("snapshot_generation")->AsNumber(), 2.0);
+}
+
+/// Holds the admission slot of a concurrency-1 service open until
+/// Unblock(), so admission-control paths can be driven deterministically.
+class SlotBlocker {
+ public:
+  ServiceOptions Options() {
+    ServiceOptions options;
+    options.max_concurrency = 1;
+    options.cache_entries = 0;
+    options.post_admission_hook = [this] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      admitted_ = true;
+      state_changed_.notify_all();
+      state_changed_.wait(lock, [this] { return released_; });
+    };
+    return options;
+  }
+
+  void StartHolder(SelectionService& service) {
+    holder_ = std::thread([&service] {
+      SelectionRequest request;
+      request.budget = 2;
+      const Result<ServiceReply> reply = service.Select(request);
+      EXPECT_TRUE(reply.ok()) << reply.status();
+    });
+    std::unique_lock<std::mutex> lock(mutex_);
+    state_changed_.wait(lock, [this] { return admitted_; });
+  }
+
+  void Unblock() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      released_ = true;
+    }
+    state_changed_.notify_all();
+    holder_.join();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable state_changed_;
+  bool admitted_ = false;
+  bool released_ = false;
+  std::thread holder_;
+};
+
+TEST_F(SelectionServiceTest, FullAdmissionQueueRejectsWith429) {
+  SlotBlocker blocker;
+  ServiceOptions options = blocker.Options();
+  options.max_queue_depth = 0;  // no waiting room at all
+  SelectionService service(BuildTable2Snapshot(1), options);
+  blocker.StartHolder(service);
+
+  Result<ServiceReply> rejected =
+      service.Select(ParseRequest(R"({"budget": 3})"));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(CounterValue("serve.rejected"), 1u);
+  EXPECT_EQ(CounterValue("serve.errors"), 1u);
+
+  blocker.Unblock();
+}
+
+TEST_F(SelectionServiceTest, QueuedRequestTimesOutWithDeadlineExceeded) {
+  SlotBlocker blocker;
+  ServiceOptions options = blocker.Options();
+  options.max_queue_depth = 4;
+  options.default_deadline_ms = 40;
+  SelectionService service(BuildTable2Snapshot(1), options);
+  blocker.StartHolder(service);
+
+  Result<ServiceReply> timed_out =
+      service.Select(ParseRequest(R"({"budget": 3})"));
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(CounterValue("serve.deadline_exceeded"), 1u);
+
+  blocker.Unblock();
+  // With the slot free again the same request succeeds.
+  EXPECT_TRUE(service.Select(ParseRequest(R"({"budget": 3})")).ok());
+}
+
+TEST_F(SelectionServiceTest, ConcurrentSelectsAllSucceedAndAgree) {
+  SelectionService service(BuildTable2Snapshot(1), ServiceOptions{});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  std::vector<std::string> bodies(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service, &bodies, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        SelectionRequest request;
+        request.budget = 2 + (t % 2);
+        Result<ServiceReply> reply = service.Select(request);
+        ASSERT_TRUE(reply.ok()) << reply.status();
+        if (bodies[t].empty()) {
+          bodies[t] = reply->body;
+        } else {
+          // Same request, same snapshot: the payload never varies.
+          EXPECT_EQ(reply->body, bodies[t]);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(CounterValue("serve.requests"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(CounterValue("serve.errors"), 0u);
+}
+
+}  // namespace
+}  // namespace podium::serve

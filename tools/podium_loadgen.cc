@@ -1,0 +1,179 @@
+// podium_loadgen — closed-loop load generator for podium_serve: N client
+// threads each keep one persistent connection and fire POST /v1/select
+// back-to-back, then the merged latencies are reported as throughput and
+// p50/p95/p99.
+//
+//   podium_loadgen --port=8080 [--host=127.0.0.1] [--connections=8]
+//                  [--requests=1000] [--body-file=FILE] [--distinct=1]
+//                  [--explain=false]
+//
+// --distinct=K rotates K distinct request bodies (budgets 2..K+1) across
+// requests so cache behavior can be exercised from both sides; the
+// default sends one identical body, the all-hit regime. --body-file
+// overrides the body entirely. Exits non-zero when any request fails
+// (transport error or non-2xx), so smoke scripts can assert "zero
+// errors".
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common/flags.h"
+#include "podium/serve/http.h"
+#include "podium/util/stopwatch.h"
+#include "podium/util/string_util.h"
+
+namespace {
+
+struct WorkerResult {
+  std::vector<double> latencies_ms;
+  std::size_t errors = 0;
+  std::size_t cache_hits = 0;
+  std::string first_error;
+};
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  podium::bench::Flags flags(argc, argv);
+  const std::string host = flags.String("host", "127.0.0.1");
+  const int port = static_cast<int>(flags.Int("port", 8080));
+  const auto connections =
+      static_cast<std::size_t>(flags.Int("connections", 8));
+  const auto total_requests =
+      static_cast<std::size_t>(flags.Int("requests", 1000));
+  const std::string body_file = flags.String("body-file", "");
+  const auto distinct = static_cast<std::size_t>(flags.Int("distinct", 1));
+  const bool explain = flags.Bool("explain", false);
+  flags.CheckConsumed();
+  if (connections == 0 || total_requests == 0 || distinct == 0) {
+    std::fprintf(stderr,
+                 "podium_loadgen: --connections, --requests and --distinct "
+                 "must be >= 1\n");
+    return 2;
+  }
+
+  // Request bodies: one fixed body, or K distinct ones varying the budget.
+  std::vector<std::string> bodies;
+  if (!body_file.empty()) {
+    std::ifstream in(body_file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "podium_loadgen: cannot open %s\n",
+                   body_file.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bodies.push_back(buffer.str());
+  } else {
+    for (std::size_t i = 0; i < distinct; ++i) {
+      bodies.push_back(podium::util::StringPrintf(
+          "{\"budget\": %zu%s}", i + 2, explain ? ", \"explain\": true" : ""));
+    }
+  }
+
+  std::atomic<std::size_t> next_request{0};
+  std::vector<WorkerResult> results(connections);
+  std::vector<std::thread> workers;
+  workers.reserve(connections);
+  podium::util::Stopwatch wall;
+
+  for (std::size_t c = 0; c < connections; ++c) {
+    workers.emplace_back([&, c] {
+      WorkerResult& result = results[c];
+      podium::serve::HttpClient client;
+      podium::Status connected = client.Connect(host, port);
+      if (!connected.ok()) {
+        result.errors = 1;
+        result.first_error = connected.ToString();
+        return;
+      }
+      for (;;) {
+        const std::size_t index =
+            next_request.fetch_add(1, std::memory_order_relaxed);
+        if (index >= total_requests) break;
+        podium::serve::HttpRequest request;
+        request.method = "POST";
+        request.target = "/v1/select";
+        request.headers.emplace_back("Host", host);
+        request.headers.emplace_back("Content-Type", "application/json");
+        request.body = bodies[index % bodies.size()];
+
+        podium::util::Stopwatch clock;
+        podium::Result<podium::serve::HttpResponse> response =
+            client.RoundTrip(request);
+        const double latency_ms = clock.ElapsedMillis();
+        if (!response.ok()) {
+          ++result.errors;
+          if (result.first_error.empty()) {
+            result.first_error = response.status().ToString();
+          }
+          // Transport failure kills the connection; reconnect and go on.
+          if (!client.Connect(host, port).ok()) break;
+          continue;
+        }
+        if (response->status < 200 || response->status >= 300) {
+          ++result.errors;
+          if (result.first_error.empty()) {
+            result.first_error = podium::util::StringPrintf(
+                "HTTP %d: %s", response->status,
+                response->body.substr(0, 200).c_str());
+          }
+          continue;
+        }
+        result.latencies_ms.push_back(latency_ms);
+        const std::string* cache = response->FindHeader("X-Podium-Cache");
+        if (cache != nullptr && *cache == "hit") ++result.cache_hits;
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double elapsed = wall.ElapsedSeconds();
+
+  std::vector<double> latencies;
+  std::size_t errors = 0;
+  std::size_t cache_hits = 0;
+  std::string first_error;
+  for (WorkerResult& result : results) {
+    latencies.insert(latencies.end(), result.latencies_ms.begin(),
+                     result.latencies_ms.end());
+    errors += result.errors;
+    cache_hits += result.cache_hits;
+    if (first_error.empty()) first_error = result.first_error;
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  std::printf("podium_loadgen: %zu requests, %zu ok, %zu errors, "
+              "%zu cache hits over %zu connections in %.2fs\n",
+              total_requests, latencies.size(), errors, cache_hits,
+              connections, elapsed);
+  if (!latencies.empty()) {
+    std::printf(
+        "  throughput %.1f req/s | latency ms p50 %.3f p95 %.3f p99 %.3f "
+        "max %.3f\n",
+        static_cast<double>(latencies.size()) / elapsed,
+        Percentile(latencies, 0.50), Percentile(latencies, 0.95),
+        Percentile(latencies, 0.99), latencies.back());
+  }
+  if (errors > 0) {
+    std::fprintf(stderr, "podium_loadgen: first error: %s\n",
+                 first_error.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,381 @@
+#include "podium/check/differential.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "podium/check/invariants.h"
+#include "podium/check/oracle.h"
+#include "podium/core/customization.h"
+#include "podium/core/greedy.h"
+#include "podium/datagen/generator.h"
+#include "podium/json/parser.h"
+#include "podium/serve/request.h"
+#include "podium/serve/service.h"
+#include "podium/util/rng.h"
+#include "podium/util/string_util.h"
+#include "podium/util/thread_pool.h"
+
+namespace podium::check {
+
+namespace {
+
+/// Collects divergences for one round, prefixing every message with the
+/// round seed so a failure is reproducible from the printed line alone.
+struct RoundLog {
+  std::uint64_t seed;
+  DiffReport* report;
+
+  void Diverge(const std::string& message) {
+    report->divergences.push_back(
+        util::StringPrintf("[seed %llu] ",
+                           static_cast<unsigned long long>(seed)) +
+        message);
+  }
+};
+
+std::string UsersToString(const std::vector<UserId>& users) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(users[i]);
+  }
+  return out + "]";
+}
+
+/// Byte-identical selections: same users in the same order, same score
+/// bit pattern (Iden/LBS arithmetic is exact, so == is the right test).
+bool SameSelection(const Selection& a, const Selection& b) {
+  return a.users == b.users && a.score == b.score;
+}
+
+datagen::DatasetConfig MakeConfig(util::Rng& rng, std::uint64_t seed,
+                                  bool tiny) {
+  datagen::DatasetConfig config;
+  config.num_users =
+      tiny ? 8 + rng.NextBounded(5) : 20 + rng.NextBounded(41);
+  config.num_restaurants = 40 + rng.NextBounded(80);
+  config.leaf_categories = 6 + rng.NextBounded(10);
+  config.num_cities = 3 + rng.NextBounded(5);
+  config.num_age_groups = 3 + rng.NextBounded(3);
+  config.num_personas = 2 + rng.NextBounded(4);
+  config.num_topics = 6;
+  config.min_reviews_per_user = 2;
+  config.max_reviews_per_user = 10;
+  config.holdout_destinations = 2;
+  config.min_holdout_reviews = 3;
+  config.derive_enthusiasm = rng.NextBernoulli(0.5);
+  config.seed = seed;
+  return config;
+}
+
+/// Extracts the selected user ids from a serialized serve response body.
+Result<std::vector<UserId>> UsersFromBody(const std::string& body) {
+  Result<json::Value> document = json::Parse(body);
+  if (!document.ok()) return document.status();
+  if (!document->is_object()) {
+    return Status::ParseError("response body is not an object");
+  }
+  const json::Value* users = document->AsObject().Find("users");
+  if (users == nullptr || !users->is_array()) {
+    return Status::ParseError("response body has no users array");
+  }
+  std::vector<UserId> out;
+  out.reserve(users->AsArray().size());
+  for (const json::Value& entry : users->AsArray()) {
+    const json::Value* id =
+        entry.is_object() ? entry.AsObject().Find("id") : nullptr;
+    if (id == nullptr || !id->is_number()) {
+      return Status::ParseError("user entry has no numeric id");
+    }
+    out.push_back(static_cast<UserId>(id->AsNumber()));
+  }
+  return out;
+}
+
+/// The tier vector SelectCustomized derives from feedback with
+/// standard_is_rest (priority groups tier 0, everything else tier 1) —
+/// recomputed independently here for the oracle.
+std::vector<std::uint8_t> TiersForPriority(
+    std::size_t num_groups, const std::vector<GroupId>& priority) {
+  std::vector<std::uint8_t> tiers(num_groups, 1);
+  for (GroupId g : priority) tiers[g] = 0;
+  return tiers;
+}
+
+Result<Selection> RunGreedy(const DiversificationInstance& instance,
+                            std::size_t budget, GreedyMode mode) {
+  GreedyOptions options;
+  options.mode = mode;
+  return GreedySelector(options).Select(instance, budget);
+}
+
+/// One round's fixed instance parameters, drawn up front so the same
+/// choices replay at every thread count.
+struct RoundPlan {
+  datagen::DatasetConfig config;
+  InstanceOptions instance;
+  std::size_t budget = 0;
+  bool tiny = false;
+};
+
+void CompareWithOracle(RoundLog& log, const char* what,
+                       const Selection& oracle, const Selection& actual) {
+  if (SameSelection(oracle, actual)) return;
+  log.Diverge(util::StringPrintf(
+      "%s diverges from oracle: %s score %.17g vs %s score %.17g", what,
+      UsersToString(actual.users).c_str(), actual.score,
+      UsersToString(oracle.users).c_str(), oracle.score));
+}
+
+/// Runs the serve path over `plan` and compares every response variant
+/// against the already-verified direct selections.
+void CheckServePath(RoundLog& log, const datagen::Dataset& dataset,
+                    const RoundPlan& plan, const Selection& oracle,
+                    const DiversificationInstance& instance,
+                    const Result<CustomSelection>& custom,
+                    const CustomizationFeedback& feedback) {
+  serve::SnapshotOptions snapshot_options;
+  snapshot_options.instance = plan.instance;
+  Result<std::shared_ptr<const serve::Snapshot>> snapshot =
+      serve::Snapshot::Build(dataset.repository.Clone(), snapshot_options,
+                             /*generation=*/log.seed);
+  if (!snapshot.ok()) {
+    log.Diverge("Snapshot::Build failed: " + snapshot.status().message());
+    return;
+  }
+
+  serve::ServiceOptions cached_options;
+  cached_options.cache_entries = 64;
+  cached_options.default_deadline_ms = 0;  // admission timing is not under test
+  serve::SelectionService cached(snapshot.value(), cached_options);
+  serve::ServiceOptions uncached_options = cached_options;
+  uncached_options.cache_entries = 0;
+  serve::SelectionService uncached(snapshot.value(), uncached_options);
+
+  for (const GreedyMode mode :
+       {GreedyMode::kPlainScan, GreedyMode::kLazyHeap}) {
+    serve::SelectionRequest request;
+    request.budget = plan.budget;
+    request.mode = mode;
+    Result<serve::ServiceReply> first = cached.Select(request);
+    Result<serve::ServiceReply> again = cached.Select(request);
+    Result<serve::ServiceReply> direct = uncached.Select(request);
+    if (!first.ok() || !again.ok() || !direct.ok()) {
+      log.Diverge("serve Select failed: " +
+                  (!first.ok() ? first.status()
+                               : !again.ok() ? again.status()
+                                             : direct.status())
+                      .message());
+      return;
+    }
+    if (first->cache_hit || !again->cache_hit) {
+      log.Diverge("serve cache hit pattern wrong (want miss then hit)");
+    }
+    if (again->body != first->body) {
+      log.Diverge("cached serve body differs from the uncached original");
+    }
+    if (direct->body != first->body) {
+      log.Diverge("cache-disabled serve body differs from cached service");
+    }
+    Result<std::vector<UserId>> served = UsersFromBody(first->body);
+    if (!served.ok()) {
+      log.Diverge("serve body unparseable: " + served.status().message());
+    } else if (served.value() != oracle.users) {
+      log.Diverge(util::StringPrintf(
+          "serve (%s) selected %s, oracle %s",
+          std::string(serve::SelectorName(mode)).c_str(),
+          UsersToString(served.value()).c_str(),
+          UsersToString(oracle.users).c_str()));
+    }
+  }
+
+  // Customized request through the wire, against SelectCustomized.
+  if (custom.ok()) {
+    serve::SelectionRequest request;
+    request.budget = plan.budget;
+    for (GroupId g : feedback.priority) {
+      request.priority.push_back(instance.groups().label(g));
+    }
+    for (GroupId g : feedback.must_not) {
+      request.must_not.push_back(instance.groups().label(g));
+    }
+    Result<serve::ServiceReply> reply = uncached.Select(request);
+    if (!reply.ok()) {
+      log.Diverge("serve customized Select failed: " +
+                  reply.status().message());
+      return;
+    }
+    Result<std::vector<UserId>> served = UsersFromBody(reply->body);
+    if (!served.ok()) {
+      log.Diverge("serve customized body unparseable: " +
+                  served.status().message());
+    } else if (served.value() != custom->selection.users) {
+      log.Diverge(util::StringPrintf(
+          "serve customized selected %s, SelectCustomized %s",
+          UsersToString(served.value()).c_str(),
+          UsersToString(custom->selection.users).c_str()));
+    }
+  }
+}
+
+void RunRound(RoundLog& log, const DiffOptions& options, int round) {
+  util::Rng rng(log.seed);
+  RoundPlan plan;
+  plan.tiny = round % 4 == 3;  // every 4th round small enough for exhaustive
+  plan.config = MakeConfig(rng, log.seed, plan.tiny);
+  plan.instance.weight_kind =
+      rng.NextBernoulli(0.5) ? WeightKind::kLbs : WeightKind::kIden;
+  plan.instance.coverage_kind =
+      rng.NextBernoulli(0.5) ? CoverageKind::kProp : CoverageKind::kSingle;
+  plan.instance.grouping.max_buckets = 2 + static_cast<int>(rng.NextBounded(3));
+  plan.budget = 1 + rng.NextBounded(6);
+  plan.instance.budget = plan.budget;
+
+  Result<datagen::Dataset> dataset = datagen::GenerateDataset(plan.config);
+  if (!dataset.ok()) {
+    log.Diverge("datagen failed: " + dataset.status().message());
+    return;
+  }
+  Result<DiversificationInstance> instance =
+      DiversificationInstance::Build(dataset->repository, plan.instance);
+  if (!instance.ok()) {
+    log.Diverge("instance build failed: " + instance.status().message());
+    return;
+  }
+  if (Status adjacency = CheckAdjacency(instance.value()); !adjacency.ok()) {
+    log.Diverge(adjacency.message());
+    return;
+  }
+
+  Result<Selection> oracle = OracleGreedy(instance.value(), plan.budget);
+  Result<Selection> plain =
+      RunGreedy(instance.value(), plan.budget, GreedyMode::kPlainScan);
+  Result<Selection> heap =
+      RunGreedy(instance.value(), plan.budget, GreedyMode::kLazyHeap);
+  if (!oracle.ok() || !plain.ok() || !heap.ok()) {
+    log.Diverge("selector failed: " +
+                (!oracle.ok() ? oracle.status()
+                              : !plain.ok() ? plain.status() : heap.status())
+                    .message());
+    return;
+  }
+  CompareWithOracle(log, "plain-scan greedy", oracle.value(), plain.value());
+  CompareWithOracle(log, "lazy-heap greedy", oracle.value(), heap.value());
+
+  for (const std::string& violation :
+       CheckGreedyRun(instance.value(), plain.value(), plan.budget)
+           .violations) {
+    log.Diverge("invariant: " + violation);
+  }
+  if (plan.tiny) {
+    for (const std::string& violation :
+         CheckApproximationRatio(instance.value(), plain.value(), plan.budget)
+             .violations) {
+      log.Diverge("approximation: " + violation);
+    }
+  }
+
+  // Customized path: a random priority group and (sometimes) a must_not
+  // filter; plain vs heap must agree, and both must match the oracle run
+  // over the refined pool under the derived tiers.
+  CustomizationFeedback feedback;
+  const std::size_t num_groups = instance->groups().group_count();
+  Result<CustomSelection> custom =
+      Status::FailedPrecondition("customization not attempted");
+  if (num_groups > 0) {
+    feedback.priority.push_back(
+        static_cast<GroupId>(rng.NextBounded(num_groups)));
+    if (rng.NextBernoulli(0.5)) {
+      feedback.must_not.push_back(
+          static_cast<GroupId>(rng.NextBounded(num_groups)));
+    }
+    custom = SelectCustomized(instance.value(), feedback, plan.budget,
+                              GreedyMode::kPlainScan);
+    Result<CustomSelection> custom_heap = SelectCustomized(
+        instance.value(), feedback, plan.budget, GreedyMode::kLazyHeap);
+    if (custom.ok() != custom_heap.ok()) {
+      log.Diverge("customized plain vs heap disagree on status");
+    } else if (custom.ok() &&
+               !SameSelection(custom->selection, custom_heap->selection)) {
+      log.Diverge(util::StringPrintf(
+          "customized heap selected %s, plain %s",
+          UsersToString(custom_heap->selection.users).c_str(),
+          UsersToString(custom->selection.users).c_str()));
+    }
+    if (custom.ok()) {
+      Result<std::vector<UserId>> refined =
+          RefineUsers(instance.value(), feedback);
+      if (refined.ok()) {
+        Result<Selection> custom_oracle = OracleGreedy(
+            instance.value(), plan.budget, refined.value(),
+            TiersForPriority(num_groups, feedback.priority));
+        if (custom_oracle.ok() &&
+            custom_oracle->users != custom->selection.users) {
+          log.Diverge(util::StringPrintf(
+              "customized greedy selected %s, oracle %s",
+              UsersToString(custom->selection.users).c_str(),
+              UsersToString(custom_oracle->users).c_str()));
+        }
+      }
+    }
+  }
+
+  // Thread sweep: rebuild the index and rerun every selector at each pool
+  // size; the determinism contract (DESIGN.md §7) promises byte-identical
+  // output at any thread count.
+  for (const std::size_t threads : options.thread_counts) {
+    util::ThreadPool::SetGlobalThreadCount(threads);
+    Result<DiversificationInstance> rebuilt =
+        DiversificationInstance::Build(dataset->repository, plan.instance);
+    if (!rebuilt.ok()) {
+      log.Diverge(util::StringPrintf("instance rebuild failed at %zu threads",
+                                     threads));
+      continue;
+    }
+    if (Status adjacency = CheckAdjacency(rebuilt.value()); !adjacency.ok()) {
+      log.Diverge(util::StringPrintf("at %zu threads: ", threads) +
+                  adjacency.message());
+    }
+    Result<Selection> plain_t =
+        RunGreedy(rebuilt.value(), plan.budget, GreedyMode::kPlainScan);
+    Result<Selection> heap_t =
+        RunGreedy(rebuilt.value(), plan.budget, GreedyMode::kLazyHeap);
+    if (!plain_t.ok() || !heap_t.ok()) {
+      log.Diverge(util::StringPrintf("selector failed at %zu threads",
+                                     threads));
+      continue;
+    }
+    if (!SameSelection(plain_t.value(), oracle.value())) {
+      log.Diverge(util::StringPrintf("plain-scan at %zu threads selected %s",
+                                     threads,
+                                     UsersToString(plain_t->users).c_str()));
+    }
+    if (!SameSelection(heap_t.value(), oracle.value())) {
+      log.Diverge(util::StringPrintf("lazy heap at %zu threads selected %s",
+                                     threads,
+                                     UsersToString(heap_t->users).c_str()));
+    }
+  }
+
+  if (options.with_serve) {
+    CheckServePath(log, dataset.value(), plan, oracle.value(),
+                   instance.value(), custom, feedback);
+  }
+}
+
+}  // namespace
+
+DiffReport RunDifferential(const DiffOptions& options) {
+  DiffReport report;
+  const std::size_t prior_threads = util::ThreadPool::GlobalThreadCount();
+  for (int round = 0; round < options.rounds; ++round) {
+    RoundLog log{options.seed + static_cast<std::uint64_t>(round), &report};
+    RunRound(log, options, round);
+    ++report.rounds_run;
+    util::ThreadPool::SetGlobalThreadCount(prior_threads);
+  }
+  return report;
+}
+
+}  // namespace podium::check

@@ -1,0 +1,47 @@
+#ifndef PODIUM_CHECK_DIFFERENTIAL_H_
+#define PODIUM_CHECK_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace podium::check {
+
+/// Configuration of the randomized differential driver. Round r generates
+/// its instance from seed `seed + r`, so any failing round is reproduced
+/// exactly by rerunning with `--seed=<printed seed> --rounds=1`.
+struct DiffOptions {
+  std::uint64_t seed = 1;
+  int rounds = 25;
+
+  /// Re-run every optimized selector at these global thread-pool sizes
+  /// (and rebuild the group index under each) asserting byte-identical
+  /// output; empty disables the sweep.
+  std::vector<std::size_t> thread_counts = {1, 2, 8};
+
+  /// Drive the serve-layer SelectionService (with and without the result
+  /// cache) and compare its responses against the oracle selection.
+  bool with_serve = true;
+};
+
+/// The outcome of a differential run. Every divergence message names the
+/// round seed that produced it.
+struct DiffReport {
+  int rounds_run = 0;
+  std::vector<std::string> divergences;
+
+  bool ok() const { return divergences.empty(); }
+};
+
+/// Runs `options.rounds` differential rounds. Each round generates a
+/// small seeded instance via podium::datagen, then asserts that the naïve
+/// Algorithm-1 oracle, the plain-scan greedy, the lazy-heap greedy, every
+/// configured thread count, and (optionally) the serve path all produce
+/// byte-identical selections — plus the greedy invariants of
+/// invariants.h, and the (1 − 1/e) bound against the exhaustive optimum
+/// on instances small enough to enumerate.
+DiffReport RunDifferential(const DiffOptions& options);
+
+}  // namespace podium::check
+
+#endif  // PODIUM_CHECK_DIFFERENTIAL_H_

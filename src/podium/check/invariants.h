@@ -1,0 +1,51 @@
+#ifndef PODIUM_CHECK_INVARIANTS_H_
+#define PODIUM_CHECK_INVARIANTS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "podium/core/instance.h"
+#include "podium/core/selection.h"
+
+namespace podium::check {
+
+/// The outcome of an invariant sweep: empty means every invariant held.
+struct InvariantReport {
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  void Add(std::string violation) {
+    violations.push_back(std::move(violation));
+  }
+};
+
+/// Checks the structural invariants every greedy run must satisfy,
+/// independent of which optimized path produced `selection`:
+///
+///  - selected users are distinct, in range, and at most min(budget, |𝒰|);
+///  - per-round marginal gains are non-increasing (submodularity: the gain
+///    sequence of Algorithm 1 never goes up), recomputed here by direct
+///    scoring of selection prefixes;
+///  - the retirement bookkeeping is consistent: replaying the selection
+///    against a fresh `remaining` counter per group, a group is retired
+///    exactly when remaining hits zero, and the final counters equal
+///    cov(G) − min(|S ∩ G|, cov(G)) with |S ∩ G| recomputed through the
+///    CSR adjacency (cross-checking the nested replay against CSR);
+///  - the reported score equals the direct-scoring oracle's value.
+///
+/// Assumes scalar (Iden/LBS) weights, where all arithmetic is exact.
+InvariantReport CheckGreedyRun(const DiversificationInstance& instance,
+                               const Selection& selection,
+                               std::size_t budget);
+
+/// Asserts the (1 − 1/e) guarantee of Prop. 4.4 against the exhaustive
+/// optimum. Only meaningful on tiny instances; callers should gate on
+/// user_count() <= max_users (12 keeps the subset enumeration trivial).
+InvariantReport CheckApproximationRatio(
+    const DiversificationInstance& instance, const Selection& selection,
+    std::size_t budget, std::size_t max_users = 12);
+
+}  // namespace podium::check
+
+#endif  // PODIUM_CHECK_INVARIANTS_H_

@@ -7,8 +7,8 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstdlib>
 #include <cstring>
+#include <limits>
 
 #include "podium/util/string_util.h"
 
@@ -69,17 +69,34 @@ Result<ParsedHead> ParseHead(const std::string& block) {
   return head;
 }
 
+// Strict Content-Length (request-smuggling hardening): the value must be
+// pure ASCII digits — no sign, no embedded whitespace, no comma list —
+// and duplicate headers must agree byte for byte; a conflicting duplicate
+// is how smuggled payloads slip past intermediaries.
 Result<std::size_t> ContentLength(
     const std::vector<std::pair<std::string, std::string>>& headers) {
-  const std::string* value = FindHeaderIn(headers, "Content-Length");
-  if (value == nullptr) return static_cast<std::size_t>(0);
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long parsed = std::strtoull(value->c_str(), &end, 10);
-  if (errno != 0 || end == value->c_str() || *end != '\0') {
-    return Status::ParseError("invalid Content-Length");
+  const std::string* value = nullptr;
+  for (const auto& [key, candidate] : headers) {
+    if (!EqualsIgnoreCase(key, "Content-Length")) continue;
+    if (value != nullptr && *value != candidate) {
+      return Status::ParseError("conflicting Content-Length headers");
+    }
+    value = &candidate;
   }
-  return static_cast<std::size_t>(parsed);
+  if (value == nullptr) return static_cast<std::size_t>(0);
+  if (value->empty()) return Status::ParseError("empty Content-Length");
+  std::size_t parsed = 0;
+  for (const char c : *value) {
+    if (c < '0' || c > '9') {
+      return Status::ParseError("invalid Content-Length '" + *value + "'");
+    }
+    const std::size_t digit = static_cast<std::size_t>(c - '0');
+    if (parsed > (std::numeric_limits<std::size_t>::max() - digit) / 10) {
+      return Status::ParseError("Content-Length overflows");
+    }
+    parsed = parsed * 10 + digit;
+  }
+  return parsed;
 }
 
 }  // namespace
@@ -174,18 +191,30 @@ Result<HttpResponse> ReadHttpResponse(BufferedReader& reader,
   if (!head.ok()) return head.status();
 
   HttpResponse response;
-  // "HTTP/1.1 200 OK"
+  // "HTTP/1.1 200 OK" — the status code must be exactly three digits
+  // terminated by end-of-line or a space; atoi-style salvage of prefixes
+  // like "20x" or "2000" silently fabricated codes here before.
   const std::size_t space = head->first_line.find(' ');
-  if (space == std::string::npos) {
+  if (space == std::string::npos ||
+      head->first_line.compare(0, 5, "HTTP/") != 0) {
     return Status::ParseError("malformed HTTP status line");
   }
   const std::string rest = head->first_line.substr(space + 1);
-  response.status = std::atoi(rest.c_str());
-  if (response.status < 100 || response.status > 599) {
+  if (rest.size() < 3 || (rest.size() > 3 && rest[3] != ' ')) {
     return Status::ParseError("malformed HTTP status code");
   }
-  const std::size_t reason = rest.find(' ');
-  if (reason != std::string::npos) response.reason = rest.substr(reason + 1);
+  int code = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (rest[i] < '0' || rest[i] > '9') {
+      return Status::ParseError("malformed HTTP status code");
+    }
+    code = code * 10 + (rest[i] - '0');
+  }
+  if (code < 100 || code > 599) {
+    return Status::ParseError("HTTP status code out of range");
+  }
+  response.status = code;
+  response.reason = rest.size() > 4 ? rest.substr(4) : "";
   response.headers = std::move(head->headers);
   Result<std::size_t> length = ContentLength(response.headers);
   if (!length.ok()) return length.status();

@@ -24,15 +24,20 @@ std::optional<std::string> ResultCache::Get(const std::string& key) {
     RecordLookup(false);
     return std::nullopt;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = index_.find(key);
-  if (it == index_.end()) {
-    RecordLookup(false);
-    return std::nullopt;
+  // Telemetry is recorded after mutex_ is released: the registry lookup
+  // inside RecordLookup takes its own mutex, and nesting it under ours
+  // pins a lock order no other telemetry caller is obliged to follow.
+  std::optional<std::string> body;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      body = it->second->second;
+    }
   }
-  lru_.splice(lru_.begin(), lru_, it->second);
-  RecordLookup(true);
-  return it->second->second;
+  RecordLookup(body.has_value());
+  return body;
 }
 
 void ResultCache::Put(const std::string& key, std::string body) {

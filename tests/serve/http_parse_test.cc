@@ -1,0 +1,132 @@
+// Hardening tests for the HTTP/1.1 parsers, driven through the exact
+// production read path (socketpair + BufferedReader) via
+// check::ParseRequestBytes / check::ParseResponseBytes.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "podium/check/fuzz.h"
+#include "podium/serve/http.h"
+#include "podium/util/status.h"
+
+namespace podium::serve {
+namespace {
+
+using check::ParseRequestBytes;
+using check::ParseResponseBytes;
+
+bool IsParseError(const Status& status) {
+  return status.code() == StatusCode::kParseError;
+}
+
+std::string Request(const std::string& content_length_headers,
+                    const std::string& body) {
+  return "POST /v1/select HTTP/1.1\r\n" + content_length_headers + "\r\n" +
+         body;
+}
+
+TEST(HttpRequestParseTest, RoundTripsSerializedRequest) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/v1/select";
+  request.headers.emplace_back("X-Trace", "abc");
+  request.body = "{\"budget\":2}";
+  const Result<HttpRequest> parsed =
+      ParseRequestBytes(SerializeRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->method, "POST");
+  EXPECT_EQ(parsed->target, "/v1/select");
+  EXPECT_EQ(parsed->body, request.body);
+}
+
+TEST(HttpRequestParseTest, AcceptsExactDigitContentLength) {
+  const Result<HttpRequest> parsed =
+      ParseRequestBytes(Request("Content-Length: 5\r\n", "hello"));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->body, "hello");
+}
+
+TEST(HttpRequestParseTest, AcceptsAgreeingDuplicateContentLength) {
+  const Result<HttpRequest> parsed = ParseRequestBytes(
+      Request("Content-Length: 5\r\nContent-Length: 5\r\n", "hello"));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->body, "hello");
+}
+
+TEST(HttpRequestParseTest, RejectsConflictingDuplicateContentLength) {
+  const Result<HttpRequest> parsed = ParseRequestBytes(
+      Request("Content-Length: 5\r\nContent-Length: 6\r\n", "helloX"));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(IsParseError(parsed.status())) << parsed.status();
+}
+
+TEST(HttpRequestParseTest, RejectsSmugglingShapedContentLength) {
+  const char* kBad[] = {"+5", "-5",  "5 5", "5\t5",
+                        "5,5", "0x10", "5.0", "99999999999999999999999999"};
+  for (const char* bad : kBad) {
+    const Result<HttpRequest> parsed = ParseRequestBytes(
+        Request("Content-Length: " + std::string(bad) + "\r\n", "hello"));
+    ASSERT_FALSE(parsed.ok()) << "accepted Content-Length '" << bad << "'";
+    EXPECT_TRUE(IsParseError(parsed.status())) << parsed.status();
+  }
+}
+
+TEST(HttpRequestParseTest, RejectsEmptyContentLength) {
+  const Result<HttpRequest> parsed =
+      ParseRequestBytes(Request("Content-Length:\r\n", ""));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(IsParseError(parsed.status())) << parsed.status();
+}
+
+TEST(HttpResponseParseTest, ParsesWellFormedStatusLine) {
+  const Result<HttpResponse> parsed = ParseResponseBytes(
+      "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->status, 404);
+  EXPECT_EQ(parsed->reason, "Not Found");
+}
+
+TEST(HttpResponseParseTest, AcceptsStatusWithoutReason) {
+  const Result<HttpResponse> parsed =
+      ParseResponseBytes("HTTP/1.1 204\r\nContent-Length: 0\r\n\r\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->status, 204);
+  EXPECT_EQ(parsed->reason, "");
+}
+
+TEST(HttpResponseParseTest, RejectsMalformedStatusCodes) {
+  // atoi used to salvage a number out of each of these.
+  const char* kBad[] = {
+      "HTTP/1.1 20 OK\r\n\r\n",        // two digits
+      "HTTP/1.1 2000 OK\r\n\r\n",      // four digits
+      "HTTP/1.1 20x OK\r\n\r\n",       // trailing junk in the code
+      "HTTP/1.1 -99 OK\r\n\r\n",       // sign
+      "HTTP/1.1 099 OK\r\n\r\n",       // below 100
+      "HTTP/1.1 600 OK\r\n\r\n",       // above 599
+      "HTTP/1.1  200 OK\r\n\r\n",      // empty code field
+      "FTP/1.1 200 OK\r\n\r\n",        // not an HTTP status line
+      "HTTP/1.1\r\n\r\n",              // no code at all
+  };
+  for (const char* bad : kBad) {
+    const Result<HttpResponse> parsed = ParseResponseBytes(bad);
+    ASSERT_FALSE(parsed.ok()) << "accepted status line: " << bad;
+    EXPECT_TRUE(IsParseError(parsed.status())) << parsed.status();
+  }
+}
+
+TEST(HttpResponseParseTest, RoundTripsSerializedResponse) {
+  HttpResponse response;
+  response.status = 503;
+  response.reason = "Service Unavailable";
+  response.body = "{\"error\":\"overloaded\"}";
+  const Result<HttpResponse> parsed =
+      ParseResponseBytes(SerializeResponse(response));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->status, 503);
+  EXPECT_EQ(parsed->reason, "Service Unavailable");
+  EXPECT_EQ(parsed->body, response.body);
+}
+
+}  // namespace
+}  // namespace podium::serve

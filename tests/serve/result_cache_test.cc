@@ -87,6 +87,58 @@ TEST_F(ResultCacheTest, ZeroCapacityDisablesCaching) {
   EXPECT_EQ(Misses(), 1u);
 }
 
+TEST_F(ResultCacheTest, CapacityOneInterleavedGetPut) {
+  ResultCache cache(1);
+  EXPECT_FALSE(cache.Get("a").has_value());
+  cache.Put("a", "A");
+  EXPECT_EQ(*cache.Get("a"), "A");
+  cache.Put("b", "B");  // evicts "a", the only resident entry
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_EQ(*cache.Get("b"), "B");
+  cache.Put("a", "A2");
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_EQ(*cache.Get("a"), "A2");
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(Hits(), 3u);
+  EXPECT_EQ(Misses(), 3u);
+}
+
+TEST_F(ResultCacheTest, RepeatedPutOfSameKeyAtCapacityDoesNotEvict) {
+  ResultCache cache(2);
+  cache.Put("a", "A");
+  cache.Put("b", "B");
+  for (int i = 0; i < 5; ++i) {
+    cache.Put("a", "A" + std::to_string(i));  // refresh in place
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_TRUE(cache.Get("b").has_value());
+  }
+  EXPECT_EQ(*cache.Get("a"), "A4");
+}
+
+TEST_F(ResultCacheTest, ConcurrentHitMissCountersAreExact) {
+  constexpr int kThreads = 8;
+  constexpr int kGetsPerThread = 500;
+  ResultCache cache(4);
+  cache.Put("resident", "R");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      // Even threads only hit the resident key; odd threads only miss.
+      const std::string key = t % 2 == 0 ? "resident"
+                                         : "absent-" + std::to_string(t);
+      for (int i = 0; i < kGetsPerThread; ++i) {
+        const std::optional<std::string> body = cache.Get(key);
+        EXPECT_EQ(body.has_value(), t % 2 == 0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(Hits(), (kThreads / 2) * kGetsPerThread);
+  EXPECT_EQ(Misses(), (kThreads / 2) * kGetsPerThread);
+}
+
 TEST_F(ResultCacheTest, ConcurrentMixedUseKeepsInvariants) {
   constexpr int kThreads = 8;
   constexpr int kOpsPerThread = 2000;

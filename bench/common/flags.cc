@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "podium/util/parse.h"
+
 namespace podium::bench {
 
 Flags::Flags(int argc, char** argv) {
@@ -29,14 +31,28 @@ std::int64_t Flags::Int(const std::string& key, std::int64_t default_value) {
   auto it = values_.find(key);
   if (it == values_.end()) return default_value;
   consumed_[key] = true;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  // Checked parse: "--users=10k" used to strtoll-salvage into 10; now a
+  // malformed value aborts the run instead of silently shrinking it.
+  const Result<std::int64_t> parsed = util::ParseInt64(it->second);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "--%s: %s\n", key.c_str(),
+                 parsed.status().message().c_str());
+    std::exit(2);
+  }
+  return parsed.value();
 }
 
 double Flags::Double(const std::string& key, double default_value) {
   auto it = values_.find(key);
   if (it == values_.end()) return default_value;
   consumed_[key] = true;
-  return std::strtod(it->second.c_str(), nullptr);
+  const Result<double> parsed = util::ParseDouble(it->second);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "--%s: %s\n", key.c_str(),
+                 parsed.status().message().c_str());
+    std::exit(2);
+  }
+  return parsed.value();
 }
 
 std::string Flags::String(const std::string& key, std::string default_value) {

@@ -29,6 +29,8 @@ const datagen::Dataset& SharedDataset() {
     config.leaf_categories = 60;
     config.holdout_destinations = 0;
     config.seed = 3;
+    // Leaked on purpose: shared across benchmarks for the process
+    // lifetime.  podium-lint: allow(raw-new)
     return new datagen::Dataset(
         std::move(datagen::GenerateDataset(config)).value());
   }();
@@ -39,6 +41,7 @@ const DiversificationInstance& SharedInstance() {
   static const DiversificationInstance* instance = [] {
     InstanceOptions options;
     options.budget = 8;
+    // podium-lint: allow(raw-new) -- same leaked-singleton pattern.
     return new DiversificationInstance(
         DiversificationInstance::Build(SharedDataset().repository, options)
             .value());

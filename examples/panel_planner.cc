@@ -13,6 +13,7 @@
 
 #include "podium/core/podium.h"
 #include "podium/datagen/generator.h"
+#include "podium/util/parse.h"
 #include "podium/util/string_util.h"
 
 namespace {
@@ -30,7 +31,16 @@ T Unwrap(podium::Result<T> result) {
 
 int main(int argc, char** argv) {
   podium::datagen::DatasetConfig config;
-  config.num_users = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2000;
+  config.num_users = 2000;
+  if (argc > 1) {
+    const podium::Result<std::size_t> users =
+        podium::util::ParseSize(argv[1]);
+    if (!users.ok()) {
+      std::cerr << "user count: " << users.status() << "\n";
+      return 1;
+    }
+    config.num_users = users.value();
+  }
   config.num_restaurants = 4000;
   config.leaf_categories = 80;
   config.num_cities = 12;

@@ -13,6 +13,7 @@
 
 #include "podium/core/podium.h"
 #include "podium/datagen/generator.h"
+#include "podium/util/parse.h"
 #include "podium/util/string_util.h"
 
 namespace {
@@ -31,7 +32,16 @@ T Unwrap(podium::Result<T> result) {
 int main(int argc, char** argv) {
   podium::datagen::DatasetConfig config =
       podium::datagen::DatasetConfig::YelpLike();
-  config.num_users = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 3000;
+  config.num_users = 3000;
+  if (argc > 1) {
+    const podium::Result<std::size_t> users =
+        podium::util::ParseSize(argv[1]);
+    if (!users.ok()) {
+      std::cerr << "user count: " << users.status() << "\n";
+      return 1;
+    }
+    config.num_users = users.value();
+  }
   config.num_restaurants = 6000;
   config.leaf_categories = 60;
   const podium::datagen::Dataset data =

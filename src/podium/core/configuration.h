@@ -43,9 +43,9 @@ struct DiversificationConfig {
 ///
 /// All fields except "name" are optional and default as in
 /// InstanceOptions.
-Result<std::vector<DiversificationConfig>> ConfigurationsFromJson(
+[[nodiscard]] Result<std::vector<DiversificationConfig>> ConfigurationsFromJson(
     const json::Value& document);
-Result<std::vector<DiversificationConfig>> LoadConfigurationsFile(
+[[nodiscard]] Result<std::vector<DiversificationConfig>> LoadConfigurationsFile(
     const std::string& path);
 
 /// A configuration applied to a repository: the built instance plus the
@@ -60,7 +60,7 @@ struct ConfiguredSelection {
 /// Builds the instance per `config` and selects. Label-based feedback is
 /// resolved against the built instance; unknown labels fail with
 /// NotFound.
-Result<ConfiguredSelection> RunConfiguration(
+[[nodiscard]] Result<ConfiguredSelection> RunConfiguration(
     const ProfileRepository& repository, const DiversificationConfig& config);
 
 }  // namespace podium

@@ -34,7 +34,7 @@ struct CustomizationFeedback {
 
 /// The refined user set 𝒰' of Def. 6.3: users passing the 𝒢₊ (per-property
 /// disjunction, cross-property conjunction) and 𝒢₋ filters. Ascending ids.
-Result<std::vector<UserId>> RefineUsers(const DiversificationInstance& instance,
+[[nodiscard]] Result<std::vector<UserId>> RefineUsers(const DiversificationInstance& instance,
                                         const CustomizationFeedback& feedback);
 
 /// The customized score s̃core(U) of Prop. 6.5, represented exactly as a
@@ -49,7 +49,7 @@ struct DualScore {
 bool operator<(const DualScore& a, const DualScore& b);
 
 /// Evaluates the customized score of `subset` under `feedback`.
-Result<DualScore> CustomizedScore(const DiversificationInstance& instance,
+[[nodiscard]] Result<DualScore> CustomizedScore(const DiversificationInstance& instance,
                                   const CustomizationFeedback& feedback,
                                   std::span<const UserId> subset);
 
@@ -65,7 +65,7 @@ struct CustomSelection {
 /// 𝒰' and runs Algorithm 1 under the two-tier customized score. Supports
 /// Iden and LBS weights (EBS + customization is not defined in the paper's
 /// experiments and is unimplemented).
-Result<CustomSelection> SelectCustomized(
+[[nodiscard]] Result<CustomSelection> SelectCustomized(
     const DiversificationInstance& instance,
     const CustomizationFeedback& feedback, std::size_t budget,
     GreedyMode mode = GreedyMode::kPlainScan);

@@ -16,7 +16,7 @@ class ExhaustiveSelector : public Selector {
 
   std::string Name() const override { return "Optimal"; }
 
-  Result<Selection> Select(const DiversificationInstance& instance,
+  [[nodiscard]] Result<Selection> Select(const DiversificationInstance& instance,
                            std::size_t budget) const override;
 
  private:

@@ -72,7 +72,7 @@ class GreedySelector : public Selector {
 
   std::string Name() const override { return "Podium"; }
 
-  Result<Selection> Select(const DiversificationInstance& instance,
+  [[nodiscard]] Result<Selection> Select(const DiversificationInstance& instance,
                            std::size_t budget) const override;
 
  private:

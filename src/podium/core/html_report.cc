@@ -31,12 +31,6 @@ void AppendEscaped(const std::string& text, std::string& out) {
   }
 }
 
-std::string Escaped(const std::string& text) {
-  std::string out;
-  AppendEscaped(text, out);
-  return out;
-}
-
 const char kStyle[] = R"(
   body { font-family: sans-serif; margin: 1.5em; color: #222; }
   h1 { font-size: 1.3em; }

@@ -35,7 +35,7 @@ std::string RenderHtmlReport(const DiversificationInstance& instance,
                              const HtmlReportOptions& options = {});
 
 /// Writes the report to `path`.
-Status WriteHtmlReport(const DiversificationInstance& instance,
+[[nodiscard]] Status WriteHtmlReport(const DiversificationInstance& instance,
                        const Selection& selection, const std::string& path,
                        const HtmlReportOptions& options = {});
 

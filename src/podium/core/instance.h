@@ -33,11 +33,11 @@ class DiversificationInstance {
 
   /// Derives simple groups from `repository` and evaluates the weight and
   /// coverage functions. The repository must outlive the instance.
-  static Result<DiversificationInstance> Build(
+  [[nodiscard]] static Result<DiversificationInstance> Build(
       const ProfileRepository& repository, const InstanceOptions& options = {});
 
   /// Builds an instance over caller-provided groups (manually crafted 𝒢).
-  static Result<DiversificationInstance> FromGroups(
+  [[nodiscard]] static Result<DiversificationInstance> FromGroups(
       const ProfileRepository& repository, GroupIndex groups,
       WeightKind weight_kind, CoverageKind coverage_kind, std::size_t budget);
 

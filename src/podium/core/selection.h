@@ -32,7 +32,7 @@ class Selector {
   virtual std::string Name() const = 0;
 
   /// Selects at most `budget` users from the instance's population.
-  virtual Result<Selection> Select(const DiversificationInstance& instance,
+  [[nodiscard]] virtual Result<Selection> Select(const DiversificationInstance& instance,
                                    std::size_t budget) const = 0;
 };
 

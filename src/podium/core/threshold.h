@@ -18,7 +18,7 @@ namespace podium {
 /// `max_budget` users cannot reach the threshold (the achieved score is
 /// reported in the message). EBS instances are unsupported (their scalar
 /// scores overflow; thresholds are not meaningful there).
-Result<Selection> SelectToThreshold(const DiversificationInstance& instance,
+[[nodiscard]] Result<Selection> SelectToThreshold(const DiversificationInstance& instance,
                                     double threshold,
                                     std::size_t max_budget,
                                     const GreedyOptions& options = {});

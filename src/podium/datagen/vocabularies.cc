@@ -15,6 +15,8 @@ struct Family {
 };
 
 const std::vector<Family>& Families() {
+  // Leaked vocabularies: immutable, process-lifetime, and safe during
+  // static destruction.  podium-lint: allow(raw-new)
   static const auto* families = new std::vector<Family>{
       {"Latin",
        {"Mexican", "Brazilian", "Peruvian", "Argentinian", "Colombian",
@@ -40,6 +42,7 @@ const std::vector<Family>& Families() {
 }
 
 const std::vector<const char*>& BaseCities() {
+  // podium-lint: allow(raw-new) -- leaked vocabulary, see Families().
   static const auto* cities = new std::vector<const char*>{
       "Tokyo",     "NYC",       "Bali",      "Paris",    "London",
       "Berlin",    "Rome",      "Madrid",    "Lisbon",   "Amsterdam",
@@ -53,6 +56,7 @@ const std::vector<const char*>& BaseCities() {
 }
 
 const std::vector<const char*>& BaseTopics() {
+  // podium-lint: allow(raw-new) -- leaked vocabulary, see Families().
   static const auto* topics = new std::vector<const char*>{
       "service",      "food quality", "price",        "ambience",
       "wait time",    "portions",     "cleanliness",  "location",

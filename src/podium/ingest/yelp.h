@@ -56,7 +56,7 @@ struct YelpDataset {
 /// Parses the three JSON-lines files and builds the dataset. Files are
 /// streamed line by line; malformed lines fail the ingest (the official
 /// dumps are well-formed).
-Result<YelpDataset> IngestYelp(const std::string& business_path,
+[[nodiscard]] Result<YelpDataset> IngestYelp(const std::string& business_path,
                                const std::string& review_path,
                                const std::string& user_path,
                                const YelpIngestOptions& options = {});

@@ -30,10 +30,10 @@ struct ParseOptions {
 
 /// Parses a complete JSON document from `text`. Trailing non-whitespace is
 /// an error. Errors carry a line:column position.
-Result<Value> Parse(std::string_view text, const ParseOptions& options = {});
+[[nodiscard]] Result<Value> Parse(std::string_view text, const ParseOptions& options = {});
 
 /// Parses the JSON document in the file at `path`.
-Result<Value> ParseFile(const std::string& path,
+[[nodiscard]] Result<Value> ParseFile(const std::string& path,
                         const ParseOptions& options = {});
 
 }  // namespace podium::json

@@ -95,9 +95,9 @@ class Value {
   Object& MutableObject() { return *object_; }
 
   /// Checked accessors used when consuming untrusted documents.
-  Result<bool> GetBool() const;
-  Result<double> GetNumber() const;
-  Result<std::string> GetString() const;
+  [[nodiscard]] Result<bool> GetBool() const;
+  [[nodiscard]] Result<double> GetNumber() const;
+  [[nodiscard]] Result<std::string> GetString() const;
 
   /// Deep structural equality (numbers compared exactly).
   friend bool operator==(const Value& a, const Value& b);

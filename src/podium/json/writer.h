@@ -19,7 +19,7 @@ struct WriteOptions {
 std::string Write(const Value& value, const WriteOptions& options = {});
 
 /// Writes `value` to the file at `path`, replacing any existing contents.
-Status WriteFile(const Value& value, const std::string& path,
+[[nodiscard]] Status WriteFile(const Value& value, const std::string& path,
                  const WriteOptions& options = {});
 
 }  // namespace podium::json

@@ -1,0 +1,49 @@
+#ifndef PODIUM_LINT_LINT_H_
+#define PODIUM_LINT_LINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "podium/util/result.h"
+
+namespace podium::lint {
+
+/// One lint violation. `rule` is a stable kebab-case identifier; the same
+/// string works in a `// podium-lint: allow(<rule>)` suppression comment on
+/// the offending line or the line directly above it.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// "file:line: rule: message" — the format grep/editors already understand.
+std::string FormatFinding(const Finding& finding);
+
+struct LintOptions {
+  /// Paths containing any of these substrings are skipped entirely.
+  /// Used to keep the rule-violation fixtures under tests/lint/fixtures/
+  /// out of tree-wide runs.
+  std::vector<std::string> exclude_substrings;
+};
+
+/// Lints one in-memory source buffer. `path` is both the label used in
+/// findings and the input to path-sensitive rules (include-first only
+/// applies to src/**/*.cc, test-internal-include only to tests/**), so
+/// fixture tests can claim any path for any content.
+std::vector<Finding> LintSource(std::string_view path,
+                                std::string_view content);
+
+/// Reads `path` from disk and lints it. IoError if unreadable.
+Result<std::vector<Finding>> LintFile(const std::string& path);
+
+/// Recursively lints every .h/.cc file under `roots` (files may also be
+/// named directly), in sorted path order for deterministic output.
+Result<std::vector<Finding>> LintTree(const std::vector<std::string>& roots,
+                                      const LintOptions& options = {});
+
+}  // namespace podium::lint
+
+#endif  // PODIUM_LINT_LINT_H_

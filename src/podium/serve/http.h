@@ -51,11 +51,11 @@ class BufferedReader {
 
   /// Reads until "\r\n\r\n"; returns the head block including the blank
   /// line. NotFound on clean EOF at a message boundary.
-  Result<std::string> ReadHeaderBlock(std::size_t max_bytes);
-  Result<std::string> ReadBody(std::size_t length, std::size_t max_bytes);
+  [[nodiscard]] Result<std::string> ReadHeaderBlock(std::size_t max_bytes);
+  [[nodiscard]] Result<std::string> ReadBody(std::size_t length, std::size_t max_bytes);
 
  private:
-  Status Fill(bool eof_is_not_found);
+  [[nodiscard]] Status Fill(bool eof_is_not_found);
 
   int fd_;
   std::string buffer_;
@@ -64,11 +64,11 @@ class BufferedReader {
 /// Reads one request (blocking). A clean EOF before any bytes yields
 /// NotFound("connection closed") — the keep-alive loop's normal exit;
 /// malformed or oversized messages yield ParseError.
-Result<HttpRequest> ReadHttpRequest(BufferedReader& reader,
+[[nodiscard]] Result<HttpRequest> ReadHttpRequest(BufferedReader& reader,
                                     const HttpLimits& limits);
 
 /// Reads one response; the client side of the above.
-Result<HttpResponse> ReadHttpResponse(BufferedReader& reader,
+[[nodiscard]] Result<HttpResponse> ReadHttpResponse(BufferedReader& reader,
                                       const HttpLimits& limits);
 
 /// Serializes a response/request, adding Content-Length (and a default
@@ -78,7 +78,7 @@ std::string SerializeRequest(const HttpRequest& request);
 
 /// Writes the full buffer to `fd`, retrying short writes; SIGPIPE is
 /// suppressed (a peer hangup surfaces as IoError).
-Status WriteAll(int fd, std::string_view data);
+[[nodiscard]] Status WriteAll(int fd, std::string_view data);
 
 /// Blocking keep-alive HTTP client for the load generator and tests.
 class HttpClient {
@@ -89,12 +89,12 @@ class HttpClient {
   HttpClient& operator=(const HttpClient&) = delete;
 
   /// Connects to host:port (IPv4 dotted quad or "localhost").
-  Status Connect(const std::string& host, int port);
+  [[nodiscard]] Status Connect(const std::string& host, int port);
   void Close();
   bool connected() const { return fd_ >= 0; }
 
   /// Sends `request` and reads the response on the persistent connection.
-  Result<HttpResponse> RoundTrip(const HttpRequest& request);
+  [[nodiscard]] Result<HttpResponse> RoundTrip(const HttpRequest& request);
 
  private:
   int fd_ = -1;

@@ -77,18 +77,18 @@ void HttpServer::Stop() {
     ::shutdown(listen_fd_, SHUT_RDWR);
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     // Unblock workers parked in recv on live connections.
     for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   if (acceptor_.joinable()) acceptor_.join();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (int fd : pending_) ::close(fd);
     pending_.clear();
   }
@@ -96,13 +96,12 @@ void HttpServer::Stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  stopped_.notify_all();
+  stopped_.NotifyAll();
 }
 
 void HttpServer::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  stopped_.wait(lock,
-                [this] { return stopping_.load(std::memory_order_relaxed); });
+  util::MutexLock lock(mutex_);
+  while (!stopping_.load(std::memory_order_relaxed)) stopped_.Wait(lock);
 }
 
 void HttpServer::AcceptLoop() {
@@ -124,10 +123,10 @@ void HttpServer::AcceptLoop() {
           .Add();
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       pending_.push_back(fd);
     }
-    work_ready_.notify_one();
+    work_ready_.NotifyOne();
   }
 }
 
@@ -135,10 +134,10 @@ void HttpServer::WorkerLoop() {
   for (;;) {
     int fd = -1;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [this] {
-        return stopping_.load(std::memory_order_relaxed) || !pending_.empty();
-      });
+      util::MutexLock lock(mutex_);
+      while (!stopping_.load(std::memory_order_relaxed) && pending_.empty()) {
+        work_ready_.Wait(lock);
+      }
       if (stopping_.load(std::memory_order_relaxed)) return;
       fd = pending_.front();
       pending_.pop_front();
@@ -146,7 +145,7 @@ void HttpServer::WorkerLoop() {
     }
     HandleConnection(fd);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       active_fds_.erase(fd);
     }
     ::close(fd);

@@ -2,17 +2,17 @@
 #define PODIUM_SERVE_HTTP_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
 #include <vector>
 
 #include "podium/serve/http.h"
+#include "podium/util/mutex.h"
 #include "podium/util/status.h"
+#include "podium/util/thread_annotations.h"
 
 namespace podium::serve {
 
@@ -42,21 +42,21 @@ class HttpServer {
 
   /// Binds, listens and spawns the acceptor + workers. port() is valid
   /// after an OK return.
-  Status Start();
+  [[nodiscard]] Status Start();
 
   /// Shuts down: stops accepting, unblocks workers parked in recv (open
   /// connections are shut down), joins every thread. Idempotent.
-  void Stop();
+  void Stop() PODIUM_EXCLUDES(mutex_);
 
   int port() const { return port_; }
 
   /// Blocks until Stop() is called from another thread (or a signal
   /// handler); the serve tool's main loop.
-  void Wait();
+  void Wait() PODIUM_EXCLUDES(mutex_);
 
  private:
-  void AcceptLoop();
-  void WorkerLoop();
+  void AcceptLoop() PODIUM_EXCLUDES(mutex_);
+  void WorkerLoop() PODIUM_EXCLUDES(mutex_);
   void HandleConnection(int fd);
 
   HttpServerOptions options_;
@@ -68,11 +68,13 @@ class HttpServer {
   std::thread acceptor_;
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable stopped_;
-  std::deque<int> pending_;               // accepted fds awaiting a worker
-  std::unordered_set<int> active_fds_;    // connections being served
+  util::Mutex mutex_;
+  util::CondVar work_ready_;
+  util::CondVar stopped_;
+  // Accepted fds awaiting a worker.
+  std::deque<int> pending_ PODIUM_GUARDED_BY(mutex_);
+  // Connections being served.
+  std::unordered_set<int> active_fds_ PODIUM_GUARDED_BY(mutex_);
 };
 
 }  // namespace podium::serve

@@ -49,11 +49,11 @@ struct SelectionRequest {
 
 /// The selector-choice wire names ("greedy", "greedy-heap").
 std::string_view SelectorName(GreedyMode mode);
-Result<GreedyMode> ParseSelectorName(std::string_view name);
+[[nodiscard]] Result<GreedyMode> ParseSelectorName(std::string_view name);
 
 /// Parses a request document, rejecting unknown keys (typos in client
 /// requests fail loudly rather than silently taking defaults).
-Result<SelectionRequest> SelectionRequestFromJson(const json::Value& document);
+[[nodiscard]] Result<SelectionRequest> SelectionRequestFromJson(const json::Value& document);
 
 /// Canonical cache key: the snapshot generation plus a compact canonical
 /// serialization of every result-affecting field (deadline_ms excluded —

@@ -4,9 +4,7 @@
 
 namespace podium::serve {
 
-namespace {
-
-void RecordLookup(bool hit) {
+void ResultCache::RecordLookup(bool hit) const {
   if (!telemetry::Enabled()) return;
   auto& registry = telemetry::MetricsRegistry::Global();
   // Hoisted statics: the registry lookup takes a mutex, the Add does not.
@@ -14,8 +12,6 @@ void RecordLookup(bool hit) {
   static telemetry::Counter& misses = registry.counter("serve.cache.misses");
   (hit ? hits : misses).Add();
 }
-
-}  // namespace
 
 ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {}
 
@@ -29,7 +25,7 @@ std::optional<std::string> ResultCache::Get(const std::string& key) {
   // pins a lock order no other telemetry caller is obliged to follow.
   std::optional<std::string> body;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = index_.find(key);
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
@@ -42,7 +38,7 @@ std::optional<std::string> ResultCache::Get(const std::string& key) {
 
 void ResultCache::Put(const std::string& key, std::string body) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->second = std::move(body);
@@ -58,7 +54,7 @@ void ResultCache::Put(const std::string& key, std::string body) {
 }
 
 std::size_t ResultCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return lru_.size();
 }
 

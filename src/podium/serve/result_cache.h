@@ -3,11 +3,13 @@
 
 #include <cstddef>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
+
+#include "podium/util/mutex.h"
+#include "podium/util/thread_annotations.h"
 
 namespace podium::serve {
 
@@ -24,22 +26,30 @@ class ResultCache {
   explicit ResultCache(std::size_t capacity);
 
   /// The cached body for `key`, refreshing its recency, or nullopt.
-  std::optional<std::string> Get(const std::string& key);
+  std::optional<std::string> Get(const std::string& key)
+      PODIUM_EXCLUDES(mutex_);
 
   /// Inserts (or refreshes) `key`, evicting least-recently-used entries
   /// beyond capacity.
-  void Put(const std::string& key, std::string body);
+  void Put(const std::string& key, std::string body) PODIUM_EXCLUDES(mutex_);
 
-  std::size_t size() const;
+  std::size_t size() const PODIUM_EXCLUDES(mutex_);
   std::size_t capacity() const { return capacity_; }
 
  private:
   using Entry = std::pair<std::string, std::string>;  // key, body
 
+  /// Records a hit/miss on the telemetry registry. The registry has its
+  /// own mutex, and the repo's lock hierarchy forbids nesting it under
+  /// mutex_ (PR 4 removed exactly that nesting) — PODIUM_EXCLUDES makes
+  /// the rule a compile error instead of a review comment.
+  void RecordLookup(bool hit) const PODIUM_EXCLUDES(mutex_);
+
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  mutable util::Mutex mutex_;
+  std::list<Entry> lru_ PODIUM_GUARDED_BY(mutex_);  // front = MRU
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      PODIUM_GUARDED_BY(mutex_);
 };
 
 }  // namespace podium::serve

@@ -90,7 +90,7 @@ void SelectionService::SwapSnapshot(std::shared_ptr<const Snapshot> snapshot) {
 Status SelectionService::Admit(std::int64_t deadline_ms,
                                double* queue_seconds) {
   const auto start = std::chrono::steady_clock::now();
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (running_ < options_.max_concurrency) {
     ++running_;
     *queue_seconds = 0.0;
@@ -101,16 +101,18 @@ Status SelectionService::Admit(std::int64_t deadline_ms,
     return Status::ResourceExhausted("admission queue full");
   }
   ++waiting_;
-  bool admitted;
+  bool admitted = true;
   if (deadline_ms > 0) {
     const auto deadline = start + std::chrono::milliseconds(deadline_ms);
-    admitted = slot_free_.wait_until(lock, deadline, [&] {
-      return running_ < options_.max_concurrency;
-    });
+    while (running_ >= options_.max_concurrency) {
+      if (!slot_free_.WaitUntil(lock, deadline)) {
+        // Timed out: one final check, a slot may have freed on the way in.
+        admitted = running_ < options_.max_concurrency;
+        break;
+      }
+    }
   } else {
-    slot_free_.wait(lock,
-                    [&] { return running_ < options_.max_concurrency; });
-    admitted = true;
+    while (running_ >= options_.max_concurrency) slot_free_.Wait(lock);
   }
   --waiting_;
   *queue_seconds =
@@ -127,10 +129,10 @@ Status SelectionService::Admit(std::int64_t deadline_ms,
 
 void SelectionService::Release() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     --running_;
   }
-  slot_free_.notify_one();
+  slot_free_.NotifyOne();
 }
 
 Result<ServiceReply> SelectionService::Select(const SelectionRequest& request) {

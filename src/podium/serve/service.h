@@ -1,17 +1,17 @@
 #ifndef PODIUM_SERVE_SERVICE_H_
 #define PODIUM_SERVE_SERVICE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "podium/serve/request.h"
 #include "podium/serve/result_cache.h"
 #include "podium/serve/snapshot.h"
+#include "podium/util/mutex.h"
 #include "podium/util/result.h"
+#include "podium/util/thread_annotations.h"
 
 namespace podium::serve {
 
@@ -61,7 +61,7 @@ class SelectionService {
                    ServiceOptions options);
 
   /// Serves one request. Errors map to HTTP statuses in handlers.cc.
-  Result<ServiceReply> Select(const SelectionRequest& request);
+  [[nodiscard]] Result<ServiceReply> Select(const SelectionRequest& request);
 
   /// Atomically installs a new snapshot; in-flight requests finish on the
   /// snapshot they started with, later requests (and cache keys) use the
@@ -74,22 +74,23 @@ class SelectionService {
 
  private:
   /// Runs the selection itself (no queueing, no cache) and serializes it.
-  Result<std::string> RunSelection(const Snapshot& snapshot,
+  [[nodiscard]] Result<std::string> RunSelection(const Snapshot& snapshot,
                                    const SelectionRequest& request);
 
   /// Blocks until a slot frees, the deadline passes, or the queue
   /// overflows. On success the caller owns one slot and must Release().
-  Status Admit(std::int64_t deadline_ms, double* queue_seconds);
-  void Release();
+  [[nodiscard]] Status Admit(std::int64_t deadline_ms, double* queue_seconds)
+      PODIUM_EXCLUDES(mutex_);
+  void Release() PODIUM_EXCLUDES(mutex_);
 
   ServiceOptions options_;
   SnapshotHolder holder_;
   ResultCache cache_;
 
-  std::mutex mutex_;
-  std::condition_variable slot_free_;
-  std::size_t running_ = 0;  // guarded by mutex_
-  std::size_t waiting_ = 0;  // guarded by mutex_
+  util::Mutex mutex_;
+  util::CondVar slot_free_;
+  std::size_t running_ PODIUM_GUARDED_BY(mutex_) = 0;
+  std::size_t waiting_ PODIUM_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace podium::serve

@@ -13,7 +13,8 @@ Result<std::shared_ptr<const Snapshot>> Snapshot::Build(
   telemetry::PhaseSpan span("serve.snapshot_build");
   // make_shared needs a public constructor; the factory keeps construction
   // in two steps so the instance points at the repository's final address.
-  std::shared_ptr<Snapshot> snapshot(new Snapshot());
+  std::shared_ptr<Snapshot> snapshot(
+      new Snapshot());  // podium-lint: allow(raw-new)
   snapshot->repository_ = std::move(repository);
   snapshot->options_ = options;
   snapshot->generation_ = generation;

@@ -38,7 +38,7 @@ class Snapshot {
   /// index and the default instance (weights + coverage evaluated) are
   /// built eagerly so no request pays for them. `generation`
   /// distinguishes reloads; it is part of every cache key.
-  static Result<std::shared_ptr<const Snapshot>> Build(
+  [[nodiscard]] static Result<std::shared_ptr<const Snapshot>> Build(
       ProfileRepository repository, const SnapshotOptions& options,
       std::uint64_t generation);
 
@@ -65,12 +65,12 @@ class Snapshot {
   /// grouping itself is never recomputed). The instance references this
   /// snapshot's repository; callers must keep their shared_ptr alive for
   /// the instance's lifetime.
-  Result<DiversificationInstance> MakeInstance(WeightKind weight_kind,
+  [[nodiscard]] Result<DiversificationInstance> MakeInstance(WeightKind weight_kind,
                                                CoverageKind coverage_kind,
                                                std::size_t budget) const;
 
   /// Resolves a group label to its id in O(1), or NotFound.
-  Result<GroupId> ResolveLabel(const std::string& label) const;
+  [[nodiscard]] Result<GroupId> ResolveLabel(const std::string& label) const;
 
  private:
   Snapshot() = default;

@@ -2,13 +2,18 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 
 #include "podium/telemetry/telemetry.h"
+#include "podium/util/mutex.h"
+#include "podium/util/thread_annotations.h"
 
 namespace podium::telemetry {
 
 namespace internal {
+
+/// Guards the tree structure (every PhaseNode::children vector); the
+/// accumulators inside each node are atomics and stay lock-free.
+util::Mutex g_tree_mutex;
 
 /// One position in the phase tree. Accumulation is atomic so concurrent
 /// spans at the same position (same phase name on several threads) add up
@@ -19,16 +24,17 @@ struct PhaseNode {
   PhaseNode* parent = nullptr;
   std::atomic<std::uint64_t> nanos{0};
   std::atomic<std::uint64_t> count{0};
-  std::vector<std::unique_ptr<PhaseNode>> children;
+  std::vector<std::unique_ptr<PhaseNode>> children
+      PODIUM_GUARDED_BY(g_tree_mutex);
 };
 
 namespace {
 
-std::mutex g_tree_mutex;
-
 PhaseNode& Root() {
+  // Intentionally leaked: spans may still be open during static
+  // destruction and their nodes must outlive them.
   static PhaseNode* root = [] {
-    auto* node = new PhaseNode();
+    auto* node = new PhaseNode();  // podium-lint: allow(raw-new)
     node->name = "process";
     return node;
   }();
@@ -39,19 +45,21 @@ PhaseNode& Root() {
 /// become its children.
 thread_local PhaseNode* t_current = nullptr;
 
-PhaseNode* ChildNamed(PhaseNode& parent, std::string_view name) {
-  std::lock_guard<std::mutex> lock(g_tree_mutex);
+PhaseNode* ChildNamed(PhaseNode& parent, std::string_view name)
+    PODIUM_EXCLUDES(g_tree_mutex) {
+  util::MutexLock lock(g_tree_mutex);
   for (const auto& child : parent.children) {
     if (child->name == name) return child.get();
   }
-  auto node = std::make_unique<PhaseNode>();
+  auto node = std::make_unique<PhaseNode>();  // freed only via the tree
   node->name = std::string(name);
   node->parent = &parent;
   parent.children.push_back(std::move(node));
   return parent.children.back().get();
 }
 
-void SnapshotInto(const PhaseNode& node, PhaseStats& out) {
+void SnapshotInto(const PhaseNode& node, PhaseStats& out)
+    PODIUM_REQUIRES(g_tree_mutex) {
   out.name = node.name;
   out.seconds =
       static_cast<double>(node.nanos.load(std::memory_order_relaxed)) * 1e-9;
@@ -66,7 +74,7 @@ void SnapshotInto(const PhaseNode& node, PhaseStats& out) {
   }
 }
 
-void ResetNode(PhaseNode& node) {
+void ResetNode(PhaseNode& node) PODIUM_REQUIRES(g_tree_mutex) {
   node.nanos.store(0, std::memory_order_relaxed);
   node.count.store(0, std::memory_order_relaxed);
   for (const auto& child : node.children) ResetNode(*child);
@@ -105,14 +113,14 @@ double PhaseSpan::ElapsedSeconds() const {
 }
 
 PhaseStats PhaseTreeSnapshot() {
-  std::lock_guard<std::mutex> lock(internal::g_tree_mutex);
+  util::MutexLock lock(internal::g_tree_mutex);
   PhaseStats root;
   internal::SnapshotInto(internal::Root(), root);
   return root;
 }
 
 void ResetPhaseTree() {
-  std::lock_guard<std::mutex> lock(internal::g_tree_mutex);
+  util::MutexLock lock(internal::g_tree_mutex);
   internal::ResetNode(internal::Root());
 }
 

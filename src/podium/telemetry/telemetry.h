@@ -5,11 +5,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "podium/util/mutex.h"
+#include "podium/util/thread_annotations.h"
 
 namespace podium::telemetry {
 
@@ -105,22 +107,30 @@ class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
 
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
+  /// Lookups take mutex_, so none of these may be called while holding a
+  /// lock that is ever acquired under it — in particular ResultCache
+  /// records cache telemetry only after releasing its own mutex
+  /// (result_cache.h declares that with PODIUM_EXCLUDES).
+  Counter& counter(std::string_view name) PODIUM_EXCLUDES(mutex_);
+  Gauge& gauge(std::string_view name) PODIUM_EXCLUDES(mutex_);
   /// `bounds` is honored only by the call that first registers `name`.
-  Histogram& histogram(std::string_view name, std::vector<double> bounds = {});
+  Histogram& histogram(std::string_view name, std::vector<double> bounds = {})
+      PODIUM_EXCLUDES(mutex_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const PODIUM_EXCLUDES(mutex_);
 
   /// Zeroes every metric's value; registrations (and references handed out
   /// earlier) stay valid.
-  void Reset();
+  void Reset() PODIUM_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      PODIUM_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      PODIUM_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      PODIUM_GUARDED_BY(mutex_);
 };
 
 }  // namespace podium::telemetry

@@ -1,16 +1,21 @@
 #include "podium/telemetry/trace.h"
 
 #include <atomic>
-#include <mutex>
+
+#include "podium/util/mutex.h"
+#include "podium/util/thread_annotations.h"
 
 namespace podium::telemetry {
 
 namespace {
 
-std::mutex g_trace_mutex;
+util::Mutex g_trace_mutex;
 
-std::vector<GreedyRoundEvent>& Events() {
-  static auto* events = new std::vector<GreedyRoundEvent>();
+std::vector<GreedyRoundEvent>& Events() PODIUM_REQUIRES(g_trace_mutex) {
+  // Intentionally leaked so traces recorded during static destruction
+  // still have somewhere to go.
+  static auto* events =
+      new std::vector<GreedyRoundEvent>();  // podium-lint: allow(raw-new)
   return *events;
 }
 
@@ -23,22 +28,22 @@ std::uint32_t GreedyTrace::NextRunId() {
 }
 
 void GreedyTrace::Record(const GreedyRoundEvent& event) {
-  std::lock_guard<std::mutex> lock(g_trace_mutex);
+  util::MutexLock lock(g_trace_mutex);
   Events().push_back(event);
 }
 
 void GreedyTrace::Record(const std::vector<GreedyRoundEvent>& events) {
-  std::lock_guard<std::mutex> lock(g_trace_mutex);
+  util::MutexLock lock(g_trace_mutex);
   Events().insert(Events().end(), events.begin(), events.end());
 }
 
 std::vector<GreedyRoundEvent> GreedyTrace::Snapshot() {
-  std::lock_guard<std::mutex> lock(g_trace_mutex);
+  util::MutexLock lock(g_trace_mutex);
   return Events();
 }
 
 void GreedyTrace::Clear() {
-  std::lock_guard<std::mutex> lock(g_trace_mutex);
+  util::MutexLock lock(g_trace_mutex);
   Events().clear();
 }
 

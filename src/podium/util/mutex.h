@@ -1,0 +1,91 @@
+#ifndef PODIUM_UTIL_MUTEX_H_
+#define PODIUM_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "podium/util/thread_annotations.h"
+
+namespace podium::util {
+
+class MutexLock;
+class CondVar;
+
+/// std::mutex declared as a Clang thread-safety capability. The standard
+/// library type works fine at runtime but is invisible to the analysis
+/// (libstdc++ ships it without the capability attribute), so every mutex
+/// in concurrent podium code is one of these instead: same cost, same
+/// semantics, but `PODIUM_GUARDED_BY(mutex_)` on the members it protects
+/// is now enforced by `-Wthread-safety` rather than by code review.
+class PODIUM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() PODIUM_ACQUIRE() { mu_.lock(); }
+  void Unlock() PODIUM_RELEASE() { mu_.unlock(); }
+  bool TryLock() PODIUM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex (the annotated std::unique_lock). Unlike
+/// lock_guard it can feed a CondVar wait; unlike unique_lock it cannot be
+/// unlocked early or moved, so "constructed <=> held" stays true and the
+/// analysis can trust the scope.
+class PODIUM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PODIUM_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() PODIUM_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable bound to MutexLock. Waits atomically release the
+/// mutex and reacquire it before returning, so from the analysis' point
+/// of view the capability is held across the call — which is exactly the
+/// guarantee guarded members need.
+///
+/// There is deliberately no predicate overload: the analysis cannot see
+/// into a lambda, so a predicate reading guarded members would either
+/// warn or silently escape checking. Callers write the standard loop
+///
+///   MutexLock lock(mutex_);
+///   while (!condition) cv_.Wait(lock);
+///
+/// which keeps every guarded read inside the analyzed locked scope.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// Waits until notified or `deadline`; false means the deadline passed
+  /// (the caller still holds the lock and must re-check its condition).
+  template <typename Clock, typename Duration>
+  bool WaitUntil(MutexLock& lock,
+                 const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline) != std::cv_status::timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace podium::util
+
+#endif  // PODIUM_UTIL_MUTEX_H_

@@ -1,0 +1,72 @@
+#include "podium/util/parse.h"
+
+#include <charconv>
+#include <cmath>
+#include <string>
+#include <system_error>
+#include <type_traits>
+
+namespace podium::util {
+
+namespace {
+
+std::string Quoted(std::string_view text) {
+  std::string out = "'";
+  out.append(text);
+  out += '\'';
+  return out;
+}
+
+template <typename T>
+Result<T> ParseWith(std::string_view text, const char* kind) {
+  if (text.empty()) {
+    return Status::InvalidArgument(std::string("empty ") + kind);
+  }
+  T value{};
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  // std::from_chars accepts neither leading whitespace nor a leading '+',
+  // never reads errno, and reports the exact end of the number — the
+  // checked core the C library parsers lack.
+  std::from_chars_result parsed;
+  if constexpr (std::is_floating_point_v<T>) {
+    parsed = std::from_chars(first, last, value, std::chars_format::general);
+  } else {
+    parsed = std::from_chars(first, last, value);
+  }
+  if (parsed.ec == std::errc::result_out_of_range) {
+    return Status::OutOfRange(Quoted(text) + " overflows " + kind);
+  }
+  if (parsed.ec != std::errc() || parsed.ptr != last) {
+    return Status::InvalidArgument(Quoted(text) + " is not a valid " + kind);
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<std::int64_t> ParseInt64(std::string_view text) {
+  return ParseWith<std::int64_t>(text, "integer");
+}
+
+Result<std::size_t> ParseSize(std::string_view text) {
+  // from_chars on an unsigned type accepts '-' by wrapping; reject it
+  // explicitly so "-3" is an error rather than a huge count.
+  if (!text.empty() && text.front() == '-') {
+    return Status::InvalidArgument(Quoted(text) +
+                                   " is not a valid non-negative integer");
+  }
+  return ParseWith<std::size_t>(text, "non-negative integer");
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  Result<double> parsed = ParseWith<double>(text, "number");
+  // from_chars accepts the "inf"/"nan" spellings; no podium input means
+  // either, so treat them as malformed rather than propagate non-finites.
+  if (parsed.ok() && !std::isfinite(parsed.value())) {
+    return Status::InvalidArgument(Quoted(text) + " is not a finite number");
+  }
+  return parsed;
+}
+
+}  // namespace podium::util

@@ -1,0 +1,34 @@
+#ifndef PODIUM_UTIL_PARSE_H_
+#define PODIUM_UTIL_PARSE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "podium/util/result.h"
+
+namespace podium::util {
+
+/// Checked numeric parsing. Unlike atoi/strtol (which salvage a numeric
+/// prefix, fold overflow into LONG_MAX, and report errors through errno
+/// conventions nobody checks) these helpers accept exactly one complete
+/// number and nothing else: no leading/trailing junk, no whitespace, no
+/// empty input, and overflow is an error, not a clamp. They are the only
+/// sanctioned way to turn untrusted text (env vars, argv, flag values)
+/// into numbers — podium_lint's banned-function rule rejects the raw
+/// C library parsers everywhere in the tree.
+
+/// Parses a decimal integer with optional leading '-'.
+[[nodiscard]] Result<std::int64_t> ParseInt64(std::string_view text);
+
+/// Parses a non-negative decimal integer ('-0' included? no: any '-' is
+/// rejected) into size_t.
+[[nodiscard]] Result<std::size_t> ParseSize(std::string_view text);
+
+/// Parses a floating-point number (fixed or scientific). Infinities and
+/// NaN spellings are rejected; out-of-range magnitudes are errors.
+[[nodiscard]] Result<double> ParseDouble(std::string_view text);
+
+}  // namespace podium::util
+
+#endif  // PODIUM_UTIL_PARSE_H_

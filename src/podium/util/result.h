@@ -15,8 +15,11 @@ namespace podium {
 ///   Result<Repository> r = Repository::FromJsonFile(path);
 ///   if (!r.ok()) return r.status();
 ///   Repository repo = std::move(r).value();
+///
+/// [[nodiscard]] on the class makes ignoring any returned Result a
+/// compiler warning (an error in the CI static-analysis job).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a Result holding a value. Intentionally implicit so that
   /// `return value;` works in functions returning Result<T>.

@@ -36,7 +36,11 @@ std::string_view StatusCodeToString(StatusCode code);
 ///
 ///   Status s = repo.Load(path);
 ///   if (!s.ok()) return s;  // propagate
-class Status {
+///
+/// [[nodiscard]] on the class makes ignoring any returned Status a
+/// compiler warning (an error in the CI static-analysis job); sites that
+/// genuinely don't care cast to void and say why.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

@@ -1,0 +1,78 @@
+#ifndef PODIUM_UTIL_THREAD_ANNOTATIONS_H_
+#define PODIUM_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attributes behind PODIUM_ macros, no-ops
+/// on every other compiler. The analysis proves lock discipline at compile
+/// time: which mutex guards which member, which functions must (or must
+/// not) hold which lock, and that every acquire has a matching release.
+/// The CI `static-analysis` job builds with
+/// `-Wthread-safety -Werror=thread-safety`, so an unannotated access to a
+/// guarded member — or a call that violates the declared lock order — is a
+/// build break, not a TSAN lottery ticket.
+///
+/// The attributes only fire on types declared as capabilities, which the
+/// standard library's std::mutex is not (libstdc++ ships it unannotated);
+/// concurrent code therefore uses podium::util::Mutex / MutexLock /
+/// CondVar from util/mutex.h, which carry these annotations.
+///
+/// Conventions (DESIGN.md §10):
+///  - every member written under a lock is declared PODIUM_GUARDED_BY(mu);
+///  - private helpers called with the lock held say PODIUM_REQUIRES(mu);
+///  - public entry points that take the lock themselves say
+///    PODIUM_EXCLUDES(mu), which doubles as the machine-checked statement
+///    of a lock-ordering rule ("this call must not run under that mutex").
+
+#if defined(__clang__)
+#define PODIUM_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define PODIUM_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+/// Declares a type as a lockable capability ("mutex").
+#define PODIUM_CAPABILITY(x) PODIUM_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define PODIUM_SCOPED_CAPABILITY \
+  PODIUM_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Member data that may only be read or written while holding `x`.
+#define PODIUM_GUARDED_BY(x) PODIUM_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose pointee (not the pointer itself) is guarded by `x`.
+#define PODIUM_PT_GUARDED_BY(x) \
+  PODIUM_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// The caller must hold the listed capabilities (exclusively).
+#define PODIUM_REQUIRES(...) \
+  PODIUM_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities. This is how a lock
+/// hierarchy is written down: annotating Foo::Bar() with
+/// PODIUM_EXCLUDES(other.mutex) forbids ever nesting Bar() under it.
+#define PODIUM_EXCLUDES(...) \
+  PODIUM_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the listed capabilities and returns holding them.
+#define PODIUM_ACQUIRE(...) \
+  PODIUM_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities.
+#define PODIUM_RELEASE(...) \
+  PODIUM_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `result`.
+#define PODIUM_TRY_ACQUIRE(...) \
+  PODIUM_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// The function returns a reference to the capability named by the
+/// arguments (lets accessors participate in the analysis).
+#define PODIUM_RETURN_CAPABILITY(x) \
+  PODIUM_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: the definition is trusted, not analyzed. Use sparingly
+/// and say why at the use site.
+#define PODIUM_NO_THREAD_SAFETY_ANALYSIS \
+  PODIUM_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // PODIUM_UTIL_THREAD_ANNOTATIONS_H_

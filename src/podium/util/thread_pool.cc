@@ -8,6 +8,9 @@
 
 #include "podium/telemetry/phase.h"
 #include "podium/telemetry/telemetry.h"
+#include "podium/util/mutex.h"
+#include "podium/util/parse.h"
+#include "podium/util/thread_annotations.h"
 
 namespace podium::util {
 
@@ -58,10 +61,10 @@ ThreadPool::ThreadPool(std::size_t thread_count) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -88,10 +91,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     Job* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [&] {
-        return stopping_ || (job_ != nullptr && generation_ != seen_generation);
-      });
+      MutexLock lock(mutex_);
+      while (!stopping_ &&
+             (job_ == nullptr || generation_ == seen_generation)) {
+        work_ready_.Wait(lock);
+      }
       if (stopping_) return;
       job = job_;
       seen_generation = generation_;
@@ -99,10 +103,10 @@ void ThreadPool::WorkerLoop() {
     }
     RunChunks(*job);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --job->active_workers;
     }
-    work_done_.notify_all();
+    work_done_.NotifyAll();
   }
 }
 
@@ -121,19 +125,19 @@ void ThreadPool::ParallelFor(
       workers_.empty() || t_in_parallel || job.plan.num_chunks == 1;
   if (!serial) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       job_ = &job;
       ++generation_;
     }
-    work_ready_.notify_all();
+    work_ready_.NotifyAll();
   }
   RunChunks(job);
   if (!serial) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    work_done_.wait(lock, [&] {
-      return job.chunks_left.load(std::memory_order_acquire) == 0 &&
-             job.active_workers == 0;
-    });
+    MutexLock lock(mutex_);
+    while (job.chunks_left.load(std::memory_order_acquire) != 0 ||
+           job.active_workers != 0) {
+      work_done_.Wait(lock);
+    }
     job_ = nullptr;
   }
   for (std::exception_ptr& error : job.errors) {
@@ -143,15 +147,19 @@ void ThreadPool::ParallelFor(
 
 namespace {
 
-std::mutex g_global_mutex;
-std::size_t g_configured_threads = 0;  // 0 = automatic
-std::unique_ptr<ThreadPool> g_global_pool;  // all guarded by g_global_mutex
+Mutex g_global_mutex;
+std::size_t g_configured_threads PODIUM_GUARDED_BY(g_global_mutex) =
+    0;  // 0 = automatic
+std::unique_ptr<ThreadPool> g_global_pool PODIUM_GUARDED_BY(g_global_mutex);
 
-std::size_t ResolveThreadCount() {
+std::size_t ResolveThreadCount() PODIUM_REQUIRES(g_global_mutex) {
   if (g_configured_threads > 0) return g_configured_threads;
   if (const char* env = std::getenv("PODIUM_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed > 0) return static_cast<std::size_t>(parsed);
+    // Checked parse: PODIUM_THREADS=8abc or an overflowing value used to
+    // be strtol-salvaged into a thread count; now anything but a whole
+    // positive integer is ignored and the hardware default applies.
+    const Result<std::size_t> parsed = ParseSize(env);
+    if (parsed.ok() && parsed.value() > 0) return parsed.value();
   }
   const unsigned hardware = std::thread::hardware_concurrency();
   return hardware == 0 ? 1 : static_cast<std::size_t>(hardware);
@@ -160,7 +168,7 @@ std::size_t ResolveThreadCount() {
 }  // namespace
 
 ThreadPool& ThreadPool::Global() {
-  std::lock_guard<std::mutex> lock(g_global_mutex);
+  MutexLock lock(g_global_mutex);
   if (!g_global_pool) {
     g_global_pool = std::make_unique<ThreadPool>(ResolveThreadCount());
     if (telemetry::Enabled()) {
@@ -172,13 +180,13 @@ ThreadPool& ThreadPool::Global() {
 }
 
 void ThreadPool::SetGlobalThreadCount(std::size_t count) {
-  std::lock_guard<std::mutex> lock(g_global_mutex);
+  MutexLock lock(g_global_mutex);
   g_configured_threads = count;
   g_global_pool.reset();  // rebuilt at the new size on next use
 }
 
 std::size_t ThreadPool::GlobalThreadCount() {
-  std::lock_guard<std::mutex> lock(g_global_mutex);
+  MutexLock lock(g_global_mutex);
   return g_global_pool ? g_global_pool->thread_count() : ResolveThreadCount();
 }
 

@@ -1,15 +1,16 @@
 #ifndef PODIUM_UTIL_THREAD_POOL_H_
 #define PODIUM_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <string_view>
 #include <thread>
 #include <vector>
+
+#include "podium/util/mutex.h"
+#include "podium/util/thread_annotations.h"
 
 namespace podium::util {
 
@@ -92,14 +93,14 @@ class ThreadPool {
   static void RunChunks(Job& job);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  Job* job_ = nullptr;            // guarded by mutex_
-  std::uint64_t generation_ = 0;  // bumped per job; successive stack-allocated
-                                  // jobs can share an address, so workers key
-                                  // off this, not the pointer (guarded)
-  bool stopping_ = false;         // guarded by mutex_
+  Mutex mutex_;
+  CondVar work_ready_;
+  CondVar work_done_;
+  Job* job_ PODIUM_GUARDED_BY(mutex_) = nullptr;
+  // Bumped per job; successive stack-allocated jobs can share an address,
+  // so workers key off this, not the pointer.
+  std::uint64_t generation_ PODIUM_GUARDED_BY(mutex_) = 0;
+  bool stopping_ PODIUM_GUARDED_BY(mutex_) = false;
 };
 
 namespace internal {

@@ -35,7 +35,7 @@ class ArgvFixture {
 /// Shared repository: the instance keeps a pointer into it, so it must
 /// outlive every instance the tests build.
 const ProfileRepository& Table2Repo() {
-  static const ProfileRepository* repo =
+  static const ProfileRepository* repo =  // podium-lint: allow(raw-new)
       new ProfileRepository(testing::MakeTable2Repository());
   return *repo;
 }

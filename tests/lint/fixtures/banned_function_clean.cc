@@ -1,0 +1,11 @@
+// Fixture: banned names in comments ("atoi is bad, never call rand()"),
+// strings, and as identifier substrings must NOT trip banned-function.
+#include <string>
+
+const char* kHint = "do not use atoi( or strtol( here";
+const char* kRaw = R"(sprintf( and time( live in data)";
+
+int atoi_call_count = 0;          // substring identifier, no call
+int my_atoi_helper(int x) { return x; }
+
+std::string runtime(const std::string& s) { return s; }  // ends in "time"

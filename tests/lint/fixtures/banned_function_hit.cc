@@ -1,0 +1,12 @@
+// Fixture: every call here must trip banned-function.
+#include <cstdlib>
+#include <ctime>
+
+int Convert(const char* text) {
+  return atoi(text);
+}
+
+long Seeded() {
+  srand(42);
+  return rand() + static_cast<long>(time(nullptr));
+}

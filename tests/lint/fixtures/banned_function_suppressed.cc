@@ -1,0 +1,9 @@
+// Fixture: the same calls, silenced both ways.
+#include <cstdlib>
+
+int Convert(const char* text) {
+  return atoi(text);  // podium-lint: allow(banned-function)
+}
+
+// podium-lint: allow(banned-function)
+long Noise() { return rand(); }

@@ -1,0 +1,24 @@
+#ifndef FIXTURE_GUARDED_MEMBER_CLEAN_H_
+#define FIXTURE_GUARDED_MEMBER_CLEAN_H_
+
+#include <atomic>
+#include <thread>
+
+#include "podium/util/mutex.h"
+#include "podium/util/thread_annotations.h"
+
+class Counter {
+ public:
+  void Add(int n);
+
+ private:
+  podium::util::Mutex mutex_;
+  long total_ PODIUM_GUARDED_BY(mutex_) = 0;
+  std::atomic<long> peeks_{0};      // atomics need no guard
+  podium::util::CondVar changed_;   // sync primitives are exempt
+  std::thread worker_;              // so are threads
+
+  long detached_config_ = 0;        // blank line above ended the group
+};
+
+#endif  // FIXTURE_GUARDED_MEMBER_CLEAN_H_

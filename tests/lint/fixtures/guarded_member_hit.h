@@ -1,0 +1,18 @@
+#ifndef FIXTURE_GUARDED_MEMBER_HIT_H_
+#define FIXTURE_GUARDED_MEMBER_HIT_H_
+
+#include "podium/util/mutex.h"
+#include "podium/util/thread_annotations.h"
+
+class Counter {
+ public:
+  void Add(int n);
+
+ private:
+  podium::util::Mutex mutex_;
+  // The comment between does not end the adjacency group.
+  long total_ = 0;
+  long calls_ = 0;
+};
+
+#endif  // FIXTURE_GUARDED_MEMBER_HIT_H_

@@ -1,0 +1,13 @@
+#ifndef FIXTURE_GUARDED_MEMBER_SUPPRESSED_H_
+#define FIXTURE_GUARDED_MEMBER_SUPPRESSED_H_
+
+#include "podium/util/mutex.h"
+
+class Counter {
+ private:
+  podium::util::Mutex mutex_;
+  // Written before the lock exists; genuinely unguarded.
+  long config_ = 0;  // podium-lint: allow(guarded-member)
+};
+
+#endif  // FIXTURE_GUARDED_MEMBER_SUPPRESSED_H_

@@ -1,0 +1,5 @@
+#include "podium/widget/widget.h"
+
+#include <vector>
+
+void Widget() {}

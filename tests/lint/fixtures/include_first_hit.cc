@@ -1,0 +1,5 @@
+#include <vector>
+
+#include "podium/widget/widget.h"
+
+void Widget() {}

@@ -1,0 +1,11 @@
+// Fixture: deleted functions and operator overloads are not raw-new.
+#include <memory>
+
+struct Widget {
+  Widget(const Widget&) = delete;
+  Widget& operator=(const Widget&) = delete;
+  static void* operator new(unsigned long size);
+  static void operator delete(void* p);
+};
+
+std::unique_ptr<int> Make() { return std::make_unique<int>(7); }

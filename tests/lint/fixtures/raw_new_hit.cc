@@ -1,0 +1,7 @@
+// Fixture: allocation and deallocation both trip raw-new.
+struct Widget {
+  int size;
+};
+
+Widget* Make() { return new Widget(); }
+void Destroy(Widget* w) { delete w; }

@@ -1,0 +1,8 @@
+struct Widget {
+  int size;
+};
+
+// Leaked on purpose for the fixture.
+Widget* Make() {
+  return new Widget();  // podium-lint: allow(raw-new)
+}

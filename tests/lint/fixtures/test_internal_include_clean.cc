@@ -1,0 +1,5 @@
+#include <gtest/gtest.h>
+
+#include "podium/bucketing/bucketizer.h"
+
+TEST(Fixture, Nothing) {}

@@ -1,0 +1,5 @@
+#include "podium/bucketing/internal.h"
+
+#include <gtest/gtest.h>
+
+TEST(Fixture, Nothing) {}

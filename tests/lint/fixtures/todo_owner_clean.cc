@@ -1,0 +1,4 @@
+// TODO(casey): tighten this bound once profiling lands.
+// Mentions of TODOLIST or kTodoOwner are not TODOs.
+const char* kTodo = "TODO in a string is data, not a marker";
+int Answer() { return 42; }

@@ -1,0 +1,2 @@
+// TODO tighten this bound once profiling lands.
+int Answer() { return 42; }

@@ -1,7 +1,7 @@
 #include "podium/serve/service.h"
 
-#include <condition_variable>
-#include <mutex>
+#include "podium/util/mutex.h"
+#include "podium/util/thread_annotations.h"
 #include <string>
 #include <thread>
 #include <vector>
@@ -181,10 +181,10 @@ class SlotBlocker {
     options.max_concurrency = 1;
     options.cache_entries = 0;
     options.post_admission_hook = [this] {
-      std::unique_lock<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       admitted_ = true;
-      state_changed_.notify_all();
-      state_changed_.wait(lock, [this] { return released_; });
+      state_changed_.NotifyAll();
+      while (!released_) state_changed_.Wait(lock);
     };
     return options;
   }
@@ -196,24 +196,24 @@ class SlotBlocker {
       const Result<ServiceReply> reply = service.Select(request);
       EXPECT_TRUE(reply.ok()) << reply.status();
     });
-    std::unique_lock<std::mutex> lock(mutex_);
-    state_changed_.wait(lock, [this] { return admitted_; });
+    util::MutexLock lock(mutex_);
+    while (!admitted_) state_changed_.Wait(lock);
   }
 
   void Unblock() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       released_ = true;
     }
-    state_changed_.notify_all();
+    state_changed_.NotifyAll();
     holder_.join();
   }
 
  private:
-  std::mutex mutex_;
-  std::condition_variable state_changed_;
-  bool admitted_ = false;
-  bool released_ = false;
+  util::Mutex mutex_;
+  util::CondVar state_changed_;
+  bool admitted_ PODIUM_GUARDED_BY(mutex_) = false;
+  bool released_ PODIUM_GUARDED_BY(mutex_) = false;
   std::thread holder_;
 };
 

@@ -143,7 +143,7 @@ TEST_F(TelemetryTest, DisabledSpanRecordsNothing) {
 /// Shared repository: instances keep a pointer into it, so it must outlive
 /// every instance the tests build.
 const ProfileRepository& Table2Repo() {
-  static const ProfileRepository* repo =
+  static const ProfileRepository* repo =  // podium-lint: allow(raw-new)
       new ProfileRepository(podium::testing::MakeTable2Repository());
   return *repo;
 }

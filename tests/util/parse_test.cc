@@ -1,0 +1,69 @@
+#include "podium/util/parse.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace podium::util {
+namespace {
+
+TEST(ParseInt64Test, AcceptsPlainIntegers) {
+  EXPECT_EQ(ParseInt64("0").value(), 0);
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-17").value(), -17);
+  EXPECT_EQ(ParseInt64("9223372036854775807").value(), INT64_MAX);
+  EXPECT_EQ(ParseInt64("-9223372036854775808").value(), INT64_MIN);
+}
+
+TEST(ParseInt64Test, RejectsTrailingJunk) {
+  // The exact class of bug this helper exists for: strtol("8abc") == 8.
+  EXPECT_FALSE(ParseInt64("8abc").ok());
+  EXPECT_FALSE(ParseInt64("8 ").ok());
+  EXPECT_FALSE(ParseInt64(" 8").ok());
+  EXPECT_FALSE(ParseInt64("8.0").ok());
+}
+
+TEST(ParseInt64Test, RejectsEmptyAndNonNumbers) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("abc").ok());
+  EXPECT_FALSE(ParseInt64("-").ok());
+  EXPECT_FALSE(ParseInt64("+7").ok());  // from_chars convention: no '+'
+  EXPECT_FALSE(ParseInt64("0x10").ok());
+}
+
+TEST(ParseInt64Test, OverflowIsOutOfRangeNotClamp) {
+  const Result<std::int64_t> r = ParseInt64("9223372036854775808");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ParseSizeTest, AcceptsNonNegative) {
+  EXPECT_EQ(ParseSize("0").value(), 0u);
+  EXPECT_EQ(ParseSize("123456").value(), 123456u);
+}
+
+TEST(ParseSizeTest, RejectsNegativeInsteadOfWrapping) {
+  const Result<std::size_t> r = ParseSize("-3");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseSizeTest, OverflowIsAnError) {
+  EXPECT_FALSE(ParseSize("99999999999999999999999999").ok());
+}
+
+TEST(ParseDoubleTest, AcceptsFixedAndScientific) {
+  EXPECT_DOUBLE_EQ(ParseDouble("0.25").value(), 0.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("-3").value(), -3.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("1e-3").value(), 1e-3);
+}
+
+TEST(ParseDoubleTest, RejectsJunkInfAndNan) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+  EXPECT_FALSE(ParseDouble("inf").ok());
+  EXPECT_FALSE(ParseDouble("nan").ok());
+}
+
+}  // namespace
+}  // namespace podium::util

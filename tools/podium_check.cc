@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench/common/flags.h"
+#include "podium/util/parse.h"
 #include "podium/check/differential.h"
 #include "podium/check/fuzz.h"
 
@@ -30,7 +31,13 @@ std::vector<std::size_t> ParseThreadList(const std::string& spec) {
     if (comma == std::string::npos) comma = spec.size();
     const std::string token = spec.substr(pos, comma - pos);
     if (!token.empty()) {
-      counts.push_back(static_cast<std::size_t>(std::stoull(token)));
+      const podium::Result<std::size_t> count = podium::util::ParseSize(token);
+      if (!count.ok() || count.value() == 0) {
+        std::fprintf(stderr, "--threads: bad thread count '%s'\n",
+                     token.c_str());
+        std::exit(2);
+      }
+      counts.push_back(count.value());
     }
     pos = comma + 1;
   }

@@ -1,0 +1,62 @@
+// podium_lint: the repository's own static checker.
+//
+// Token-level (no compiler front end needed), so it runs in milliseconds
+// over the whole tree and in any environment that can build the repo:
+//
+//   podium_lint src tools tests bench --exclude=tests/lint/fixtures
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error. Findings print
+// as "file:line: rule: message"; silence a deliberate violation with
+// `// podium-lint: allow(<rule>)` on the same line or the line above.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "podium/lint/lint.h"
+#include "podium/util/string_util.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  podium::lint::LintOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (podium::util::StartsWith(arg, "--exclude=")) {
+      options.exclude_substrings.push_back(arg.substr(10));
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: podium_lint <dir-or-file>... "
+                   "[--exclude=<path-substring>]...\n");
+      return 2;
+    } else if (podium::util::StartsWith(arg, "-")) {
+      std::fprintf(stderr, "podium_lint: unknown option '%s'\n",
+                   arg.c_str());
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr,
+                 "usage: podium_lint <dir-or-file>... "
+                 "[--exclude=<path-substring>]...\n");
+    return 2;
+  }
+
+  const podium::Result<std::vector<podium::lint::Finding>> findings =
+      podium::lint::LintTree(roots, options);
+  if (!findings.ok()) {
+    std::fprintf(stderr, "podium_lint: %s\n",
+                 findings.status().ToString().c_str());
+    return 2;
+  }
+  for (const podium::lint::Finding& finding : findings.value()) {
+    std::printf("%s\n", podium::lint::FormatFinding(finding).c_str());
+  }
+  if (!findings.value().empty()) {
+    std::fprintf(stderr, "podium_lint: %zu finding(s)\n",
+                 findings.value().size());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,272 @@
+#include "bench/common/bench_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "podium/json/parser.h"
+#include "podium/json/writer.h"
+#include "podium/util/thread_pool.h"
+
+// Provenance captured at configure time (see bench/CMakeLists.txt); a
+// build outside CMake still compiles with the fallbacks.
+#ifndef PODIUM_GIT_DESCRIBE
+#define PODIUM_GIT_DESCRIBE "unknown"
+#endif
+#ifndef PODIUM_BUILD_TYPE
+#define PODIUM_BUILD_TYPE "unknown"
+#endif
+
+namespace podium::bench {
+
+namespace {
+
+std::string CompilerString() {
+#if defined(__clang__)
+  return "Clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "GNU " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+Result<double> RequireNumber(const json::Object& object,
+                             std::string_view key,
+                             std::string_view where) {
+  const json::Value* value = object.Find(key);
+  if (value == nullptr || !value->is_number()) {
+    return Status::InvalidArgument(std::string(where) + ": missing numeric '" +
+                                   std::string(key) + "'");
+  }
+  return value->AsNumber();
+}
+
+Result<std::string> RequireString(const json::Object& object,
+                                  std::string_view key,
+                                  std::string_view where) {
+  const json::Value* value = object.Find(key);
+  if (value == nullptr || !value->is_string()) {
+    return Status::InvalidArgument(std::string(where) + ": missing string '" +
+                                   std::string(key) + "'");
+  }
+  return value->AsString();
+}
+
+}  // namespace
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+BenchMetric MakeBenchMetric(std::string unit, std::string better,
+                            std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  BenchMetric metric;
+  metric.unit = std::move(unit);
+  metric.better = std::move(better);
+  metric.median = Percentile(samples, 0.50);
+  metric.p95 = Percentile(samples, 0.95);
+  return metric;
+}
+
+BenchReport NewBenchReport(std::string bench) {
+  BenchReport report;
+  report.bench = std::move(bench);
+  report.git = PODIUM_GIT_DESCRIBE;
+  report.build_type = PODIUM_BUILD_TYPE;
+  report.compiler = CompilerString();
+  report.threads = util::ThreadPool::GlobalThreadCount();
+  return report;
+}
+
+json::Value BenchReportToJson(const BenchReport& report) {
+  json::Object root;
+  json::Object schema;
+  schema.Set("name", json::Value("podium.bench"));
+  schema.Set("version", json::Value(kBenchReportSchemaVersion));
+  root.Set("schema", json::Value(std::move(schema)));
+  root.Set("bench", json::Value(report.bench));
+  root.Set("git", json::Value(report.git));
+  json::Object build;
+  build.Set("type", json::Value(report.build_type));
+  build.Set("compiler", json::Value(report.compiler));
+  root.Set("build", json::Value(std::move(build)));
+  root.Set("threads", json::Value(report.threads));
+  root.Set("repeats", json::Value(report.repeats));
+  json::Object metrics;
+  for (const auto& [name, metric] : report.metrics) {
+    json::Object entry;
+    entry.Set("unit", json::Value(metric.unit));
+    entry.Set("better", json::Value(metric.better));
+    entry.Set("median", json::Value(metric.median));
+    entry.Set("p95", json::Value(metric.p95));
+    metrics.Set(name, json::Value(std::move(entry)));
+  }
+  root.Set("metrics", json::Value(std::move(metrics)));
+  if (!report.notes.empty()) {
+    json::Object notes;
+    for (const auto& [name, value] : report.notes) {
+      notes.Set(name, json::Value(value));
+    }
+    root.Set("notes", json::Value(std::move(notes)));
+  }
+  return json::Value(std::move(root));
+}
+
+Result<BenchReport> BenchReportFromJson(const json::Value& root) {
+  if (!root.is_object()) {
+    return Status::InvalidArgument("bench report: document is not an object");
+  }
+  const json::Object& object = root.AsObject();
+
+  const json::Value* schema = object.Find("schema");
+  if (schema == nullptr || !schema->is_object()) {
+    return Status::InvalidArgument("bench report: missing 'schema' object");
+  }
+  PODIUM_ASSIGN_OR_RETURN(
+      const std::string schema_name,
+      RequireString(schema->AsObject(), "name", "schema"));
+  if (schema_name != "podium.bench") {
+    return Status::InvalidArgument("bench report: schema name '" +
+                                   schema_name + "' != 'podium.bench'");
+  }
+  PODIUM_ASSIGN_OR_RETURN(
+      const double version,
+      RequireNumber(schema->AsObject(), "version", "schema"));
+  if (version != kBenchReportSchemaVersion) {
+    return Status::InvalidArgument(
+        "bench report: unsupported schema version");
+  }
+
+  BenchReport report;
+  PODIUM_ASSIGN_OR_RETURN(report.bench,
+                          RequireString(object, "bench", "bench report"));
+  if (const json::Value* git = object.Find("git");
+      git != nullptr && git->is_string()) {
+    report.git = git->AsString();
+  }
+  if (const json::Value* build = object.Find("build");
+      build != nullptr && build->is_object()) {
+    if (const json::Value* type = build->AsObject().Find("type");
+        type != nullptr && type->is_string()) {
+      report.build_type = type->AsString();
+    }
+    if (const json::Value* compiler = build->AsObject().Find("compiler");
+        compiler != nullptr && compiler->is_string()) {
+      report.compiler = compiler->AsString();
+    }
+  }
+  if (const json::Value* threads = object.Find("threads");
+      threads != nullptr && threads->is_number()) {
+    report.threads = static_cast<std::size_t>(threads->AsNumber());
+  }
+  if (const json::Value* repeats = object.Find("repeats");
+      repeats != nullptr && repeats->is_number()) {
+    report.repeats = static_cast<std::size_t>(repeats->AsNumber());
+  }
+
+  const json::Value* metrics = object.Find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    return Status::InvalidArgument("bench report: missing 'metrics' object");
+  }
+  for (const auto& [name, entry] : metrics->AsObject().entries()) {
+    if (!entry.is_object()) {
+      return Status::InvalidArgument("bench report: metric '" + name +
+                                     "' is not an object");
+    }
+    const json::Object& fields = entry.AsObject();
+    BenchMetric metric;
+    PODIUM_ASSIGN_OR_RETURN(metric.unit,
+                            RequireString(fields, "unit", "metric " + name));
+    PODIUM_ASSIGN_OR_RETURN(metric.better,
+                            RequireString(fields, "better", "metric " + name));
+    if (metric.better != "lower" && metric.better != "higher") {
+      return Status::InvalidArgument("bench report: metric '" + name +
+                                     "': 'better' must be lower|higher");
+    }
+    PODIUM_ASSIGN_OR_RETURN(metric.median,
+                            RequireNumber(fields, "median", "metric " + name));
+    PODIUM_ASSIGN_OR_RETURN(metric.p95,
+                            RequireNumber(fields, "p95", "metric " + name));
+    report.metrics.emplace(name, std::move(metric));
+  }
+
+  if (const json::Value* notes = object.Find("notes");
+      notes != nullptr && notes->is_object()) {
+    for (const auto& [name, value] : notes->AsObject().entries()) {
+      if (value.is_number()) report.notes.emplace(name, value.AsNumber());
+    }
+  }
+  return report;
+}
+
+Status WriteBenchReport(const BenchReport& report, const std::string& path) {
+  json::WriteOptions options;
+  options.indent = 2;
+  return json::WriteFile(BenchReportToJson(report), path, options);
+}
+
+Result<BenchReport> LoadBenchReport(const std::string& path) {
+  PODIUM_ASSIGN_OR_RETURN(const json::Value document, json::ParseFile(path));
+  Result<BenchReport> report = BenchReportFromJson(document);
+  if (!report.ok()) {
+    return Status(report.status().code(),
+                  path + ": " + report.status().message());
+  }
+  return report;
+}
+
+BenchDiff CompareBenchReports(const BenchReport& old_report,
+                              const BenchReport& new_report,
+                              double threshold) {
+  BenchDiff diff;
+  for (const auto& [name, old_metric] : old_report.metrics) {
+    const auto it = new_report.metrics.find(name);
+    if (it == new_report.metrics.end()) {
+      diff.warnings.push_back("metric '" + name +
+                              "' missing from the new report");
+      continue;
+    }
+    const BenchMetric& new_metric = it->second;
+    if (old_metric.unit != new_metric.unit) {
+      diff.warnings.push_back("metric '" + name + "': unit changed " +
+                              old_metric.unit + " -> " + new_metric.unit);
+      continue;
+    }
+    if (old_metric.better != new_metric.better) {
+      diff.warnings.push_back("metric '" + name + "': direction changed " +
+                              old_metric.better + " -> " + new_metric.better);
+      continue;
+    }
+    MetricDelta delta;
+    delta.name = name;
+    delta.unit = old_metric.unit;
+    delta.old_median = old_metric.median;
+    delta.new_median = new_metric.median;
+    delta.ratio = old_metric.median != 0.0
+                      ? (new_metric.median - old_metric.median) /
+                            std::abs(old_metric.median)
+                      : (new_metric.median != 0.0 ? 1.0 : 0.0);
+    delta.regression = old_metric.better == "lower"
+                           ? delta.ratio > threshold
+                           : delta.ratio < -threshold;
+    diff.has_regression = diff.has_regression || delta.regression;
+    diff.deltas.push_back(std::move(delta));
+  }
+  for (const auto& [name, metric] : new_report.metrics) {
+    (void)metric;
+    if (old_report.metrics.find(name) == old_report.metrics.end()) {
+      diff.warnings.push_back("metric '" + name +
+                              "' is new (no baseline to compare)");
+    }
+  }
+  return diff;
+}
+
+}  // namespace podium::bench

@@ -1,0 +1,113 @@
+#ifndef PODIUM_BENCH_COMMON_BENCH_REPORT_H_
+#define PODIUM_BENCH_COMMON_BENCH_REPORT_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "podium/json/value.h"
+#include "podium/util/result.h"
+
+namespace podium::bench {
+
+/// Canonical cross-PR benchmark artifact ("BENCH_<area>.json"): every
+/// bench/load binary emits this one schema so tools/podium_benchdiff can
+/// compare any two runs — including runs from different PRs — and CI can
+/// archive the trajectory. Schema (version 1):
+///
+/// {
+///   "schema": {"name": "podium.bench", "version": 1},
+///   "bench": "micro",
+///   "git": "<git describe --always --dirty at configure time>",
+///   "build": {"type": "RelWithDebInfo", "compiler": "GNU 13.2.0"},
+///   "threads": 8,
+///   "repeats": 3,
+///   "metrics": {
+///     "BM_GreedySelect/1/8": {"unit": "ms", "better": "lower",
+///                              "median": 1.23, "p95": 1.31}
+///   },
+///   "notes": {"status.200": 2000}
+/// }
+///
+/// Bump the version on any incompatible change; additive changes keep it.
+inline constexpr int kBenchReportSchemaVersion = 1;
+
+/// One measured metric: median and p95 over `repeats` samples, plus the
+/// direction in which improvement points ("lower" for times, "higher"
+/// for throughput) so a diff knows what a regression is.
+struct BenchMetric {
+  std::string unit;    // "ms", "s", "req/s", ...
+  std::string better;  // "lower" | "higher"
+  double median = 0.0;
+  double p95 = 0.0;
+};
+
+struct BenchReport {
+  std::string bench;  // "micro", "serve", ...
+  std::string git;
+  std::string build_type;
+  std::string compiler;
+  std::size_t threads = 0;
+  std::size_t repeats = 1;
+  std::map<std::string, BenchMetric> metrics;
+  /// Free-form scalar annotations (e.g. per-status-code request counts).
+  /// Ignored by the regression check.
+  std::map<std::string, double> notes;
+};
+
+/// Linear-interpolation percentile over an ASCENDING-sorted sample list
+/// (the same estimator the load generator reports); 0 for an empty list.
+double Percentile(const std::vector<double>& sorted, double p);
+
+/// Builds a metric from raw samples (any order): sorts, then fills
+/// median/p95.
+BenchMetric MakeBenchMetric(std::string unit, std::string better,
+                            std::vector<double> samples);
+
+/// A report pre-filled with environment provenance: `bench` name, git
+/// describe and build info (captured at configure time), and the global
+/// thread-pool width.
+BenchReport NewBenchReport(std::string bench);
+
+json::Value BenchReportToJson(const BenchReport& report);
+
+/// Strict schema validation: wrong schema name/version, missing or
+/// mistyped required fields, and malformed metric entries are all
+/// InvalidArgument — podium_benchdiff turns those into a hard failure
+/// even in warn-only mode.
+[[nodiscard]] Result<BenchReport> BenchReportFromJson(const json::Value& root);
+
+[[nodiscard]] Status WriteBenchReport(const BenchReport& report,
+                                      const std::string& path);
+[[nodiscard]] Result<BenchReport> LoadBenchReport(const std::string& path);
+
+/// One compared metric. `ratio` is (new - old) / old of the medians;
+/// `regression` applies the metric's `better` direction to it.
+struct MetricDelta {
+  std::string name;
+  std::string unit;
+  double old_median = 0.0;
+  double new_median = 0.0;
+  double ratio = 0.0;
+  bool regression = false;
+};
+
+struct BenchDiff {
+  std::vector<MetricDelta> deltas;
+  /// Structural mismatches that are not regressions: metrics missing on
+  /// one side, unit/direction disagreements.
+  std::vector<std::string> warnings;
+  bool has_regression = false;
+};
+
+/// Compares shared metrics of two reports; a metric regresses when its
+/// median moved against its `better` direction by more than `threshold`
+/// (fractional, e.g. 0.10 = 10%).
+BenchDiff CompareBenchReports(const BenchReport& old_report,
+                              const BenchReport& new_report,
+                              double threshold);
+
+}  // namespace podium::bench
+
+#endif  // PODIUM_BENCH_COMMON_BENCH_REPORT_H_

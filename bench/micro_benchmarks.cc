@@ -1,8 +1,26 @@
 // google-benchmark microbenchmarks for the hot paths: greedy selection,
 // group-index construction, the bucketizers, JSON parsing, Jaccard
 // distance, and CD-sim.
+//
+// Custom main: all google-benchmark flags work as usual, plus
+//   --bench-out=PATH       write the run as a canonical BENCH_*.json perf
+//                          artifact (bench/common/bench_report.h) with
+//                          median/p95 per benchmark
+//   --bench-repeats=N      repetitions feeding those percentiles (default
+//                          3; implies --benchmark_repetitions=N)
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench/common/bench_report.h"
+#include "podium/obs/log.h"
+#include "podium/util/parse.h"
+#include "podium/util/string_util.h"
 
 #include "podium/baselines/distance_selector.h"
 #include "podium/bucketing/bucketizer.h"
@@ -237,5 +255,90 @@ void BM_CdSim(benchmark::State& state) {
 }
 BENCHMARK(BM_CdSim);
 
+/// Console output as usual, plus per-repetition real times collected for
+/// the BENCH_micro.json artifact (aggregate rows are skipped — medians
+/// are recomputed from the raw samples).
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Series {
+    std::string unit;
+    std::vector<double> samples;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Series& series = series_[run.benchmark_name()];
+      series.unit = benchmark::GetTimeUnitString(run.time_unit);
+      series.samples.push_back(run.GetAdjustedRealTime());
+    }
+  }
+
+  const std::map<std::string, Series>& series() const { return series_; }
+
+ private:
+  std::map<std::string, Series> series_;
+};
+
 }  // namespace
 }  // namespace podium
+
+int main(int argc, char** argv) {
+  std::string bench_out;
+  std::size_t repeats = 3;
+  // Strip our flags before handing argv to google-benchmark (which
+  // rejects flags it does not know).
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (podium::util::StartsWith(arg, "--bench-out=")) {
+      bench_out = arg.substr(12);
+    } else if (podium::util::StartsWith(arg, "--bench-repeats=")) {
+      const podium::Result<std::size_t> parsed =
+          podium::util::ParseSize(arg.substr(16));
+      if (!parsed.ok() || parsed.value() == 0) {
+        podium::obs::LogError("--bench-repeats must be a positive integer")
+            .Str("value", std::string(arg.substr(16)));
+        return 2;
+      }
+      repeats = parsed.value();
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::string repetitions_flag;
+  if (!bench_out.empty()) {
+    repetitions_flag =
+        podium::util::StringPrintf("--benchmark_repetitions=%zu", repeats);
+    args.push_back(repetitions_flag.data());
+  }
+
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  podium::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (bench_out.empty()) return 0;
+  podium::bench::BenchReport report = podium::bench::NewBenchReport("micro");
+  report.repeats = repeats;
+  for (const auto& [name, series] : reporter.series()) {
+    report.metrics[name] = podium::bench::MakeBenchMetric(
+        series.unit, "lower", series.samples);
+  }
+  const podium::Status written =
+      podium::bench::WriteBenchReport(report, bench_out);
+  if (!written.ok()) {
+    podium::obs::LogError("cannot write bench report")
+        .Str("path", bench_out)
+        .Str("error", written.ToString());
+    return 2;
+  }
+  std::printf("micro_benchmarks: wrote %s\n", bench_out.c_str());
+  return 0;
+}

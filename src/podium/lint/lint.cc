@@ -444,6 +444,46 @@ void CheckRawNewDelete(const std::string& path, const ScannedSource& source,
   }
 }
 
+void CheckRawStderr(const std::string& path, const ScannedSource& source,
+                    std::vector<Finding>* findings) {
+  // The serve stack and the tools log through podium::obs::Log — JSON
+  // lines that carry a level, a timestamp and the request's trace id.
+  // A raw fprintf(stderr, ...) there bypasses the sink, the level filter
+  // and the rate limiter, and corrupts log pipelines with unstructured
+  // text. Deliberate terminal output (usage text) carries an explicit
+  // `podium-lint: allow(raw-stderr)`.
+  if (!PathIsUnder(path, "src/podium/serve/") &&
+      !PathIsUnder(path, "tools/")) {
+    return;
+  }
+  for (std::size_t i = 0; i < source.code.size(); ++i) {
+    const std::string& line = source.code[i];
+    const std::vector<Token> tokens = IdentifiersIn(line);
+    for (std::size_t t = 0; t < tokens.size(); ++t) {
+      if (tokens[t].text != "fprintf") continue;
+      if (FirstNonSpaceAfter(line, tokens[t].end) != '(') continue;
+      // The stream is the first argument: the next identifier on this
+      // line, or the first one on the next line when the call wraps.
+      std::string stream;
+      if (t + 1 < tokens.size()) {
+        stream = tokens[t + 1].text;
+      } else if (i + 1 < source.code.size()) {
+        const std::vector<Token> next_tokens =
+            IdentifiersIn(source.code[i + 1]);
+        if (!next_tokens.empty()) stream = next_tokens[0].text;
+      }
+      if (stream != "stderr") continue;
+      Finding finding;
+      finding.line = static_cast<int>(i) + 1;
+      finding.rule = "raw-stderr";
+      finding.message =
+          "raw fprintf(stderr, ...) in the serve/tools layer; log through "
+          "podium::obs::Log (podium/obs/log.h)";
+      findings->push_back(std::move(finding));
+    }
+  }
+}
+
 bool LineDeclaresMutexMember(const std::string& code_line) {
   const std::string_view stripped = util::StripWhitespace(code_line);
   if (!util::EndsWith(stripped, ";")) return false;
@@ -554,6 +594,7 @@ std::vector<Finding> LintSource(std::string_view path,
   CheckTestInternalIncludes(normalized, includes, &findings);
   CheckTodoOwner(source, &findings);
   CheckRawNewDelete(normalized, source, &findings);
+  CheckRawStderr(normalized, source, &findings);
   CheckGuardedMembers(source, &findings);
 
   std::vector<Finding> kept;

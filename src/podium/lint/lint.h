@@ -31,8 +31,9 @@ struct LintOptions {
 
 /// Lints one in-memory source buffer. `path` is both the label used in
 /// findings and the input to path-sensitive rules (include-first only
-/// applies to src/**/*.cc, test-internal-include only to tests/**), so
-/// fixture tests can claim any path for any content.
+/// applies to src/**/*.cc, test-internal-include only to tests/**,
+/// raw-stderr only to src/podium/serve/ and tools/), so fixture tests can
+/// claim any path for any content.
 std::vector<Finding> LintSource(std::string_view path,
                                 std::string_view content);
 

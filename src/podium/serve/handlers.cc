@@ -1,10 +1,18 @@
 #include "podium/serve/handlers.h"
 
+#include <optional>
+#include <string_view>
 #include <utility>
+#include <vector>
 
 #include "podium/json/writer.h"
+#include "podium/obs/prometheus.h"
+#include "podium/obs/trace.h"
 #include "podium/serve/request.h"
 #include "podium/telemetry/export.h"
+#include "podium/telemetry/telemetry.h"
+#include "podium/util/parse.h"
+#include "podium/util/stopwatch.h"
 #include "podium/util/string_util.h"
 
 namespace podium::serve {
@@ -62,6 +70,7 @@ HttpResponse HandleHealthz(SelectionService& service) {
   if (snapshot) {
     root.Set("snapshot_generation",
              json::Value(static_cast<double>(snapshot->generation())));
+    root.Set("snapshot_age_seconds", json::Value(snapshot->AgeSeconds()));
     root.Set("users", json::Value(snapshot->repository().user_count()));
     root.Set("groups",
              json::Value(snapshot->default_instance().groups().group_count()));
@@ -70,11 +79,80 @@ HttpResponse HandleHealthz(SelectionService& service) {
                       json::Write(json::Value(std::move(root))) + "\n");
 }
 
-HttpResponse HandleMetrics() {
+HttpResponse HandleMetrics(std::string_view query) {
+  if (const std::optional<std::string_view> format =
+          QueryParam(query, "format");
+      format.has_value()) {
+    if (*format == "prometheus") {
+      HttpResponse response;
+      response.status = 200;
+      response.reason = "OK";
+      response.headers.emplace_back("Content-Type",
+                                    "text/plain; version=0.0.4");
+      response.body = obs::RenderPrometheus(
+          telemetry::MetricsRegistry::Global().Snapshot());
+      return response;
+    }
+    if (*format != "json") {
+      return ErrorResponse(Status::InvalidArgument(
+          "unknown metrics format '" + std::string(*format) +
+          "' (expected json or prometheus)"));
+    }
+  }
   json::WriteOptions options;
   options.indent = 2;
   return JsonResponse(
       200, "OK", json::Write(telemetry::TelemetryToJson(), options) + "\n");
+}
+
+json::Value SpanToJson(const obs::TraceSpan& span) {
+  json::Object out;
+  out.Set("name", json::Value(span.name));
+  out.Set("parent", json::Value(static_cast<double>(span.parent)));
+  out.Set("start_seconds", json::Value(span.start_seconds));
+  out.Set("duration_seconds", json::Value(span.duration_seconds));
+  return json::Value(std::move(out));
+}
+
+HttpResponse HandleTraces(std::string_view query) {
+  std::size_t limit = 0;  // 0 = everything the ring retains
+  if (const std::optional<std::string_view> raw = QueryParam(query, "limit");
+      raw.has_value()) {
+    const Result<std::size_t> parsed = util::ParseSize(*raw);
+    if (!parsed.ok()) {
+      return ErrorResponse(Status::InvalidArgument(
+          "bad limit '" + std::string(*raw) + "': must be a non-negative "
+          "integer"));
+    }
+    limit = parsed.value();
+  }
+  const std::vector<obs::FinishedTrace> traces =
+      obs::TraceRing::Global().Snapshot(limit);
+  json::Array items;
+  items.reserve(traces.size());
+  for (const obs::FinishedTrace& trace : traces) {
+    json::Object item;
+    item.Set("trace_id", json::Value(trace.trace_id));
+    item.Set("method", json::Value(trace.method));
+    item.Set("path", json::Value(trace.path));
+    item.Set("status", json::Value(static_cast<double>(trace.http_status)));
+    item.Set("start_unix_seconds", json::Value(trace.start_unix_seconds));
+    item.Set("duration_seconds", json::Value(trace.total_seconds));
+    json::Array spans;
+    spans.reserve(trace.spans.size());
+    for (const obs::TraceSpan& span : trace.spans) {
+      spans.push_back(SpanToJson(span));
+    }
+    item.Set("spans", json::Value(std::move(spans)));
+    items.push_back(json::Value(std::move(item)));
+  }
+  json::Object root;
+  root.Set("capacity", json::Value(static_cast<double>(
+                           obs::TraceRing::Global().capacity())));
+  root.Set("count", json::Value(static_cast<double>(items.size())));
+  root.Set("traces", json::Value(std::move(items)));
+  return JsonResponse(200, "OK",
+                      json::Write(json::Value(std::move(root))) + "\n");
 }
 
 HttpResponse HandleReload(const std::function<Status()>& reload) {
@@ -85,6 +163,55 @@ HttpResponse HandleReload(const std::function<Status()>& reload) {
   const Status status = reload();
   if (!status.ok()) return ErrorResponse(status);
   return JsonResponse(200, "OK", "{\"status\":\"reloaded\"}\n");
+}
+
+/// Per-endpoint latency + per-status-code response count. `path_label` is
+/// a known route or "other" — never the raw request target, so hostile
+/// paths cannot mint unbounded metric names.
+void RecordHttpMetrics(std::string_view path_label, int status,
+                       double seconds) {
+  if (!telemetry::Enabled()) return;
+  auto& registry = telemetry::MetricsRegistry::Global();
+  registry
+      .histogram(util::StringPrintf("serve.http.request_seconds{path=\"%.*s\"}",
+                                    static_cast<int>(path_label.size()),
+                                    path_label.data()),
+                 telemetry::DefaultLatencyBounds())
+      .Observe(seconds);
+  registry.counter(util::StringPrintf("serve.http.responses{code=\"%d\"}",
+                                      status))
+      .Add();
+}
+
+HttpResponse RouteRequest(SelectionService& service,
+                          const std::function<Status()>& reload,
+                          const HttpRequest& request, std::string_view path) {
+  if (path == "/v1/select") {
+    if (request.method != "POST") {
+      return ErrorResponse(Status::InvalidArgument(
+          "/v1/select requires POST"));
+    }
+    return HandleSelect(service, request);
+  }
+  if (path == "/healthz") {
+    return HandleHealthz(service);
+  }
+  if (path == "/metrics") {
+    return HandleMetrics(TargetQuery(request.target));
+  }
+  if (path == "/v1/traces") {
+    return HandleTraces(TargetQuery(request.target));
+  }
+  if (path == "/v1/reload") {
+    if (request.method != "POST") {
+      return ErrorResponse(Status::InvalidArgument(
+          "/v1/reload requires POST"));
+    }
+    return HandleReload(reload);
+  }
+  return ErrorResponse(
+      Status::NotFound("no route for " + request.method + " " +
+                       request.target));
 }
 
 }  // namespace
@@ -120,29 +247,20 @@ HttpServer::Handler MakeServiceHandler(SelectionService& service,
                                        std::function<Status()> reload) {
   return [&service, reload = std::move(reload)](const HttpRequest& request)
              -> HttpResponse {
-    if (request.target == "/v1/select") {
-      if (request.method != "POST") {
-        return ErrorResponse(Status::InvalidArgument(
-            "/v1/select requires POST"));
+    static constexpr std::string_view kRoutes[] = {
+        "/v1/select", "/healthz", "/metrics", "/v1/traces", "/v1/reload"};
+    const std::string_view path = TargetPath(request.target);
+    std::string_view path_label = "other";
+    for (const std::string_view route : kRoutes) {
+      if (path == route) {
+        path_label = route;
+        break;
       }
-      return HandleSelect(service, request);
     }
-    if (request.target == "/healthz") {
-      return HandleHealthz(service);
-    }
-    if (request.target == "/metrics") {
-      return HandleMetrics();
-    }
-    if (request.target == "/v1/reload") {
-      if (request.method != "POST") {
-        return ErrorResponse(Status::InvalidArgument(
-            "/v1/reload requires POST"));
-      }
-      return HandleReload(reload);
-    }
-    return ErrorResponse(
-        Status::NotFound("no route for " + request.method + " " +
-                         request.target));
+    util::Stopwatch watch;
+    HttpResponse response = RouteRequest(service, reload, request, path);
+    RecordHttpMetrics(path_label, response.status, watch.ElapsedSeconds());
+    return response;
   };
 }
 

@@ -19,16 +19,26 @@ json::ParseOptions UntrustedParseOptions();
 /// Unimplemented → 501, everything else → 500).
 int HttpStatusFor(const Status& status);
 
-/// Builds the service's request router:
+/// Builds the service's request router (targets are matched on their path
+/// component, so query strings are allowed everywhere):
 ///
 ///   POST /v1/select  — run a selection (JSON body; see request.h)
-///   GET  /healthz    — liveness + snapshot generation/size
-///   GET  /metrics    — full telemetry JSON export
+///   GET  /healthz    — liveness + snapshot generation/size/age
+///   GET  /metrics    — full telemetry JSON export;
+///                      ?format=prometheus renders the metrics registry in
+///                      Prometheus text exposition format instead
+///   GET  /v1/traces  — most recent finished request traces from
+///                      obs::TraceRing::Global(); ?limit=N caps the count
 ///   POST /v1/reload  — atomically swap in a fresh snapshot via `reload`
 ///                      (404 when no reload callback is configured)
 ///
 /// Timings and cache status travel as X-Podium-* headers so the JSON body
 /// of a cached reply is byte-identical to the uncached one.
+///
+/// The router also feeds the server-side HTTP metrics: a latency
+/// histogram per endpoint (serve.http.request_seconds{path=...}, unknown
+/// paths pooled under "other" to bound cardinality) and a response
+/// counter per status code (serve.http.responses{code=...}).
 HttpServer::Handler MakeServiceHandler(
     SelectionService& service,
     std::function<Status()> reload = nullptr);

@@ -144,6 +144,37 @@ Status BufferedReader::Fill(bool eof_is_not_found) {
   return Status::IoError(std::string("recv: ") + std::strerror(errno));
 }
 
+std::string_view TargetPath(std::string_view target) {
+  const std::size_t question = target.find('?');
+  return question == std::string_view::npos ? target
+                                            : target.substr(0, question);
+}
+
+std::string_view TargetQuery(std::string_view target) {
+  const std::size_t question = target.find('?');
+  return question == std::string_view::npos ? std::string_view()
+                                            : target.substr(question + 1);
+}
+
+std::optional<std::string_view> QueryParam(std::string_view query,
+                                           std::string_view key) {
+  std::size_t pos = 0;
+  while (pos <= query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string_view::npos) amp = query.size();
+    const std::string_view pair = query.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    const std::string_view name =
+        eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    if (name == key) {
+      return eq == std::string_view::npos ? std::string_view()
+                                          : pair.substr(eq + 1);
+    }
+    pos = amp + 1;
+  }
+  return std::nullopt;
+}
+
 const std::string* HttpRequest::FindHeader(std::string_view name) const {
   return FindHeaderIn(headers, name);
 }

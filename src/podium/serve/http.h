@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -36,6 +37,21 @@ struct HttpResponse {
 
   const std::string* FindHeader(std::string_view name) const;
 };
+
+/// The path component of a request target: everything before the first
+/// '?' ("/metrics?format=prometheus" -> "/metrics"). Fragments are not
+/// special-cased; HTTP clients do not send them.
+std::string_view TargetPath(std::string_view target);
+
+/// The query component (after the first '?'), or "" when absent.
+std::string_view TargetQuery(std::string_view target);
+
+/// The raw value of `key` in an application/x-www-form-urlencoded-shaped
+/// query ("a=1&b=2"), or nullopt when the key is absent. No percent
+/// decoding — the serve endpoints only take token-valued parameters
+/// ("format=prometheus", "limit=50").
+std::optional<std::string_view> QueryParam(std::string_view query,
+                                           std::string_view key);
 
 /// Size limits for reading untrusted messages from a socket.
 struct HttpLimits {

@@ -7,12 +7,46 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
+#include "podium/obs/log.h"
+#include "podium/obs/trace.h"
 #include "podium/telemetry/telemetry.h"
+#include "podium/util/string_util.h"
 
 namespace podium::serve {
+
+namespace {
+
+/// Compact span rendering for sampled access-log lines:
+/// "select:3.21ms,select/run:3.08ms" (child names prefixed by parent).
+std::string RenderSpansCompact(const std::vector<obs::TraceSpan>& spans) {
+  std::string out;
+  std::vector<std::string> qualified(spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const obs::TraceSpan& span = spans[i];
+    qualified[i] =
+        span.parent >= 0 &&
+                static_cast<std::size_t>(span.parent) < qualified.size()
+            ? qualified[static_cast<std::size_t>(span.parent)] + "/" +
+                  span.name
+            : span.name;
+    if (!out.empty()) out += ",";
+    out += qualified[i];
+    out += util::StringPrintf(":%.3fms", span.duration_seconds * 1e3);
+  }
+  return out;
+}
+
+double UnixSecondsNow() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 HttpServer::HttpServer(HttpServerOptions options, Handler handler)
     : options_(std::move(options)), handler_(std::move(handler)) {}
@@ -173,7 +207,7 @@ void HttpServer::HandleConnection(int fd) {
     }
     if (stopping_.load(std::memory_order_relaxed)) return;
 
-    HttpResponse response = handler_(request.value());
+    HttpResponse response = DispatchTraced(request.value());
     const std::string* connection = request->FindHeader("Connection");
     const bool close_requested =
         connection != nullptr && (*connection == "close" ||
@@ -184,6 +218,56 @@ void HttpServer::HandleConnection(int fd) {
     if (!WriteAll(fd, SerializeResponse(response)).ok()) return;
     if (close_requested) return;
   }
+}
+
+HttpResponse HttpServer::DispatchTraced(const HttpRequest& request) {
+  // Adopt a well-formed client trace id (so a caller can stitch our spans
+  // into its own trace); mint one otherwise.
+  obs::TraceId trace_id;
+  if (const std::string* header = request.FindHeader("X-Podium-Trace-Id");
+      header != nullptr) {
+    trace_id = obs::TraceId::FromHex(*header).value_or(obs::TraceId{});
+  }
+  if (trace_id.IsZero()) trace_id = obs::TraceId::Generate();
+
+  const double start_unix = UnixSecondsNow();
+  obs::TraceContext trace(trace_id);
+  HttpResponse response;
+  {
+    obs::TraceScope scope(&trace);
+    response = handler_(request);
+  }
+  const double total_seconds = trace.ElapsedSeconds();
+  const std::string trace_hex = trace_id.ToHex();
+  response.headers.emplace_back("X-Podium-Trace-Id", trace_hex);
+
+  obs::FinishedTrace finished;
+  finished.trace_id = trace_hex;
+  finished.method = request.method;
+  finished.path = std::string(TargetPath(request.target));
+  finished.http_status = response.status;
+  finished.start_unix_seconds = start_unix;
+  finished.total_seconds = total_seconds;
+  finished.spans = trace.spans();
+
+  const std::uint64_t n =
+      request_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const bool sample_spans =
+      options_.trace_log_every > 0 && n % options_.trace_log_every == 0;
+  {
+    obs::LogEntry line = obs::LogInfo("request");
+    line.Str("method", finished.method)
+        .Str("path", finished.path)
+        .Num("status", finished.http_status)
+        .Num("duration_ms", total_seconds * 1e3)
+        .Num("bytes", static_cast<double>(response.body.size()))
+        .TraceId(trace_hex);
+    if (sample_spans && !finished.spans.empty()) {
+      line.Str("spans", RenderSpansCompact(finished.spans));
+    }
+  }
+  obs::TraceRing::Global().Record(std::move(finished));
+  return response;
 }
 
 }  // namespace podium::serve

@@ -2,6 +2,7 @@
 #define PODIUM_SERVE_HTTP_SERVER_H_
 
 #include <atomic>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <string>
@@ -25,12 +26,23 @@ struct HttpServerOptions {
   /// this bounds concurrently-served clients.
   std::size_t worker_threads = 8;
   HttpLimits limits;
+  /// When > 0, every Nth request's access-log line also carries its span
+  /// tree (a sampled trace), so production logs show where time went
+  /// without logging every request's spans.
+  std::size_t trace_log_every = 0;
 };
 
 /// Minimal blocking HTTP/1.1 server: an acceptor thread queues accepted
 /// sockets, worker threads run the keep-alive request loop and call the
 /// handler per request. The handler must be thread-safe; it is invoked
 /// concurrently from every worker.
+///
+/// Every request runs under a request-scoped trace (podium::obs): the
+/// X-Podium-Trace-Id request header is adopted when it parses as 32 hex
+/// chars, minted otherwise, always echoed on the response, and the
+/// finished span tree is recorded into obs::TraceRing::Global() (served
+/// by GET /v1/traces). Each request also emits an info-level structured
+/// access-log line stamped with the trace id.
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
@@ -58,11 +70,15 @@ class HttpServer {
   void AcceptLoop() PODIUM_EXCLUDES(mutex_);
   void WorkerLoop() PODIUM_EXCLUDES(mutex_);
   void HandleConnection(int fd);
+  /// Runs handler_ under a fresh TraceContext, records the finished trace
+  /// and the access-log line, and stamps the trace id on the response.
+  HttpResponse DispatchTraced(const HttpRequest& request);
 
   HttpServerOptions options_;
   Handler handler_;
   int listen_fd_ = -1;
   int port_ = 0;
+  std::atomic<std::uint64_t> request_count_{0};
 
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;

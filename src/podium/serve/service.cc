@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "podium/core/explanation.h"
+#include "podium/obs/trace.h"
 #include "podium/telemetry/phase.h"
 #include "podium/telemetry/telemetry.h"
 #include "podium/util/stopwatch.h"
@@ -22,6 +23,7 @@ struct ServeMetrics {
   telemetry::Histogram& latency;
   telemetry::Histogram& queue_wait;
   telemetry::Histogram& run_time;
+  telemetry::Histogram& cache_lookup;
 
   static ServeMetrics& Get() {
     auto& registry = telemetry::MetricsRegistry::Global();
@@ -35,6 +37,8 @@ struct ServeMetrics {
         registry.histogram("serve.queue_seconds",
                            telemetry::DefaultLatencyBounds()),
         registry.histogram("serve.run_seconds",
+                           telemetry::DefaultLatencyBounds()),
+        registry.histogram("serve.cache.lookup_seconds",
                            telemetry::DefaultLatencyBounds())};
     return metrics;
   }
@@ -139,6 +143,7 @@ Result<ServiceReply> SelectionService::Select(const SelectionRequest& request) {
   const bool telemetry_on = telemetry::Enabled();
   if (telemetry_on) ServeMetrics::Get().requests.Add();
   util::Stopwatch total;
+  obs::Span select_span("select");
 
   const std::shared_ptr<const Snapshot> snapshot = holder_.Current();
   if (snapshot == nullptr) {
@@ -150,14 +155,21 @@ Result<ServiceReply> SelectionService::Select(const SelectionRequest& request) {
   reply.snapshot_generation = snapshot->generation();
 
   const std::string key = CanonicalRequestKey(snapshot->generation(), request);
-  if (std::optional<std::string> cached = cache_.Get(key);
-      cached.has_value()) {
-    reply.body = std::move(*cached);
-    reply.cache_hit = true;
+  {
+    obs::Span lookup_span("cache.lookup");
+    util::Stopwatch lookup;
+    std::optional<std::string> cached = cache_.Get(key);
     if (telemetry_on) {
-      ServeMetrics::Get().latency.Observe(total.ElapsedSeconds());
+      ServeMetrics::Get().cache_lookup.Observe(lookup.ElapsedSeconds());
     }
-    return reply;
+    if (cached.has_value()) {
+      reply.body = std::move(*cached);
+      reply.cache_hit = true;
+      if (telemetry_on) {
+        ServeMetrics::Get().latency.Observe(total.ElapsedSeconds());
+      }
+      return reply;
+    }
   }
 
   // Deadline: the request may tighten the server default freely but only
@@ -170,7 +182,10 @@ Result<ServiceReply> SelectionService::Select(const SelectionRequest& request) {
                       : request.deadline_ms;
   }
 
-  Status admitted = Admit(deadline_ms, &reply.queue_seconds);
+  Status admitted = [&] {
+    obs::Span admission_span("admission");
+    return Admit(deadline_ms, &reply.queue_seconds);
+  }();
   if (!admitted.ok()) {
     if (telemetry_on) ServeMetrics::Get().errors.Add();
     return admitted;
@@ -184,7 +199,10 @@ Result<ServiceReply> SelectionService::Select(const SelectionRequest& request) {
   if (options_.post_admission_hook) options_.post_admission_hook();
 
   util::Stopwatch run;
-  Result<std::string> body = RunSelection(*snapshot, request);
+  Result<std::string> body = [&] {
+    obs::Span run_span("run");
+    return RunSelection(*snapshot, request);
+  }();
   reply.run_seconds = run.ElapsedSeconds();
 
   if (telemetry_on) {

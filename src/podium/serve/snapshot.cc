@@ -1,5 +1,6 @@
 #include "podium/serve/snapshot.h"
 
+#include <chrono>
 #include <utility>
 
 #include "podium/telemetry/phase.h"
@@ -18,6 +19,7 @@ Result<std::shared_ptr<const Snapshot>> Snapshot::Build(
   snapshot->repository_ = std::move(repository);
   snapshot->options_ = options;
   snapshot->generation_ = generation;
+  snapshot->created_at_ = std::chrono::steady_clock::now();
 
   Result<DiversificationInstance> instance = DiversificationInstance::Build(
       snapshot->repository_, options.instance);

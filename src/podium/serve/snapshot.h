@@ -2,6 +2,7 @@
 #define PODIUM_SERVE_SNAPSHOT_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -46,6 +47,14 @@ class Snapshot {
   const SnapshotOptions& options() const { return options_; }
   std::uint64_t generation() const { return generation_; }
 
+  /// Seconds since this snapshot was built — /healthz reports it as
+  /// snapshot_age_seconds so operators can spot a stale reload loop.
+  double AgeSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         created_at_)
+        .count();
+  }
+
   /// The instance built with the snapshot's default weight/coverage/budget.
   const DiversificationInstance& default_instance() const {
     return default_instance_;
@@ -78,6 +87,7 @@ class Snapshot {
   ProfileRepository repository_;
   SnapshotOptions options_;
   std::uint64_t generation_ = 0;
+  std::chrono::steady_clock::time_point created_at_{};
   DiversificationInstance default_instance_;
   std::unordered_map<std::string, GroupId> label_index_;
 };

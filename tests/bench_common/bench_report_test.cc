@@ -1,0 +1,255 @@
+#include "bench/common/bench_report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "podium/json/parser.h"
+#include "podium/json/value.h"
+#include "podium/json/writer.h"
+#include "podium/util/status.h"
+
+namespace podium::bench {
+namespace {
+
+BenchReport MakeReport() {
+  BenchReport report;
+  report.bench = "micro";
+  report.git = "v0-42-gabc123";
+  report.build_type = "Release";
+  report.compiler = "GNU 12.2.0";
+  report.threads = 8;
+  report.repeats = 5;
+  report.metrics["select_ms"] = BenchMetric{"ms", "lower", 1.25, 1.40};
+  report.metrics["throughput_rps"] =
+      BenchMetric{"req/s", "higher", 900.0, 950.0};
+  report.notes["status.200"] = 2000.0;
+  return report;
+}
+
+// --- Percentile / MakeBenchMetric ------------------------------------------
+
+TEST(PercentileTest, InterpolatesLinearly) {
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(sorted, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(sorted, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(sorted, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 0.95), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.5), 0.0);
+}
+
+TEST(MakeBenchMetricTest, SortsSamplesAndFillsMedianP95) {
+  const BenchMetric metric =
+      MakeBenchMetric("ms", "lower", {3.0, 1.0, 2.0, 5.0, 4.0});
+  EXPECT_EQ(metric.unit, "ms");
+  EXPECT_EQ(metric.better, "lower");
+  EXPECT_DOUBLE_EQ(metric.median, 3.0);
+  EXPECT_DOUBLE_EQ(metric.p95, 4.8);
+}
+
+TEST(NewBenchReportTest, CarriesEnvironmentProvenance) {
+  const BenchReport report = NewBenchReport("serve");
+  EXPECT_EQ(report.bench, "serve");
+  EXPECT_FALSE(report.git.empty());
+  EXPECT_FALSE(report.build_type.empty());
+  EXPECT_FALSE(report.compiler.empty());
+}
+
+// --- JSON round-trip -------------------------------------------------------
+
+TEST(BenchReportJsonTest, RoundTripsThroughToJsonAndFromJson) {
+  const BenchReport report = MakeReport();
+  const Result<BenchReport> loaded =
+      BenchReportFromJson(BenchReportToJson(report));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_EQ(loaded->bench, report.bench);
+  EXPECT_EQ(loaded->git, report.git);
+  EXPECT_EQ(loaded->build_type, report.build_type);
+  EXPECT_EQ(loaded->compiler, report.compiler);
+  EXPECT_EQ(loaded->threads, report.threads);
+  EXPECT_EQ(loaded->repeats, report.repeats);
+  ASSERT_EQ(loaded->metrics.size(), 2u);
+  const BenchMetric& metric = loaded->metrics.at("select_ms");
+  EXPECT_EQ(metric.unit, "ms");
+  EXPECT_EQ(metric.better, "lower");
+  EXPECT_DOUBLE_EQ(metric.median, 1.25);
+  EXPECT_DOUBLE_EQ(metric.p95, 1.40);
+  ASSERT_EQ(loaded->notes.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded->notes.at("status.200"), 2000.0);
+}
+
+TEST(BenchReportJsonTest, SerializedDocumentDeclaresTheSchema) {
+  const json::Value root = BenchReportToJson(MakeReport());
+  ASSERT_TRUE(root.is_object());
+  const json::Value* schema = root.AsObject().Find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->AsObject().Find("name")->AsString(), "podium.bench");
+  EXPECT_EQ(schema->AsObject().Find("version")->AsNumber(),
+            kBenchReportSchemaVersion);
+}
+
+/// Serializes `report`, applies `mutate` to the root object, and returns
+/// the strict parse result.
+Result<BenchReport> ParseMutated(
+    const BenchReport& report,
+    const std::function<void(json::Object&)>& mutate) {
+  json::Value root = BenchReportToJson(report);
+  mutate(root.MutableObject());
+  return BenchReportFromJson(root);
+}
+
+TEST(BenchReportJsonTest, RejectsWrongSchemaNameOrVersion) {
+  const BenchReport report = MakeReport();
+
+  Result<BenchReport> wrong_name = ParseMutated(report, [](json::Object& o) {
+    json::Object schema;
+    schema.Set("name", json::Value("other.schema"));
+    schema.Set("version", json::Value(kBenchReportSchemaVersion));
+    o.Set("schema", json::Value(std::move(schema)));
+  });
+  ASSERT_FALSE(wrong_name.ok());
+  EXPECT_EQ(wrong_name.status().code(), StatusCode::kInvalidArgument);
+
+  Result<BenchReport> wrong_version =
+      ParseMutated(report, [](json::Object& o) {
+        json::Object schema;
+        schema.Set("name", json::Value("podium.bench"));
+        schema.Set("version", json::Value(kBenchReportSchemaVersion + 1));
+        o.Set("schema", json::Value(std::move(schema)));
+      });
+  ASSERT_FALSE(wrong_version.ok());
+  EXPECT_EQ(wrong_version.status().code(), StatusCode::kInvalidArgument);
+
+  Result<BenchReport> no_schema = ParseMutated(report, [](json::Object& o) {
+    o.Set("schema", json::Value());
+  });
+  ASSERT_FALSE(no_schema.ok());
+
+  const Result<BenchReport> not_object =
+      BenchReportFromJson(json::Value("just a string"));
+  ASSERT_FALSE(not_object.ok());
+  EXPECT_EQ(not_object.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BenchReportJsonTest, RejectsMalformedMetrics) {
+  const BenchReport report = MakeReport();
+
+  // Each mutation makes one metric entry invalid in a distinct way.
+  const std::vector<std::function<void(json::Object&)>> breakers = {
+      [](json::Object& entry) { entry.Set("unit", json::Value(3.0)); },
+      [](json::Object& entry) { entry.Set("better", json::Value("sideways")); },
+      [](json::Object& entry) { entry.Set("median", json::Value("fast")); },
+      [](json::Object& entry) { entry.Set("p95", json::Value()); },
+  };
+  for (std::size_t i = 0; i < breakers.size(); ++i) {
+    const Result<BenchReport> broken =
+        ParseMutated(report, [&](json::Object& o) {
+          json::Value* metrics = const_cast<json::Value*>(o.Find("metrics"));
+          ASSERT_NE(metrics, nullptr);
+          json::Value* entry = const_cast<json::Value*>(
+              metrics->MutableObject().Find("select_ms"));
+          ASSERT_NE(entry, nullptr);
+          breakers[i](entry->MutableObject());
+        });
+    ASSERT_FALSE(broken.ok()) << "breaker " << i;
+    EXPECT_EQ(broken.status().code(), StatusCode::kInvalidArgument)
+        << "breaker " << i;
+  }
+
+  const Result<BenchReport> no_metrics =
+      ParseMutated(report, [](json::Object& o) {
+        o.Set("metrics", json::Value(json::Array{}));
+      });
+  ASSERT_FALSE(no_metrics.ok());
+}
+
+// --- file round-trip -------------------------------------------------------
+
+TEST(BenchReportFileTest, WriteThenLoadRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/BENCH_roundtrip.json";
+  const BenchReport report = MakeReport();
+  const Status written = WriteBenchReport(report, path);
+  ASSERT_TRUE(written.ok()) << written;
+
+  const Result<BenchReport> loaded = LoadBenchReport(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->bench, "micro");
+  EXPECT_EQ(loaded->metrics.size(), 2u);
+}
+
+TEST(BenchReportFileTest, LoadReportsMissingFileAndBadSchemaWithPath) {
+  EXPECT_FALSE(LoadBenchReport("/nonexistent/BENCH_x.json").ok());
+
+  const std::string path = ::testing::TempDir() + "/BENCH_bad.json";
+  const Status written =
+      json::WriteFile(json::Value(json::Object{}), path, {});
+  ASSERT_TRUE(written.ok()) << written;
+  const Result<BenchReport> loaded = LoadBenchReport(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  // The path rides along so CI logs say which artifact was malformed.
+  EXPECT_NE(loaded.status().message().find("BENCH_bad.json"),
+            std::string::npos);
+}
+
+// --- CompareBenchReports ---------------------------------------------------
+
+TEST(CompareBenchReportsTest, FlagsDirectionAwareRegressions) {
+  const BenchReport old_report = MakeReport();
+  BenchReport new_report = MakeReport();
+  // 20% slower where lower is better, 20% less where higher is better:
+  // both regress at a 10% threshold.
+  new_report.metrics["select_ms"].median = 1.5;
+  new_report.metrics["throughput_rps"].median = 720.0;
+
+  const BenchDiff diff =
+      CompareBenchReports(old_report, new_report, /*threshold=*/0.10);
+  EXPECT_TRUE(diff.has_regression);
+  ASSERT_EQ(diff.deltas.size(), 2u);
+  for (const MetricDelta& delta : diff.deltas) {
+    EXPECT_TRUE(delta.regression) << delta.name;
+  }
+  EXPECT_TRUE(diff.warnings.empty());
+}
+
+TEST(CompareBenchReportsTest, ImprovementsAndSmallWobbleAreClean) {
+  const BenchReport old_report = MakeReport();
+  BenchReport new_report = MakeReport();
+  new_report.metrics["select_ms"].median = 1.30;        // +4%: within noise
+  new_report.metrics["throughput_rps"].median = 1200.0;  // improvement
+
+  const BenchDiff diff =
+      CompareBenchReports(old_report, new_report, /*threshold=*/0.10);
+  EXPECT_FALSE(diff.has_regression);
+  for (const MetricDelta& delta : diff.deltas) {
+    EXPECT_FALSE(delta.regression) << delta.name;
+  }
+}
+
+TEST(CompareBenchReportsTest, WarnsOnMissingNewAndUnitChangedMetrics) {
+  BenchReport old_report = MakeReport();
+  BenchReport new_report = MakeReport();
+  old_report.metrics["gone"] = BenchMetric{"ms", "lower", 1.0, 1.0};
+  new_report.metrics["fresh"] = BenchMetric{"ms", "lower", 1.0, 1.0};
+  new_report.metrics["select_ms"].unit = "us";
+
+  const BenchDiff diff =
+      CompareBenchReports(old_report, new_report, /*threshold=*/0.10);
+  // Unit changes are warnings, never silent regressions.
+  EXPECT_FALSE(diff.has_regression);
+  ASSERT_EQ(diff.warnings.size(), 3u);
+  EXPECT_NE(diff.warnings[0].find("'gone'"), std::string::npos);
+  EXPECT_NE(diff.warnings[1].find("unit changed"), std::string::npos);
+  EXPECT_NE(diff.warnings[2].find("'fresh'"), std::string::npos);
+  // Only the surviving comparable metric produced a delta.
+  ASSERT_EQ(diff.deltas.size(), 1u);
+  EXPECT_EQ(diff.deltas[0].name, "throughput_rps");
+}
+
+}  // namespace
+}  // namespace podium::bench

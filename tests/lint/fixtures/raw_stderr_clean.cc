@@ -1,0 +1,11 @@
+// Fixture: stdout, explicit file streams, comments and strings are all
+// fine — only a real fprintf(stderr, ...) call site should trip the rule.
+#include <cstdio>
+
+void Report(std::FILE* log_file) {
+  std::printf("ok\n");
+  std::fprintf(log_file, "ok\n");
+  // A comment mentioning fprintf(stderr, ...) is not a call.
+  const char* doc = "fprintf(stderr, ...) in a string is data";
+  (void)doc;
+}

@@ -1,0 +1,9 @@
+// Fixture: raw fprintf(stderr, ...) calls, same-line and wrapped.
+#include <cstdio>
+
+void Warn() { std::fprintf(stderr, "something broke\n"); }
+
+void WarnWrapped() {
+  std::fprintf(
+      stderr, "something else broke\n");
+}

@@ -1,0 +1,9 @@
+// Fixture: deliberate terminal output suppressed on the preceding line
+// and on the same line.
+#include <cstdio>
+
+void Usage() {
+  // podium-lint: allow(raw-stderr)
+  std::fprintf(stderr, "usage: tool [--flags]\n");
+  std::fprintf(stderr, "more\n");  // podium-lint: allow(raw-stderr)
+}

@@ -156,6 +156,40 @@ TEST(RawNewRule, ExemptsUtil) {
       LintFixtureAs("raw_new_hit.cc", "src/podium/util/fixture.cc").empty());
 }
 
+// --- raw-stderr ------------------------------------------------------------
+
+TEST(RawStderrRule, FlagsStderrWritesInServeAndTools) {
+  for (const std::string path :
+       {"src/podium/serve/fixture.cc", "tools/fixture.cc"}) {
+    const std::vector<Finding> findings =
+        LintFixtureAs("raw_stderr_hit.cc", path);
+    ASSERT_EQ(findings.size(), 2u) << path;
+    for (const Finding& finding : findings) {
+      EXPECT_EQ(finding.rule, "raw-stderr");
+      EXPECT_NE(finding.message.find("podium::obs::Log"), std::string::npos);
+    }
+  }
+}
+
+TEST(RawStderrRule, OnlyAppliesToServeAndTools) {
+  // The bench harness and core library keep their plain stderr writes.
+  EXPECT_TRUE(
+      LintFixtureAs("raw_stderr_hit.cc", "bench/fixture.cc").empty());
+  EXPECT_TRUE(
+      LintFixtureAs("raw_stderr_hit.cc", "src/podium/core/fixture.cc")
+          .empty());
+}
+
+TEST(RawStderrRule, HonorsSameLineAndPrecedingLineSuppressions) {
+  EXPECT_TRUE(
+      LintFixtureAs("raw_stderr_suppressed.cc", "tools/fixture.cc").empty());
+}
+
+TEST(RawStderrRule, IgnoresCommentsStringsAndOtherStreams) {
+  EXPECT_TRUE(
+      LintFixtureAs("raw_stderr_clean.cc", "tools/fixture.cc").empty());
+}
+
 // --- guarded-member --------------------------------------------------------
 
 TEST(GuardedMemberRule, FlagsUnannotatedNeighbours) {

@@ -3,6 +3,7 @@
 
 #include "podium/serve/http_server.h"
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <thread>
@@ -11,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "podium/json/parser.h"
+#include "podium/obs/trace.h"
 #include "podium/serve/handlers.h"
 #include "podium/serve/service.h"
 #include "podium/telemetry/export.h"
@@ -78,6 +80,11 @@ TEST_F(HttpServerTest, HealthzReportsSnapshot) {
   EXPECT_EQ(body->AsObject().Find("status")->AsString(), "ok");
   EXPECT_EQ(body->AsObject().Find("users")->AsNumber(), 5.0);
   EXPECT_EQ(body->AsObject().Find("snapshot_generation")->AsNumber(), 1.0);
+  // The snapshot was built moments ago; its age is tiny but non-negative.
+  const json::Value* age = body->AsObject().Find("snapshot_age_seconds");
+  ASSERT_NE(age, nullptr);
+  EXPECT_GE(age->AsNumber(), 0.0);
+  EXPECT_LT(age->AsNumber(), 300.0);
 }
 
 TEST_F(HttpServerTest, SelectMissThenByteIdenticalCachedHit) {
@@ -159,6 +166,138 @@ TEST_F(HttpServerTest, MetricsExposeServeCountersAndHistograms) {
       histograms->AsObject().Find("serve.latency_seconds");
   ASSERT_NE(latency, nullptr);
   EXPECT_EQ(latency->AsObject().Find("count")->AsNumber(), 2.0);
+}
+
+TEST_F(HttpServerTest, MintsAWellFormedTraceIdWhenNoneIsSupplied) {
+  HttpClient client;
+  const HttpResponse response = RoundTrip(client, "GET", "/healthz");
+  const std::string* trace_id = response.FindHeader("X-Podium-Trace-Id");
+  ASSERT_NE(trace_id, nullptr);
+  EXPECT_EQ(trace_id->size(), 32u);
+  EXPECT_TRUE(obs::TraceId::FromHex(*trace_id).has_value()) << *trace_id;
+
+  // A second request gets a different id.
+  const HttpResponse again = RoundTrip(client, "GET", "/healthz");
+  ASSERT_NE(again.FindHeader("X-Podium-Trace-Id"), nullptr);
+  EXPECT_NE(*again.FindHeader("X-Podium-Trace-Id"), *trace_id);
+}
+
+TEST_F(HttpServerTest, AdoptsAClientSuppliedTraceId) {
+  const std::string supplied = "4bf92f3577b34da6a3ce929d0e0e4736";
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/v1/select";
+  request.body = R"({"budget": 2})";
+  request.headers.emplace_back("X-Podium-Trace-Id", supplied);
+  Result<HttpResponse> response = client.RoundTrip(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_NE(response->FindHeader("X-Podium-Trace-Id"), nullptr);
+  EXPECT_EQ(*response->FindHeader("X-Podium-Trace-Id"), supplied);
+
+  // A malformed id is not adopted; the server mints a fresh one.
+  HttpRequest bad;
+  bad.method = "GET";
+  bad.target = "/healthz";
+  bad.headers.emplace_back("X-Podium-Trace-Id", "not-a-trace-id");
+  Result<HttpResponse> bad_response = client.RoundTrip(bad);
+  ASSERT_TRUE(bad_response.ok()) << bad_response.status();
+  const std::string* minted = bad_response->FindHeader("X-Podium-Trace-Id");
+  ASSERT_NE(minted, nullptr);
+  EXPECT_NE(*minted, "not-a-trace-id");
+  EXPECT_TRUE(obs::TraceId::FromHex(*minted).has_value()) << *minted;
+}
+
+TEST_F(HttpServerTest, TracesEndpointReturnsRecordedSpanTrees) {
+  obs::TraceRing::Global().Clear();
+  const std::string supplied = "0123456789abcdef0123456789abcdef";
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/v1/select";
+  request.body = R"({"budget": 2})";
+  request.headers.emplace_back("X-Podium-Trace-Id", supplied);
+  ASSERT_TRUE(client.RoundTrip(request).ok());
+
+  const HttpResponse response =
+      RoundTrip(client, "GET", "/v1/traces?limit=10");
+  ASSERT_EQ(response.status, 200) << response.body;
+  Result<json::Value> body = json::Parse(response.body);
+  ASSERT_TRUE(body.ok()) << body.status();
+  const json::Object& root = body->AsObject();
+  EXPECT_EQ(root.Find("capacity")->AsNumber(), 256.0);
+  const json::Value* traces = root.Find("traces");
+  ASSERT_NE(traces, nullptr);
+  ASSERT_TRUE(traces->is_array());
+  ASSERT_FALSE(traces->AsArray().empty());
+
+  // Most recent first: the select request is behind whatever the
+  // /v1/traces request itself recorded, so search by id.
+  const json::Object* select_trace = nullptr;
+  for (const json::Value& entry : traces->AsArray()) {
+    if (entry.AsObject().Find("trace_id")->AsString() == supplied) {
+      select_trace = &entry.AsObject();
+    }
+  }
+  ASSERT_NE(select_trace, nullptr);
+  EXPECT_EQ(select_trace->Find("method")->AsString(), "POST");
+  EXPECT_EQ(select_trace->Find("path")->AsString(), "/v1/select");
+  EXPECT_EQ(select_trace->Find("status")->AsNumber(), 200.0);
+  EXPECT_GE(select_trace->Find("duration_seconds")->AsNumber(), 0.0);
+
+  // The span tree nests select -> admission/run under the handler.
+  const json::Value* spans = select_trace->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  std::vector<std::string> names;
+  for (const json::Value& span : spans->AsArray()) {
+    names.push_back(span.AsObject().Find("name")->AsString());
+    EXPECT_GE(span.AsObject().Find("duration_seconds")->AsNumber(), 0.0);
+    EXPECT_NE(span.AsObject().Find("parent"), nullptr);
+  }
+  EXPECT_NE(std::find(names.begin(), names.end(), "select"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "run"), names.end());
+}
+
+TEST_F(HttpServerTest, TracesEndpointRejectsBadLimit) {
+  HttpClient client;
+  EXPECT_EQ(RoundTrip(client, "GET", "/v1/traces?limit=banana").status, 400);
+}
+
+TEST_F(HttpServerTest, PrometheusFormatRendersTextExposition) {
+  HttpClient client;
+  ASSERT_EQ(RoundTrip(client, "POST", "/v1/select", R"({"budget": 2})").status,
+            200);
+
+  const HttpResponse response =
+      RoundTrip(client, "GET", "/metrics?format=prometheus");
+  ASSERT_EQ(response.status, 200) << response.body;
+  ASSERT_NE(response.FindHeader("Content-Type"), nullptr);
+  EXPECT_EQ(*response.FindHeader("Content-Type"),
+            "text/plain; version=0.0.4");
+  EXPECT_NE(response.body.find("# TYPE serve_requests counter\n"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("serve_requests 1\n"), std::string::npos);
+  // Labeled per-endpoint series and cumulative histogram suffixes.
+  EXPECT_NE(response.body.find(
+                "serve_http_responses{code=\"200\"}"),
+            std::string::npos);
+  EXPECT_NE(response.body.find(
+                "serve_http_request_seconds_bucket{path=\"/v1/select\","
+                "le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("serve_latency_seconds_sum"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("serve_latency_seconds_count 1\n"),
+            std::string::npos);
+
+  // JSON stays the default; unknown formats are rejected.
+  const HttpResponse json_response =
+      RoundTrip(client, "GET", "/metrics?format=json");
+  EXPECT_EQ(json_response.status, 200);
+  EXPECT_TRUE(json::Parse(json_response.body).ok());
+  EXPECT_EQ(RoundTrip(client, "GET", "/metrics?format=xml").status, 400);
 }
 
 TEST_F(HttpServerTest, ConnectionCloseIsHonored) {

@@ -3,12 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "podium/core/greedy.h"
 #include "podium/core/instance.h"
 #include "podium/json/parser.h"
+#include "podium/json/writer.h"
 #include "podium/telemetry/export.h"
 #include "podium/telemetry/phase.h"
 #include "podium/telemetry/trace.h"
@@ -282,6 +284,32 @@ TEST_F(TelemetryTest, JsonExportMatchesDocumentedSchema) {
   }
   EXPECT_EQ(round0.Find("user")->AsNumber(),
             static_cast<double>(selection.users[0]));
+}
+
+TEST_F(TelemetryTest, JsonExportEscapesHostileMetricNames) {
+  // Metric names are data to the exporter: quotes, control characters and
+  // non-ASCII bytes must survive a serialize -> parse round-trip intact.
+  const std::string hostile = "test.\"quoted\"\nnew\tline caf\xC3\xA9 \x01";
+  auto& registry = MetricsRegistry::Global();
+  registry.counter(hostile).Add(7);
+  registry.gauge(hostile).Set(1.5);
+  registry.histogram(hostile, {1.0}).Observe(0.5);
+
+  const std::string text = json::Write(TelemetryToJson());
+  Result<json::Value> parsed = json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Object& object = parsed.value().AsObject();
+
+  const json::Value* counter = object.Find("counters")->AsObject().Find(hostile);
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->AsNumber(), 7.0);
+  const json::Value* gauge = object.Find("gauges")->AsObject().Find(hostile);
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_DOUBLE_EQ(gauge->AsNumber(), 1.5);
+  const json::Value* histogram =
+      object.Find("histograms")->AsObject().Find(hostile);
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->AsObject().Find("count")->AsNumber(), 1.0);
 }
 
 TEST_F(TelemetryTest, WriteTelemetryJsonRoundTrips) {

@@ -1,0 +1,172 @@
+// podium_benchdiff — compares two canonical BENCH_*.json artifacts (see
+// bench/common/bench_report.h) and fails on perf regressions, so every
+// PR's benchmark delta is machine-checked against the committed baseline.
+//
+//   podium_benchdiff OLD.json NEW.json [--threshold=0.10] [--warn-only]
+//   podium_benchdiff --self-test
+//
+// A metric regresses when its median moved against its "better" direction
+// by more than --threshold (fraction; default 0.10 = 10%).
+//
+// Exit codes:
+//   0  no regression (or --warn-only and only regressions were found)
+//   1  regression beyond the threshold
+//   2  usage error, unreadable input, or schema violation (NEVER downgraded
+//      by --warn-only: a malformed artifact must fail CI loudly)
+//
+// --self-test builds two in-memory reports with a synthetic 20%
+// regression and verifies the comparison flags it (and that a 5% wobble
+// passes), proving the gate can actually fail.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common/bench_report.h"
+#include "podium/obs/log.h"
+#include "podium/util/parse.h"
+
+namespace {
+
+using podium::bench::BenchDiff;
+using podium::bench::BenchMetric;
+using podium::bench::BenchReport;
+using podium::bench::CompareBenchReports;
+
+void PrintUsage() {
+  // Usage text is for humans on a terminal, not log pipelines.
+  // podium-lint: allow(raw-stderr)
+  std::fprintf(stderr,
+               "usage: podium_benchdiff OLD.json NEW.json "
+               "[--threshold=0.10] [--warn-only]\n"
+               "       podium_benchdiff --self-test\n");
+}
+
+int SelfTest() {
+  BenchReport baseline;
+  baseline.bench = "self-test";
+  baseline.metrics["select_ms"] = BenchMetric{"ms", "lower", 100.0, 110.0};
+  baseline.metrics["throughput_rps"] =
+      BenchMetric{"req/s", "higher", 5000.0, 5200.0};
+
+  // 20% slower and 20% less throughput: both must be flagged.
+  BenchReport regressed = baseline;
+  regressed.metrics["select_ms"].median = 120.0;
+  regressed.metrics["throughput_rps"].median = 4000.0;
+  const BenchDiff bad = CompareBenchReports(baseline, regressed, 0.10);
+  std::size_t flagged = 0;
+  for (const auto& delta : bad.deltas) flagged += delta.regression ? 1 : 0;
+  if (!bad.has_regression || flagged != 2) {
+    podium::obs::LogError("self-test failed: 20% regression not flagged")
+        .Num("flagged", static_cast<double>(flagged));
+    return 1;
+  }
+
+  // 5% wobble stays under a 10% threshold.
+  BenchReport wobble = baseline;
+  wobble.metrics["select_ms"].median = 105.0;
+  wobble.metrics["throughput_rps"].median = 4800.0;
+  if (CompareBenchReports(baseline, wobble, 0.10).has_regression) {
+    podium::obs::LogError("self-test failed: 5% wobble flagged at 10%");
+    return 1;
+  }
+
+  // Round-trip through the JSON schema must preserve the verdict.
+  const podium::Result<BenchReport> reparsed =
+      podium::bench::BenchReportFromJson(
+          podium::bench::BenchReportToJson(regressed));
+  if (!reparsed.ok() ||
+      !CompareBenchReports(baseline, reparsed.value(), 0.10).has_regression) {
+    podium::obs::LogError("self-test failed: JSON round-trip lost the "
+                          "regression");
+    return 1;
+  }
+  std::printf("podium_benchdiff self-test: ok\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  podium::obs::SetMinLogLevel(podium::obs::LogLevel::kInfo);
+  std::vector<std::string> paths;
+  double threshold = 0.10;
+  bool warn_only = false;
+  bool self_test = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--warn-only") {
+      warn_only = true;
+    } else if (arg.rfind("--threshold=", 0) == 0) {
+      const podium::Result<double> parsed =
+          podium::util::ParseDouble(arg.substr(12));
+      if (!parsed.ok() || parsed.value() < 0.0) {
+        podium::obs::LogError("bad --threshold").Str("value", arg.substr(12));
+        return 2;
+      }
+      threshold = parsed.value();
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 2;
+    } else if (!arg.empty() && arg.front() == '-') {
+      podium::obs::LogError("unknown option").Str("option", arg);
+      PrintUsage();
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (self_test) return SelfTest();
+  if (paths.size() != 2) {
+    PrintUsage();
+    return 2;
+  }
+
+  // Schema violations and unreadable files exit 2 regardless of
+  // --warn-only: CI treats them as hard failures.
+  const podium::Result<BenchReport> old_report =
+      podium::bench::LoadBenchReport(paths[0]);
+  if (!old_report.ok()) {
+    podium::obs::LogError("cannot load baseline report")
+        .Str("path", paths[0])
+        .Str("error", old_report.status().ToString());
+    return 2;
+  }
+  const podium::Result<BenchReport> new_report =
+      podium::bench::LoadBenchReport(paths[1]);
+  if (!new_report.ok()) {
+    podium::obs::LogError("cannot load new report")
+        .Str("path", paths[1])
+        .Str("error", new_report.status().ToString());
+    return 2;
+  }
+
+  const BenchDiff diff =
+      CompareBenchReports(old_report.value(), new_report.value(), threshold);
+  std::printf("benchdiff: %s (%s) vs %s (%s), threshold %.0f%%\n",
+              paths[0].c_str(), old_report->git.c_str(), paths[1].c_str(),
+              new_report->git.c_str(), threshold * 100.0);
+  for (const auto& delta : diff.deltas) {
+    std::printf("  %-44s %12.4g -> %12.4g %-6s %+7.1f%%%s\n",
+                delta.name.c_str(), delta.old_median, delta.new_median,
+                delta.unit.c_str(), delta.ratio * 100.0,
+                delta.regression ? "  REGRESSION" : "");
+  }
+  for (const std::string& warning : diff.warnings) {
+    std::printf("  note: %s\n", warning.c_str());
+  }
+  if (diff.has_regression) {
+    if (warn_only) {
+      podium::obs::LogWarn("perf regression beyond threshold (warn-only)")
+          .Num("threshold", threshold);
+      return 0;
+    }
+    podium::obs::LogError("perf regression beyond threshold")
+        .Num("threshold", threshold);
+    return 1;
+  }
+  std::printf("benchdiff: no regression beyond %.0f%%\n", threshold * 100.0);
+  return 0;
+}

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench/common/flags.h"
+#include "podium/obs/log.h"
 #include "podium/util/parse.h"
 #include "podium/check/differential.h"
 #include "podium/check/fuzz.h"
@@ -33,8 +34,8 @@ std::vector<std::size_t> ParseThreadList(const std::string& spec) {
     if (!token.empty()) {
       const podium::Result<std::size_t> count = podium::util::ParseSize(token);
       if (!count.ok() || count.value() == 0) {
-        std::fprintf(stderr, "--threads: bad thread count '%s'\n",
-                     token.c_str());
+        podium::obs::LogError("--threads: bad thread count")
+            .Str("value", token);
         std::exit(2);
       }
       counts.push_back(count.value());
@@ -47,7 +48,9 @@ std::vector<std::size_t> ParseThreadList(const std::string& spec) {
 void PrintFailures(const char* stage,
                    const std::vector<std::string>& failures) {
   for (const std::string& failure : failures) {
-    std::fprintf(stderr, "FAIL %s: %s\n", stage, failure.c_str());
+    podium::obs::LogError("differential check failed")
+        .Str("stage", stage)
+        .Str("detail", failure);
   }
 }
 

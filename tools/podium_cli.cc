@@ -45,6 +45,7 @@
 #include "bench/common/flags.h"
 #include "podium/core/podium.h"
 #include "podium/ingest/yelp.h"
+#include "podium/obs/log.h"
 #include "podium/json/writer.h"
 #include "podium/telemetry/export.h"
 #include "podium/telemetry/telemetry.h"
@@ -357,6 +358,8 @@ int RunConfigCommand(podium::bench::Flags& flags) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
+    // Usage text is for humans on a terminal, not log pipelines.
+    // podium-lint: allow(raw-stderr)
     std::fprintf(stderr,
                  "usage: podium <groups|select|suggest|run-config|ingest-yelp|convert> [--flags]\n"
                  "see the header of tools/podium_cli.cc for details\n");
@@ -368,7 +371,7 @@ int main(int argc, char** argv) {
   // hardware concurrency).
   const std::int64_t threads = flags.Int("threads", 0);
   if (threads < 0) {
-    std::fprintf(stderr, "podium: --threads must be >= 0\n");
+    podium::obs::LogError("--threads must be >= 0");
     return 2;
   }
   podium::util::ThreadPool::SetGlobalThreadCount(
@@ -379,6 +382,6 @@ int main(int argc, char** argv) {
   if (command == "run-config") return RunConfigCommand(flags);
   if (command == "ingest-yelp") return RunIngestYelp(flags);
   if (command == "convert") return RunConvert(flags);
-  std::fprintf(stderr, "podium: unknown command '%s'\n", command.c_str());
+  podium::obs::LogError("unknown command").Str("command", command);
   return 2;
 }

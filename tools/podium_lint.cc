@@ -14,7 +14,20 @@
 #include <vector>
 
 #include "podium/lint/lint.h"
+#include "podium/obs/log.h"
 #include "podium/util/string_util.h"
+
+namespace {
+
+void PrintUsage() {
+  // Usage text is for humans on a terminal, not log pipelines.
+  // podium-lint: allow(raw-stderr)
+  std::fprintf(stderr,
+               "usage: podium_lint <dir-or-file>... "
+               "[--exclude=<path-substring>]...\n");
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
@@ -24,38 +37,34 @@ int main(int argc, char** argv) {
     if (podium::util::StartsWith(arg, "--exclude=")) {
       options.exclude_substrings.push_back(arg.substr(10));
     } else if (arg == "--help" || arg == "-h") {
-      std::fprintf(stderr,
-                   "usage: podium_lint <dir-or-file>... "
-                   "[--exclude=<path-substring>]...\n");
+      PrintUsage();
       return 2;
     } else if (podium::util::StartsWith(arg, "-")) {
-      std::fprintf(stderr, "podium_lint: unknown option '%s'\n",
-                   arg.c_str());
+      podium::obs::LogError("unknown option").Str("option", arg);
+      PrintUsage();
       return 2;
     } else {
       roots.push_back(arg);
     }
   }
   if (roots.empty()) {
-    std::fprintf(stderr,
-                 "usage: podium_lint <dir-or-file>... "
-                 "[--exclude=<path-substring>]...\n");
+    PrintUsage();
     return 2;
   }
 
   const podium::Result<std::vector<podium::lint::Finding>> findings =
       podium::lint::LintTree(roots, options);
   if (!findings.ok()) {
-    std::fprintf(stderr, "podium_lint: %s\n",
-                 findings.status().ToString().c_str());
+    podium::obs::LogError("lint failed")
+        .Str("error", findings.status().ToString());
     return 2;
   }
   for (const podium::lint::Finding& finding : findings.value()) {
     std::printf("%s\n", podium::lint::FormatFinding(finding).c_str());
   }
   if (!findings.value().empty()) {
-    std::fprintf(stderr, "podium_lint: %zu finding(s)\n",
-                 findings.value().size());
+    podium::obs::LogError("lint findings")
+        .Num("count", static_cast<double>(findings.value().size()));
     return 1;
   }
   return 0;

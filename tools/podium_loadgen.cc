@@ -5,7 +5,7 @@
 //
 //   podium_loadgen --port=8080 [--host=127.0.0.1] [--connections=8]
 //                  [--requests=1000] [--body-file=FILE] [--distinct=1]
-//                  [--explain=false]
+//                  [--explain=false] [--bench-out=BENCH_serve.json]
 //
 // --distinct=K rotates K distinct request bodies (budgets 2..K+1) across
 // requests so cache behavior can be exercised from both sides; the
@@ -13,43 +13,47 @@
 // overrides the body entirely. Exits non-zero when any request fails
 // (transport error or non-2xx), so smoke scripts can assert "zero
 // errors".
+//
+// The summary reports throughput, latency percentiles and a per-HTTP-
+// status-code breakdown. --bench-out=PATH additionally writes the run as
+// a canonical BENCH_*.json perf artifact (bench/common/bench_report.h)
+// for tools/podium_benchdiff.
 
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench/common/bench_report.h"
 #include "bench/common/flags.h"
+#include "podium/obs/log.h"
 #include "podium/serve/http.h"
 #include "podium/util/stopwatch.h"
 #include "podium/util/string_util.h"
 
 namespace {
 
+using podium::bench::Percentile;
+
 struct WorkerResult {
   std::vector<double> latencies_ms;
   std::size_t errors = 0;
   std::size_t cache_hits = 0;
+  /// Response count per HTTP status code (0 = transport failure).
+  std::map<int, std::size_t> status_counts;
   std::string first_error;
 };
-
-double Percentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const double rank = p * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
-}
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  podium::obs::SetMinLogLevel(podium::obs::LogLevel::kInfo);
   podium::bench::Flags flags(argc, argv);
   const std::string host = flags.String("host", "127.0.0.1");
   const int port = static_cast<int>(flags.Int("port", 8080));
@@ -60,11 +64,11 @@ int main(int argc, char** argv) {
   const std::string body_file = flags.String("body-file", "");
   const auto distinct = static_cast<std::size_t>(flags.Int("distinct", 1));
   const bool explain = flags.Bool("explain", false);
+  const std::string bench_out = flags.String("bench-out", "");
   flags.CheckConsumed();
   if (connections == 0 || total_requests == 0 || distinct == 0) {
-    std::fprintf(stderr,
-                 "podium_loadgen: --connections, --requests and --distinct "
-                 "must be >= 1\n");
+    podium::obs::LogError(
+        "--connections, --requests and --distinct must be >= 1");
     return 2;
   }
 
@@ -73,8 +77,8 @@ int main(int argc, char** argv) {
   if (!body_file.empty()) {
     std::ifstream in(body_file, std::ios::binary);
     if (!in) {
-      std::fprintf(stderr, "podium_loadgen: cannot open %s\n",
-                   body_file.c_str());
+      podium::obs::LogError("cannot open body file")
+          .Str("path", body_file);
       return 2;
     }
     std::ostringstream buffer;
@@ -120,6 +124,7 @@ int main(int argc, char** argv) {
         const double latency_ms = clock.ElapsedMillis();
         if (!response.ok()) {
           ++result.errors;
+          ++result.status_counts[0];
           if (result.first_error.empty()) {
             result.first_error = response.status().ToString();
           }
@@ -127,6 +132,7 @@ int main(int argc, char** argv) {
           if (!client.Connect(host, port).ok()) break;
           continue;
         }
+        ++result.status_counts[response->status];
         if (response->status < 200 || response->status >= 300) {
           ++result.errors;
           if (result.first_error.empty()) {
@@ -148,12 +154,16 @@ int main(int argc, char** argv) {
   std::vector<double> latencies;
   std::size_t errors = 0;
   std::size_t cache_hits = 0;
+  std::map<int, std::size_t> status_counts;
   std::string first_error;
   for (WorkerResult& result : results) {
     latencies.insert(latencies.end(), result.latencies_ms.begin(),
                      result.latencies_ms.end());
     errors += result.errors;
     cache_hits += result.cache_hits;
+    for (const auto& [status, count] : result.status_counts) {
+      status_counts[status] += count;
+    }
     if (first_error.empty()) first_error = result.first_error;
   }
   std::sort(latencies.begin(), latencies.end());
@@ -162,17 +172,63 @@ int main(int argc, char** argv) {
               "%zu cache hits over %zu connections in %.2fs\n",
               total_requests, latencies.size(), errors, cache_hits,
               connections, elapsed);
+  for (const auto& [status, count] : status_counts) {
+    if (status == 0) {
+      std::printf("  transport errors: %zu\n", count);
+    } else {
+      std::printf("  HTTP %d: %zu\n", status, count);
+    }
+  }
+  const double throughput =
+      elapsed > 0.0 ? static_cast<double>(latencies.size()) / elapsed : 0.0;
   if (!latencies.empty()) {
     std::printf(
         "  throughput %.1f req/s | latency ms p50 %.3f p95 %.3f p99 %.3f "
         "max %.3f\n",
-        static_cast<double>(latencies.size()) / elapsed,
-        Percentile(latencies, 0.50), Percentile(latencies, 0.95),
+        throughput, Percentile(latencies, 0.50), Percentile(latencies, 0.95),
         Percentile(latencies, 0.99), latencies.back());
   }
+
+  if (!bench_out.empty()) {
+    podium::bench::BenchReport report =
+        podium::bench::NewBenchReport("serve");
+    report.threads = connections;
+    report.repeats = latencies.size();
+    report.metrics["throughput_rps"] =
+        podium::bench::BenchMetric{"req/s", "higher", throughput, throughput};
+    if (!latencies.empty()) {
+      // latency_ms carries the distribution directly: median = p50 (the
+      // diffed value), p95 = p95. p99 rides as its own metric.
+      report.metrics["latency_ms"] = podium::bench::BenchMetric{
+          "ms", "lower", Percentile(latencies, 0.50),
+          Percentile(latencies, 0.95)};
+      const double p99 = Percentile(latencies, 0.99);
+      report.metrics["latency_p99_ms"] =
+          podium::bench::BenchMetric{"ms", "lower", p99, p99};
+    }
+    report.notes["connections"] = static_cast<double>(connections);
+    report.notes["requests"] = static_cast<double>(total_requests);
+    report.notes["errors"] = static_cast<double>(errors);
+    report.notes["cache_hits"] = static_cast<double>(cache_hits);
+    for (const auto& [status, count] : status_counts) {
+      report.notes[podium::util::StringPrintf("status.%d", status)] =
+          static_cast<double>(count);
+    }
+    const podium::Status written =
+        podium::bench::WriteBenchReport(report, bench_out);
+    if (!written.ok()) {
+      podium::obs::LogError("cannot write bench report")
+          .Str("path", bench_out)
+          .Str("error", written.ToString());
+      return 2;
+    }
+    std::printf("podium_loadgen: wrote %s\n", bench_out.c_str());
+  }
+
   if (errors > 0) {
-    std::fprintf(stderr, "podium_loadgen: first error: %s\n",
-                 first_error.c_str());
+    podium::obs::LogError("load run saw errors")
+        .Num("errors", static_cast<double>(errors))
+        .Str("first_error", first_error);
     return 1;
   }
   return 0;

@@ -16,13 +16,19 @@
 //                     "must_have": [...], "must_not": [...],
 //                     "priority": [...], "explain": true,
 //                     "deadline_ms": 2000}
-//   GET  /healthz    liveness + snapshot generation and size
-//   GET  /metrics    telemetry JSON (counters, latency histograms, phases)
+//   GET  /healthz    liveness + snapshot generation/size/age
+//   GET  /metrics    telemetry JSON (counters, latency histograms, phases);
+//                    ?format=prometheus for Prometheus text exposition
+//   GET  /v1/traces  recent request traces (span trees) from the in-memory
+//                    trace ring; ?limit=N caps the count
 //   POST /v1/reload  rebuild the snapshot from --profiles and swap it in
 //                    atomically (in-flight requests finish on the old one)
 //
 // Timings and cache status are reported in X-Podium-* response headers so
-// cached bodies stay byte-identical to uncached ones.
+// cached bodies stay byte-identical to uncached ones. Every response
+// carries X-Podium-Trace-Id (client-supplied 32-hex ids are adopted), and
+// each request emits a JSON access-log line on stderr; every
+// --trace-log-every'th line also carries the request's span tree.
 
 #include <csignal>
 #include <cstdio>
@@ -32,6 +38,7 @@
 
 #include "bench/common/flags.h"
 #include "podium/datagen/generator.h"
+#include "podium/obs/log.h"
 #include "podium/profile/repository_io.h"
 #include "podium/serve/handlers.h"
 #include "podium/serve/http_server.h"
@@ -47,8 +54,8 @@ using podium::util::EndsWith;
 template <typename T>
 T Unwrap(podium::Result<T> result) {
   if (!result.ok()) {
-    std::fprintf(stderr, "podium_serve: %s\n",
-                 result.status().ToString().c_str());
+    podium::obs::LogError("podium_serve startup failed")
+        .Str("error", result.status().ToString());
     std::exit(1);
   }
   return std::move(result).value();
@@ -70,8 +77,8 @@ podium::ProfileRepository GenerateProfiles(const std::string& preset,
   } else if (preset == "yelp") {
     config = podium::datagen::DatasetConfig::YelpLike();
   } else {
-    std::fprintf(stderr,
-                 "podium_serve: --generate must be tripadvisor or yelp\n");
+    podium::obs::LogError("--generate must be tripadvisor or yelp")
+        .Str("value", preset);
     std::exit(2);
   }
   if (users > 0) config.num_users = users;
@@ -90,6 +97,8 @@ void HandleSignal(int /*signum*/) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Serving binaries log requests; libraries default to warnings only.
+  podium::obs::SetMinLogLevel(podium::obs::LogLevel::kInfo);
   podium::bench::Flags flags(argc, argv);
   const std::string profiles = flags.String("profiles", "");
   const std::string generate = flags.String("generate", "");
@@ -125,16 +134,18 @@ int main(int argc, char** argv) {
   http_options.port = port;
   http_options.worker_threads =
       static_cast<std::size_t>(flags.Int("http-threads", 8));
+  http_options.trace_log_every =
+      static_cast<std::size_t>(flags.Int("trace-log-every", 100));
   flags.CheckConsumed();
 
   if (profiles.empty() == generate.empty()) {
-    std::fprintf(stderr,
-                 "podium_serve: exactly one of --profiles=FILE or "
-                 "--generate=tripadvisor|yelp is required\n");
+    podium::obs::LogError(
+        "exactly one of --profiles=FILE or --generate=tripadvisor|yelp "
+        "is required");
     return 2;
   }
   if (threads < 0) {
-    std::fprintf(stderr, "podium_serve: --threads must be >= 0\n");
+    podium::obs::LogError("--threads must be >= 0");
     return 2;
   }
   podium::util::ThreadPool::SetGlobalThreadCount(
@@ -181,7 +192,8 @@ int main(int argc, char** argv) {
                                                       std::move(reload)));
   const podium::Status started = server.Start();
   if (!started.ok()) {
-    std::fprintf(stderr, "podium_serve: %s\n", started.ToString().c_str());
+    podium::obs::LogError("cannot start server")
+        .Str("error", started.ToString());
     return 1;
   }
   g_server = &server;

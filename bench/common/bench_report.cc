@@ -225,6 +225,12 @@ Result<BenchReport> LoadBenchReport(const std::string& path) {
 BenchDiff CompareBenchReports(const BenchReport& old_report,
                               const BenchReport& new_report,
                               double threshold) {
+  return CompareBenchReports(old_report, new_report, threshold, {});
+}
+
+BenchDiff CompareBenchReports(
+    const BenchReport& old_report, const BenchReport& new_report,
+    double threshold, const std::map<std::string, double>& metric_thresholds) {
   BenchDiff diff;
   for (const auto& [name, old_metric] : old_report.metrics) {
     const auto it = new_report.metrics.find(name);
@@ -253,9 +259,12 @@ BenchDiff CompareBenchReports(const BenchReport& old_report,
                       ? (new_metric.median - old_metric.median) /
                             std::abs(old_metric.median)
                       : (new_metric.median != 0.0 ? 1.0 : 0.0);
+    const auto override_it = metric_thresholds.find(name);
+    delta.threshold =
+        override_it != metric_thresholds.end() ? override_it->second : threshold;
     delta.regression = old_metric.better == "lower"
-                           ? delta.ratio > threshold
-                           : delta.ratio < -threshold;
+                           ? delta.ratio > delta.threshold
+                           : delta.ratio < -delta.threshold;
     diff.has_regression = diff.has_regression || delta.regression;
     diff.deltas.push_back(std::move(delta));
   }
@@ -266,7 +275,37 @@ BenchDiff CompareBenchReports(const BenchReport& old_report,
                               "' is new (no baseline to compare)");
     }
   }
+  // A per-metric override that matches nothing on either side is a stale
+  // gate (the benchmark was renamed or removed) — surface it.
+  for (const auto& [name, value] : metric_thresholds) {
+    (void)value;
+    if (old_report.metrics.find(name) == old_report.metrics.end() &&
+        new_report.metrics.find(name) == new_report.metrics.end()) {
+      diff.warnings.push_back("threshold override for unknown metric '" +
+                              name + "'");
+    }
+  }
   return diff;
+}
+
+std::vector<std::string> ProvenanceWarnings(const BenchReport& old_report,
+                                            const BenchReport& new_report) {
+  std::vector<std::string> warnings;
+  const auto check = [&warnings](const char* side, const BenchReport& report) {
+    if (report.git.empty()) {
+      warnings.push_back(std::string(side) + " report has no git provenance");
+      return;
+    }
+    if (report.git.size() >= 6 &&
+        report.git.compare(report.git.size() - 6, 6, "-dirty") == 0) {
+      warnings.push_back(std::string(side) + " report was built from a dirty "
+                         "tree (git " + report.git +
+                         "); regenerate it from a clean checkout");
+    }
+  };
+  check("baseline", old_report);
+  check("new", new_report);
+  return warnings;
 }
 
 }  // namespace podium::bench

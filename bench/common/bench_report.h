@@ -83,13 +83,16 @@ json::Value BenchReportToJson(const BenchReport& report);
 [[nodiscard]] Result<BenchReport> LoadBenchReport(const std::string& path);
 
 /// One compared metric. `ratio` is (new - old) / old of the medians;
-/// `regression` applies the metric's `better` direction to it.
+/// `regression` applies the metric's `better` direction to it, against
+/// `threshold` (the per-metric override when one matched, else the
+/// default).
 struct MetricDelta {
   std::string name;
   std::string unit;
   double old_median = 0.0;
   double new_median = 0.0;
   double ratio = 0.0;
+  double threshold = 0.0;
   bool regression = false;
 };
 
@@ -107,6 +110,22 @@ struct BenchDiff {
 BenchDiff CompareBenchReports(const BenchReport& old_report,
                               const BenchReport& new_report,
                               double threshold);
+
+/// As above, with per-metric threshold overrides: a metric named in
+/// `metric_thresholds` is judged against its own threshold instead of the
+/// default. Overrides naming metrics absent from both reports are
+/// reported as warnings (a renamed benchmark must not silently loosen the
+/// gate).
+BenchDiff CompareBenchReports(
+    const BenchReport& old_report, const BenchReport& new_report,
+    double threshold, const std::map<std::string, double>& metric_thresholds);
+
+/// Provenance hygiene for a comparison: a warning per side whose `git`
+/// field carries a "-dirty" suffix (the artifact was produced from an
+/// uncommitted tree) or is empty. Baselines must come from clean
+/// checkouts or the trajectory is untraceable.
+std::vector<std::string> ProvenanceWarnings(const BenchReport& old_report,
+                                            const BenchReport& new_report);
 
 }  // namespace podium::bench
 

@@ -11,8 +11,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -26,6 +29,7 @@
 #include "podium/bucketing/bucketizer.h"
 #include "podium/core/greedy.h"
 #include "podium/core/instance.h"
+#include "podium/core/kernels.h"
 #include "podium/datagen/generator.h"
 #include "podium/json/parser.h"
 #include "podium/json/writer.h"
@@ -119,9 +123,12 @@ BENCHMARK(BM_GreedyInitThreads)
     ->Unit(benchmark::kMillisecond);
 
 // The retirement inner loop's memory layout: walk every group's member
-// list and test a per-user byte, via nested per-group vectors (arg 0, the
-// pre-CSR layout) vs the CSR spans (arg 1). CSR reads one contiguous
-// values array instead of chasing per-group vector headers.
+// list and count alive members, via nested per-group vectors with a
+// per-user byte test (arg 0, the pre-CSR layout) vs the CSR spans fed to
+// the dispatched counting kernel (arg 1, the layout + kernel the greedy
+// actually runs). CSR reads one contiguous values array instead of
+// chasing per-group vector headers; the kernel gathers 8 flags per step
+// on AVX2 hardware.
 void BM_CsrVsNestedRetirement(benchmark::State& state) {
   const GroupIndex& index = SharedInstance().groups();
   std::vector<std::vector<UserId>> nested(index.group_count());
@@ -129,14 +136,16 @@ void BM_CsrVsNestedRetirement(benchmark::State& state) {
     const auto members = index.members(g);
     nested[g].assign(members.begin(), members.end());
   }
-  std::vector<std::uint8_t> in_pool(SharedDataset().repository.user_count(),
-                                    1);
+  // The kernel's gather overreads up to kFlagPadding bytes past the
+  // largest id (vectors are not arena-backed).
+  std::vector<std::uint8_t> in_pool(
+      SharedDataset().repository.user_count() + kernels::kFlagPadding, 1);
   const bool use_csr = state.range(0) == 1;
   for (auto _ : state) {
     std::size_t alive = 0;
     if (use_csr) {
       for (GroupId g = 0; g < index.group_count(); ++g) {
-        for (UserId u : index.members(g)) alive += in_pool[u];
+        alive += kernels::CountAlive(index.members(g), in_pool.data());
       }
     } else {
       for (GroupId g = 0; g < index.group_count(); ++g) {
@@ -148,6 +157,81 @@ void BM_CsrVsNestedRetirement(benchmark::State& state) {
   state.SetLabel(use_csr ? "csr" : "nested");
 }
 BENCHMARK(BM_CsrVsNestedRetirement)->Arg(0)->Arg(1);
+
+// Synthetic span for the kernel benchmarks: `length` ids ascending over a
+// universe ~8x the span (the density of a mid-size group's member list),
+// flags half-retired in a fixed pattern.
+struct KernelFixture {
+  std::vector<std::uint32_t> ids;
+  std::vector<std::uint8_t> flags;
+  std::vector<double> gains;
+  std::vector<double> w0;
+  std::vector<double> w1;
+
+  explicit KernelFixture(std::size_t length) {
+    const std::size_t universe = length * 8 + 16;
+    util::Rng rng(17);
+    ids.resize(length);
+    for (std::uint32_t& id : ids) {
+      id = static_cast<std::uint32_t>(rng.NextBounded(universe));
+    }
+    std::sort(ids.begin(), ids.end());
+    flags.assign(universe + kernels::kFlagPadding, 0);
+    for (std::size_t u = 0; u < universe; ++u) flags[u] = (u % 2 == 0) ? 1 : 0;
+    gains.assign(universe, 100.0);
+    w0.assign(universe, 2.0);
+    w1.assign(universe, 3.0);
+  }
+};
+
+// Retirement counting over a member span in isolation (the alive tally
+// RetireSpan fuses into its update, and the CSR row of
+// BM_CsrVsNestedRetirement). Arg 0 is the span length, arg 1 pins the
+// kernel variant (0 scalar, 1 AVX2 — demoted to scalar when the CPU
+// lacks it, so the rows just coincide there).
+void BM_RetireKernel(benchmark::State& state) {
+  const KernelFixture fixture(static_cast<std::size_t>(state.range(0)));
+  const kernels::Variant variant = state.range(1) == 0
+                                       ? kernels::Variant::kScalar
+                                       : kernels::Variant::kAvx2;
+  kernels::ForceVariant(variant);
+  const kernels::Variant ran = kernels::ActiveVariant();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernels::CountAlive(fixture.ids, fixture.flags.data()));
+  }
+  kernels::ForceVariant(std::nullopt);
+  state.SetLabel(std::string(kernels::VariantName(ran)));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_RetireKernel)->ArgsProduct({{64, 512, 4096}, {0, 1}});
+
+// The marginal-gain accumulation in isolation: fold two tier-split weight
+// arrays over a user's group span. Same args as BM_RetireKernel.
+void BM_MarginalGainKernel(benchmark::State& state) {
+  const KernelFixture fixture(static_cast<std::size_t>(state.range(0)));
+  const kernels::Variant variant = state.range(1) == 0
+                                       ? kernels::Variant::kScalar
+                                       : kernels::Variant::kAvx2;
+  kernels::ForceVariant(variant);
+  const kernels::Variant ran = kernels::ActiveVariant();
+  for (auto _ : state) {
+    double gain0 = 0.0;
+    double gain1 = 0.0;
+    kernels::AccumulateTieredGains(fixture.ids, fixture.w0.data(),
+                                   fixture.w1.data(),
+                                   /*allow_reassociation=*/true, &gain0,
+                                   &gain1);
+    benchmark::DoNotOptimize(gain0);
+    benchmark::DoNotOptimize(gain1);
+  }
+  kernels::ForceVariant(std::nullopt);
+  state.SetLabel(std::string(kernels::VariantName(ran)));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MarginalGainKernel)->ArgsProduct({{64, 512, 4096}, {0, 1}});
 
 void BM_GreedySelect(benchmark::State& state) {
   const DiversificationInstance& instance = SharedInstance();

@@ -8,6 +8,7 @@
 #include "podium/check/oracle.h"
 #include "podium/core/customization.h"
 #include "podium/core/greedy.h"
+#include "podium/core/kernels.h"
 #include "podium/datagen/generator.h"
 #include "podium/json/parser.h"
 #include "podium/serve/request.h"
@@ -321,42 +322,58 @@ void RunRound(RoundLog& log, const DiffOptions& options, int round) {
     }
   }
 
-  // Thread sweep: rebuild the index and rerun every selector at each pool
-  // size; the determinism contract (DESIGN.md §7) promises byte-identical
-  // output at any thread count.
-  for (const std::size_t threads : options.thread_counts) {
-    util::ThreadPool::SetGlobalThreadCount(threads);
-    Result<DiversificationInstance> rebuilt =
-        DiversificationInstance::Build(dataset->repository, plan.instance);
-    if (!rebuilt.ok()) {
-      log.Diverge(util::StringPrintf("instance rebuild failed at %zu threads",
-                                     threads));
-      continue;
-    }
-    if (Status adjacency = CheckAdjacency(rebuilt.value()); !adjacency.ok()) {
-      log.Diverge(util::StringPrintf("at %zu threads: ", threads) +
-                  adjacency.message());
-    }
-    Result<Selection> plain_t =
-        RunGreedy(rebuilt.value(), plan.budget, GreedyMode::kPlainScan);
-    Result<Selection> heap_t =
-        RunGreedy(rebuilt.value(), plan.budget, GreedyMode::kLazyHeap);
-    if (!plain_t.ok() || !heap_t.ok()) {
-      log.Diverge(util::StringPrintf("selector failed at %zu threads",
-                                     threads));
-      continue;
-    }
-    if (!SameSelection(plain_t.value(), oracle.value())) {
-      log.Diverge(util::StringPrintf("plain-scan at %zu threads selected %s",
-                                     threads,
-                                     UsersToString(plain_t->users).c_str()));
-    }
-    if (!SameSelection(heap_t.value(), oracle.value())) {
-      log.Diverge(util::StringPrintf("lazy heap at %zu threads selected %s",
-                                     threads,
-                                     UsersToString(heap_t->users).c_str()));
+  // Thread × kernel-variant sweep: rebuild the index and rerun every
+  // selector at each pool size, under forced-scalar and native kernel
+  // dispatch; the determinism contract (DESIGN.md §7, §12) promises
+  // byte-identical output at any thread count under either variant.
+  const std::vector<kernels::Variant> variants =
+      options.sweep_kernel_variants
+          ? std::vector<kernels::Variant>{kernels::Variant::kScalar,
+                                          kernels::Variant::kAvx2}
+          : std::vector<kernels::Variant>{kernels::ActiveVariant()};
+  for (const kernels::Variant requested : variants) {
+    if (options.sweep_kernel_variants) kernels::ForceVariant(requested);
+    // Forcing kAvx2 on a CPU without it demotes to scalar; report what ran.
+    const std::string vname(kernels::VariantName(kernels::ActiveVariant()));
+    for (const std::size_t threads : options.thread_counts) {
+      util::ThreadPool::SetGlobalThreadCount(threads);
+      Result<DiversificationInstance> rebuilt =
+          DiversificationInstance::Build(dataset->repository, plan.instance);
+      if (!rebuilt.ok()) {
+        log.Diverge(util::StringPrintf(
+            "instance rebuild failed at %zu threads (%s kernels)", threads,
+            vname.c_str()));
+        continue;
+      }
+      if (Status adjacency = CheckAdjacency(rebuilt.value());
+          !adjacency.ok()) {
+        log.Diverge(util::StringPrintf("at %zu threads (%s kernels): ",
+                                       threads, vname.c_str()) +
+                    adjacency.message());
+      }
+      Result<Selection> plain_t =
+          RunGreedy(rebuilt.value(), plan.budget, GreedyMode::kPlainScan);
+      Result<Selection> heap_t =
+          RunGreedy(rebuilt.value(), plan.budget, GreedyMode::kLazyHeap);
+      if (!plain_t.ok() || !heap_t.ok()) {
+        log.Diverge(util::StringPrintf(
+            "selector failed at %zu threads (%s kernels)", threads,
+            vname.c_str()));
+        continue;
+      }
+      if (!SameSelection(plain_t.value(), oracle.value())) {
+        log.Diverge(util::StringPrintf(
+            "plain-scan at %zu threads (%s kernels) selected %s", threads,
+            vname.c_str(), UsersToString(plain_t->users).c_str()));
+      }
+      if (!SameSelection(heap_t.value(), oracle.value())) {
+        log.Diverge(util::StringPrintf(
+            "lazy heap at %zu threads (%s kernels) selected %s", threads,
+            vname.c_str(), UsersToString(heap_t->users).c_str()));
+      }
     }
   }
+  kernels::ForceVariant(std::nullopt);
 
   if (options.with_serve) {
     CheckServePath(log, dataset.value(), plan, oracle.value(),

@@ -19,6 +19,12 @@ struct DiffOptions {
   /// output; empty disables the sweep.
   std::vector<std::size_t> thread_counts = {1, 2, 8};
 
+  /// Run the thread sweep once per kernel variant (forced scalar and the
+  /// CPU's native dispatch — see core/kernels.h), asserting the SIMD and
+  /// scalar inner loops select byte-identically. On hardware without
+  /// AVX2 the two passes coincide. False pins the ambient variant.
+  bool sweep_kernel_variants = true;
+
   /// Drive the serve-layer SelectionService (with and without the result
   /// cache) and compare its responses against the oracle selection.
   bool with_serve = true;

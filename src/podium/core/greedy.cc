@@ -1,15 +1,18 @@
 #include "podium/core/greedy.h"
 
 #include <algorithm>
-#include <array>
+#include <cmath>
 #include <cstdint>
 #include <queue>
 #include <utility>
 
+#include "podium/core/kernels.h"
 #include "podium/core/score.h"
 #include "podium/telemetry/phase.h"
 #include "podium/telemetry/telemetry.h"
 #include "podium/telemetry/trace.h"
+#include "podium/util/arena.h"
+#include "podium/util/bitset.h"
 #include "podium/util/rng.h"
 #include "podium/util/thread_pool.h"
 
@@ -51,29 +54,64 @@ struct GreedyRunStats {
 
 /// Tier count used by the scalar path: tier 0 ("priority coverage") and
 /// tier 1 ("standard coverage"). Base instances use tier 0 only.
-constexpr int kTiers = 2;
 constexpr std::uint8_t kIgnoredTier = 2;
-
-using GainPair = std::array<double, kTiers>;
-
-bool GainLess(const GainPair& a, const GainPair& b) {
-  if (a[0] != b[0]) return a[0] < b[0];
-  return a[1] < b[1];
-}
 
 /// Grain for loops chunked over the candidate pool during initialization.
 constexpr std::size_t kPoolGrain = 512;
 
-// group_dead / in_pool are byte vectors, not vector<bool>: the retirement
-// inner loop tests in_pool[member] once per link, and the bit-packed
-// specialization's mask-and-shift reads cost more than the byte load
-// (and cannot be written from concurrent chunks without racing on the
-// shared byte).
-struct ScalarState {
-  std::vector<GainPair> marginal;          // per user
-  std::vector<std::uint32_t> remaining;    // per group: cov(G) minus selected
-  std::vector<std::uint8_t> group_dead;    // remaining hit zero
-  std::vector<std::uint8_t> in_pool;       // per user
+/// True when every weight is a non-negative integral double and the grand
+/// total stays below 2^52: integer-valued double sums under 2^53 are exact
+/// in every association order, so the SIMD accumulator's reassociated sum
+/// is bit-identical to the scalar left fold. Iden (all 1.0) and LBS
+/// (group sizes) always qualify; weight-noise runs never do.
+bool ExactUnderReassociation(const std::vector<double>& weights) {
+  constexpr double kLimit = 4503599627370496.0;  // 2^52
+  double total = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0) || w != std::floor(w)) return false;
+    total += w;
+  }
+  return total < kLimit;
+}
+
+// Per-run greedy state as structure-of-arrays in one 64-byte-aligned
+// arena block: parallel gain arrays per tier (gain0/gain1 instead of a
+// vector of per-user pairs), per-group remaining counts and dead flags,
+// byte in-pool flags for the gather kernels, a word-walkable alive bitset
+// for the argmax scan, and the weights pre-split by tier (w0/w1 carry
+// 0.0 for groups of any other tier, which accumulates as an exact no-op).
+// The arena's guard bytes license the AVX2 flag gathers past the last
+// user id.
+struct SoaState {
+  util::Arena arena;
+  std::span<double> gain0;                // per user, tier-0 marginal gain
+  std::span<double> gain1;                // per user, tier-1 marginal gain
+  std::span<std::uint32_t> remaining;     // per group: cov(G) minus selected
+  std::span<std::uint8_t> group_dead;     // remaining hit zero
+  std::span<std::uint8_t> in_pool;        // per user, byte flag for kernels
+  util::FixedBitset alive;                // same set, word-walkable
+  std::span<double> w0;                   // per group: weight if tier 0
+  std::span<double> w1;                   // per group: weight if tier 1
+
+  SoaState(std::size_t num_users, std::size_t num_groups)
+      : arena(util::Arena::BytesFor<double>(num_users) * 2 +
+              util::Arena::BytesFor<std::uint32_t>(num_groups) +
+              util::Arena::BytesFor<std::uint8_t>(num_groups) +
+              util::Arena::BytesFor<std::uint8_t>(num_users) +
+              util::Arena::BytesFor<std::uint64_t>(
+                  util::FixedBitset::WordsFor(num_users)) +
+              util::Arena::BytesFor<double>(num_groups) * 2) {
+    gain0 = arena.AllocateSpan<double>(num_users);
+    gain1 = arena.AllocateSpan<double>(num_users);
+    remaining = arena.AllocateSpan<std::uint32_t>(num_groups);
+    group_dead = arena.AllocateSpan<std::uint8_t>(num_groups);
+    in_pool = arena.AllocateSpan<std::uint8_t>(num_users);
+    alive = util::FixedBitset(
+        arena.AllocateSpan<std::uint64_t>(util::FixedBitset::WordsFor(num_users)),
+        num_users);
+    w0 = arena.AllocateSpan<double>(num_groups);
+    w1 = arena.AllocateSpan<double>(num_groups);
+  }
 };
 
 Selection RunScalarGreedy(const DiversificationInstance& instance,
@@ -85,50 +123,63 @@ Selection RunScalarGreedy(const DiversificationInstance& instance,
                           GreedyMode mode) {
   const GroupIndex& groups = instance.groups();
   const std::size_t num_users = instance.repository().user_count();
+  const std::size_t num_groups = groups.group_count();
 
   // Phase accounting: "greedy.init" covers the marginal-gain/heap setup,
   // "greedy.rounds" the selection loop, "greedy.score" the final scoring.
   std::optional<telemetry::PhaseSpan> phase;
   phase.emplace("greedy.init");
-  ScalarState state;
-  state.marginal.assign(num_users, GainPair{0.0, 0.0});
-  state.remaining = instance.coverage();
-  state.group_dead.assign(groups.group_count(), 0);
-  state.in_pool.assign(num_users, 0);
-  for (UserId u : pool) state.in_pool[u] = 1;
+  SoaState state(num_users, num_groups);
+  std::copy(instance.coverage().begin(), instance.coverage().end(),
+            state.remaining.begin());
+  for (UserId u : pool) {
+    state.in_pool[u] = 1;
+    state.alive.Set(u);
+  }
+  bool has_tier1 = false;
+  for (GroupId g = 0; g < num_groups; ++g) {
+    const std::uint8_t tier = tiers[g];
+    state.w0[g] = tier == 0 ? weights[g] : 0.0;
+    state.w1[g] = tier == 1 ? weights[g] : 0.0;
+    has_tier1 |= tier == 1;
+  }
+  const bool exact_reassoc = ExactUnderReassociation(weights);
+  const double* w1_or_null = has_tier1 ? state.w1.data() : nullptr;
 
-  // Line 2 of Algorithm 1: marg_{u,∅} = Σ_{G ∋ u} wei(G). Pool users are
-  // distinct (Select() dedupes), so chunks write disjoint marginal slots.
+  // Line 2 of Algorithm 1: marg_{u,∅} = Σ_{G ∋ u} wei(G), accumulated per
+  // tier by the kernel over the pre-split weight arrays (groups of other
+  // tiers contribute an exact +0.0). Pool users are distinct (Select()
+  // dedupes), so chunks write disjoint gain slots.
   util::ParallelFor(
       "greedy.init_gains", pool.size(),
       [&](std::size_t begin, std::size_t end, std::size_t) {
         for (std::size_t i = begin; i < end; ++i) {
           const UserId u = pool[i];
-          for (GroupId g : groups.groups_of(u)) {
-            const std::uint8_t tier = tiers[g];
-            if (tier >= kIgnoredTier) continue;
-            state.marginal[u][tier] += weights[g];
-          }
+          kernels::AccumulateTieredGains(groups.groups_of(u), state.w0.data(),
+                                         w1_or_null, exact_reassoc,
+                                         &state.gain0[u], &state.gain1[u]);
         }
       },
       kPoolGrain);
 
-  // Prefer larger gains; among equal gains, smaller tie rank.
+  // Prefer larger gains (tier 0, then tier 1); among equal gains, smaller
+  // tie rank.
   auto better = [&](UserId a, UserId b) {
-    if (state.marginal[a] != state.marginal[b]) {
-      return GainLess(state.marginal[b], state.marginal[a]);
-    }
+    if (state.gain0[a] != state.gain0[b]) return state.gain0[a] > state.gain0[b];
+    if (state.gain1[a] != state.gain1[b]) return state.gain1[a] > state.gain1[b];
     return tie_rank[a] < tie_rank[b];
   };
 
   // Lazy heap entries carry the gain they were pushed with; stale entries
   // are re-pushed on pop. Valid because gains only decrease (submodularity).
   struct HeapEntry {
-    GainPair gain;
+    double gain0;
+    double gain1;
     std::uint32_t tie;
     UserId user;
     bool operator<(const HeapEntry& other) const {  // max-heap
-      if (gain != other.gain) return GainLess(gain, other.gain);
+      if (gain0 != other.gain0) return gain0 < other.gain0;
+      if (gain1 != other.gain1) return gain1 < other.gain1;
       return tie > other.tie;
     }
   };
@@ -143,7 +194,8 @@ Selection RunScalarGreedy(const DiversificationInstance& instance,
         [&](std::size_t begin, std::size_t end, std::size_t) {
           for (std::size_t i = begin; i < end; ++i) {
             const UserId u = pool[i];
-            entries[i] = HeapEntry{state.marginal[u], tie_rank[u], u};
+            entries[i] =
+                HeapEntry{state.gain0[u], state.gain1[u], tie_rank[u], u};
           }
         },
         kPoolGrain);
@@ -156,23 +208,34 @@ Selection RunScalarGreedy(const DiversificationInstance& instance,
   Selection selection;
   std::size_t pool_left = pool.size();
   for (std::size_t round = 0; round < budget && pool_left > 0; ++round) {
-    // Line 5: maxUser = argmax marg.
+    // Line 5: maxUser = argmax marg. The bitset walk visits users in
+    // ascending id order rather than pool order; the argmax is the same
+    // because (gain0, gain1, tie_rank) is a strict total order over
+    // distinct pool users — no two compare equal, so the winner does not
+    // depend on iteration order.
     UserId chosen = kInvalidUser;
     std::uint32_t round_pops = 0;
     std::uint32_t round_stale = 0;
     if (mode == GreedyMode::kPlainScan) {
-      for (UserId u : pool) {
-        if (!state.in_pool[u]) continue;
+      state.alive.ForEachSet([&](std::size_t i) {
+        const UserId u = static_cast<UserId>(i);
         if (chosen == kInvalidUser || better(u, chosen)) chosen = u;
-      }
+      });
     } else {
       while (!heap.empty()) {
         HeapEntry top = heap.top();
         heap.pop();
         ++round_pops;
         if (!state.in_pool[top.user]) continue;
-        if (top.gain != state.marginal[top.user]) {
-          top.gain = state.marginal[top.user];
+        // Start the candidate's adjacency span on its way to cache while
+        // the staleness compare resolves.
+        const auto adjacent = groups.groups_of(top.user);
+        kernels::PrefetchRange(adjacent.data(),
+                               adjacent.size() * sizeof(GroupId));
+        if (top.gain0 != state.gain0[top.user] ||
+            top.gain1 != state.gain1[top.user]) {
+          top.gain0 = state.gain0[top.user];
+          top.gain1 = state.gain1[top.user];
           heap.push(top);
           ++round_stale;
           continue;
@@ -185,32 +248,32 @@ Selection RunScalarGreedy(const DiversificationInstance& instance,
 
     // Lines 6-10: move the user, decrement coverage, retire dead groups
     // and charge their weight back from other members' marginal gains.
-    const GainPair chosen_gain = state.marginal[chosen];
+    const double chosen_gain0 = state.gain0[chosen];
+    const double chosen_gain1 = state.gain1[chosen];
     selection.users.push_back(chosen);
     state.in_pool[chosen] = 0;
+    state.alive.Clear(chosen);
     --pool_left;
+    const auto adjacent = groups.groups_of(chosen);
+    kernels::PrefetchRange(adjacent.data(), adjacent.size() * sizeof(GroupId));
     std::uint32_t round_retired_links = 0;
     std::uint32_t round_retired_groups = 0;
-    for (GroupId g : groups.groups_of(chosen)) {
+    for (GroupId g : adjacent) {
       const std::uint8_t tier = tiers[g];
       if (tier >= kIgnoredTier || state.group_dead[g]) continue;
       if (--state.remaining[g] > 0) continue;
       state.group_dead[g] = 1;
       ++round_retired_groups;
-      const double weight = weights[g];
-      for (UserId member : groups.members(g)) {
-        if (state.in_pool[member]) {
-          state.marginal[member][tier] -= weight;
-          ++round_retired_links;
-        }
-      }
+      double* gains = tier == 0 ? state.gain0.data() : state.gain1.data();
+      round_retired_links += kernels::RetireSpan(
+          groups.members(g), state.in_pool.data(), gains, weights[g]);
     }
     if (stats.enabled) {
       telemetry::GreedyRoundEvent event;
       event.round = static_cast<std::uint32_t>(round);
       event.user = chosen;
-      event.gain = chosen_gain[0];
-      event.gain_secondary = chosen_gain[1];
+      event.gain = chosen_gain0;
+      event.gain_secondary = chosen_gain1;
       event.heap_pops = round_pops;
       event.stale_reinserts = round_stale;
       event.retired_links = round_retired_links;

@@ -1,6 +1,8 @@
 #include "podium/groups/group_index.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <numeric>
 #include <utility>
 
@@ -30,38 +32,70 @@ std::string MakeLabel(const PropertyTable& table, PropertyId property,
 
 }  // namespace
 
-void GroupIndex::FinalizeAdjacency(
+Status GroupIndex::FinalizeAdjacency(
     const std::vector<std::vector<UserId>>& members,
     const std::vector<bool>& keep, std::size_t num_users) {
-  member_offsets_.assign(1, 0);
+  std::size_t kept = 0;
   std::size_t links = 0;
   for (std::size_t slot = 0; slot < members.size(); ++slot) {
-    if (keep[slot]) links += members[slot].size();
-  }
-  member_values_.clear();
-  member_values_.reserve(links);
-  for (std::size_t slot = 0; slot < members.size(); ++slot) {
     if (!keep[slot]) continue;
-    member_values_.insert(member_values_.end(), members[slot].begin(),
-                          members[slot].end());
-    member_offsets_.push_back(member_values_.size());
+    ++kept;
+    links += members[slot].size();
+  }
+  if (links > std::numeric_limits<std::uint32_t>::max()) {
+    return Status::InvalidArgument(
+        "adjacency exceeds 2^32 links; uint32 CSR offsets overflow");
   }
 
-  // Reverse direction: count, prefix-sum, fill. Kept groups are visited in
-  // ascending id order, so each user's group list comes out ascending.
-  user_offsets_.assign(num_users + 1, 0);
-  for (UserId u : member_values_) ++user_offsets_[u + 1];
-  std::partial_sum(user_offsets_.begin(), user_offsets_.end(),
-                   user_offsets_.begin());
-  user_values_.resize(links);
-  std::vector<std::size_t> cursor(user_offsets_.begin(),
-                                  user_offsets_.end() - 1);
-  const std::size_t num_groups = member_offsets_.size() - 1;
-  for (std::size_t g = 0; g < num_groups; ++g) {
-    for (UserId u : this->members(static_cast<GroupId>(g))) {
-      user_values_[cursor[u]++] = static_cast<GroupId>(g);
+  // One contiguous 64-byte-aligned block for all four CSR arrays, sized
+  // exactly; the arena's guard bytes license the kernels' flag gathers.
+  arena_ = std::make_shared<util::Arena>(
+      util::Arena::BytesFor<std::uint32_t>(kept + 1) +
+      util::Arena::BytesFor<UserId>(links) +
+      util::Arena::BytesFor<std::uint32_t>(num_users + 1) +
+      util::Arena::BytesFor<GroupId>(links));
+  const std::span<std::uint32_t> member_offsets =
+      arena_->AllocateSpan<std::uint32_t>(kept + 1);
+  const std::span<UserId> member_values = arena_->AllocateSpan<UserId>(links);
+  const std::span<std::uint32_t> user_offsets =
+      arena_->AllocateSpan<std::uint32_t>(num_users + 1);
+  const std::span<GroupId> user_values = arena_->AllocateSpan<GroupId>(links);
+
+  // Single pass over the kept lists: flatten the member direction and
+  // count user degrees (into user_offsets, shifted by one) as each link
+  // streams through.
+  std::uint32_t cursor = 0;
+  std::size_t row = 0;
+  for (std::size_t slot = 0; slot < members.size(); ++slot) {
+    if (!keep[slot]) continue;
+    for (UserId u : members[slot]) {
+      member_values[cursor++] = u;
+      ++user_offsets[u + 1];
+    }
+    member_offsets[++row] = cursor;
+  }
+
+  // Reverse direction: prefix-sum the degrees, then fill. Kept groups are
+  // visited in ascending id order, so each user's group list comes out
+  // ascending.
+  for (std::size_t u = 1; u <= num_users; ++u) {
+    user_offsets[u] += user_offsets[u - 1];
+  }
+  std::vector<std::uint32_t> fill_cursor(user_offsets.begin(),
+                                         user_offsets.end() - 1);
+  for (std::size_t g = 0; g < kept; ++g) {
+    for (std::uint32_t i = member_offsets[g]; i < member_offsets[g + 1];
+         ++i) {
+      user_values[fill_cursor[member_values[i]]++] =
+          static_cast<GroupId>(g);
     }
   }
+
+  member_offsets_ = member_offsets;
+  member_values_ = member_values;
+  user_offsets_ = user_offsets;
+  user_values_ = user_values;
+  return Status::Ok();
 }
 
 Result<GroupIndex> GroupIndex::Build(const ProfileRepository& repository,
@@ -229,7 +263,10 @@ Result<GroupIndex> GroupIndex::Build(const ProfileRepository& repository,
     keep[slot] = true;
     index.defs_.push_back(std::move(provisional_defs[slot]));
   }
-  index.FinalizeAdjacency(provisional_members, keep, num_users);
+  if (Status s = index.FinalizeAdjacency(provisional_members, keep, num_users);
+      !s.ok()) {
+    return s;
+  }
 
   if (telemetry::Enabled()) {
     auto& registry = telemetry::MetricsRegistry::Global();
@@ -276,7 +313,10 @@ Result<GroupIndex> GroupIndex::FromDefs(const ProfileRepository& repository,
     keep[d] = true;
     index.defs_.push_back(std::move(defs[d]));
   }
-  index.FinalizeAdjacency(members, keep, repository.user_count());
+  if (Status s = index.FinalizeAdjacency(members, keep, repository.user_count());
+      !s.ok()) {
+    return s;
+  }
   return index;
 }
 

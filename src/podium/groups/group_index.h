@@ -2,6 +2,8 @@
 #define PODIUM_GROUPS_GROUP_INDEX_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -9,6 +11,7 @@
 #include "podium/bucketing/bucketizer.h"
 #include "podium/groups/group.h"
 #include "podium/profile/repository.h"
+#include "podium/util/arena.h"
 #include "podium/util/result.h"
 
 namespace podium {
@@ -47,13 +50,20 @@ struct GroupingOptions {
 /// for ("links in both directions between the lists").
 ///
 /// Both directions are stored in CSR (compressed sparse row) form: one
-/// contiguous values array per direction plus an offsets array, so the
-/// retirement inner loop walks cache-line-dense spans instead of chasing
-/// per-group vector headers. Accessors hand out spans; call sites that
-/// only iterate are unaffected.
+/// contiguous values array per direction plus a uint32 offsets array, so
+/// the retirement inner loop walks cache-line-dense spans instead of
+/// chasing per-group vector headers. All four CSR arrays live in ONE
+/// 64-byte-aligned util::Arena block (offsets, values, both directions),
+/// filled in a single pass by FinalizeAdjacency — a whole index is one
+/// contiguous allocation, and the arena's guard bytes license the SIMD
+/// flag gathers in core/kernels.h over member spans. Accessors hand out
+/// spans; call sites that only iterate are unaffected.
 ///
 /// Immutable after Build(); the greedy selector keeps its own mutable
-/// per-run state.
+/// per-run state. Copies share the arena block (it never mutates), so
+/// copying an index — the serve path builds a per-request instance over
+/// the snapshot's prebuilt index — costs the group definitions, not the
+/// adjacency.
 class GroupIndex {
  public:
   /// An empty index (no groups, no users); assign a Build()/FromDefs()
@@ -81,8 +91,8 @@ class GroupIndex {
 
   /// Members of group g, ascending by user id.
   std::span<const UserId> members(GroupId g) const {
-    return {member_values_.data() + member_offsets_[g],
-            member_offsets_[g + 1] - member_offsets_[g]};
+    return member_values_.subspan(member_offsets_[g],
+                                  member_offsets_[g + 1] - member_offsets_[g]);
   }
   std::size_t group_size(GroupId g) const {
     return member_offsets_[g + 1] - member_offsets_[g];
@@ -90,12 +100,17 @@ class GroupIndex {
 
   /// Groups containing user u, ascending by group id.
   std::span<const GroupId> groups_of(UserId u) const {
-    return {user_values_.data() + user_offsets_[u],
-            user_offsets_[u + 1] - user_offsets_[u]};
+    return user_values_.subspan(user_offsets_[u],
+                                user_offsets_[u + 1] - user_offsets_[u]);
   }
 
   /// Total number of user↔group links (the CSR values length).
   std::size_t link_count() const { return member_values_.size(); }
+
+  /// The arena block holding all four CSR arrays (null for a
+  /// default-constructed index). Exposed for the memory-layout tests and
+  /// footprint accounting; shared, unchanged, by every copy of the index.
+  const util::Arena* adjacency_arena() const { return arena_.get(); }
 
   /// max_{G} |G| and max_u |{G : u in G}| (the complexity-bound factors of
   /// Prop. 4.4).
@@ -117,18 +132,22 @@ class GroupIndex {
 
  private:
   /// Builds both CSR directions from per-group member lists (each
-  /// ascending by user id); `keep[slot]` selects which lists survive.
-  void FinalizeAdjacency(const std::vector<std::vector<UserId>>& members,
-                         const std::vector<bool>& keep,
-                         std::size_t num_users);
+  /// ascending by user id) into one freshly allocated arena block;
+  /// `keep[slot]` selects which lists survive. InvalidArgument when the
+  /// link count overflows the uint32 offsets.
+  [[nodiscard]] Status FinalizeAdjacency(
+      const std::vector<std::vector<UserId>>& members,
+      const std::vector<bool>& keep, std::size_t num_users);
 
   std::vector<GroupDef> defs_;
-  // CSR adjacency, both directions. offsets have size count + 1; the
-  // values of row i live in [offsets[i], offsets[i + 1]).
-  std::vector<std::size_t> member_offsets_;  // per group
-  std::vector<UserId> member_values_;
-  std::vector<std::size_t> user_offsets_;    // per user
-  std::vector<GroupId> user_values_;
+  // CSR adjacency, both directions, all four arrays inside arena_.
+  // offsets have size count + 1; the values of row i live in
+  // [offsets[i], offsets[i + 1]).
+  std::shared_ptr<util::Arena> arena_;
+  std::span<const std::uint32_t> member_offsets_;  // per group
+  std::span<const UserId> member_values_;
+  std::span<const std::uint32_t> user_offsets_;    // per user
+  std::span<const GroupId> user_values_;
   std::vector<std::vector<bucketing::Bucket>> buckets_per_property_;
 };
 

@@ -484,6 +484,45 @@ void CheckRawStderr(const std::string& path, const ScannedSource& source,
   }
 }
 
+void CheckIntrinsicsScope(const std::string& path,
+                          const ScannedSource& source,
+                          const std::vector<Include>& includes,
+                          std::vector<Finding>* findings) {
+  // SIMD intrinsics and type punning are confined to the kernel layer and
+  // the arena: kernels.* owns every <immintrin.h> gather (and its lane
+  // reinterpret_casts), arena.* owns the single Launder<T> that turns raw
+  // bytes into typed spans. Anywhere else, a reinterpret_cast is either a
+  // bug or a call for one of those two abstractions; OS-interface casts
+  // (sockaddr) carry an explicit `podium-lint: allow(intrinsics-scope)`.
+  if (PathIsUnder(path, "src/podium/core/kernels.") ||
+      PathIsUnder(path, "src/podium/util/arena.")) {
+    return;
+  }
+  for (const Include& include : includes) {
+    if (!util::EndsWith(include.target, "intrin.h")) continue;
+    Finding finding;
+    finding.line = include.line;
+    finding.rule = "intrinsics-scope";
+    finding.message =
+        "#include <" + include.target +
+        "> outside the kernel layer; SIMD code lives in "
+        "src/podium/core/kernels.*";
+    findings->push_back(std::move(finding));
+  }
+  for (std::size_t i = 0; i < source.code.size(); ++i) {
+    for (const Token& token : IdentifiersIn(source.code[i])) {
+      if (token.text != "reinterpret_cast") continue;
+      Finding finding;
+      finding.line = static_cast<int>(i) + 1;
+      finding.rule = "intrinsics-scope";
+      finding.message =
+          "reinterpret_cast outside src/podium/core/kernels.* and "
+          "src/podium/util/arena.*; use util::Arena spans or std::bit_cast";
+      findings->push_back(std::move(finding));
+    }
+  }
+}
+
 bool LineDeclaresMutexMember(const std::string& code_line) {
   const std::string_view stripped = util::StripWhitespace(code_line);
   if (!util::EndsWith(stripped, ";")) return false;
@@ -595,6 +634,7 @@ std::vector<Finding> LintSource(std::string_view path,
   CheckTodoOwner(source, &findings);
   CheckRawNewDelete(normalized, source, &findings);
   CheckRawStderr(normalized, source, &findings);
+  CheckIntrinsicsScope(normalized, source, includes, &findings);
   CheckGuardedMembers(source, &findings);
 
   std::vector<Finding> kept;

@@ -329,6 +329,8 @@ Status HttpClient::Connect(const std::string& host, int port) {
     return Status::InvalidArgument("cannot parse host address '" + host +
                                    "' (IPv4 dotted quad or localhost)");
   }
+  // The sockaddr cast is the POSIX socket-API calling convention.
+  // podium-lint: allow(intrinsics-scope)
   if (::connect(fd, reinterpret_cast<sockaddr*>(&address),
                 sizeof(address)) != 0) {
     const Status error(StatusCode::kIoError,

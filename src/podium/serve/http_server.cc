@@ -70,6 +70,8 @@ Status HttpServer::Start() {
     return Status::InvalidArgument("cannot parse bind address '" +
                                    options_.bind_address + "'");
   }
+  // The sockaddr cast is the POSIX socket-API calling convention.
+  // podium-lint: allow(intrinsics-scope)
   if (::bind(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) !=
       0) {
     const Status error(StatusCode::kIoError,
@@ -84,6 +86,7 @@ Status HttpServer::Start() {
     return error;
   }
   socklen_t length = sizeof(address);
+  // podium-lint: allow(intrinsics-scope)
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&address), &length) != 0) {
     const Status error(StatusCode::kIoError,
                        std::string("getsockname: ") + std::strerror(errno));

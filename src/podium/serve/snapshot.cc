@@ -1,6 +1,10 @@
 #include "podium/serve/snapshot.h"
 
+#include <algorithm>
+#include <bit>
 #include <chrono>
+#include <functional>
+#include <string_view>
 #include <utility>
 
 #include "podium/telemetry/phase.h"
@@ -27,9 +31,18 @@ Result<std::shared_ptr<const Snapshot>> Snapshot::Build(
   snapshot->default_instance_ = std::move(instance).value();
 
   const GroupIndex& groups = snapshot->default_instance_.groups();
-  snapshot->label_index_.reserve(groups.group_count());
+  // Size the table at a load factor of at most 1/2, minimum 8 slots, so
+  // linear probe chains stay short. Slots hold g + 1; 0 means empty.
+  const std::size_t slots = std::bit_ceil(
+      std::max<std::size_t>(8, groups.group_count() * 2));
+  snapshot->label_arena_ = util::Arena(util::Arena::BytesFor<GroupId>(slots));
+  snapshot->label_slots_ = snapshot->label_arena_.AllocateSpan<GroupId>(slots);
+  snapshot->label_mask_ = slots - 1;
   for (GroupId g = 0; g < groups.group_count(); ++g) {
-    snapshot->label_index_.emplace(groups.label(g), g);
+    const std::size_t slot = snapshot->LabelSlot(groups.label(g));
+    if (snapshot->label_slots_[slot] == 0) {
+      snapshot->label_slots_[slot] = g + 1;
+    }
   }
 
   if (telemetry::Enabled()) {
@@ -63,12 +76,22 @@ Result<DiversificationInstance> Snapshot::MakeInstance(
       budget);
 }
 
+std::size_t Snapshot::LabelSlot(std::string_view label) const {
+  const GroupIndex& groups = default_instance_.groups();
+  std::size_t slot = std::hash<std::string_view>{}(label) & label_mask_;
+  while (true) {
+    const GroupId occupant = label_slots_[slot];
+    if (occupant == 0 || groups.label(occupant - 1) == label) return slot;
+    slot = (slot + 1) & label_mask_;
+  }
+}
+
 Result<GroupId> Snapshot::ResolveLabel(const std::string& label) const {
-  auto it = label_index_.find(label);
-  if (it == label_index_.end()) {
+  const GroupId occupant = label_slots_[LabelSlot(label)];
+  if (occupant == 0) {
     return Status::NotFound("no group labeled '" + label + "'");
   }
-  return it->second;
+  return occupant - 1;
 }
 
 }  // namespace podium::serve

@@ -5,11 +5,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
-#include <unordered_map>
 
 #include "podium/core/instance.h"
 #include "podium/profile/repository.h"
+#include "podium/util/arena.h"
 #include "podium/util/result.h"
 
 namespace podium::serve {
@@ -84,12 +85,25 @@ class Snapshot {
  private:
   Snapshot() = default;
 
+  /// Slot index where `label` lives or would be inserted: the first slot
+  /// in the linear probe chain that is empty or already holds a group
+  /// with that exact label.
+  std::size_t LabelSlot(std::string_view label) const;
+
   ProfileRepository repository_;
   SnapshotOptions options_;
   std::uint64_t generation_ = 0;
   std::chrono::steady_clock::time_point created_at_{};
   DiversificationInstance default_instance_;
-  std::unordered_map<std::string, GroupId> label_index_;
+  // Label → group id as a flat open-addressing table in one arena block
+  // instead of an unordered_map: slots hold g + 1 (0 = empty), the slot
+  // count is a power of two at least twice the group count, collisions
+  // probe linearly, and lookups compare against the group's own label —
+  // the table stores no strings of its own. Duplicate labels keep the
+  // first (lowest) group id, matching the map's emplace semantics.
+  util::Arena label_arena_;
+  std::span<GroupId> label_slots_;
+  std::size_t label_mask_ = 0;  // slot count - 1
 };
 
 /// The service's current snapshot, swappable atomically while requests

@@ -1,0 +1,42 @@
+#include "podium/util/arena.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace podium::util {
+
+Arena::Arena(std::size_t capacity_bytes) : capacity_(RoundUp(capacity_bytes)) {
+  // One aligned block for payload + guard. The guard stays zero forever:
+  // SIMD gathers may read it, nothing writes it.
+  block_.reset(static_cast<std::byte*>(::operator new[](
+      capacity_ + kGuardBytes, std::align_val_t{kAlignment})));
+  std::memset(block_.get(), 0, capacity_ + kGuardBytes);
+}
+
+std::byte* Arena::TakeBytes(std::size_t bytes) {
+  if (block_ == nullptr || bytes > capacity_ - used_) return nullptr;
+  std::byte* out = block_.get() + used_;
+  used_ += bytes;
+  return out;
+}
+
+void Arena::Reset() {
+  if (block_ != nullptr && used_ > 0) {
+    std::memset(block_.get(), 0, used_);
+  }
+  used_ = 0;
+}
+
+void Arena::DieExhausted(std::size_t requested_bytes) const {
+  // The arena sits below the logging layer; a capacity bug is fatal and
+  // unrecoverable, so report it on stderr and abort.
+  std::fprintf(stderr,
+               "podium::util::Arena exhausted: request of %zu bytes with "
+               "%zu of %zu used\n",
+               requested_bytes, used_, capacity_);
+  std::abort();
+}
+
+}  // namespace podium::util

@@ -1,0 +1,135 @@
+#ifndef PODIUM_UTIL_ARENA_H_
+#define PODIUM_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+
+namespace podium::util {
+
+/// A fixed-capacity bump allocator handing out cache-line-aligned spans
+/// from one contiguous block.
+///
+/// Built for the CSR index and the greedy per-run state: every span starts
+/// on a 64-byte boundary (no false sharing between adjacent spans, and a
+/// span's first element begins a cache line), all spans of one owner sit
+/// in one `operator new` block (one TLB/page-locality region instead of a
+/// scatter of vector headers), and the block keeps `kGuardBytes` of
+/// readable slack past the capacity so 4-byte-per-lane SIMD gathers over
+/// byte arrays may read up to 3 bytes beyond their last element without
+/// leaving the allocation (see core/kernels.h for the contract).
+///
+/// The capacity is fixed at construction — growing would move the block
+/// and invalidate every handed-out span. Callers compute their exact
+/// footprint up front with BytesFor() sums; TryAllocateSpan() reports
+/// exhaustion by returning an empty span, and AllocateSpan() treats it as
+/// a programming error and aborts. Reset() rewinds the bump pointer for
+/// reuse (all previously returned spans become invalid).
+///
+/// Allocated spans are zero-initialized. Only trivially copyable,
+/// trivially destructible element types are supported: the arena never
+/// runs constructors or destructors.
+class Arena {
+ public:
+  /// Every span starts on this boundary; capacities and per-span sizes
+  /// round up to it.
+  static constexpr std::size_t kAlignment = 64;
+
+  /// Readable (zeroed) slack past the capacity, for SIMD gather overread.
+  static constexpr std::size_t kGuardBytes = 64;
+
+  /// An empty arena (capacity 0); assign a sized one over it before use.
+  Arena() = default;
+
+  /// Reserves one aligned block of `capacity_bytes` (rounded up to
+  /// kAlignment) plus the guard slack.
+  explicit Arena(std::size_t capacity_bytes);
+
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// The arena footprint of `count` elements of T: the span payload
+  /// rounded up to the alignment quantum. Sum these to size an arena.
+  template <typename T>
+  static constexpr std::size_t BytesFor(std::size_t count) {
+    return RoundUp(count * sizeof(T));
+  }
+
+  /// Allocates a zeroed span of `count` elements, or an empty span when
+  /// the remaining capacity cannot hold it. A zero-count request returns
+  /// an empty span without consuming capacity.
+  template <typename T>
+  [[nodiscard]] std::span<T> TryAllocateSpan(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "Arena spans never run constructors or destructors");
+    static_assert(alignof(T) <= kAlignment);
+    if (count == 0) return {};
+    std::byte* bytes = TakeBytes(BytesFor<T>(count));
+    if (bytes == nullptr) return {};
+    return {Launder<T>(bytes), count};
+  }
+
+  /// TryAllocateSpan, with exhaustion promoted to a fatal error: the
+  /// caller sized the arena, so running out is a bug, not a condition.
+  template <typename T>
+  [[nodiscard]] std::span<T> AllocateSpan(std::size_t count) {
+    std::span<T> span = TryAllocateSpan<T>(count);
+    if (span.empty() && count > 0) {
+      DieExhausted(count * sizeof(T));
+    }
+    return span;
+  }
+
+  /// Rewinds the bump pointer and re-zeroes the block: previously returned
+  /// spans become dangling; the block itself is reused, not reallocated.
+  void Reset();
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+
+  /// True when `address` lies inside this arena's block (guard included) —
+  /// the contiguity property tests assert with this.
+  bool Contains(const void* address) const {
+    const std::byte* p = static_cast<const std::byte*>(address);
+    return block_ != nullptr && p >= block_.get() &&
+           p < block_.get() + capacity_ + kGuardBytes;
+  }
+
+ private:
+  static constexpr std::size_t RoundUp(std::size_t bytes) {
+    return (bytes + kAlignment - 1) & ~(kAlignment - 1);
+  }
+
+  template <typename T>
+  static T* Launder(std::byte* bytes) {
+    // The block is raw zeroed storage; for the trivially-copyable element
+    // types the arena admits, reusing it as T objects is exactly what
+    // std::vector's allocator would do. Confined here by the
+    // intrinsics-scope lint rule.
+    return reinterpret_cast<T*>(bytes);
+  }
+
+  /// Bumps by `bytes` (already rounded); nullptr when exhausted.
+  std::byte* TakeBytes(std::size_t bytes);
+
+  [[noreturn]] void DieExhausted(std::size_t requested_bytes) const;
+
+  struct AlignedDelete {
+    void operator()(std::byte* p) const {
+      ::operator delete[](p, std::align_val_t{kAlignment});
+    }
+  };
+
+  std::unique_ptr<std::byte[], AlignedDelete> block_;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+};
+
+}  // namespace podium::util
+
+#endif  // PODIUM_UTIL_ARENA_H_

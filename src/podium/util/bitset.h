@@ -1,0 +1,73 @@
+#ifndef PODIUM_UTIL_BITSET_H_
+#define PODIUM_UTIL_BITSET_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace podium::util {
+
+/// A fixed-size bitset over caller-provided (typically Arena-allocated)
+/// 64-bit words, built for the greedy selector's alive set: the argmax
+/// scan walks it word-at-a-time, skipping 64 retired users per all-zero
+/// word instead of testing a byte per user.
+///
+/// The view does not own its words; the backing span must be
+/// WordsFor(bits) long and outlive the bitset. Words are expected
+/// zero-initialized (Arena spans are); bits past `size()` in the last
+/// word must stay clear — Set() enforces this by contract (callers pass
+/// indices < size()), and ForEachSet relies on it.
+class FixedBitset {
+ public:
+  FixedBitset() = default;
+
+  FixedBitset(std::span<std::uint64_t> words, std::size_t bits)
+      : words_(words), bits_(bits) {}
+
+  /// Number of 64-bit words needed to back `bits` bits.
+  static constexpr std::size_t WordsFor(std::size_t bits) {
+    return (bits + 63) / 64;
+  }
+
+  std::size_t size() const { return bits_; }
+
+  void Set(std::size_t i) { words_[i >> 6] |= Mask(i); }
+  void Clear(std::size_t i) { words_[i >> 6] &= ~Mask(i); }
+  bool Test(std::size_t i) const { return (words_[i >> 6] & Mask(i)) != 0; }
+
+  /// Population count over all words.
+  std::size_t CountSet() const {
+    std::size_t count = 0;
+    for (std::uint64_t word : words_) count += std::popcount(word);
+    return count;
+  }
+
+  /// Calls `fn(index)` for every set bit in ascending order, one word at a
+  /// time: an all-zero word costs one load and one test.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        word &= word - 1;
+        fn((w << 6) + static_cast<std::size_t>(bit));
+      }
+    }
+  }
+
+  std::span<const std::uint64_t> words() const { return words_; }
+
+ private:
+  static constexpr std::uint64_t Mask(std::size_t i) {
+    return std::uint64_t{1} << (i & 63);
+  }
+
+  std::span<std::uint64_t> words_;
+  std::size_t bits_ = 0;
+};
+
+}  // namespace podium::util
+
+#endif  // PODIUM_UTIL_BITSET_H_

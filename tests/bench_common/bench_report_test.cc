@@ -251,5 +251,60 @@ TEST(CompareBenchReportsTest, WarnsOnMissingNewAndUnitChangedMetrics) {
   EXPECT_EQ(diff.deltas[0].name, "throughput_rps");
 }
 
+TEST(CompareBenchReportsTest, PerMetricThresholdOverridesDefault) {
+  const BenchReport old_report = MakeReport();
+  BenchReport new_report = MakeReport();
+  // +4% on select_ms: clean under the 10% default, a regression under a
+  // 2% override; throughput keeps the default either way.
+  new_report.metrics["select_ms"].median = 1.30;
+
+  const BenchDiff loose =
+      CompareBenchReports(old_report, new_report, /*threshold=*/0.10, {});
+  EXPECT_FALSE(loose.has_regression);
+
+  const BenchDiff tight = CompareBenchReports(
+      old_report, new_report, /*threshold=*/0.10, {{"select_ms", 0.02}});
+  EXPECT_TRUE(tight.has_regression);
+  for (const MetricDelta& delta : tight.deltas) {
+    if (delta.name == "select_ms") {
+      EXPECT_TRUE(delta.regression);
+      EXPECT_DOUBLE_EQ(delta.threshold, 0.02);
+    } else {
+      EXPECT_FALSE(delta.regression);
+      EXPECT_DOUBLE_EQ(delta.threshold, 0.10);
+    }
+  }
+}
+
+TEST(CompareBenchReportsTest, WarnsOnThresholdOverrideForUnknownMetric) {
+  const BenchDiff diff = CompareBenchReports(
+      MakeReport(), MakeReport(), /*threshold=*/0.10, {{"renamed_away", 0.5}});
+  EXPECT_FALSE(diff.has_regression);
+  ASSERT_EQ(diff.warnings.size(), 1u);
+  EXPECT_NE(diff.warnings[0].find("'renamed_away'"), std::string::npos);
+}
+
+// --- ProvenanceWarnings ----------------------------------------------------
+
+TEST(ProvenanceWarningsTest, FlagsDirtyAndEmptyGitPerSide) {
+  BenchReport clean = MakeReport();
+  BenchReport dirty = MakeReport();
+  dirty.git = "v0-43-gdef456-dirty";
+  BenchReport anonymous = MakeReport();
+  anonymous.git.clear();
+
+  EXPECT_TRUE(ProvenanceWarnings(clean, clean).empty());
+
+  const std::vector<std::string> one = ProvenanceWarnings(clean, dirty);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_NE(one[0].find("dirty"), std::string::npos);
+  EXPECT_NE(one[0].find("new"), std::string::npos);
+
+  const std::vector<std::string> both = ProvenanceWarnings(dirty, anonymous);
+  ASSERT_EQ(both.size(), 2u);
+  EXPECT_NE(both[0].find("baseline"), std::string::npos);
+  EXPECT_NE(both[1].find("no git provenance"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace podium::bench

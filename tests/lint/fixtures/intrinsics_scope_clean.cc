@@ -1,0 +1,7 @@
+#include <cstdint>
+
+// Prose mentioning reinterpret_cast or immintrin.h must not trip the
+// rule, and neither must string literals.
+const char* Fixture() {
+  return "reinterpret_cast<#include <immintrin.h>>";
+}

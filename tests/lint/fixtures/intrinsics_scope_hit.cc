@@ -1,0 +1,6 @@
+#include <immintrin.h>
+
+void Fixture(char* bytes) {
+  auto* words = reinterpret_cast<unsigned long long*>(bytes);
+  words[0] = 1;
+}

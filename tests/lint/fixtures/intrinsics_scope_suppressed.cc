@@ -1,0 +1,7 @@
+#include <immintrin.h>  // podium-lint: allow(intrinsics-scope)
+
+void Fixture(char* bytes) {
+  // podium-lint: allow(intrinsics-scope)
+  auto* words = reinterpret_cast<unsigned long long*>(bytes);
+  words[0] = 1;
+}

@@ -190,6 +190,41 @@ TEST(RawStderrRule, IgnoresCommentsStringsAndOtherStreams) {
       LintFixtureAs("raw_stderr_clean.cc", "tools/fixture.cc").empty());
 }
 
+// --- intrinsics-scope ------------------------------------------------------
+
+TEST(IntrinsicsScopeRule, FlagsIncludeAndCastOutsideKernelLayer) {
+  const std::vector<Finding> findings = LintFixtureAs(
+      "intrinsics_scope_hit.cc", "src/podium/serve/fixture.cc");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "intrinsics-scope");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[0].message.find("immintrin.h"), std::string::npos);
+  EXPECT_EQ(findings[1].rule, "intrinsics-scope");
+  EXPECT_NE(findings[1].message.find("reinterpret_cast"),
+            std::string::npos);
+}
+
+TEST(IntrinsicsScopeRule, ExemptsKernelsAndArena) {
+  EXPECT_TRUE(LintFixtureAs("intrinsics_scope_hit.cc",
+                            "src/podium/core/kernels.cc")
+                  .empty());
+  EXPECT_TRUE(LintFixtureAs("intrinsics_scope_hit.cc",
+                            "src/podium/util/arena.h")
+                  .empty());
+}
+
+TEST(IntrinsicsScopeRule, HonorsSuppression) {
+  EXPECT_TRUE(LintFixtureAs("intrinsics_scope_suppressed.cc",
+                            "src/podium/serve/fixture.cc")
+                  .empty());
+}
+
+TEST(IntrinsicsScopeRule, IgnoresCommentsAndStrings) {
+  EXPECT_TRUE(LintFixtureAs("intrinsics_scope_clean.cc",
+                            "src/podium/serve/fixture.cc")
+                  .empty());
+}
+
 // --- guarded-member --------------------------------------------------------
 
 TEST(GuardedMemberRule, FlagsUnannotatedNeighbours) {

@@ -1,0 +1,108 @@
+#include "podium/util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <utility>
+
+namespace podium::util {
+namespace {
+
+std::uintptr_t AddressOf(const void* p) {
+  return std::bit_cast<std::uintptr_t>(p);
+}
+
+TEST(ArenaTest, SpansAreCacheLineAlignedAndZeroed) {
+  Arena arena(Arena::BytesFor<double>(7) + Arena::BytesFor<std::uint8_t>(3) +
+              Arena::BytesFor<std::uint32_t>(5));
+  const std::span<double> doubles = arena.AllocateSpan<double>(7);
+  const std::span<std::uint8_t> bytes = arena.AllocateSpan<std::uint8_t>(3);
+  const std::span<std::uint32_t> words = arena.AllocateSpan<std::uint32_t>(5);
+
+  EXPECT_EQ(AddressOf(doubles.data()) % Arena::kAlignment, 0u);
+  EXPECT_EQ(AddressOf(bytes.data()) % Arena::kAlignment, 0u);
+  EXPECT_EQ(AddressOf(words.data()) % Arena::kAlignment, 0u);
+  for (double d : doubles) EXPECT_EQ(d, 0.0);
+  for (std::uint8_t b : bytes) EXPECT_EQ(b, 0u);
+  for (std::uint32_t w : words) EXPECT_EQ(w, 0u);
+}
+
+TEST(ArenaTest, SpansShareOneContiguousBlock) {
+  Arena arena(Arena::BytesFor<std::uint32_t>(100) +
+              Arena::BytesFor<double>(100));
+  const std::span<std::uint32_t> a = arena.AllocateSpan<std::uint32_t>(100);
+  const std::span<double> b = arena.AllocateSpan<double>(100);
+  EXPECT_TRUE(arena.Contains(a.data()));
+  EXPECT_TRUE(arena.Contains(&a.back()));
+  EXPECT_TRUE(arena.Contains(b.data()));
+  EXPECT_TRUE(arena.Contains(&b.back()));
+  // Bump allocation: the second span sits after the first.
+  EXPECT_GT(AddressOf(b.data()), AddressOf(a.data()));
+}
+
+TEST(ArenaTest, BytesForSizesExactly) {
+  // An arena sized as the sum of BytesFor quanta fits exactly those
+  // allocations and nothing more.
+  Arena arena(Arena::BytesFor<double>(9) + Arena::BytesFor<std::uint8_t>(65));
+  EXPECT_FALSE(arena.AllocateSpan<double>(9).empty());
+  EXPECT_FALSE(arena.AllocateSpan<std::uint8_t>(65).empty());
+  EXPECT_EQ(arena.used(), arena.capacity());
+  EXPECT_TRUE(arena.TryAllocateSpan<std::uint8_t>(1).empty());
+}
+
+TEST(ArenaTest, TryAllocateReportsExhaustionAndZeroCount) {
+  Arena arena(64);
+  EXPECT_TRUE(arena.TryAllocateSpan<double>(0).empty());
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_TRUE(arena.TryAllocateSpan<double>(9).empty());  // needs 128
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_FALSE(arena.TryAllocateSpan<double>(8).empty());
+  EXPECT_EQ(arena.used(), arena.capacity());
+}
+
+TEST(ArenaTest, ResetRewindsAndRezeroes) {
+  Arena arena(Arena::BytesFor<std::uint32_t>(16));
+  std::span<std::uint32_t> first = arena.AllocateSpan<std::uint32_t>(16);
+  for (std::uint32_t& v : first) v = 0xdeadbeef;
+  arena.Reset();
+  EXPECT_EQ(arena.used(), 0u);
+  const std::span<std::uint32_t> second = arena.AllocateSpan<std::uint32_t>(16);
+  ASSERT_EQ(second.size(), 16u);
+  EXPECT_EQ(second.data(), first.data());  // same block, reused
+  for (std::uint32_t v : second) EXPECT_EQ(v, 0u);
+}
+
+TEST(ArenaTest, GuardBytesAreReadableAndZero) {
+  // The SIMD overread contract: kGuardBytes of zeroed slack past the
+  // capacity stay inside the allocation.
+  Arena arena(Arena::BytesFor<std::uint8_t>(64));
+  const std::span<std::uint8_t> flags = arena.AllocateSpan<std::uint8_t>(64);
+  ASSERT_EQ(arena.used(), arena.capacity());
+  const std::uint8_t* past_end = flags.data() + flags.size();
+  for (std::size_t i = 0; i < Arena::kGuardBytes; ++i) {
+    EXPECT_TRUE(arena.Contains(past_end + i));
+    EXPECT_EQ(past_end[i], 0u);
+  }
+}
+
+TEST(ArenaTest, MoveTransfersBlockOwnership) {
+  Arena arena(Arena::BytesFor<double>(4));
+  const std::span<double> span = arena.AllocateSpan<double>(4);
+  span[0] = 3.5;
+  Arena moved = std::move(arena);
+  EXPECT_TRUE(moved.Contains(span.data()));
+  EXPECT_EQ(span[0], 3.5);
+  EXPECT_EQ(moved.used(), moved.capacity());
+}
+
+TEST(ArenaTest, DefaultConstructedIsEmpty) {
+  Arena arena;
+  EXPECT_EQ(arena.capacity(), 0u);
+  EXPECT_TRUE(arena.TryAllocateSpan<std::uint8_t>(1).empty());
+  EXPECT_FALSE(arena.Contains(&arena));
+}
+
+}  // namespace
+}  // namespace podium::util

@@ -1,0 +1,71 @@
+#include "podium/util/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace podium::util {
+namespace {
+
+TEST(FixedBitsetTest, WordsForEdges) {
+  EXPECT_EQ(FixedBitset::WordsFor(0), 0u);
+  EXPECT_EQ(FixedBitset::WordsFor(1), 1u);
+  EXPECT_EQ(FixedBitset::WordsFor(64), 1u);
+  EXPECT_EQ(FixedBitset::WordsFor(65), 2u);
+  EXPECT_EQ(FixedBitset::WordsFor(128), 2u);
+}
+
+TEST(FixedBitsetTest, SetTestClearAcrossWordBoundary) {
+  std::vector<std::uint64_t> words(FixedBitset::WordsFor(130), 0);
+  FixedBitset bits({words.data(), words.size()}, 130);
+  for (std::size_t i : {std::size_t{0}, std::size_t{63}, std::size_t{64},
+                        std::size_t{127}, std::size_t{129}}) {
+    EXPECT_FALSE(bits.Test(i)) << i;
+    bits.Set(i);
+    EXPECT_TRUE(bits.Test(i)) << i;
+  }
+  EXPECT_EQ(bits.CountSet(), 5u);
+  bits.Clear(64);
+  EXPECT_FALSE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(127));
+  EXPECT_EQ(bits.CountSet(), 4u);
+}
+
+TEST(FixedBitsetTest, ForEachSetVisitsAscending) {
+  std::vector<std::uint64_t> words(FixedBitset::WordsFor(200), 0);
+  FixedBitset bits({words.data(), words.size()}, 200);
+  const std::vector<std::size_t> expected = {0, 1, 63, 64, 65, 128, 199};
+  // Set in shuffled order; iteration must still come out ascending.
+  for (std::size_t i : {std::size_t{199}, std::size_t{64}, std::size_t{0},
+                        std::size_t{128}, std::size_t{63}, std::size_t{65},
+                        std::size_t{1}}) {
+    bits.Set(i);
+  }
+  std::vector<std::size_t> visited;
+  bits.ForEachSet([&](std::size_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, expected);
+}
+
+TEST(FixedBitsetTest, ForEachSetSkipsEmptyWordsAndEmptySet) {
+  std::vector<std::uint64_t> words(FixedBitset::WordsFor(512), 0);
+  FixedBitset bits({words.data(), words.size()}, 512);
+  std::vector<std::size_t> visited;
+  bits.ForEachSet([&](std::size_t i) { visited.push_back(i); });
+  EXPECT_TRUE(visited.empty());
+
+  bits.Set(511);
+  bits.ForEachSet([&](std::size_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, std::vector<std::size_t>{511});
+}
+
+TEST(FixedBitsetTest, DefaultConstructedIsEmptyView) {
+  FixedBitset bits;
+  EXPECT_EQ(bits.size(), 0u);
+  EXPECT_EQ(bits.CountSet(), 0u);
+  bits.ForEachSet([](std::size_t) { FAIL() << "no bits to visit"; });
+}
+
+}  // namespace
+}  // namespace podium::util

@@ -3,10 +3,17 @@
 // PR's benchmark delta is machine-checked against the committed baseline.
 //
 //   podium_benchdiff OLD.json NEW.json [--threshold=0.10] [--warn-only]
+//                    [--metric-threshold=NAME=0.25 ...]
 //   podium_benchdiff --self-test
 //
 // A metric regresses when its median moved against its "better" direction
-// by more than --threshold (fraction; default 0.10 = 10%).
+// by more than --threshold (fraction; default 0.10 = 10%). Repeatable
+// --metric-threshold flags override the default for individual metrics —
+// CI uses them to keep noisy microbenchmarks from flapping the enforcing
+// gate while holding stable ones tight.
+//
+// Either side built from a dirty tree (a "-dirty" git provenance) prints
+// a note; baselines must be regenerated from clean checkouts.
 //
 // Exit codes:
 //   0  no regression (or --warn-only and only regressions were found)
@@ -19,6 +26,7 @@
 // passes), proving the gate can actually fail.
 
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -39,6 +47,7 @@ void PrintUsage() {
   std::fprintf(stderr,
                "usage: podium_benchdiff OLD.json NEW.json "
                "[--threshold=0.10] [--warn-only]\n"
+               "                       [--metric-threshold=NAME=0.25 ...]\n"
                "       podium_benchdiff --self-test\n");
 }
 
@@ -71,6 +80,34 @@ int SelfTest() {
     return 1;
   }
 
+  // A per-metric override tightens just its metric: the same 5% wobble
+  // must regress under a 2% override on select_ms while the other metric
+  // keeps the 10% default.
+  const BenchDiff tightened =
+      CompareBenchReports(baseline, wobble, 0.10, {{"select_ms", 0.02}});
+  std::size_t tight_flagged = 0;
+  for (const auto& delta : tightened.deltas) {
+    tight_flagged += delta.regression ? 1 : 0;
+  }
+  if (!tightened.has_regression || tight_flagged != 1) {
+    podium::obs::LogError(
+        "self-test failed: per-metric 2% override not applied")
+        .Num("flagged", static_cast<double>(tight_flagged));
+    return 1;
+  }
+
+  // Dirty provenance on either side must produce exactly one warning for
+  // that side; two clean hashes produce none.
+  BenchReport clean = baseline;
+  clean.git = "abc1234";
+  BenchReport dirty = baseline;
+  dirty.git = "abc1234-dirty";
+  if (podium::bench::ProvenanceWarnings(clean, dirty).size() != 1 ||
+      !podium::bench::ProvenanceWarnings(clean, clean).empty()) {
+    podium::obs::LogError("self-test failed: dirty provenance not flagged");
+    return 1;
+  }
+
   // Round-trip through the JSON schema must preserve the verdict.
   const podium::Result<BenchReport> reparsed =
       podium::bench::BenchReportFromJson(
@@ -91,6 +128,7 @@ int main(int argc, char** argv) {
   podium::obs::SetMinLogLevel(podium::obs::LogLevel::kInfo);
   std::vector<std::string> paths;
   double threshold = 0.10;
+  std::map<std::string, double> metric_thresholds;
   bool warn_only = false;
   bool self_test = false;
   for (int i = 1; i < argc; ++i) {
@@ -107,6 +145,22 @@ int main(int argc, char** argv) {
         return 2;
       }
       threshold = parsed.value();
+    } else if (arg.rfind("--metric-threshold=", 0) == 0) {
+      const std::string spec = arg.substr(19);
+      const std::size_t eq = spec.rfind('=');
+      if (eq == std::string::npos || eq == 0) {
+        podium::obs::LogError("bad --metric-threshold (want NAME=FRACTION)")
+            .Str("value", spec);
+        return 2;
+      }
+      const podium::Result<double> parsed =
+          podium::util::ParseDouble(spec.substr(eq + 1));
+      if (!parsed.ok() || parsed.value() < 0.0) {
+        podium::obs::LogError("bad --metric-threshold fraction")
+            .Str("value", spec);
+        return 2;
+      }
+      metric_thresholds[spec.substr(0, eq)] = parsed.value();
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return 2;
@@ -143,19 +197,25 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const BenchDiff diff =
-      CompareBenchReports(old_report.value(), new_report.value(), threshold);
+  const BenchDiff diff = CompareBenchReports(
+      old_report.value(), new_report.value(), threshold, metric_thresholds);
   std::printf("benchdiff: %s (%s) vs %s (%s), threshold %.0f%%\n",
               paths[0].c_str(), old_report->git.c_str(), paths[1].c_str(),
               new_report->git.c_str(), threshold * 100.0);
   for (const auto& delta : diff.deltas) {
-    std::printf("  %-44s %12.4g -> %12.4g %-6s %+7.1f%%%s\n",
+    std::printf("  %-44s %12.4g -> %12.4g %-6s %+7.1f%% (gate %.0f%%)%s\n",
                 delta.name.c_str(), delta.old_median, delta.new_median,
                 delta.unit.c_str(), delta.ratio * 100.0,
+                delta.threshold * 100.0,
                 delta.regression ? "  REGRESSION" : "");
   }
   for (const std::string& warning : diff.warnings) {
     std::printf("  note: %s\n", warning.c_str());
+  }
+  for (const std::string& warning : podium::bench::ProvenanceWarnings(
+           old_report.value(), new_report.value())) {
+    std::printf("  note: %s\n", warning.c_str());
+    podium::obs::LogWarn("bench provenance").Str("warning", warning);
   }
   if (diff.has_regression) {
     if (warn_only) {

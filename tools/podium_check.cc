@@ -1,8 +1,9 @@
 // Differential-correctness driver: generates small seeded instances and
 // asserts that the naïve Algorithm-1 oracle, the optimized selectors
-// (plain scan, lazy heap, 1/2/8 threads), and the serve-layer
-// SelectionService all agree byte for byte — then fuzzes the JSON and
-// HTTP parsers through their production entry points.
+// (plain scan, lazy heap, 1/2/8 threads, forced-scalar and native SIMD
+// kernels), and the serve-layer SelectionService all agree byte for byte
+// — then fuzzes the JSON and HTTP parsers through their production entry
+// points.
 //
 // Exit status is nonzero on any divergence; every message carries the
 // round seed, so a failure reproduces with --seed=<printed> --rounds=1.
@@ -10,6 +11,7 @@
 //   podium_check --rounds=50 --seed=1 --fuzz-iters=200
 //   podium_check --rounds=1 --seed=1729        # replay one round
 //   podium_check --serve=false --threads=      # core selectors only
+//   podium_check --kernel-sweep=false          # ambient kernel variant only
 
 #include <cstdio>
 #include <cstdlib>
@@ -63,6 +65,7 @@ int main(int argc, char** argv) {
   options.rounds = static_cast<int>(flags.Int("rounds", 25));
   options.thread_counts = ParseThreadList(flags.String("threads", "1,2,8"));
   options.with_serve = flags.Bool("serve", true);
+  options.sweep_kernel_variants = flags.Bool("kernel-sweep", true);
   const int fuzz_iters = static_cast<int>(flags.Int("fuzz-iters", 100));
   flags.CheckConsumed();
 

@@ -1,7 +1,9 @@
 #include "podium/check/differential.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "podium/check/invariants.h"
@@ -13,6 +15,7 @@
 #include "podium/json/parser.h"
 #include "podium/serve/request.h"
 #include "podium/serve/service.h"
+#include "podium/shard/sharded_selector.h"
 #include "podium/util/rng.h"
 #include "podium/util/string_util.h"
 #include "podium/util/thread_pool.h"
@@ -220,6 +223,204 @@ void CheckServePath(RoundLog& log, const datagen::Dataset& dataset,
   }
 }
 
+/// One sharded selection's contract checks (DESIGN.md §13): structural
+/// sanity of the merged set and the candidate pools, the merged score
+/// rescored exactly by the unsharded oracle scorer, byte-identity to the
+/// single-snapshot oracle at K=1, and the proven (1−1/e)²/min(K,B) bound
+/// at K>1.
+void CheckShardedSelection(RoundLog& log, const std::string& what,
+                           const shard::ShardedSnapshot& sharded,
+                           const shard::ShardedSelection& sel,
+                           const RoundPlan& plan,
+                           const DiversificationInstance& instance,
+                           const Selection& oracle, double bound) {
+  const Selection& merged = sel.merged;
+  const std::size_t want = std::min(plan.budget, sharded.user_count());
+  if (merged.users.size() != want) {
+    log.Diverge(util::StringPrintf("%s selected %zu users, want %zu",
+                                   what.c_str(), merged.users.size(), want));
+    return;
+  }
+  std::vector<UserId> sorted = merged.users;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    log.Diverge(what + " selected a duplicate user: " +
+                UsersToString(merged.users));
+    return;
+  }
+  if (!sorted.empty() && sorted.back() >= sharded.user_count()) {
+    log.Diverge(what + " selected an out-of-range user: " +
+                UsersToString(merged.users));
+    return;
+  }
+  if (sel.pool_sizes.size() != sharded.shard_count()) {
+    log.Diverge(util::StringPrintf("%s reported %zu pools for %zu shards",
+                                   what.c_str(), sel.pool_sizes.size(),
+                                   sharded.shard_count()));
+  }
+  std::size_t pool_total = 0;
+  for (const std::size_t pool : sel.pool_sizes) pool_total += pool;
+  if (pool_total != sel.candidate_count) {
+    log.Diverge(util::StringPrintf(
+        "%s pool sizes sum to %zu but %zu candidates entered the merge",
+        what.c_str(), pool_total, sel.candidate_count));
+  }
+  // The merged score must be the exact global score of the merged set —
+  // Iden/LBS arithmetic is integer-exact, so == not within-epsilon.
+  const double rescored = OracleScore(instance, merged.users);
+  if (rescored != merged.score) {
+    log.Diverge(util::StringPrintf(
+        "%s reported score %.17g but the oracle rescores %s as %.17g",
+        what.c_str(), merged.score, UsersToString(merged.users).c_str(),
+        rescored));
+  }
+  if (sharded.shard_count() == 1) {
+    CompareWithOracle(log, what.c_str(), oracle, merged);
+  } else if (merged.score < bound * oracle.score) {
+    log.Diverge(util::StringPrintf(
+        "%s score %.17g below the two-round bound %.17g (= %.4f x oracle "
+        "%.17g)",
+        what.c_str(), merged.score, bound * oracle.score, bound,
+        oracle.score));
+  }
+}
+
+/// Sweeps the sharded engine over `options.shard_counts` × both partition
+/// strategies × `options.shard_thread_counts` × both greedy modes, then
+/// (for K>1) drives the sharded serve path and compares its responses to
+/// the direct selector.
+void CheckShardedPath(RoundLog& log, const datagen::Dataset& dataset,
+                      const RoundPlan& plan,
+                      const DiversificationInstance& instance,
+                      const Selection& oracle, const DiffOptions& options) {
+  const double greedy_factor = 1.0 - std::exp(-1.0);
+  for (const std::size_t num_shards : options.shard_counts) {
+    if (num_shards == 0) continue;
+    const double bound =
+        greedy_factor * greedy_factor /
+        static_cast<double>(
+            std::min<std::size_t>(num_shards, std::max<std::size_t>(
+                                                  plan.budget, 1)));
+    for (const shard::PartitionStrategy strategy :
+         {shard::PartitionStrategy::kHashUsers,
+          shard::PartitionStrategy::kGroupAffine}) {
+      shard::ShardOptions shard_options;
+      shard_options.num_shards = num_shards;
+      shard_options.strategy = strategy;
+      const std::string tag = util::StringPrintf(
+          "sharded K=%zu/%s", num_shards,
+          std::string(shard::PartitionStrategyName(strategy)).c_str());
+      // Partitioning, shard builds, and both selection rounds are all
+      // deterministic in the input alone, so every (threads, mode) cell
+      // must reproduce one reference selection byte for byte.
+      std::optional<Selection> reference;
+      for (const std::size_t threads : options.shard_thread_counts) {
+        util::ThreadPool::SetGlobalThreadCount(threads);
+        Result<std::shared_ptr<const shard::ShardedSnapshot>> snapshot =
+            shard::ShardedSnapshot::Build(dataset.repository, plan.instance,
+                                          shard_options, log.seed);
+        if (!snapshot.ok()) {
+          log.Diverge(tag + ": ShardedSnapshot::Build failed: " +
+                      snapshot.status().message());
+          break;
+        }
+        const shard::ShardedSnapshot& sharded = *snapshot.value();
+        if (sharded.user_count() != dataset.repository.user_count()) {
+          log.Diverge(util::StringPrintf(
+              "%s: shards hold %zu users, repository has %zu", tag.c_str(),
+              sharded.user_count(), dataset.repository.user_count()));
+        }
+        if (sharded.group_count() != instance.groups().group_count()) {
+          log.Diverge(util::StringPrintf(
+              "%s: scheme has %zu groups, unsharded index has %zu",
+              tag.c_str(), sharded.group_count(),
+              instance.groups().group_count()));
+        }
+        for (const GreedyMode mode :
+             {GreedyMode::kPlainScan, GreedyMode::kLazyHeap}) {
+          Result<shard::ShardedSelection> sel =
+              shard::ShardedSelector(mode).Select(sharded, plan.budget);
+          const std::string what = util::StringPrintf(
+              "%s %s @%zu threads", tag.c_str(),
+              std::string(serve::SelectorName(mode)).c_str(), threads);
+          if (!sel.ok()) {
+            log.Diverge(what + " failed: " + sel.status().message());
+            continue;
+          }
+          CheckShardedSelection(log, what, sharded, sel.value(), plan,
+                                instance, oracle, bound);
+          if (!reference.has_value()) {
+            reference = sel->merged;
+          } else if (!SameSelection(*reference, sel->merged)) {
+            log.Diverge(util::StringPrintf(
+                "%s selected %s score %.17g; the first cell of this sweep "
+                "selected %s score %.17g",
+                what.c_str(), UsersToString(sel->merged.users).c_str(),
+                sel->merged.score, UsersToString(reference->users).c_str(),
+                reference->score));
+          }
+        }
+      }
+
+      // The sharded serve path (serve::Snapshot only routes to it at
+      // K>1): served users must match the direct selector, cached and
+      // uncached bodies must agree, and unsupported features must map to
+      // Unimplemented rather than wrong answers.
+      if (!options.with_serve || num_shards <= 1 || !reference.has_value()) {
+        continue;
+      }
+      serve::SnapshotOptions snapshot_options;
+      snapshot_options.instance = plan.instance;
+      snapshot_options.shard = shard_options;
+      Result<std::shared_ptr<const serve::Snapshot>> snapshot =
+          serve::Snapshot::Build(dataset.repository.Clone(),
+                                 snapshot_options, /*generation=*/log.seed);
+      if (!snapshot.ok()) {
+        log.Diverge(tag + ": sharded serve Snapshot::Build failed: " +
+                    snapshot.status().message());
+        continue;
+      }
+      serve::ServiceOptions service_options;
+      service_options.cache_entries = 64;
+      service_options.default_deadline_ms = 0;
+      serve::SelectionService service(snapshot.value(), service_options);
+      serve::SelectionRequest request;
+      request.budget = plan.budget;
+      Result<serve::ServiceReply> first = service.Select(request);
+      Result<serve::ServiceReply> again = service.Select(request);
+      if (!first.ok() || !again.ok()) {
+        log.Diverge(tag + ": sharded serve Select failed: " +
+                    (!first.ok() ? first.status() : again.status()).message());
+        continue;
+      }
+      if (first->cache_hit || !again->cache_hit ||
+          again->body != first->body) {
+        log.Diverge(tag + ": sharded serve cache replay is not byte-"
+                          "identical to the original response");
+      }
+      Result<std::vector<UserId>> served = UsersFromBody(first->body);
+      if (!served.ok()) {
+        log.Diverge(tag + ": sharded serve body unparseable: " +
+                    served.status().message());
+      } else if (served.value() != reference->users) {
+        log.Diverge(util::StringPrintf(
+            "%s: serve selected %s, direct selector %s", tag.c_str(),
+            UsersToString(served.value()).c_str(),
+            UsersToString(reference->users).c_str()));
+      }
+      serve::SelectionRequest explain_request;
+      explain_request.budget = plan.budget;
+      explain_request.explain = true;
+      Result<serve::ServiceReply> explained = service.Select(explain_request);
+      if (explained.ok() ||
+          explained.status().code() != StatusCode::kUnimplemented) {
+        log.Diverge(tag + ": sharded serve explain request should be "
+                          "Unimplemented");
+      }
+    }
+  }
+}
+
 void RunRound(RoundLog& log, const DiffOptions& options, int round) {
   util::Rng rng(log.seed);
   RoundPlan plan;
@@ -378,6 +579,11 @@ void RunRound(RoundLog& log, const DiffOptions& options, int round) {
   if (options.with_serve) {
     CheckServePath(log, dataset.value(), plan, oracle.value(),
                    instance.value(), custom, feedback);
+  }
+
+  if (!options.shard_counts.empty()) {
+    CheckShardedPath(log, dataset.value(), plan, instance.value(),
+                     oracle.value(), options);
   }
 }
 

@@ -28,6 +28,18 @@ struct DiffOptions {
   /// Drive the serve-layer SelectionService (with and without the result
   /// cache) and compare its responses against the oracle selection.
   bool with_serve = true;
+
+  /// For each K here, build a sharded snapshot over the round's dataset
+  /// (both partition strategies, at `shard_thread_counts` pool sizes, both
+  /// greedy modes) and run the two-round distributed selection. K=1 must
+  /// be byte-identical to the single-snapshot oracle; K>1 must score the
+  /// merged set exactly (vs OracleScore) and satisfy the proven
+  /// (1−1/e)²/min(K,B) bound against the oracle. Empty disables.
+  std::vector<std::size_t> shard_counts = {};
+
+  /// Global thread-pool sizes the shard sweep runs under; selections must
+  /// be byte-invariant across them.
+  std::vector<std::size_t> shard_thread_counts = {1, 8};
 };
 
 /// The outcome of a differential run. Every divergence message names the

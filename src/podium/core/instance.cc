@@ -32,4 +32,30 @@ Result<DiversificationInstance> DiversificationInstance::FromGroups(
   return instance;
 }
 
+Result<DiversificationInstance> DiversificationInstance::FromGroupsWithScoring(
+    const ProfileRepository& repository, GroupIndex groups,
+    GroupWeighting weights, CoverageKind coverage_kind,
+    std::vector<std::uint32_t> coverage, std::size_t budget) {
+  if (budget == 0) {
+    return Status::InvalidArgument("budget must be positive");
+  }
+  if (groups.user_count() != repository.user_count()) {
+    return Status::InvalidArgument(
+        "group index was built over a different population");
+  }
+  if (weights.group_count() != groups.group_count() ||
+      coverage.size() != groups.group_count()) {
+    return Status::InvalidArgument(
+        "injected weights/coverage disagree with the group count");
+  }
+  DiversificationInstance instance;
+  instance.repository_ = &repository;
+  instance.weights_ = std::move(weights);
+  instance.coverage_kind_ = coverage_kind;
+  instance.coverage_ = std::move(coverage);
+  instance.groups_ = std::move(groups);
+  instance.budget_ = budget;
+  return instance;
+}
+
 }  // namespace podium

@@ -41,6 +41,17 @@ class DiversificationInstance {
       const ProfileRepository& repository, GroupIndex groups,
       WeightKind weight_kind, CoverageKind coverage_kind, std::size_t budget);
 
+  /// Builds an instance over caller-provided groups with EXPLICIT weights
+  /// and coverage requirements instead of deriving them from the index.
+  /// The sharded engine uses this to inject globally computed wei/cov into
+  /// each shard-local instance, so every shard greedily optimizes the same
+  /// global objective f (required for the two-round GreeDi bound and the
+  /// K=1 byte-identity guarantee; see DESIGN.md §13).
+  [[nodiscard]] static Result<DiversificationInstance> FromGroupsWithScoring(
+      const ProfileRepository& repository, GroupIndex groups,
+      GroupWeighting weights, CoverageKind coverage_kind,
+      std::vector<std::uint32_t> coverage, std::size_t budget);
+
   const ProfileRepository& repository() const { return *repository_; }
   const GroupIndex& groups() const { return groups_; }
   const GroupWeighting& weights() const { return weights_; }

@@ -27,11 +27,21 @@ std::vector<std::uint32_t> ComputeCoverage(const GroupIndex& index,
                                            CoverageKind kind,
                                            std::size_t budget,
                                            std::size_t population) {
-  std::vector<std::uint32_t> coverage(index.group_count(), 1);
+  std::vector<std::uint32_t> sizes(index.group_count());
+  for (GroupId g = 0; g < sizes.size(); ++g) {
+    sizes[g] = static_cast<std::uint32_t>(index.group_size(g));
+  }
+  return ComputeCoverage(sizes, kind, budget, population);
+}
+
+std::vector<std::uint32_t> ComputeCoverage(std::span<const std::uint32_t> sizes,
+                                           CoverageKind kind,
+                                           std::size_t budget,
+                                           std::size_t population) {
+  std::vector<std::uint32_t> coverage(sizes.size(), 1);
   if (kind == CoverageKind::kProp && population > 0) {
-    for (GroupId g = 0; g < index.group_count(); ++g) {
-      const std::size_t proportional =
-          budget * index.group_size(g) / population;
+    for (GroupId g = 0; g < sizes.size(); ++g) {
+      const std::size_t proportional = budget * sizes[g] / population;
       coverage[g] =
           static_cast<std::uint32_t>(std::max<std::size_t>(proportional, 1));
     }

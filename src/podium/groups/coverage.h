@@ -2,6 +2,7 @@
 #define PODIUM_GROUPS_COVERAGE_H_
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -22,6 +23,14 @@ Result<CoverageKind> ParseCoverageKind(std::string_view name);
 /// Evaluates cov(G) for every group. `budget` is the |U| of Def. 3.7 (the
 /// size of the subset to be selected) and `population` is |𝒰|.
 std::vector<std::uint32_t> ComputeCoverage(const GroupIndex& index,
+                                           CoverageKind kind,
+                                           std::size_t budget,
+                                           std::size_t population);
+
+/// As above, but over explicit group sizes instead of an index. The
+/// sharded engine evaluates cov from GLOBAL group sizes so every shard
+/// answers against the same coverage requirements.
+std::vector<std::uint32_t> ComputeCoverage(std::span<const std::uint32_t> sizes,
                                            CoverageKind kind,
                                            std::size_t budget,
                                            std::size_t population);

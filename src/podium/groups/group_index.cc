@@ -18,19 +18,16 @@ namespace {
 /// a chunk needs a few hundred users to amortize dispatch.
 constexpr std::size_t kUserGrain = 256;
 
-/// Group label per Section 5: "<bucket label> <property label>" for score
-/// properties; boolean "true" groups read as just the property label
-/// ("lives in Tokyo"), "false" groups as "not <property label>".
-std::string MakeLabel(const PropertyTable& table, PropertyId property,
-                      const bucketing::Bucket& bucket) {
+}  // namespace
+
+std::string MakeGroupLabel(const PropertyTable& table, PropertyId property,
+                           const bucketing::Bucket& bucket) {
   const std::string& property_label = table.Label(property);
   if (table.Kind(property) == PropertyKind::kBoolean) {
     return bucket.label == "false" ? "not " + property_label : property_label;
   }
   return bucket.label + " " + property_label;
 }
-
-}  // namespace
 
 Status GroupIndex::FinalizeAdjacency(
     const std::vector<std::vector<UserId>>& members,
@@ -207,7 +204,7 @@ Result<GroupIndex> GroupIndex::Build(const ProfileRepository& repository,
       }
       slot_of[p][b] = static_cast<GroupId>(provisional_defs.size());
       provisional_defs.push_back(
-          GroupDef{p, buckets[b], MakeLabel(table, p, buckets[b])});
+          GroupDef{p, buckets[b], MakeGroupLabel(table, p, buckets[b])});
     }
   }
 
@@ -315,6 +312,31 @@ Result<GroupIndex> GroupIndex::FromDefs(const ProfileRepository& repository,
   }
   if (Status s = index.FinalizeAdjacency(members, keep, repository.user_count());
       !s.ok()) {
+    return s;
+  }
+  return index;
+}
+
+Result<GroupIndex> GroupIndex::FromMembership(
+    std::vector<GroupDef> defs,
+    const std::vector<std::vector<UserId>>& members, std::size_t num_users) {
+  if (members.size() != defs.size()) {
+    return Status::InvalidArgument(
+        "FromMembership: defs and member lists disagree in size");
+  }
+  for (const std::vector<UserId>& list : members) {
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i] >= num_users || (i > 0 && list[i] <= list[i - 1])) {
+        return Status::InvalidArgument(
+            "FromMembership: member lists must be strictly ascending, "
+            "in-range user ids");
+      }
+    }
+  }
+  GroupIndex index;
+  index.defs_ = std::move(defs);
+  const std::vector<bool> keep(members.size(), true);
+  if (Status s = index.FinalizeAdjacency(members, keep, num_users); !s.ok()) {
     return s;
   }
   return index;

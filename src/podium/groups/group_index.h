@@ -45,6 +45,14 @@ struct GroupingOptions {
   std::vector<std::string> property_filters;
 };
 
+/// Group label per Section 5: "<bucket label> <property label>" for score
+/// properties; boolean "true" groups read as just the property label
+/// ("lives in Tokyo"), "false" groups as "not <property label>". Shared
+/// by GroupIndex::Build and the sharded GroupScheme so the two paths
+/// cannot drift.
+std::string MakeGroupLabel(const PropertyTable& table, PropertyId property,
+                           const bucketing::Bucket& bucket);
+
 /// The set of simple groups 𝒢 over a repository plus the bidirectional
 /// user ↔ group adjacency that Algorithm 1's data-structure section calls
 /// for ("links in both directions between the lists").
@@ -80,6 +88,17 @@ class GroupIndex {
   /// crafted groups, as surveyors define them).
   static Result<GroupIndex> FromDefs(const ProfileRepository& repository,
                                      std::vector<GroupDef> defs);
+
+  /// Builds an index from explicit definitions plus precomputed member
+  /// lists (members[d] are the users of defs[d], strictly ascending by
+  /// user id). Unlike Build()/FromDefs(), EVERY definition is kept —
+  /// including empty ones — so callers can impose a shared group-id
+  /// space across several indexes: the sharded engine builds one index
+  /// per shard over the GLOBAL GroupScheme, where a locally-empty group
+  /// simply contributes nothing. buckets_per_property() is left empty.
+  static Result<GroupIndex> FromMembership(
+      std::vector<GroupDef> defs,
+      const std::vector<std::vector<UserId>>& members, std::size_t num_users);
 
   std::size_t group_count() const { return defs_.size(); }
   std::size_t user_count() const {

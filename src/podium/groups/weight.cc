@@ -27,9 +27,19 @@ Result<WeightKind> ParseWeightKind(std::string_view name) {
 
 GroupWeighting GroupWeighting::Compute(const GroupIndex& index,
                                        WeightKind kind, std::size_t budget) {
+  std::vector<std::uint32_t> sizes(index.group_count());
+  for (GroupId g = 0; g < sizes.size(); ++g) {
+    sizes[g] = static_cast<std::uint32_t>(index.group_size(g));
+  }
+  return ComputeFromSizes(sizes, kind, budget);
+}
+
+GroupWeighting GroupWeighting::ComputeFromSizes(
+    std::span<const std::uint32_t> sizes, WeightKind kind,
+    std::size_t budget) {
   GroupWeighting weighting;
   weighting.kind_ = kind;
-  const std::size_t n = index.group_count();
+  const std::size_t n = sizes.size();
   weighting.scalar_.resize(n);
   switch (kind) {
     case WeightKind::kIden:
@@ -37,7 +47,7 @@ GroupWeighting GroupWeighting::Compute(const GroupIndex& index,
       break;
     case WeightKind::kLbs:
       for (GroupId g = 0; g < n; ++g) {
-        weighting.scalar_[g] = static_cast<double>(index.group_size(g));
+        weighting.scalar_[g] = static_cast<double>(sizes[g]);
       }
       break;
     case WeightKind::kEbs: {
@@ -45,10 +55,8 @@ GroupWeighting GroupWeighting::Compute(const GroupIndex& index,
       std::vector<GroupId> order(n);
       std::iota(order.begin(), order.end(), 0u);
       std::stable_sort(order.begin(), order.end(),
-                       [&index](GroupId a, GroupId b) {
-                         if (index.group_size(a) != index.group_size(b)) {
-                           return index.group_size(a) < index.group_size(b);
-                         }
+                       [sizes](GroupId a, GroupId b) {
+                         if (sizes[a] != sizes[b]) return sizes[a] < sizes[b];
                          return a < b;
                        });
       weighting.rank_.resize(n);

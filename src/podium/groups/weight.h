@@ -2,6 +2,7 @@
 #define PODIUM_GROUPS_WEIGHT_H_
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -34,6 +35,14 @@ class GroupWeighting {
   /// `budget` is the B used by EBS's base (B+1); ignored by Iden/LBS.
   static GroupWeighting Compute(const GroupIndex& index, WeightKind kind,
                                 std::size_t budget = 0);
+
+  /// As above, but over explicit group sizes instead of an index. The
+  /// sharded engine computes weights from GLOBAL group sizes and injects
+  /// them into every shard-local instance, so all shards optimize the
+  /// same global objective.
+  static GroupWeighting ComputeFromSizes(std::span<const std::uint32_t> sizes,
+                                         WeightKind kind,
+                                         std::size_t budget = 0);
 
   WeightKind kind() const { return kind_; }
   std::size_t group_count() const { return scalar_.size(); }

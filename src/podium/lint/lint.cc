@@ -494,6 +494,13 @@ void CheckIntrinsicsScope(const std::string& path,
   // bytes into typed spans. Anywhere else, a reinterpret_cast is either a
   // bug or a call for one of those two abstractions; OS-interface casts
   // (sockaddr) carry an explicit `podium-lint: allow(intrinsics-scope)`.
+  //
+  // Shard-arena ownership: `shard/*.cc` *owns* per-shard arenas (each
+  // shard of a ShardedSnapshot sizes one util::Arena for its CSR slices)
+  // but it is deliberately NOT on the exemption list — owning an arena
+  // means requesting typed spans via Arena::AllocateSpan<T>, never
+  // re-punning the raw block, so shard code stays under the same
+  // confinement as every other caller.
   if (PathIsUnder(path, "src/podium/core/kernels.") ||
       PathIsUnder(path, "src/podium/util/arena.")) {
     return;

@@ -111,6 +111,19 @@ void TraceContext::EndSpan(int index) {
   }
 }
 
+int TraceContext::AddCompletedSpan(std::string_view name,
+                                   double start_seconds,
+                                   double duration_seconds) {
+  TraceSpan span;
+  span.name = std::string(name);
+  span.parent = open_stack_.empty() ? -1 : open_stack_.back();
+  span.start_seconds = start_seconds;
+  span.duration_seconds = duration_seconds;
+  const int index = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  return index;
+}
+
 double TraceContext::ElapsedSeconds() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start_)

@@ -62,6 +62,15 @@ class TraceContext {
   int BeginSpan(std::string_view name);
   void EndSpan(int index);
 
+  /// Records an already-measured span (offset + duration in seconds,
+  /// relative to the trace start) under the innermost open span. Used by
+  /// layers that fan work out to pool threads — the sharded selector
+  /// measures each shard's wall clock off-thread and projects it into the
+  /// request trace, which the RAII Span cannot do from a non-request
+  /// thread. Returns the span's index.
+  int AddCompletedSpan(std::string_view name, double start_seconds,
+                       double duration_seconds);
+
   double ElapsedSeconds() const;
   const std::vector<TraceSpan>& spans() const { return spans_; }
 

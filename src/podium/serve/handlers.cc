@@ -71,9 +71,22 @@ HttpResponse HandleHealthz(SelectionService& service) {
     root.Set("snapshot_generation",
              json::Value(static_cast<double>(snapshot->generation())));
     root.Set("snapshot_age_seconds", json::Value(snapshot->AgeSeconds()));
-    root.Set("users", json::Value(snapshot->repository().user_count()));
-    root.Set("groups",
-             json::Value(snapshot->default_instance().groups().group_count()));
+    root.Set("users", json::Value(snapshot->user_count()));
+    root.Set("groups", json::Value(snapshot->group_count()));
+    root.Set("memory_bytes",
+             json::Value(static_cast<double>(snapshot->MemoryBytes())));
+    const shard::ShardedSnapshot* sharded = snapshot->sharded();
+    root.Set("shards",
+             json::Value(sharded ? sharded->shard_count() : std::size_t{1}));
+    if (sharded != nullptr) {
+      json::Array shard_users;
+      shard_users.reserve(sharded->shard_count());
+      for (std::size_t s = 0; s < sharded->shard_count(); ++s) {
+        shard_users.emplace_back(
+            static_cast<double>(sharded->shard(s).user_count()));
+      }
+      root.Set("shard_users", json::Value(std::move(shard_users)));
+    }
   }
   return JsonResponse(snapshot ? 200 : 503, snapshot ? "OK" : "Loading",
                       json::Write(json::Value(std::move(root))) + "\n");

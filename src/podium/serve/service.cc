@@ -7,6 +7,7 @@
 
 #include "podium/core/explanation.h"
 #include "podium/obs/trace.h"
+#include "podium/shard/sharded_selector.h"
 #include "podium/telemetry/phase.h"
 #include "podium/telemetry/telemetry.h"
 #include "podium/util/stopwatch.h"
@@ -233,6 +234,10 @@ Result<std::string> SelectionService::RunSelection(
   outcome.coverage_kind = request.coverage_kind.value_or(
       snapshot.options().instance.coverage_kind);
 
+  if (snapshot.is_sharded()) {
+    return RunShardedSelection(snapshot, request, outcome);
+  }
+
   // Reuse the shared prebuilt instance whenever the request's parameters
   // resolve to it; otherwise re-evaluate weights/coverage over the shared
   // CSR group index (never the grouping itself).
@@ -279,6 +284,48 @@ Result<std::string> SelectionService::RunSelection(
   }
   if (request.explain) {
     outcome.explanations = BuildExplanations(*instance, outcome.users);
+  }
+  return SerializeOutcome(outcome);
+}
+
+Result<std::string> SelectionService::RunShardedSelection(
+    const Snapshot& snapshot, const SelectionRequest& request,
+    SelectionOutcome& outcome) {
+  const shard::ShardedSnapshot& sharded = *snapshot.sharded();
+  // The sharded engine bakes the snapshot's global weights/coverage into
+  // every shard, so per-request scoring overrides would need K instance
+  // rebuilds — serve them from an unsharded deployment instead. A budget
+  // override is fine whenever it does not change the instance (Single
+  // coverage; EBS is rejected at build).
+  if (request.customized() || request.explain) {
+    return Status::Unimplemented(
+        "customization and explanations are not supported with --shards>1");
+  }
+  if (outcome.weight_kind != sharded.weight_kind() ||
+      outcome.coverage_kind != sharded.coverage_kind()) {
+    return Status::Unimplemented(
+        "per-request weight/coverage overrides are not supported with "
+        "--shards>1 (the global scoring is baked into every shard)");
+  }
+  if (outcome.budget != sharded.default_budget() &&
+      outcome.coverage_kind != CoverageKind::kSingle) {
+    return Status::Unimplemented(
+        "budget overrides under Prop coverage are not supported with "
+        "--shards>1 (cov(G) depends on B, which is baked into every shard)");
+  }
+
+  shard::ShardedSelector selector(request.mode);
+  Result<shard::ShardedSelection> selection =
+      selector.Select(sharded, outcome.budget);
+  if (!selection.ok()) return selection.status();
+  outcome.users = std::move(selection->merged.users);
+  outcome.score = selection->merged.score;
+
+  outcome.names.reserve(outcome.users.size());
+  for (UserId u : outcome.users) {
+    Result<std::string> name = sharded.UserName(u);
+    if (!name.ok()) return name.status();
+    outcome.names.push_back(std::move(name).value());
   }
   return SerializeOutcome(outcome);
 }

@@ -77,6 +77,13 @@ class SelectionService {
   [[nodiscard]] Result<std::string> RunSelection(const Snapshot& snapshot,
                                    const SelectionRequest& request);
 
+  /// The sharded branch of RunSelection: two-round distributed greedy via
+  /// shard::ShardedSelector. `outcome` arrives with the generation /
+  /// budget / kind fields resolved.
+  [[nodiscard]] Result<std::string> RunShardedSelection(
+      const Snapshot& snapshot, const SelectionRequest& request,
+      SelectionOutcome& outcome);
+
   /// Blocks until a slot frees, the deadline passes, or the queue
   /// overflows. On success the caller owns one slot and must Release().
   [[nodiscard]] Status Admit(std::int64_t deadline_ms, double* queue_seconds)

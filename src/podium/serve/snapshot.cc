@@ -20,11 +20,37 @@ Result<std::shared_ptr<const Snapshot>> Snapshot::Build(
   // in two steps so the instance points at the repository's final address.
   std::shared_ptr<Snapshot> snapshot(
       new Snapshot());  // podium-lint: allow(raw-new)
-  snapshot->repository_ = std::move(repository);
   snapshot->options_ = options;
   snapshot->generation_ = generation;
   snapshot->created_at_ = std::chrono::steady_clock::now();
 
+  if (options.shard.num_shards > 1) {
+    // Sharded mode: the partitioned engine owns per-shard
+    // sub-repositories and adjacency; the global repository_ and
+    // default_instance_ stay empty (the input repository is dropped once
+    // the shards are built).
+    Result<std::shared_ptr<const shard::ShardedSnapshot>> sharded =
+        shard::ShardedSnapshot::Build(repository, options.instance,
+                                      options.shard, generation);
+    if (!sharded.ok()) return sharded.status();
+    snapshot->sharded_ = std::move(sharded).value();
+    if (telemetry::Enabled()) {
+      auto& registry = telemetry::MetricsRegistry::Global();
+      registry.gauge("serve.snapshot.generation")
+          .Set(static_cast<double>(generation));
+      registry.gauge("serve.snapshot.users")
+          .Set(static_cast<double>(snapshot->user_count()));
+      registry.gauge("serve.snapshot.groups")
+          .Set(static_cast<double>(snapshot->group_count()));
+      registry.gauge("serve.snapshot.shards")
+          .Set(static_cast<double>(snapshot->sharded_->shard_count()));
+      registry.gauge("serve.snapshot.memory_bytes")
+          .Set(static_cast<double>(snapshot->MemoryBytes()));
+    }
+    return std::shared_ptr<const Snapshot>(std::move(snapshot));
+  }
+
+  snapshot->repository_ = std::move(repository);
   Result<DiversificationInstance> instance = DiversificationInstance::Build(
       snapshot->repository_, options.instance);
   if (!instance.ok()) return instance.status();
@@ -53,8 +79,20 @@ Result<std::shared_ptr<const Snapshot>> Snapshot::Build(
         .Set(static_cast<double>(snapshot->repository_.user_count()));
     registry.gauge("serve.snapshot.groups")
         .Set(static_cast<double>(groups.group_count()));
+    registry.gauge("serve.snapshot.shards").Set(1.0);
+    registry.gauge("serve.snapshot.memory_bytes")
+        .Set(static_cast<double>(snapshot->MemoryBytes()));
   }
   return std::shared_ptr<const Snapshot>(std::move(snapshot));
+}
+
+std::size_t Snapshot::MemoryBytes() const {
+  if (sharded_ != nullptr) return sharded_->MemoryBytes();
+  std::size_t total = label_arena_.capacity();
+  const util::Arena* adjacency =
+      default_instance_.groups().adjacency_arena();
+  if (adjacency != nullptr) total += adjacency->capacity();
+  return total;
 }
 
 bool Snapshot::MatchesDefaultInstance(WeightKind weight_kind,

@@ -10,6 +10,8 @@
 
 #include "podium/core/instance.h"
 #include "podium/profile/repository.h"
+#include "podium/shard/partitioner.h"
+#include "podium/shard/sharded_snapshot.h"
 #include "podium/util/arena.h"
 #include "podium/util/result.h"
 
@@ -22,6 +24,10 @@ namespace podium::serve {
 /// reload.
 struct SnapshotOptions {
   InstanceOptions instance;
+  /// num_shards > 1 builds the partitioned engine (DESIGN.md §13) behind
+  /// the same Snapshot/SnapshotHolder surface: requests, cache keys, and
+  /// the reload swap are unchanged.
+  shard::ShardOptions shard;
 };
 
 /// An immutable bundle of everything a selection request reads: the
@@ -44,9 +50,29 @@ class Snapshot {
       ProfileRepository repository, const SnapshotOptions& options,
       std::uint64_t generation);
 
+  /// Only meaningful for unsharded snapshots (empty under sharding — the
+  /// population lives in the per-shard sub-repositories).
   const ProfileRepository& repository() const { return repository_; }
   const SnapshotOptions& options() const { return options_; }
   std::uint64_t generation() const { return generation_; }
+
+  /// The sharded engine, or nullptr when this snapshot is unsharded.
+  const shard::ShardedSnapshot* sharded() const { return sharded_.get(); }
+  bool is_sharded() const { return sharded_ != nullptr; }
+
+  /// Population / group count, valid in both modes.
+  std::size_t user_count() const {
+    return sharded_ ? sharded_->user_count() : repository_.user_count();
+  }
+  std::size_t group_count() const {
+    return sharded_ ? sharded_->group_count()
+                    : default_instance_.groups().group_count();
+  }
+
+  /// Total arena-backed bytes behind this snapshot: CSR adjacency (summed
+  /// over shards when sharded) plus the label table. Surfaced by /healthz
+  /// and /metrics so the serve-time memory footprint is visible.
+  std::size_t MemoryBytes() const;
 
   /// Seconds since this snapshot was built — /healthz reports it as
   /// snapshot_age_seconds so operators can spot a stale reload loop.
@@ -92,6 +118,7 @@ class Snapshot {
 
   ProfileRepository repository_;
   SnapshotOptions options_;
+  std::shared_ptr<const shard::ShardedSnapshot> sharded_;
   std::uint64_t generation_ = 0;
   std::chrono::steady_clock::time_point created_at_{};
   DiversificationInstance default_instance_;

@@ -1,0 +1,67 @@
+#ifndef PODIUM_SHARD_PARTITIONER_H_
+#define PODIUM_SHARD_PARTITIONER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "podium/profile/repository.h"
+#include "podium/util/result.h"
+
+namespace podium::shard {
+
+/// How users are assigned to shards.
+enum class PartitionStrategy : std::uint8_t {
+  /// shard(u) = splitmix64(u) mod K — uniform, oblivious to profiles.
+  /// Balanced shard sizes; groups scatter across all shards.
+  kHashUsers,
+  /// shard(u) = splitmix64(p*(u)) mod K where p*(u) is the property with
+  /// the highest score in u's profile (ties by lowest property id; users
+  /// with empty profiles fall back to hashing their id). Users sharing a
+  /// salient property co-locate, so the groups derived from it stay
+  /// mostly within one shard — the "cluster then select" layout of the
+  /// clustered-diversity line of work.
+  kGroupAffine,
+};
+
+std::string_view PartitionStrategyName(PartitionStrategy strategy);
+Result<PartitionStrategy> ParsePartitionStrategy(std::string_view name);
+
+/// Options for building a sharded snapshot.
+struct ShardOptions {
+  /// K. 1 reproduces the single-snapshot engine byte for byte.
+  std::size_t num_shards = 1;
+  PartitionStrategy strategy = PartitionStrategy::kHashUsers;
+  /// Per-shard candidate pools hold max(pool_factor * B, B) users (capped
+  /// at the shard population), so the merge round always sees at least a
+  /// full budget's worth of candidates from every non-degenerate shard.
+  std::size_t pool_factor = 2;
+};
+
+/// The result of partitioning: shard membership as explicit ascending
+/// global-user-id lists. Deterministic in (repository, options) — shard
+/// assignment never depends on thread count.
+struct PartitionPlan {
+  std::size_t num_shards = 0;
+  PartitionStrategy strategy = PartitionStrategy::kHashUsers;
+  /// users[s] = global ids of shard s's users, strictly ascending.
+  std::vector<std::vector<UserId>> users;
+
+  std::size_t total_users() const {
+    std::size_t n = 0;
+    for (const auto& shard : users) n += shard.size();
+    return n;
+  }
+};
+
+/// Splits a repository's population into num_shards disjoint shards.
+class Partitioner {
+ public:
+  static Result<PartitionPlan> Partition(const ProfileRepository& repository,
+                                         const ShardOptions& options);
+};
+
+}  // namespace podium::shard
+
+#endif  // PODIUM_SHARD_PARTITIONER_H_

@@ -213,6 +213,16 @@ TEST(IntrinsicsScopeRule, ExemptsKernelsAndArena) {
                   .empty());
 }
 
+TEST(IntrinsicsScopeRule, CoversShardLayer) {
+  // shard/*.cc owns per-shard arenas but is not exempt: typed views come
+  // from Arena::AllocateSpan<T>, never a local reinterpret_cast.
+  const std::vector<Finding> findings = LintFixtureAs(
+      "intrinsics_scope_hit.cc", "src/podium/shard/sharded_snapshot.cc");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "intrinsics-scope");
+  EXPECT_EQ(findings[1].rule, "intrinsics-scope");
+}
+
 TEST(IntrinsicsScopeRule, HonorsSuppression) {
   EXPECT_TRUE(LintFixtureAs("intrinsics_scope_suppressed.cc",
                             "src/podium/serve/fixture.cc")

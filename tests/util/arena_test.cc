@@ -62,6 +62,27 @@ TEST(ArenaTest, TryAllocateReportsExhaustionAndZeroCount) {
   EXPECT_EQ(arena.used(), arena.capacity());
 }
 
+TEST(ArenaTest, ExactCapacityExhaustionAndRefill) {
+  // The per-shard CSR arenas are sized to the byte with summed BytesFor
+  // quanta: the final allocation must land exactly on capacity, every
+  // type's one-past allocation must fail without consuming capacity, and
+  // a Reset must make the exact refill possible again.
+  Arena arena(Arena::BytesFor<std::uint32_t>(33) +
+              Arena::BytesFor<double>(5) + Arena::BytesFor<std::uint8_t>(1));
+  for (int round = 0; round < 2; ++round) {
+    EXPECT_FALSE(arena.TryAllocateSpan<std::uint32_t>(33).empty());
+    EXPECT_FALSE(arena.TryAllocateSpan<double>(5).empty());
+    EXPECT_FALSE(arena.TryAllocateSpan<std::uint8_t>(1).empty());
+    EXPECT_EQ(arena.used(), arena.capacity());
+    EXPECT_TRUE(arena.TryAllocateSpan<std::uint8_t>(1).empty());
+    EXPECT_TRUE(arena.TryAllocateSpan<std::uint32_t>(1).empty());
+    EXPECT_TRUE(arena.TryAllocateSpan<double>(1).empty());
+    EXPECT_EQ(arena.used(), arena.capacity());  // failures consumed nothing
+    arena.Reset();
+    EXPECT_EQ(arena.used(), 0u);
+  }
+}
+
 TEST(ArenaTest, ResetRewindsAndRezeroes) {
   Arena arena(Arena::BytesFor<std::uint32_t>(16));
   std::span<std::uint32_t> first = arena.AllocateSpan<std::uint32_t>(16);

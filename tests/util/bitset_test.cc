@@ -60,6 +60,31 @@ TEST(FixedBitsetTest, ForEachSetSkipsEmptyWordsAndEmptySet) {
   EXPECT_EQ(visited, std::vector<std::size_t>{511});
 }
 
+TEST(FixedBitsetTest, WordBoundarySizes63_64_65) {
+  // The per-shard alive sets land on every side of the 64-bit word
+  // boundary; full set → iterate → clear must be exact at each size.
+  for (const std::size_t n :
+       {std::size_t{63}, std::size_t{64}, std::size_t{65}}) {
+    std::vector<std::uint64_t> words(FixedBitset::WordsFor(n), 0);
+    FixedBitset bits({words.data(), words.size()}, n);
+    EXPECT_EQ(bits.size(), n);
+    for (std::size_t i = 0; i < n; ++i) bits.Set(i);
+    EXPECT_EQ(bits.CountSet(), n) << n;
+    std::vector<std::size_t> visited;
+    bits.ForEachSet([&](std::size_t i) { visited.push_back(i); });
+    ASSERT_EQ(visited.size(), n) << n;
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(visited[i], i);
+    // Bits past size() in the last word must stay clear after a full set.
+    if (n % 64 != 0) {
+      EXPECT_EQ(words.back() >> (n % 64), 0u) << n;
+    }
+    bits.Clear(n - 1);
+    EXPECT_FALSE(bits.Test(n - 1)) << n;
+    EXPECT_EQ(bits.CountSet(), n - 1) << n;
+    if (n > 1) EXPECT_TRUE(bits.Test(n - 2)) << n;
+  }
+}
+
 TEST(FixedBitsetTest, DefaultConstructedIsEmptyView) {
   FixedBitset bits;
   EXPECT_EQ(bits.size(), 0u);

@@ -12,6 +12,8 @@
 //   podium_check --rounds=1 --seed=1729        # replay one round
 //   podium_check --serve=false --threads=      # core selectors only
 //   podium_check --kernel-sweep=false          # ambient kernel variant only
+//   podium_check --shard-sweep                 # + sharded engine, K=1,2,8
+//   podium_check --shard-sweep --shards=1,4    # custom shard counts
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,7 +28,8 @@
 
 namespace {
 
-std::vector<std::size_t> ParseThreadList(const std::string& spec) {
+std::vector<std::size_t> ParseSizeList(const char* flag,
+                                       const std::string& spec) {
   std::vector<std::size_t> counts;
   std::size_t pos = 0;
   while (pos < spec.size()) {
@@ -36,7 +39,8 @@ std::vector<std::size_t> ParseThreadList(const std::string& spec) {
     if (!token.empty()) {
       const podium::Result<std::size_t> count = podium::util::ParseSize(token);
       if (!count.ok() || count.value() == 0) {
-        podium::obs::LogError("--threads: bad thread count")
+        podium::obs::LogError("bad count in list flag")
+            .Str("flag", flag)
             .Str("value", token);
         std::exit(2);
       }
@@ -63,9 +67,16 @@ int main(int argc, char** argv) {
   podium::check::DiffOptions options;
   options.seed = static_cast<std::uint64_t>(flags.Int("seed", 1));
   options.rounds = static_cast<int>(flags.Int("rounds", 25));
-  options.thread_counts = ParseThreadList(flags.String("threads", "1,2,8"));
+  options.thread_counts =
+      ParseSizeList("--threads", flags.String("threads", "1,2,8"));
   options.with_serve = flags.Bool("serve", true);
   options.sweep_kernel_variants = flags.Bool("kernel-sweep", true);
+  if (flags.Bool("shard-sweep", false)) {
+    options.shard_counts =
+        ParseSizeList("--shards", flags.String("shards", "1,2,8"));
+    options.shard_thread_counts =
+        ParseSizeList("--shard-threads", flags.String("shard-threads", "1,8"));
+  }
   const int fuzz_iters = static_cast<int>(flags.Int("fuzz-iters", 100));
   flags.CheckConsumed();
 

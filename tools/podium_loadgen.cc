@@ -5,7 +5,8 @@
 //
 //   podium_loadgen --port=8080 [--host=127.0.0.1] [--connections=8]
 //                  [--requests=1000] [--body-file=FILE] [--distinct=1]
-//                  [--explain=false] [--bench-out=BENCH_serve.json]
+//                  [--explain=false] [--expect-generation=N]
+//                  [--bench-out=BENCH_serve.json]
 //
 // --distinct=K rotates K distinct request bodies (budgets 2..K+1) across
 // requests so cache behavior can be exercised from both sides; the
@@ -13,6 +14,12 @@
 // overrides the body entirely. Exits non-zero when any request fails
 // (transport error or non-2xx), so smoke scripts can assert "zero
 // errors".
+//
+// Every 2xx response's X-Podium-Snapshot header is tallied and the
+// distinct snapshot generations exercised are printed; with
+// --expect-generation=N a response from any other generation counts as
+// an error, so smoke scripts can assert a /v1/reload actually took (e.g.
+// a sharded snapshot rebuilt and swapped in).
 //
 // The summary reports throughput, latency percentiles and a per-HTTP-
 // status-code breakdown. --bench-out=PATH additionally writes the run as
@@ -34,6 +41,7 @@
 #include "bench/common/flags.h"
 #include "podium/obs/log.h"
 #include "podium/serve/http.h"
+#include "podium/util/parse.h"
 #include "podium/util/stopwatch.h"
 #include "podium/util/string_util.h"
 
@@ -47,6 +55,9 @@ struct WorkerResult {
   std::size_t cache_hits = 0;
   /// Response count per HTTP status code (0 = transport failure).
   std::map<int, std::size_t> status_counts;
+  /// 2xx response count per X-Podium-Snapshot generation (-1 = header
+  /// absent or unparseable).
+  std::map<long long, std::size_t> generation_counts;
   std::string first_error;
 };
 
@@ -64,6 +75,7 @@ int main(int argc, char** argv) {
   const std::string body_file = flags.String("body-file", "");
   const auto distinct = static_cast<std::size_t>(flags.Int("distinct", 1));
   const bool explain = flags.Bool("explain", false);
+  const long long expect_generation = flags.Int("expect-generation", 0);
   const std::string bench_out = flags.String("bench-out", "");
   flags.CheckConsumed();
   if (connections == 0 || total_requests == 0 || distinct == 0) {
@@ -145,6 +157,23 @@ int main(int argc, char** argv) {
         result.latencies_ms.push_back(latency_ms);
         const std::string* cache = response->FindHeader("X-Podium-Cache");
         if (cache != nullptr && *cache == "hit") ++result.cache_hits;
+        const std::string* snapshot =
+            response->FindHeader("X-Podium-Snapshot");
+        long long generation = -1;
+        if (snapshot != nullptr && !snapshot->empty()) {
+          const podium::Result<std::int64_t> parsed =
+              podium::util::ParseInt64(*snapshot);
+          if (parsed.ok()) generation = parsed.value();
+        }
+        ++result.generation_counts[generation];
+        if (expect_generation > 0 && generation != expect_generation) {
+          ++result.errors;
+          if (result.first_error.empty()) {
+            result.first_error = podium::util::StringPrintf(
+                "snapshot generation %lld, expected %lld", generation,
+                expect_generation);
+          }
+        }
       }
     });
   }
@@ -155,6 +184,7 @@ int main(int argc, char** argv) {
   std::size_t errors = 0;
   std::size_t cache_hits = 0;
   std::map<int, std::size_t> status_counts;
+  std::map<long long, std::size_t> generation_counts;
   std::string first_error;
   for (WorkerResult& result : results) {
     latencies.insert(latencies.end(), result.latencies_ms.begin(),
@@ -163,6 +193,9 @@ int main(int argc, char** argv) {
     cache_hits += result.cache_hits;
     for (const auto& [status, count] : result.status_counts) {
       status_counts[status] += count;
+    }
+    for (const auto& [generation, count] : result.generation_counts) {
+      generation_counts[generation] += count;
     }
     if (first_error.empty()) first_error = result.first_error;
   }
@@ -177,6 +210,13 @@ int main(int argc, char** argv) {
       std::printf("  transport errors: %zu\n", count);
     } else {
       std::printf("  HTTP %d: %zu\n", status, count);
+    }
+  }
+  for (const auto& [generation, count] : generation_counts) {
+    if (generation < 0) {
+      std::printf("  snapshot generation (missing header): %zu\n", count);
+    } else {
+      std::printf("  snapshot generation %lld: %zu\n", generation, count);
     }
   }
   const double throughput =
@@ -212,6 +252,11 @@ int main(int argc, char** argv) {
     report.notes["cache_hits"] = static_cast<double>(cache_hits);
     for (const auto& [status, count] : status_counts) {
       report.notes[podium::util::StringPrintf("status.%d", status)] =
+          static_cast<double>(count);
+    }
+    for (const auto& [generation, count] : generation_counts) {
+      report.notes[podium::util::StringPrintf("generation.%lld",
+                                              generation)] =
           static_cast<double>(count);
     }
     const podium::Status written =

@@ -8,7 +8,13 @@
 //                [--deadline-ms=5000] [--cache-entries=1024]
 //                [--bucket=METHOD] [--buckets=K] [--weights=Iden|LBS|EBS]
 //                [--coverage=Single|Prop] [--budget=B]
-//   podium_serve --generate=tripadvisor|yelp [--users=N] [--seed=S] ...
+//                [--shards=K] [--shard-strategy=hash|group-affine]
+//   podium_serve --generate=tripadvisor|yelp [--users=N] [--seed=S]
+//                [--generate-out=FILE] ...
+//
+// --generate-out writes the generated repository to FILE (JSON or CSV by
+// extension) and configures /v1/reload to re-read it — so reload is
+// exercisable without a pre-existing profiles file.
 //
 // Endpoints:
 //   POST /v1/select  {"budget": 8, "selector": "greedy",
@@ -100,8 +106,9 @@ int main(int argc, char** argv) {
   // Serving binaries log requests; libraries default to warnings only.
   podium::obs::SetMinLogLevel(podium::obs::LogLevel::kInfo);
   podium::bench::Flags flags(argc, argv);
-  const std::string profiles = flags.String("profiles", "");
+  std::string profiles = flags.String("profiles", "");
   const std::string generate = flags.String("generate", "");
+  const std::string generate_out = flags.String("generate-out", "");
   const auto users = static_cast<std::size_t>(flags.Int("users", 0));
   const auto seed = static_cast<std::uint64_t>(flags.Int("seed", 7));
   const std::string address = flags.String("address", "127.0.0.1");
@@ -119,6 +126,14 @@ int main(int argc, char** argv) {
       podium::ParseCoverageKind(flags.String("coverage", "Single")));
   snapshot_options.instance.budget =
       static_cast<std::size_t>(flags.Int("budget", 8));
+  snapshot_options.shard.num_shards =
+      static_cast<std::size_t>(flags.Int("shards", 1));
+  snapshot_options.shard.strategy = Unwrap(podium::shard::ParsePartitionStrategy(
+      flags.String("shard-strategy", "hash")));
+  if (snapshot_options.shard.num_shards == 0) {
+    podium::obs::LogError("--shards must be >= 1");
+    return 2;
+  }
 
   podium::serve::ServiceOptions service_options;
   service_options.max_concurrency =
@@ -156,6 +171,27 @@ int main(int argc, char** argv) {
   podium::ProfileRepository repository =
       profiles.empty() ? GenerateProfiles(generate, users, seed)
                        : LoadProfiles(profiles);
+  if (!generate_out.empty()) {
+    if (generate.empty()) {
+      podium::obs::LogError("--generate-out requires --generate");
+      return 2;
+    }
+    const podium::Status saved =
+        EndsWith(generate_out, ".csv")
+            ? podium::SaveRepositoryCsv(repository, generate_out)
+            : podium::SaveRepositoryJson(repository, generate_out);
+    if (!saved.ok()) {
+      podium::obs::LogError("cannot write --generate-out")
+          .Str("path", generate_out)
+          .Str("error", saved.ToString());
+      return 2;
+    }
+    std::printf("podium_serve: wrote generated profiles to %s\n",
+                generate_out.c_str());
+    // Reload below re-reads this file, so /v1/reload works in
+    // --generate mode too.
+    profiles = generate_out;
+  }
   std::printf("podium_serve: building snapshot over %zu users / %zu "
               "properties...\n",
               repository.user_count(), repository.property_count());
@@ -163,8 +199,19 @@ int main(int argc, char** argv) {
       Unwrap(podium::serve::Snapshot::Build(std::move(repository),
                                             snapshot_options,
                                             /*generation=*/1));
-  std::printf("podium_serve: snapshot generation 1, %zu groups\n",
-              snapshot->default_instance().groups().group_count());
+  if (snapshot->is_sharded()) {
+    std::printf(
+        "podium_serve: snapshot generation 1, %zu groups, %zu shards "
+        "(%s partition, %.1f MiB adjacency)\n",
+        snapshot->group_count(), snapshot->sharded()->shard_count(),
+        std::string(podium::shard::PartitionStrategyName(
+                        snapshot_options.shard.strategy))
+            .c_str(),
+        static_cast<double>(snapshot->MemoryBytes()) / (1024.0 * 1024.0));
+  } else {
+    std::printf("podium_serve: snapshot generation 1, %zu groups\n",
+                snapshot->group_count());
+  }
 
   podium::serve::SelectionService service(std::move(snapshot),
                                           service_options);

@@ -1,9 +1,12 @@
 #include "podium/check/differential.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "podium/check/invariants.h"
@@ -191,6 +194,83 @@ void CheckServePath(RoundLog& log, const datagen::Dataset& dataset,
           std::string(serve::SelectorName(mode)).c_str(),
           UsersToString(served.value()).c_str(),
           UsersToString(oracle.users).c_str()));
+    }
+  }
+
+  // Single-flight: N identical requests against a cold key, issued
+  // concurrently, must run exactly one selection. The leader parks inside
+  // its admission slot until every follower has joined the flight, so the
+  // coalescing is forced rather than timing-dependent; the followers then
+  // share the leader's bytes.
+  {
+    constexpr std::size_t kCallers = 4;
+    serve::ServiceOptions coalesce_options = cached_options;
+    std::atomic<std::size_t> admissions{0};
+    std::atomic<std::size_t> joined{0};
+    coalesce_options.post_admission_hook = [&admissions, &joined] {
+      ++admissions;
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      while (joined.load() < kCallers - 1 &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    };
+    serve::SelectionService coalesced(snapshot.value(), coalesce_options);
+    coalesced.single_flight().set_join_hook([&joined] { ++joined; });
+
+    serve::SelectionRequest request;
+    request.budget = plan.budget;
+    std::vector<std::optional<Result<serve::ServiceReply>>> replies(kCallers);
+    std::vector<std::thread> callers;
+    callers.reserve(kCallers);
+    for (std::size_t i = 0; i < kCallers; ++i) {
+      callers.emplace_back([&coalesced, &replies, &request, i] {
+        replies[i] = coalesced.Select(request);
+      });
+    }
+    for (std::thread& caller : callers) caller.join();
+
+    if (admissions.load() != 1) {
+      log.Diverge(util::StringPrintf(
+          "single-flight ran %zu selections for %zu identical requests "
+          "(want 1)",
+          admissions.load(), kCallers));
+    }
+    std::size_t shared = 0;
+    for (std::size_t i = 0; i < kCallers; ++i) {
+      if (!replies[i].has_value() || !replies[i]->ok()) {
+        log.Diverge(
+            "single-flight Select failed: " +
+            (replies[i].has_value() ? replies[i]->status().message()
+                                    : std::string("reply never arrived")));
+        continue;
+      }
+      const serve::ServiceReply& reply = replies[i]->value();
+      if (reply.coalesced) ++shared;
+      Result<std::vector<UserId>> served = UsersFromBody(reply.body);
+      if (!served.ok()) {
+        log.Diverge("single-flight body unparseable: " +
+                    served.status().message());
+      } else if (served.value() != oracle.users) {
+        log.Diverge(util::StringPrintf(
+            "single-flight caller %zu selected %s, oracle %s", i,
+            UsersToString(served.value()).c_str(),
+            UsersToString(oracle.users).c_str()));
+      }
+      for (std::size_t j = 0; j < i; ++j) {
+        if (replies[j].has_value() && replies[j]->ok() &&
+            replies[j]->value().body != reply.body) {
+          log.Diverge(util::StringPrintf(
+              "single-flight bodies diverge between callers %zu and %zu", j,
+              i));
+        }
+      }
+    }
+    if (shared != kCallers - 1) {
+      log.Diverge(util::StringPrintf(
+          "single-flight shared %zu of %zu replies (want %zu)", shared,
+          kCallers, kCallers - 1));
     }
   }
 

@@ -1,0 +1,153 @@
+#ifndef PODIUM_SERVE_EVENT_LOOP_H_
+#define PODIUM_SERVE_EVENT_LOOP_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "podium/serve/http.h"
+#include "podium/util/mutex.h"
+#include "podium/util/status.h"
+#include "podium/util/thread_annotations.h"
+
+namespace podium::serve {
+
+struct EventLoopOptions {
+  /// Handler threads. They run only while a complete request is being
+  /// handled — idle keep-alive connections cost a buffer in the loop, not
+  /// a parked thread, so this bounds concurrent *handling*, not clients.
+  std::size_t worker_threads = 8;
+  HttpLimits limits;
+  /// How long to pause accepting after accept() fails on resource
+  /// exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM). The listen backlog holds
+  /// arrivals meanwhile; the pause gives in-flight responses a chance to
+  /// return fds instead of spinning on a full table.
+  int accept_backoff_ms = 50;
+  /// Test-only accept override: must behave like accept4(listen_fd) —
+  /// return an accepted socket, or -1 with errno set. Lets tests inject
+  /// deterministic EMFILE failures without draining the real fd table.
+  std::function<int(int listen_fd)> accept_fn;
+};
+
+/// Nonblocking epoll reactor behind HttpServer: one loop thread owns the
+/// listen socket and every connection (accept, incremental request
+/// parsing as bytes arrive, response writes), and a bounded worker pool
+/// runs the dispatch callback for complete requests. The loop thread
+/// never blocks on a socket and workers never touch one, so a trickling
+/// or idle connection cannot starve request handling.
+///
+/// Lifecycle invariants:
+///   - accept failures never terminate the loop: resource exhaustion
+///     pauses accepting for `accept_backoff_ms` (counted on the
+///     serve.http.accept_failures telemetry counter) and retries;
+///   - per connection, requests are handled strictly in order (HTTP/1.1
+///     keep-alive semantics); pipelined bytes are buffered, bounded by
+///     HttpLimits, and parsed once the previous response is queued;
+///   - connection close honors RFC 9112 token semantics via
+///     RequestsConnectionClose (case-insensitive comma lists, HTTP/1.0
+///     implicit close).
+class EventLoop {
+ public:
+  /// Runs on a worker thread once a request is fully parsed.
+  /// `queue_seconds` is the parsed-to-dispatched delay (worker-pool
+  /// queueing), which the server projects into the request trace.
+  using Dispatch =
+      std::function<HttpResponse(const HttpRequest&, double queue_seconds)>;
+
+  /// `listen_fd` must already be bound + listening; the caller keeps
+  /// ownership (EventLoop only accepts from it and never closes it).
+  EventLoop(int listen_fd, EventLoopOptions options, Dispatch dispatch);
+  /// The owner must Stop() first (HttpServer's Stop state machine does);
+  /// the destructor stops as a backstop for error paths.
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Spawns the loop thread and the worker pool.
+  [[nodiscard]] Status Start();
+
+  /// Wakes and joins the loop thread and every worker, then closes all
+  /// connection fds. Idempotent; safe to call concurrently.
+  void Stop() PODIUM_EXCLUDES(lifecycle_mutex_);
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string input;          // received, not yet parsed
+    std::string output;         // serialized, not yet written
+    std::size_t output_offset = 0;
+    bool in_flight = false;     // a request is with the worker pool
+    bool want_read = true;      // EPOLLIN armed
+    bool want_write = false;    // EPOLLOUT armed
+    bool close_after_write = false;
+    bool peer_closed = false;   // recv saw EOF
+  };
+
+  struct Task {
+    std::uint64_t conn_id = 0;
+    HttpRequest request;
+    bool close_requested = false;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::string bytes;
+    bool close_after_write = false;
+  };
+
+  void LoopThread();
+  void WorkerThread();
+
+  // All of the below run on the loop thread only.
+  void AcceptReady();
+  void PauseAccepting();
+  void ResumeAccepting();
+  void HandleConnectionEvent(std::uint64_t id, std::uint32_t events);
+  void ReadReady(std::uint64_t id);
+  /// Parses and dispatches the next request when none is in flight;
+  /// queues a 400 and marks the connection for close on a parse error.
+  void MaybeDispatch(std::uint64_t id);
+  /// Writes as much pending output as the socket takes; closes the
+  /// connection when done and it is marked close_after_write.
+  void FlushOutput(std::uint64_t id);
+  void UpdateInterest(std::uint64_t id);
+  void CloseConnection(std::uint64_t id);
+  void DrainCompletions();
+
+  int listen_fd_;
+  EventLoopOptions options_;
+  Dispatch dispatch_;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread loop_;
+  std::vector<std::thread> workers_;
+
+  // Loop-thread-only state (no guard needed; single writer/reader).
+  std::unordered_map<std::uint64_t, Connection> connections_;
+  std::uint64_t next_conn_id_ = 2;  // 0 = listen socket, 1 = wake fd
+  bool accept_paused_ = false;
+  std::chrono::steady_clock::time_point accept_resume_at_{};
+
+  util::Mutex task_mutex_;
+  util::CondVar task_ready_;
+  std::deque<Task> tasks_ PODIUM_GUARDED_BY(task_mutex_);
+
+  util::Mutex completion_mutex_;
+  std::vector<Completion> completions_ PODIUM_GUARDED_BY(completion_mutex_);
+
+  util::Mutex lifecycle_mutex_;
+  bool stopped_ PODIUM_GUARDED_BY(lifecycle_mutex_) = false;
+};
+
+}  // namespace podium::serve
+
+#endif  // PODIUM_SERVE_EVENT_LOOP_H_

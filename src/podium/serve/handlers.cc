@@ -51,6 +51,9 @@ HttpResponse HandleSelect(SelectionService& service,
   HttpResponse response = JsonResponse(200, "OK", std::move(reply->body));
   response.headers.emplace_back("X-Podium-Cache",
                                 reply->cache_hit ? "hit" : "miss");
+  if (reply->coalesced) {
+    response.headers.emplace_back("X-Podium-Coalesced", "1");
+  }
   response.headers.emplace_back(
       "X-Podium-Queue-Ms",
       util::FormatDouble(reply->queue_seconds * 1e3, 3));

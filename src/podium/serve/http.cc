@@ -99,7 +99,82 @@ Result<std::size_t> ContentLength(
   return parsed;
 }
 
+/// Builds a request (sans body) out of a parsed head: request-line
+/// validation plus the Transfer-Encoding rejection shared by the blocking
+/// and the incremental parse paths.
+Result<HttpRequest> RequestFromHead(ParsedHead head) {
+  HttpRequest request;
+  const std::vector<std::string> parts = util::Split(head.first_line, ' ');
+  if (parts.size() != 3) {
+    return Status::ParseError("malformed HTTP request line");
+  }
+  request.method = parts[0];
+  request.target = parts[1];
+  request.version = parts[2];
+  request.headers = std::move(head.headers);
+  if (FindHeaderIn(request.headers, "Transfer-Encoding") != nullptr) {
+    return Status::Unimplemented("chunked transfer encoding not supported");
+  }
+  return request;
+}
+
+/// True when any Connection header in `headers` carries `token` —
+/// case-insensitively, with comma-list values split and trimmed.
+bool HasConnectionToken(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    std::string_view token) {
+  for (const auto& [key, value] : headers) {
+    if (!EqualsIgnoreCase(key, "Connection")) continue;
+    std::size_t pos = 0;
+    while (pos <= value.size()) {
+      std::size_t comma = value.find(',', pos);
+      if (comma == std::string::npos) comma = value.size();
+      const std::string_view item = util::StripWhitespace(
+          std::string_view(value).substr(pos, comma - pos));
+      if (EqualsIgnoreCase(item, token)) return true;
+      pos = comma + 1;
+    }
+  }
+  return false;
+}
+
 }  // namespace
+
+bool RequestsConnectionClose(const HttpRequest& request) {
+  if (HasConnectionToken(request.headers, "close")) return true;
+  if (EqualsIgnoreCase(request.version, "HTTP/1.0")) {
+    // HTTP/1.0 defaults to close; an explicit keep-alive token opts out.
+    return !HasConnectionToken(request.headers, "keep-alive");
+  }
+  return false;
+}
+
+Result<std::optional<HttpRequest>> TryParseHttpRequest(
+    std::string& buffer, const HttpLimits& limits) {
+  const std::size_t terminator = buffer.find("\r\n\r\n");
+  if (terminator == std::string::npos) {
+    if (buffer.size() > limits.max_header_bytes) {
+      return Status::ParseError("HTTP header block exceeds limit");
+    }
+    return std::optional<HttpRequest>();
+  }
+  const std::size_t head_bytes = terminator + 4;
+  Result<ParsedHead> head = ParseHead(buffer.substr(0, head_bytes));
+  if (!head.ok()) return head.status();
+  Result<HttpRequest> request = RequestFromHead(std::move(head).value());
+  if (!request.ok()) return request.status();
+  Result<std::size_t> length = ContentLength(request->headers);
+  if (!length.ok()) return length.status();
+  if (length.value() > limits.max_body_bytes) {
+    return Status::ParseError("HTTP body exceeds limit");
+  }
+  if (buffer.size() < head_bytes + length.value()) {
+    return std::optional<HttpRequest>();
+  }
+  request->body = buffer.substr(head_bytes, length.value());
+  buffer.erase(0, head_bytes + length.value());
+  return std::optional<HttpRequest>(std::move(request).value());
+}
 
 Result<std::string> BufferedReader::ReadHeaderBlock(std::size_t max_bytes) {
   for (;;) {
@@ -189,27 +264,15 @@ Result<HttpRequest> ReadHttpRequest(BufferedReader& reader,
   if (!block.ok()) return block.status();
   Result<ParsedHead> head = ParseHead(block.value());
   if (!head.ok()) return head.status();
-
-  HttpRequest request;
-  const std::vector<std::string> parts =
-      util::Split(head->first_line, ' ');
-  if (parts.size() != 3) {
-    return Status::ParseError("malformed HTTP request line");
-  }
-  request.method = parts[0];
-  request.target = parts[1];
-  request.version = parts[2];
-  request.headers = std::move(head->headers);
-  if (FindHeaderIn(request.headers, "Transfer-Encoding") != nullptr) {
-    return Status::Unimplemented("chunked transfer encoding not supported");
-  }
-  Result<std::size_t> length = ContentLength(request.headers);
+  Result<HttpRequest> request = RequestFromHead(std::move(head).value());
+  if (!request.ok()) return request.status();
+  Result<std::size_t> length = ContentLength(request->headers);
   if (!length.ok()) return length.status();
   if (length.value() > 0) {
     Result<std::string> body =
         reader.ReadBody(length.value(), limits.max_body_bytes);
     if (!body.ok()) return body.status();
-    request.body = std::move(body).value();
+    request->body = std::move(body).value();
   }
   return request;
 }
@@ -281,7 +344,8 @@ std::string SerializeResponse(const HttpResponse& response) {
 }
 
 std::string SerializeRequest(const HttpRequest& request) {
-  std::string out = request.method + " " + request.target + " HTTP/1.1\r\n";
+  std::string out =
+      request.method + " " + request.target + " " + request.version + "\r\n";
   bool have_length = false;
   for (const auto& [key, value] : request.headers) {
     if (EqualsIgnoreCase(key, "Content-Length")) have_length = true;

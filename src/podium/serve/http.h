@@ -59,6 +59,27 @@ struct HttpLimits {
   std::size_t max_body_bytes = 4 * 1024 * 1024;
 };
 
+/// True when the request asks the server to close the connection after
+/// the response (RFC 9112 §9.3/§9.6): any Connection header carries a
+/// "close" token — tokens are case-insensitive and values may be comma
+/// lists ("keep-alive, Close") — or the request is HTTP/1.0, whose
+/// default is close unless an explicit "keep-alive" token is present.
+bool RequestsConnectionClose(const HttpRequest& request);
+
+/// Incremental request framing for a nonblocking reader: attempts to
+/// parse exactly one complete request from the front of `buffer`.
+///
+///   - complete request  -> the request; its bytes are erased from
+///                          `buffer` (pipelined successors stay put)
+///   - not enough bytes  -> nullopt; `buffer` is untouched (call again
+///                          after more bytes arrive)
+///   - malformed/too big -> ParseError (oversized heads are detected as
+///                          soon as `max_header_bytes` is exceeded, so a
+///                          trickling client cannot grow the buffer
+///                          unboundedly)
+[[nodiscard]] Result<std::optional<HttpRequest>> TryParseHttpRequest(
+    std::string& buffer, const HttpLimits& limits);
+
 /// Buffered reader over a socket; one per connection, persisting across
 /// keep-alive messages so pipelined bytes are never dropped.
 class BufferedReader {

@@ -2,7 +2,6 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -13,7 +12,6 @@
 
 #include "podium/obs/log.h"
 #include "podium/obs/trace.h"
-#include "podium/telemetry/telemetry.h"
 #include "podium/util/string_util.h"
 
 namespace podium::serve {
@@ -96,134 +94,66 @@ Status HttpServer::Start() {
   port_ = ntohs(address.sin_port);
   listen_fd_ = fd;
 
-  stopping_.store(false, std::memory_order_relaxed);
-  acceptor_ = std::thread([this] { AcceptLoop(); });
-  workers_.reserve(options_.worker_threads);
-  for (std::size_t i = 0; i < options_.worker_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+  EventLoopOptions loop_options;
+  loop_options.worker_threads = options_.worker_threads;
+  loop_options.limits = options_.limits;
+  loop_options.accept_backoff_ms = options_.accept_backoff_ms;
+  loop_options.accept_fn = options_.accept_fn;
+  loop_ = std::make_unique<EventLoop>(
+      listen_fd_, loop_options,
+      [this](const HttpRequest& request, double queue_seconds) {
+        return DispatchTraced(request, queue_seconds);
+      });
+  if (Status started = loop_->Start(); !started.ok()) {
+    loop_.reset();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return started;
+  }
+  {
+    util::MutexLock lock(mutex_);
+    state_ = State::kRunning;
   }
   return Status::Ok();
 }
 
 void HttpServer::Stop() {
-  if (stopping_.exchange(true, std::memory_order_relaxed)) {
-    // A second caller still waits for the first shutdown to finish.
-  }
-  if (listen_fd_ >= 0) {
-    // Unblock accept(); closing also stops new connections.
-    ::shutdown(listen_fd_, SHUT_RDWR);
-  }
   {
     util::MutexLock lock(mutex_);
-    // Unblock workers parked in recv on live connections.
-    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+    switch (state_) {
+      case State::kIdle:
+      case State::kStopped:
+        return;
+      case State::kStopping:
+        // Another thread is mid-shutdown: wait until it finishes rather
+        // than racing it into the joins.
+        while (state_ != State::kStopped) stopped_.Wait(lock);
+        return;
+      case State::kRunning:
+        state_ = State::kStopping;
+        break;
+    }
   }
-  work_ready_.NotifyAll();
-  if (acceptor_.joinable()) acceptor_.join();
-  for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
-  }
-  workers_.clear();
+  loop_->Stop();
+  loop_.reset();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
   {
     util::MutexLock lock(mutex_);
-    for (int fd : pending_) ::close(fd);
-    pending_.clear();
-  }
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    state_ = State::kStopped;
   }
   stopped_.NotifyAll();
 }
 
 void HttpServer::Wait() {
   util::MutexLock lock(mutex_);
-  while (!stopping_.load(std::memory_order_relaxed)) stopped_.Wait(lock);
-}
-
-void HttpServer::AcceptLoop() {
-  for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (stopping_.load(std::memory_order_relaxed)) {
-      if (fd >= 0) ::close(fd);
-      return;
-    }
-    if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      return;  // listen socket gone
-    }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    if (telemetry::Enabled()) {
-      telemetry::MetricsRegistry::Global()
-          .counter("serve.http.connections")
-          .Add();
-    }
-    {
-      util::MutexLock lock(mutex_);
-      pending_.push_back(fd);
-    }
-    work_ready_.NotifyOne();
+  while (state_ == State::kRunning || state_ == State::kStopping) {
+    stopped_.Wait(lock);
   }
 }
 
-void HttpServer::WorkerLoop() {
-  for (;;) {
-    int fd = -1;
-    {
-      util::MutexLock lock(mutex_);
-      while (!stopping_.load(std::memory_order_relaxed) && pending_.empty()) {
-        work_ready_.Wait(lock);
-      }
-      if (stopping_.load(std::memory_order_relaxed)) return;
-      fd = pending_.front();
-      pending_.pop_front();
-      active_fds_.insert(fd);
-    }
-    HandleConnection(fd);
-    {
-      util::MutexLock lock(mutex_);
-      active_fds_.erase(fd);
-    }
-    ::close(fd);
-  }
-}
-
-void HttpServer::HandleConnection(int fd) {
-  BufferedReader reader(fd);
-  for (;;) {
-    Result<HttpRequest> request = ReadHttpRequest(reader, options_.limits);
-    if (!request.ok()) {
-      // NotFound = clean close between requests; anything else gets a 400
-      // best-effort before hanging up.
-      if (request.status().code() != StatusCode::kNotFound &&
-          !stopping_.load(std::memory_order_relaxed)) {
-        HttpResponse bad;
-        bad.status = 400;
-        bad.reason = "Bad Request";
-        bad.body = request.status().ToString() + "\n";
-        bad.headers.emplace_back("Content-Type", "text/plain");
-        bad.headers.emplace_back("Connection", "close");
-        (void)WriteAll(fd, SerializeResponse(bad));
-      }
-      return;
-    }
-    if (stopping_.load(std::memory_order_relaxed)) return;
-
-    HttpResponse response = DispatchTraced(request.value());
-    const std::string* connection = request->FindHeader("Connection");
-    const bool close_requested =
-        connection != nullptr && (*connection == "close" ||
-                                  *connection == "Close");
-    if (close_requested) {
-      response.headers.emplace_back("Connection", "close");
-    }
-    if (!WriteAll(fd, SerializeResponse(response)).ok()) return;
-    if (close_requested) return;
-  }
-}
-
-HttpResponse HttpServer::DispatchTraced(const HttpRequest& request) {
+HttpResponse HttpServer::DispatchTraced(const HttpRequest& request,
+                                        double queue_seconds) {
   // Adopt a well-formed client trace id (so a caller can stitch our spans
   // into its own trace); mint one otherwise.
   obs::TraceId trace_id;
@@ -235,6 +165,11 @@ HttpResponse HttpServer::DispatchTraced(const HttpRequest& request) {
 
   const double start_unix = UnixSecondsNow();
   obs::TraceContext trace(trace_id);
+  // The wait for a worker happened before this trace existed; project it
+  // as a span at offset 0 so trace views show queueing next to handling.
+  if (queue_seconds > 0.0) {
+    trace.AddCompletedSpan("http.queue", 0.0, queue_seconds);
+  }
   HttpResponse response;
   {
     obs::TraceScope scope(&trace);
@@ -263,6 +198,7 @@ HttpResponse HttpServer::DispatchTraced(const HttpRequest& request) {
         .Str("path", finished.path)
         .Num("status", finished.http_status)
         .Num("duration_ms", total_seconds * 1e3)
+        .Num("queue_ms", queue_seconds * 1e3)
         .Num("bytes", static_cast<double>(response.body.size()))
         .TraceId(trace_hex);
     if (sample_spans && !finished.spans.empty()) {

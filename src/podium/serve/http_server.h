@@ -3,13 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <memory>
 #include <string>
-#include <thread>
-#include <unordered_set>
-#include <vector>
 
+#include "podium/serve/event_loop.h"
 #include "podium/serve/http.h"
 #include "podium/util/mutex.h"
 #include "podium/util/status.h"
@@ -21,28 +19,37 @@ struct HttpServerOptions {
   std::string bind_address = "127.0.0.1";
   /// 0 picks an ephemeral port; read it back via port() after Start().
   int port = 0;
-  /// Threads handling connections; each owns one connection at a time
-  /// (HTTP/1.1 keep-alive serializes requests per connection anyway), so
-  /// this bounds concurrently-served clients.
+  /// Threads running the handler. Unlike the old blocking design they are
+  /// busy only while a request is being handled — idle keep-alive
+  /// connections are parked in the event loop, not on a thread — so this
+  /// bounds concurrent handling, not concurrent clients.
   std::size_t worker_threads = 8;
   HttpLimits limits;
   /// When > 0, every Nth request's access-log line also carries its span
   /// tree (a sampled trace), so production logs show where time went
   /// without logging every request's spans.
   std::size_t trace_log_every = 0;
+  /// Pause before retrying accept() after fd exhaustion (EventLoopOptions
+  /// passthrough).
+  int accept_backoff_ms = 50;
+  /// Test-only accept override (EventLoopOptions passthrough).
+  std::function<int(int listen_fd)> accept_fn;
 };
 
-/// Minimal blocking HTTP/1.1 server: an acceptor thread queues accepted
-/// sockets, worker threads run the keep-alive request loop and call the
-/// handler per request. The handler must be thread-safe; it is invoked
+/// HTTP/1.1 server over an epoll event loop (EventLoop): one loop thread
+/// accepts and parses requests incrementally as bytes arrive and writes
+/// responses without blocking, a bounded worker pool runs the handler for
+/// complete requests. The handler must be thread-safe; it is invoked
 /// concurrently from every worker.
 ///
 /// Every request runs under a request-scoped trace (podium::obs): the
 /// X-Podium-Trace-Id request header is adopted when it parses as 32 hex
 /// chars, minted otherwise, always echoed on the response, and the
-/// finished span tree is recorded into obs::TraceRing::Global() (served
-/// by GET /v1/traces). Each request also emits an info-level structured
-/// access-log line stamped with the trace id.
+/// finished span tree — including an "http.queue" span for the time the
+/// parsed request waited for a worker — is recorded into
+/// obs::TraceRing::Global() (served by GET /v1/traces). Each request also
+/// emits an info-level structured access-log line stamped with the trace
+/// id.
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
@@ -52,12 +59,14 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Binds, listens and spawns the acceptor + workers. port() is valid
+  /// Binds, listens and spawns the event loop + workers. port() is valid
   /// after an OK return.
   [[nodiscard]] Status Start();
 
-  /// Shuts down: stops accepting, unblocks workers parked in recv (open
-  /// connections are shut down), joins every thread. Idempotent.
+  /// Shuts down: stops accepting, closes every connection, joins the loop
+  /// thread and every worker. Idempotent AND safe under concurrent
+  /// callers: exactly one performs the shutdown, every other caller
+  /// blocks until it has finished (nobody double-joins).
   void Stop() PODIUM_EXCLUDES(mutex_);
 
   int port() const { return port_; }
@@ -67,30 +76,24 @@ class HttpServer {
   void Wait() PODIUM_EXCLUDES(mutex_);
 
  private:
-  void AcceptLoop() PODIUM_EXCLUDES(mutex_);
-  void WorkerLoop() PODIUM_EXCLUDES(mutex_);
-  void HandleConnection(int fd);
+  enum class State { kIdle, kRunning, kStopping, kStopped };
+
   /// Runs handler_ under a fresh TraceContext, records the finished trace
-  /// and the access-log line, and stamps the trace id on the response.
-  HttpResponse DispatchTraced(const HttpRequest& request);
+  /// (with the worker-pool queue delay as an "http.queue" span) and the
+  /// access-log line, and stamps the trace id on the response.
+  HttpResponse DispatchTraced(const HttpRequest& request,
+                              double queue_seconds);
 
   HttpServerOptions options_;
   Handler handler_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<std::uint64_t> request_count_{0};
-
-  std::atomic<bool> stopping_{false};
-  std::thread acceptor_;
-  std::vector<std::thread> workers_;
+  std::unique_ptr<EventLoop> loop_;
 
   util::Mutex mutex_;
-  util::CondVar work_ready_;
   util::CondVar stopped_;
-  // Accepted fds awaiting a worker.
-  std::deque<int> pending_ PODIUM_GUARDED_BY(mutex_);
-  // Connections being served.
-  std::unordered_set<int> active_fds_ PODIUM_GUARDED_BY(mutex_);
+  State state_ PODIUM_GUARDED_BY(mutex_) = State::kIdle;
 };
 
 }  // namespace podium::serve

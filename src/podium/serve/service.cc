@@ -183,40 +183,131 @@ Result<ServiceReply> SelectionService::Select(const SelectionRequest& request) {
                       : request.deadline_ms;
   }
 
-  Status admitted = [&] {
-    obs::Span admission_span("admission");
-    return Admit(deadline_ms, &reply.queue_seconds);
-  }();
-  if (!admitted.ok()) {
-    if (telemetry_on) ServeMetrics::Get().errors.Add();
-    return admitted;
-  }
-  // Exception-safe release: selector code returns Status, but anything
-  // escaping (e.g. bad_alloc through ParallelFor) must not leak the slot.
-  struct SlotGuard {
-    SelectionService* service;
-    ~SlotGuard() { service->Release(); }
-  } slot_guard{this};
-  if (options_.post_admission_hook) options_.post_admission_hook();
+  // Single-flight the miss: if an identical request (same canonical key,
+  // so same generation + parameters) is already past the cache and
+  // running, park here and share its result — errors included — instead
+  // of stampeding N copies of the same selection through the admission
+  // queue. Followers do not hold execution slots while parked.
+  SingleFlight::Outcome flight = single_flight_.Do(key, [&]()
+                                                       -> Result<std::string> {
+    Status admitted = [&] {
+      obs::Span admission_span("admission");
+      return Admit(deadline_ms, &reply.queue_seconds);
+    }();
+    if (!admitted.ok()) return admitted;
+    // Exception-safe release: selector code returns Status, but anything
+    // escaping (e.g. bad_alloc through ParallelFor) must not leak the slot.
+    struct SlotGuard {
+      SelectionService* service;
+      ~SlotGuard() { service->Release(); }
+    } slot_guard{this};
+    if (options_.post_admission_hook) options_.post_admission_hook();
 
-  util::Stopwatch run;
-  Result<std::string> body = [&] {
-    obs::Span run_span("run");
-    return RunSelection(*snapshot, request);
-  }();
-  reply.run_seconds = run.ElapsedSeconds();
+    util::Stopwatch run;
+    Result<std::string> body = [&] {
+      obs::Span run_span("run");
+      return RunSelection(*snapshot, request);
+    }();
+    reply.run_seconds = run.ElapsedSeconds();
 
+    if (telemetry_on) {
+      ServeMetrics& metrics = ServeMetrics::Get();
+      metrics.queue_wait.Observe(reply.queue_seconds);
+      metrics.run_time.Observe(reply.run_seconds);
+    }
+    if (body.ok()) cache_.Put(key, body.value());
+    return body;
+  });
+
+  reply.coalesced = flight.shared;
   if (telemetry_on) {
     ServeMetrics& metrics = ServeMetrics::Get();
-    metrics.queue_wait.Observe(reply.queue_seconds);
-    metrics.run_time.Observe(reply.run_seconds);
     metrics.latency.Observe(total.ElapsedSeconds());
-    if (!body.ok()) metrics.errors.Add();
+    if (!flight.status.ok()) metrics.errors.Add();
   }
-  if (!body.ok()) return body.status();
-  reply.body = std::move(body).value();
-  cache_.Put(key, reply.body);
+  if (!flight.status.ok()) return flight.status;
+  reply.body = std::move(flight.value);
   return reply;
+}
+
+Result<std::shared_ptr<const DiversificationInstance>>
+SelectionService::PooledInstance(const Snapshot& snapshot,
+                                 WeightKind weight_kind,
+                                 CoverageKind coverage_kind,
+                                 std::size_t budget) {
+  // Budget does not change the built instance under Single coverage with
+  // non-EBS weights (same rule MatchesDefaultInstance applies), so those
+  // keys collapse onto one entry.
+  const std::size_t key_budget =
+      coverage_kind == CoverageKind::kSingle && weight_kind != WeightKind::kEbs
+          ? 0
+          : budget;
+  const std::uint64_t generation = snapshot.generation();
+  {
+    util::MutexLock lock(instance_mutex_);
+    for (PooledEntry& entry : instance_pool_) {
+      if (entry.generation == generation &&
+          entry.weight_kind == weight_kind &&
+          entry.coverage_kind == coverage_kind &&
+          entry.budget == key_budget) {
+        entry.last_used = ++instance_pool_clock_;
+        if (telemetry::Enabled()) {
+          telemetry::MetricsRegistry::Global()
+              .counter("serve.batch.instance_reuse")
+              .Add();
+        }
+        return entry.instance;
+      }
+    }
+  }
+
+  // Build outside the lock: a slow build must not stall requests pooling
+  // *different* instances. Two racing builders of the same key build
+  // twice and the loser's insert below finds the winner's entry — wasted
+  // work, never a wrong result (single-flight upstream already collapses
+  // identical requests, so the race needs distinct requests sharing
+  // instance parameters in the same instant).
+  Result<DiversificationInstance> built =
+      snapshot.MakeInstance(weight_kind, coverage_kind, budget);
+  if (!built.ok()) return built.status();
+  auto instance = std::make_shared<const DiversificationInstance>(
+      std::move(built).value());
+
+  util::MutexLock lock(instance_mutex_);
+  for (PooledEntry& entry : instance_pool_) {
+    if (entry.generation == generation && entry.weight_kind == weight_kind &&
+        entry.coverage_kind == coverage_kind && entry.budget == key_budget) {
+      entry.last_used = ++instance_pool_clock_;
+      return entry.instance;  // lost the race; drop our duplicate
+    }
+  }
+  // A snapshot swap obsoletes every pooled instance at once: entries from
+  // other generations are dead weight, so clear rather than LRU-evict.
+  constexpr std::size_t kMaxPooledInstances = 8;
+  bool stale = false;
+  for (const PooledEntry& entry : instance_pool_) {
+    if (entry.generation != generation) stale = true;
+  }
+  if (stale) instance_pool_.clear();
+  if (instance_pool_.size() >= kMaxPooledInstances) {
+    std::size_t oldest = 0;
+    for (std::size_t i = 1; i < instance_pool_.size(); ++i) {
+      if (instance_pool_[i].last_used < instance_pool_[oldest].last_used) {
+        oldest = i;
+      }
+    }
+    instance_pool_[oldest] = instance_pool_.back();
+    instance_pool_.pop_back();
+  }
+  PooledEntry entry;
+  entry.generation = generation;
+  entry.weight_kind = weight_kind;
+  entry.coverage_kind = coverage_kind;
+  entry.budget = key_budget;
+  entry.last_used = ++instance_pool_clock_;
+  entry.instance = instance;
+  instance_pool_.push_back(std::move(entry));
+  return instance;
 }
 
 Result<std::string> SelectionService::RunSelection(
@@ -239,18 +330,21 @@ Result<std::string> SelectionService::RunSelection(
   }
 
   // Reuse the shared prebuilt instance whenever the request's parameters
-  // resolve to it; otherwise re-evaluate weights/coverage over the shared
-  // CSR group index (never the grouping itself).
-  DiversificationInstance local;
+  // resolve to it; otherwise fetch (or build) the per-parameter instance
+  // from the pool so a batch of requests with the same overrides pays for
+  // one build. Either way only weights/coverage are re-evaluated over the
+  // shared CSR group index (never the grouping itself).
+  std::shared_ptr<const DiversificationInstance> pooled;
   const DiversificationInstance* instance = &snapshot.default_instance();
   if (!snapshot.MatchesDefaultInstance(outcome.weight_kind,
                                        outcome.coverage_kind,
                                        outcome.budget)) {
-    Result<DiversificationInstance> built = snapshot.MakeInstance(
-        outcome.weight_kind, outcome.coverage_kind, outcome.budget);
+    Result<std::shared_ptr<const DiversificationInstance>> built =
+        PooledInstance(snapshot, outcome.weight_kind, outcome.coverage_kind,
+                       outcome.budget);
     if (!built.ok()) return built.status();
-    local = std::move(built).value();
-    instance = &local;
+    pooled = std::move(built).value();
+    instance = pooled.get();
   }
 
   if (request.customized()) {

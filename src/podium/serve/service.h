@@ -5,9 +5,11 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "podium/serve/request.h"
 #include "podium/serve/result_cache.h"
+#include "podium/serve/single_flight.h"
 #include "podium/serve/snapshot.h"
 #include "podium/util/mutex.h"
 #include "podium/util/result.h"
@@ -45,6 +47,9 @@ struct ServiceOptions {
 struct ServiceReply {
   std::string body;
   bool cache_hit = false;
+  /// True when this request joined another identical in-flight request and
+  /// shared its result instead of running its own selection.
+  bool coalesced = false;
   double queue_seconds = 0.0;
   double run_seconds = 0.0;
   std::uint64_t snapshot_generation = 0;
@@ -71,6 +76,8 @@ class SelectionService {
   std::shared_ptr<const Snapshot> snapshot() const { return holder_.Current(); }
   const ServiceOptions& options() const { return options_; }
   ResultCache& cache() { return cache_; }
+  /// Exposed so tests can install a join hook (SingleFlight::set_join_hook).
+  SingleFlight& single_flight() { return single_flight_; }
 
  private:
   /// Runs the selection itself (no queueing, no cache) and serializes it.
@@ -90,14 +97,37 @@ class SelectionService {
       PODIUM_EXCLUDES(mutex_);
   void Release() PODIUM_EXCLUDES(mutex_);
 
+  /// Cross-request instance batching: requests against one snapshot
+  /// generation whose parameters resolve to the same non-default instance
+  /// share a single build instead of each paying MakeInstance. The budget
+  /// is normalized out of the key when it cannot change the instance
+  /// (Single coverage, non-EBS weights — mirroring MatchesDefaultInstance).
+  [[nodiscard]] Result<std::shared_ptr<const DiversificationInstance>>
+  PooledInstance(const Snapshot& snapshot, WeightKind weight_kind,
+                 CoverageKind coverage_kind, std::size_t budget)
+      PODIUM_EXCLUDES(instance_mutex_);
+
   ServiceOptions options_;
   SnapshotHolder holder_;
   ResultCache cache_;
+  SingleFlight single_flight_;
 
   util::Mutex mutex_;
   util::CondVar slot_free_;
   std::size_t running_ PODIUM_GUARDED_BY(mutex_) = 0;
   std::size_t waiting_ PODIUM_GUARDED_BY(mutex_) = 0;
+
+  struct PooledEntry {
+    std::uint64_t generation = 0;
+    WeightKind weight_kind{};
+    CoverageKind coverage_kind{};
+    std::size_t budget = 0;  // normalized (0 when irrelevant to the build)
+    std::uint64_t last_used = 0;
+    std::shared_ptr<const DiversificationInstance> instance;
+  };
+  util::Mutex instance_mutex_;
+  std::vector<PooledEntry> instance_pool_ PODIUM_GUARDED_BY(instance_mutex_);
+  std::uint64_t instance_pool_clock_ PODIUM_GUARDED_BY(instance_mutex_) = 0;
 };
 
 }  // namespace podium::serve

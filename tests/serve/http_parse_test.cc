@@ -2,7 +2,10 @@
 // production read path (socketpair + BufferedReader) via
 // check::ParseRequestBytes / check::ParseResponseBytes.
 
+#include <cstddef>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -126,6 +129,143 @@ TEST(HttpResponseParseTest, RoundTripsSerializedResponse) {
   EXPECT_EQ(parsed->status, 503);
   EXPECT_EQ(parsed->reason, "Service Unavailable");
   EXPECT_EQ(parsed->body, response.body);
+}
+
+HttpRequest RequestWithConnection(const std::string& version,
+                                  const std::vector<std::string>& values) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = "/healthz";
+  request.version = version;
+  for (const std::string& value : values) {
+    request.headers.emplace_back("Connection", value);
+  }
+  return request;
+}
+
+TEST(RequestsConnectionCloseTest, MatchesCloseTokenCaseInsensitively) {
+  EXPECT_TRUE(RequestsConnectionClose(
+      RequestWithConnection("HTTP/1.1", {"close"})));
+  EXPECT_TRUE(RequestsConnectionClose(
+      RequestWithConnection("HTTP/1.1", {"Close"})));
+  EXPECT_TRUE(RequestsConnectionClose(
+      RequestWithConnection("HTTP/1.1", {"CLOSE"})));
+  EXPECT_TRUE(RequestsConnectionClose(
+      RequestWithConnection("HTTP/1.1", {"cLoSe"})));
+}
+
+TEST(RequestsConnectionCloseTest, FindsCloseInCommaList) {
+  EXPECT_TRUE(RequestsConnectionClose(
+      RequestWithConnection("HTTP/1.1", {"keep-alive, close"})));
+  EXPECT_TRUE(RequestsConnectionClose(
+      RequestWithConnection("HTTP/1.1", {"keep-alive,Close"})));
+  EXPECT_TRUE(RequestsConnectionClose(
+      RequestWithConnection("HTTP/1.1", {" close , te"})));
+  // Multiple Connection headers are one combined list (RFC 9110 §5.3).
+  EXPECT_TRUE(RequestsConnectionClose(
+      RequestWithConnection("HTTP/1.1", {"te", "close"})));
+}
+
+TEST(RequestsConnectionCloseTest, DoesNotMatchSubstringsOrOtherTokens) {
+  EXPECT_FALSE(RequestsConnectionClose(
+      RequestWithConnection("HTTP/1.1", {"keep-alive"})));
+  // "closed" contains "close" but is a different token.
+  EXPECT_FALSE(RequestsConnectionClose(
+      RequestWithConnection("HTTP/1.1", {"closed"})));
+  EXPECT_FALSE(
+      RequestsConnectionClose(RequestWithConnection("HTTP/1.1", {})));
+}
+
+TEST(RequestsConnectionCloseTest, Http10DefaultsToCloseWithoutKeepAlive) {
+  EXPECT_TRUE(
+      RequestsConnectionClose(RequestWithConnection("HTTP/1.0", {})));
+  EXPECT_FALSE(RequestsConnectionClose(
+      RequestWithConnection("HTTP/1.0", {"keep-alive"})));
+  EXPECT_FALSE(RequestsConnectionClose(
+      RequestWithConnection("HTTP/1.0", {"Keep-Alive"})));
+  // An explicit close wins even alongside keep-alive.
+  EXPECT_TRUE(RequestsConnectionClose(
+      RequestWithConnection("HTTP/1.0", {"keep-alive, close"})));
+}
+
+TEST(TryParseHttpRequestTest, ParsesOnlyOnceComplete) {
+  const std::string wire =
+      "POST /v1/select HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+  HttpLimits limits;
+  // Feed the request one byte at a time: every prefix must come back
+  // incomplete (nullopt) without consuming anything, and the final byte
+  // must complete it.
+  std::string buffer;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    buffer.push_back(wire[i]);
+    const std::size_t before = buffer.size();
+    Result<std::optional<HttpRequest>> partial =
+        TryParseHttpRequest(buffer, limits);
+    ASSERT_TRUE(partial.ok()) << partial.status();
+    EXPECT_FALSE(partial->has_value()) << "completed at byte " << i;
+    EXPECT_EQ(buffer.size(), before);
+  }
+  buffer.push_back(wire.back());
+  Result<std::optional<HttpRequest>> complete =
+      TryParseHttpRequest(buffer, limits);
+  ASSERT_TRUE(complete.ok()) << complete.status();
+  ASSERT_TRUE(complete->has_value());
+  EXPECT_EQ((*complete)->method, "POST");
+  EXPECT_EQ((*complete)->body, "hello");
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(TryParseHttpRequestTest, LeavesPipelinedSuccessorInBuffer) {
+  std::string buffer =
+      "GET /healthz HTTP/1.1\r\n\r\n"
+      "POST /v1/select HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}";
+  HttpLimits limits;
+  Result<std::optional<HttpRequest>> first =
+      TryParseHttpRequest(buffer, limits);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(first->has_value());
+  EXPECT_EQ((*first)->method, "GET");
+
+  Result<std::optional<HttpRequest>> second =
+      TryParseHttpRequest(buffer, limits);
+  ASSERT_TRUE(second.ok()) << second.status();
+  ASSERT_TRUE(second->has_value());
+  EXPECT_EQ((*second)->method, "POST");
+  EXPECT_EQ((*second)->body, "{}");
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(TryParseHttpRequestTest, RejectsOversizedHeadBeforeTerminatorArrives) {
+  HttpLimits limits;
+  limits.max_header_bytes = 64;
+  // A slow-loris head: no terminator yet, already over the limit. The
+  // parser must flag it now rather than buffering forever.
+  std::string buffer = "GET /x HTTP/1.1\r\nX-Pad: " +
+                       std::string(limits.max_header_bytes, 'a');
+  Result<std::optional<HttpRequest>> parsed =
+      TryParseHttpRequest(buffer, limits);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(IsParseError(parsed.status())) << parsed.status();
+}
+
+TEST(TryParseHttpRequestTest, RejectsOversizedBodyDeclaration) {
+  HttpLimits limits;
+  limits.max_body_bytes = 8;
+  std::string buffer =
+      "POST /v1/select HTTP/1.1\r\nContent-Length: 9\r\n\r\n";
+  Result<std::optional<HttpRequest>> parsed =
+      TryParseHttpRequest(buffer, limits);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(IsParseError(parsed.status())) << parsed.status();
+}
+
+TEST(TryParseHttpRequestTest, RejectsMalformedRequestLine) {
+  HttpLimits limits;
+  std::string buffer = "NONSENSE\r\n\r\n";
+  Result<std::optional<HttpRequest>> parsed =
+      TryParseHttpRequest(buffer, limits);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(IsParseError(parsed.status())) << parsed.status();
 }
 
 }  // namespace

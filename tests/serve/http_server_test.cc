@@ -3,7 +3,15 @@
 
 #include "podium/serve/http_server.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -65,6 +73,33 @@ class HttpServerTest : public ::testing::Test {
     Result<HttpResponse> response = client.RoundTrip(request);
     EXPECT_TRUE(response.ok()) << response.status();
     return response.ok() ? std::move(response).value() : HttpResponse{};
+  }
+
+  /// A second server over the same service, with caller-chosen options —
+  /// for tests that need a specific worker count or an injected accept.
+  std::unique_ptr<HttpServer> MakeServer(HttpServerOptions options) {
+    options.port = 0;
+    auto server = std::make_unique<HttpServer>(std::move(options),
+                                               MakeServiceHandler(*service_));
+    EXPECT_TRUE(server->Start().ok());
+    EXPECT_GT(server->port(), 0);
+    return server;
+  }
+
+  /// A raw loopback TCP connection, for driving the server with exact
+  /// bytes (partial requests, HTTP/1.0) that HttpClient cannot produce.
+  static int ConnectRaw(int port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(static_cast<uint16_t>(port));
+    EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr), 1);
+    // podium-lint: allow(intrinsics-scope)
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                        sizeof(address)),
+              0);
+    return fd;
   }
 
   std::unique_ptr<SelectionService> service_;
@@ -361,6 +396,201 @@ TEST_F(HttpServerTest, StopUnblocksIdleConnections) {
   ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
   ASSERT_EQ(RoundTrip(client, "GET", "/healthz").status, 200);
   server_->Stop();  // TearDown's second Stop() is a no-op
+}
+
+TEST_F(HttpServerTest, ConnectionCloseTokenIsCaseInsensitive) {
+  for (const char* value : {"CLOSE", "cLoSe", "Close"}) {
+    HttpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    HttpRequest request;
+    request.method = "GET";
+    request.target = "/healthz";
+    request.headers.emplace_back("Connection", value);
+    Result<HttpResponse> response = client.RoundTrip(request);
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->status, 200);
+    // The server hangs up after the response.
+    HttpRequest again;
+    again.method = "GET";
+    again.target = "/healthz";
+    EXPECT_FALSE(client.RoundTrip(again).ok()) << "token: " << value;
+  }
+}
+
+TEST_F(HttpServerTest, ConnectionCloseIsFoundInCommaList) {
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  HttpRequest request;
+  request.method = "GET";
+  request.target = "/healthz";
+  request.headers.emplace_back("Connection", "keep-alive, Close");
+  Result<HttpResponse> response = client.RoundTrip(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 200);
+  HttpRequest again;
+  again.method = "GET";
+  again.target = "/healthz";
+  EXPECT_FALSE(client.RoundTrip(again).ok());
+}
+
+TEST_F(HttpServerTest, Http10DefaultsToCloseUnlessKeepAlive) {
+  // Plain HTTP/1.0: implicit close after the response.
+  {
+    HttpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    HttpRequest request;
+    request.method = "GET";
+    request.target = "/healthz";
+    request.version = "HTTP/1.0";
+    Result<HttpResponse> response = client.RoundTrip(request);
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->status, 200);
+    HttpRequest again;
+    again.method = "GET";
+    again.target = "/healthz";
+    EXPECT_FALSE(client.RoundTrip(again).ok());
+  }
+  // HTTP/1.0 with an explicit keep-alive token: the connection survives.
+  {
+    HttpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    for (int i = 0; i < 2; ++i) {
+      HttpRequest request;
+      request.method = "GET";
+      request.target = "/healthz";
+      request.version = "HTTP/1.0";
+      request.headers.emplace_back("Connection", "keep-alive");
+      Result<HttpResponse> response = client.RoundTrip(request);
+      ASSERT_TRUE(response.ok()) << response.status() << " round " << i;
+      EXPECT_EQ(response->status, 200);
+    }
+  }
+}
+
+TEST_F(HttpServerTest, AcceptFailuresBackOffAndRecover) {
+  // The first two accepts fail with EMFILE (injected); the server must
+  // count them, pause, and still serve the connection afterwards — the
+  // old design's accept loop exited permanently on this.
+  auto failures_left = std::make_shared<std::atomic<int>>(2);
+  HttpServerOptions options;
+  options.worker_threads = 2;
+  options.accept_backoff_ms = 5;
+  options.accept_fn = [failures_left](int listen_fd) {
+    if (failures_left->fetch_sub(1, std::memory_order_relaxed) > 0) {
+      errno = EMFILE;
+      return -1;
+    }
+    return ::accept4(listen_fd, nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+  };
+  std::unique_ptr<HttpServer> server = MakeServer(std::move(options));
+
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+  HttpRequest request;
+  request.method = "GET";
+  request.target = "/healthz";
+  Result<HttpResponse> response = client.RoundTrip(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_GE(telemetry::MetricsRegistry::Global()
+                .counter("serve.http.accept_failures")
+                .Value(),
+            2u);
+  server->Stop();
+}
+
+TEST_F(HttpServerTest, ConcurrentStopsAllWaitForShutdown) {
+  // Racing Stop() calls: exactly one shuts down, the others must block
+  // until it has finished (the old design double-joined the same threads).
+  constexpr int kStoppers = 4;
+  std::vector<std::thread> stoppers;
+  stoppers.reserve(kStoppers);
+  for (int i = 0; i < kStoppers; ++i) {
+    stoppers.emplace_back([this] { server_->Stop(); });
+  }
+  for (std::thread& stopper : stoppers) stopper.join();
+  // After every Stop() returned the server is gone for real.
+  HttpClient client;
+  EXPECT_FALSE(client.Connect("127.0.0.1", server_->port()).ok());
+}
+
+TEST_F(HttpServerTest, SlowLorisDoesNotStarveOtherClients) {
+  // A connection trickling a never-completing request head must cost a
+  // buffer, not a worker: with 2 workers and one loris, full requests
+  // keep flowing.
+  HttpServerOptions options;
+  options.worker_threads = 2;
+  std::unique_ptr<HttpServer> server = MakeServer(std::move(options));
+
+  const int loris = ConnectRaw(server->port());
+  ASSERT_GE(loris, 0);
+  const std::string partial = "POST /v1/select HTTP/1.1\r\nContent-Le";
+  ASSERT_EQ(::send(loris, partial.data(), partial.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(partial.size()));
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  std::atomic<int> ok_count{0};
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&ok_count, port = server->port()] {
+      HttpClient client;
+      ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+      for (int i = 0; i < 5; ++i) {
+        HttpRequest request;
+        request.method = "GET";
+        request.target = "/healthz";
+        Result<HttpResponse> response = client.RoundTrip(request);
+        ASSERT_TRUE(response.ok()) << response.status();
+        ASSERT_EQ(response->status, 200);
+        ++ok_count;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(ok_count.load(), kClients * 5);
+
+  // Trickle one more byte, then finish the request: the loris still gets
+  // served once its request finally completes.
+  const std::string rest = "ngth: 2\r\n\r\n{}";
+  ASSERT_EQ(::send(loris, rest.data(), rest.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(rest.size()));
+  char byte = 0;
+  EXPECT_GT(::recv(loris, &byte, 1, 0), 0);  // response bytes arrive
+  ::close(loris);
+  server->Stop();
+}
+
+TEST_F(HttpServerTest, IdleKeepAliveConnectionsDoNotHoldWorkers) {
+  // One worker thread, several parked keep-alive connections: under the
+  // old thread-per-connection design the second client would wait
+  // forever; under the event loop idle connections cost no worker.
+  HttpServerOptions options;
+  options.worker_threads = 1;
+  std::unique_ptr<HttpServer> server = MakeServer(std::move(options));
+
+  constexpr int kClients = 4;
+  std::vector<std::unique_ptr<HttpClient>> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.push_back(std::make_unique<HttpClient>());
+    ASSERT_TRUE(clients.back()->Connect("127.0.0.1", server->port()).ok());
+  }
+  // All connections stay open; requests round-robin across them twice,
+  // including in reverse order, and every one is served.
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < kClients; ++i) {
+      const int pick = round == 0 ? i : kClients - 1 - i;
+      HttpRequest request;
+      request.method = "GET";
+      request.target = "/healthz";
+      Result<HttpResponse> response = clients[pick]->RoundTrip(request);
+      ASSERT_TRUE(response.ok()) << response.status();
+      EXPECT_EQ(response->status, 200);
+    }
+  }
+  server->Stop();
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include "podium/util/mutex.h"
 #include "podium/util/thread_annotations.h"
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -280,6 +281,121 @@ TEST_F(SelectionServiceTest, ConcurrentSelectsAllSucceedAndAgree) {
   EXPECT_EQ(CounterValue("serve.requests"),
             static_cast<std::uint64_t>(kThreads) * kPerThread);
   EXPECT_EQ(CounterValue("serve.errors"), 0u);
+}
+
+TEST_F(SelectionServiceTest, IdenticalConcurrentMissesCoalesceIntoOneRun) {
+  constexpr std::size_t kCallers = 4;
+  // The leader parks inside its admission slot until every other caller
+  // has joined its flight (visible on the shared counter), so the
+  // coalescing is deterministic, not a timing accident.
+  ServiceOptions options;
+  options.post_admission_hook = [] {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (CounterValue("serve.singleflight.shared") < kCallers - 1 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  SelectionService service(BuildTable2Snapshot(1), options);
+
+  std::vector<std::string> bodies(kCallers);
+  // char, not bool: vector<bool> packs bits, and concurrent writers to
+  // different indices would race on the shared word.
+  std::vector<char> coalesced(kCallers);
+  std::vector<std::thread> threads;
+  threads.reserve(kCallers);
+  for (std::size_t t = 0; t < kCallers; ++t) {
+    threads.emplace_back([&service, &bodies, &coalesced, t] {
+      SelectionRequest request;
+      request.budget = 2;
+      Result<ServiceReply> reply = service.Select(request);
+      ASSERT_TRUE(reply.ok()) << reply.status();
+      EXPECT_FALSE(reply->cache_hit);
+      bodies[t] = reply->body;
+      coalesced[t] = reply->coalesced;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Exactly one selection ran; everyone else shared it, byte-identically.
+  EXPECT_EQ(CounterValue("serve.singleflight.leader"), 1u);
+  EXPECT_EQ(CounterValue("serve.singleflight.shared"), kCallers - 1);
+  std::size_t coalesced_count = 0;
+  for (std::size_t t = 0; t < kCallers; ++t) {
+    EXPECT_FALSE(bodies[t].empty());
+    EXPECT_EQ(bodies[t], bodies[0]);
+    if (coalesced[t]) ++coalesced_count;
+  }
+  EXPECT_EQ(coalesced_count, kCallers - 1);
+}
+
+TEST_F(SelectionServiceTest, CoalescedCallersShareTheLeaderError) {
+  constexpr std::size_t kCallers = 3;
+  ServiceOptions options;
+  options.post_admission_hook = [] {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (CounterValue("serve.singleflight.shared") < kCallers - 1 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  SelectionService service(BuildTable2Snapshot(1), options);
+
+  std::vector<StatusCode> codes(kCallers);
+  std::vector<std::thread> threads;
+  threads.reserve(kCallers);
+  for (std::size_t t = 0; t < kCallers; ++t) {
+    threads.emplace_back([&service, &codes, t] {
+      // Fails inside RunSelection (after admission): the label is unknown.
+      const SelectionRequest request =
+          ParseRequest(R"({"must_have": ["livesIn Atlantis"]})");
+      Result<ServiceReply> reply = service.Select(request);
+      ASSERT_FALSE(reply.ok());
+      codes[t] = reply.status().code();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // One failing run, shared by everyone — not retried once per caller.
+  EXPECT_EQ(CounterValue("serve.singleflight.leader"), 1u);
+  EXPECT_EQ(CounterValue("serve.singleflight.shared"), kCallers - 1);
+  for (StatusCode code : codes) EXPECT_EQ(code, StatusCode::kNotFound);
+}
+
+TEST_F(SelectionServiceTest, RequestsSharingInstanceParametersReusePool) {
+  SelectionService service(BuildTable2Snapshot(1), ServiceOptions{});
+
+  // Distinct cache keys (different selector), same non-default instance
+  // parameters (EBS weights): the second request must reuse the pooled
+  // instance instead of rebuilding it.
+  const SelectionRequest first =
+      ParseRequest(R"({"weights": "ebs", "selector": "greedy"})");
+  const SelectionRequest second =
+      ParseRequest(R"({"weights": "ebs", "selector": "greedy-heap"})");
+  Result<ServiceReply> first_reply = service.Select(first);
+  ASSERT_TRUE(first_reply.ok()) << first_reply.status();
+  EXPECT_EQ(CounterValue("serve.batch.instance_reuse"), 0u);
+  Result<ServiceReply> second_reply = service.Select(second);
+  ASSERT_TRUE(second_reply.ok()) << second_reply.status();
+  EXPECT_EQ(CounterValue("serve.batch.instance_reuse"), 1u);
+  EXPECT_FALSE(second_reply->cache_hit);
+
+  // Both selector modes agree on the EBS instance (same greedy optimum).
+  EXPECT_EQ(ParseBody(first_reply->body).AsObject().Find("score")->AsNumber(),
+            ParseBody(second_reply->body)
+                .AsObject()
+                .Find("score")
+                ->AsNumber());
+
+  // A snapshot swap obsoletes the pool: the same request builds afresh
+  // for the new generation.
+  service.SwapSnapshot(BuildTable2Snapshot(2));
+  Result<ServiceReply> swapped = service.Select(first);
+  ASSERT_TRUE(swapped.ok()) << swapped.status();
+  EXPECT_FALSE(swapped->cache_hit);
+  EXPECT_EQ(CounterValue("serve.batch.instance_reuse"), 1u);
 }
 
 }  // namespace

@@ -1,12 +1,30 @@
-// podium_loadgen — closed-loop load generator for podium_serve: N client
-// threads each keep one persistent connection and fire POST /v1/select
-// back-to-back, then the merged latencies are reported as throughput and
-// p50/p95/p99.
+// podium_loadgen — load generator for podium_serve. Two modes:
+//
+// Closed loop (default): N client threads each keep one persistent
+// connection and fire POST /v1/select back-to-back, then the merged
+// latencies are reported as throughput and p50/p95/p99.
 //
 //   podium_loadgen --port=8080 [--host=127.0.0.1] [--connections=8]
 //                  [--requests=1000] [--body-file=FILE] [--distinct=1]
 //                  [--explain=false] [--expect-generation=N]
-//                  [--bench-out=BENCH_serve.json]
+//                  [--bench-out=BENCH_serve.json] [--bench-merge=false]
+//
+// Open loop (--open-loop): requests are scheduled at a fixed arrival rate
+// independent of completions (request i fires at t0 + i/rate), and
+// latency is measured from the *scheduled* arrival time, so server
+// queueing and backlog count against it instead of being silently
+// absorbed by a slow client (no coordinated omission). Each --rates entry
+// runs for --duration-s seconds, producing one throughput-vs-latency
+// curve point per rate:
+//
+//   podium_loadgen --port=8080 --open-loop --rates=500,1000,2000
+//                  [--duration-s=2.0] [--connections=32] ...
+//
+// --connections bounds in-flight requests (a scheduled arrival past that
+// bound waits for a free connection, and the wait counts as latency).
+// With --bench-out the curve lands in the report as open.r<RATE>.*
+// metrics; --bench-merge=true folds them into an existing report (e.g. a
+// closed-loop run's) instead of replacing it.
 //
 // --distinct=K rotates K distinct request bodies (budgets 2..K+1) across
 // requests so cache behavior can be exercised from both sides; the
@@ -28,6 +46,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -61,6 +80,113 @@ struct WorkerResult {
   std::string first_error;
 };
 
+/// One point of the open-loop throughput-vs-latency curve.
+struct OpenLoopPoint {
+  double offered_rate = 0.0;    // requests/s scheduled
+  double achieved_rps = 0.0;    // 2xx completions / wall time
+  std::vector<double> latencies_ms;  // sorted, scheduled-time based
+  std::size_t sent = 0;
+  std::size_t errors = 0;
+  std::string first_error;
+};
+
+/// Runs one open-loop rate: `total` requests with arrival i scheduled at
+/// t0 + i/rate, fired from a pool of `connections` persistent clients.
+/// Latency for request i is (completion - scheduled arrival), so time a
+/// request spends waiting for a free connection or parked in the server
+/// counts against it.
+OpenLoopPoint RunOpenLoopRate(const std::string& host, int port,
+                              std::size_t connections, double rate,
+                              double duration_s,
+                              const std::vector<std::string>& bodies) {
+  OpenLoopPoint point;
+  point.offered_rate = rate;
+  const auto total =
+      static_cast<std::size_t>(std::max(1.0, rate * duration_s));
+  std::atomic<std::size_t> next_request{0};
+  std::vector<WorkerResult> results(connections);
+  // Small lead-in so every worker is connected before the first arrival.
+  const auto t0 =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+
+  std::vector<std::thread> workers;
+  workers.reserve(connections);
+  for (std::size_t c = 0; c < connections; ++c) {
+    workers.emplace_back([&, c] {
+      WorkerResult& result = results[c];
+      podium::serve::HttpClient client;
+      if (podium::Status connected = client.Connect(host, port);
+          !connected.ok()) {
+        result.errors = 1;
+        result.first_error = connected.ToString();
+        return;
+      }
+      for (;;) {
+        const std::size_t index =
+            next_request.fetch_add(1, std::memory_order_relaxed);
+        if (index >= total) break;
+        const auto scheduled =
+            t0 + std::chrono::duration_cast<
+                     std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(
+                         static_cast<double>(index) / rate));
+        std::this_thread::sleep_until(scheduled);
+
+        podium::serve::HttpRequest request;
+        request.method = "POST";
+        request.target = "/v1/select";
+        request.headers.emplace_back("Host", host);
+        request.headers.emplace_back("Content-Type", "application/json");
+        request.body = bodies[index % bodies.size()];
+
+        podium::Result<podium::serve::HttpResponse> response =
+            client.RoundTrip(request);
+        const double latency_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - scheduled)
+                .count();
+        if (!response.ok()) {
+          ++result.errors;
+          if (result.first_error.empty()) {
+            result.first_error = response.status().ToString();
+          }
+          if (!client.Connect(host, port).ok()) break;
+          continue;
+        }
+        if (response->status < 200 || response->status >= 300) {
+          ++result.errors;
+          if (result.first_error.empty()) {
+            result.first_error = podium::util::StringPrintf(
+                "HTTP %d: %s", response->status,
+                response->body.substr(0, 200).c_str());
+          }
+          continue;
+        }
+        result.latencies_ms.push_back(latency_ms);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  point.sent = total;
+  for (WorkerResult& result : results) {
+    point.latencies_ms.insert(point.latencies_ms.end(),
+                              result.latencies_ms.begin(),
+                              result.latencies_ms.end());
+    point.errors += result.errors;
+    if (point.first_error.empty()) point.first_error = result.first_error;
+  }
+  std::sort(point.latencies_ms.begin(), point.latencies_ms.end());
+  point.achieved_rps =
+      elapsed > 0.0
+          ? static_cast<double>(point.latencies_ms.size()) / elapsed
+          : 0.0;
+  return point;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -77,6 +203,10 @@ int main(int argc, char** argv) {
   const bool explain = flags.Bool("explain", false);
   const long long expect_generation = flags.Int("expect-generation", 0);
   const std::string bench_out = flags.String("bench-out", "");
+  const bool bench_merge = flags.Bool("bench-merge", false);
+  const bool open_loop = flags.Bool("open-loop", false);
+  const std::string rates_flag = flags.String("rates", "500,1000,2000");
+  const double duration_s = flags.Double("duration-s", 2.0);
   flags.CheckConsumed();
   if (connections == 0 || total_requests == 0 || distinct == 0) {
     podium::obs::LogError(
@@ -101,6 +231,103 @@ int main(int argc, char** argv) {
       bodies.push_back(podium::util::StringPrintf(
           "{\"budget\": %zu%s}", i + 2, explain ? ", \"explain\": true" : ""));
     }
+  }
+
+  if (open_loop) {
+    std::vector<double> rates;
+    for (const std::string& token :
+         podium::util::Split(rates_flag, ',')) {
+      const std::string trimmed(podium::util::StripWhitespace(token));
+      if (trimmed.empty()) continue;
+      const podium::Result<std::int64_t> rate =
+          podium::util::ParseInt64(trimmed);
+      if (!rate.ok() || rate.value() <= 0) {
+        podium::obs::LogError("--rates must be positive integers")
+            .Str("rates", rates_flag);
+        return 2;
+      }
+      rates.push_back(static_cast<double>(rate.value()));
+    }
+    if (rates.empty() || duration_s <= 0.0) {
+      podium::obs::LogError("--open-loop needs --rates and --duration-s > 0");
+      return 2;
+    }
+
+    std::vector<OpenLoopPoint> curve;
+    curve.reserve(rates.size());
+    std::size_t errors = 0;
+    std::string first_error;
+    for (double rate : rates) {
+      OpenLoopPoint point =
+          RunOpenLoopRate(host, port, connections, rate, duration_s, bodies);
+      errors += point.errors;
+      if (first_error.empty()) first_error = point.first_error;
+      if (!point.latencies_ms.empty()) {
+        std::printf(
+            "podium_loadgen open-loop: offered %.0f req/s achieved %.1f | "
+            "%zu sent %zu errors | latency ms p50 %.3f p95 %.3f p99 %.3f\n",
+            point.offered_rate, point.achieved_rps, point.sent, point.errors,
+            Percentile(point.latencies_ms, 0.50),
+            Percentile(point.latencies_ms, 0.95),
+            Percentile(point.latencies_ms, 0.99));
+      } else {
+        std::printf(
+            "podium_loadgen open-loop: offered %.0f req/s, no successful "
+            "responses (%zu errors)\n",
+            point.offered_rate, point.errors);
+      }
+      curve.push_back(std::move(point));
+    }
+
+    if (!bench_out.empty()) {
+      podium::bench::BenchReport report =
+          podium::bench::NewBenchReport("serve");
+      if (bench_merge) {
+        // Fold the curve into an existing report (e.g. the closed-loop
+        // run's) so one BENCH_serve.json carries both regimes.
+        podium::Result<podium::bench::BenchReport> existing =
+            podium::bench::LoadBenchReport(bench_out);
+        if (existing.ok()) report = std::move(existing).value();
+      }
+      report.threads = connections;
+      for (const OpenLoopPoint& point : curve) {
+        const std::string prefix = podium::util::StringPrintf(
+            "open.r%.0f", point.offered_rate);
+        if (!point.latencies_ms.empty()) {
+          report.metrics[prefix + ".latency_ms"] = podium::bench::BenchMetric{
+              "ms", "lower", Percentile(point.latencies_ms, 0.50),
+              Percentile(point.latencies_ms, 0.95)};
+          const double p99 = Percentile(point.latencies_ms, 0.99);
+          report.metrics[prefix + ".latency_p99_ms"] =
+              podium::bench::BenchMetric{"ms", "lower", p99, p99};
+          report.metrics[prefix + ".achieved_rps"] =
+              podium::bench::BenchMetric{"req/s", "higher",
+                                         point.achieved_rps,
+                                         point.achieved_rps};
+        }
+        report.notes[prefix + ".sent"] = static_cast<double>(point.sent);
+        report.notes[prefix + ".errors"] = static_cast<double>(point.errors);
+      }
+      report.notes["open.duration_s"] = duration_s;
+      report.notes["open.connections"] = static_cast<double>(connections);
+      const podium::Status written =
+          podium::bench::WriteBenchReport(report, bench_out);
+      if (!written.ok()) {
+        podium::obs::LogError("cannot write bench report")
+            .Str("path", bench_out)
+            .Str("error", written.ToString());
+        return 2;
+      }
+      std::printf("podium_loadgen: wrote %s\n", bench_out.c_str());
+    }
+
+    if (errors > 0) {
+      podium::obs::LogError("open-loop run saw errors")
+          .Num("errors", static_cast<double>(errors))
+          .Str("first_error", first_error);
+      return 1;
+    }
+    return 0;
   }
 
   std::atomic<std::size_t> next_request{0};

@@ -1,0 +1,287 @@
+#include "podium/analysis/lock_graph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string_view>
+#include <utility>
+
+namespace podium::analysis {
+
+namespace {
+
+/// One lock the calling thread currently holds (or held before parking in
+/// a condition-variable wait).
+struct HeldLock {
+  const void* mutex = nullptr;
+  const char* name = "";
+  AcquisitionSite site;
+};
+
+/// The held stack is thread-local and touched without any lock; the graph
+/// below is global and guarded by a raw std::mutex — deliberately NOT a
+/// util::Mutex, which would re-enter these hooks.
+thread_local std::vector<HeldLock>* t_held = nullptr;
+thread_local std::vector<HeldLock>* t_parked = nullptr;  // inside CondVar waits
+
+std::vector<HeldLock>& Held() {
+  // Leaked on purpose: instrumented locks fire during thread and static
+  // destruction, after a non-leaked vector would already be gone.
+  if (t_held == nullptr) {
+    t_held = new std::vector<HeldLock>();  // podium-lint: allow(raw-new)
+  }
+  return *t_held;
+}
+
+std::vector<HeldLock>& Parked() {
+  if (t_parked == nullptr) {
+    t_parked = new std::vector<HeldLock>();  // podium-lint: allow(raw-new)
+  }
+  return *t_parked;
+}
+
+/// First recorded witness for a (holder, acquired) class pair. Later
+/// identical nestings are deduplicated — the report always cites the
+/// original sites.
+struct EdgeWitness {
+  AcquisitionSite holder_site;
+  AcquisitionSite acquired_site;
+};
+
+struct Graph {
+  std::mutex mutex;
+  /// adjacency[holder][acquired] = first witness of holder→acquired.
+  std::map<std::string, std::map<std::string, EdgeWitness>> adjacency;
+  /// Closing edges already reported, so a hot inversion reports once.
+  std::set<std::pair<std::string, std::string>> reported;
+  CycleHandler handler;
+};
+
+Graph& TheGraph() {
+  // Leaked: see Held().  podium-lint: allow(raw-new)
+  static Graph* graph = new Graph();
+  return *graph;
+}
+
+void DefaultHandler(const CycleReport& report) {
+  const std::string rendered = report.Render();
+  std::fwrite(rendered.data(), 1, rendered.size(), stderr);
+  std::fputc('\n', stderr);
+  std::abort();
+}
+
+std::string FormatSite(const AcquisitionSite& site) {
+  std::string out = site.file != nullptr ? site.file : "";
+  const std::size_t slash = out.rfind('/');
+  if (slash != std::string::npos) out.erase(0, slash + 1);
+  out += ':';
+  out += std::to_string(site.line);
+  return out;
+}
+
+/// Depth-first search for a path `from` →* `to` over the adjacency map.
+/// Returns the edge chain when one exists. Called with the graph mutex
+/// held; the graph is small (one node per lock class) so recursion depth
+/// and cost are bounded by the number of classes.
+bool FindPath(const Graph& graph, const std::string& from,
+              const std::string& to, std::set<std::string>* visited,
+              std::vector<LockOrderEdge>* path) {
+  if (from == to) return true;
+  if (!visited->insert(from).second) return false;
+  const auto it = graph.adjacency.find(from);
+  if (it == graph.adjacency.end()) return false;
+  for (const auto& [next, witness] : it->second) {
+    LockOrderEdge edge;
+    edge.holder = from;
+    edge.acquired = next;
+    edge.holder_site = witness.holder_site;
+    edge.acquired_site = witness.acquired_site;
+    path->push_back(std::move(edge));
+    if (FindPath(graph, next, to, visited, path)) return true;
+    path->pop_back();
+  }
+  return false;
+}
+
+void Report(const CycleReport& report) {
+  CycleHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(TheGraph().mutex);
+    handler = TheGraph().handler;
+  }
+  if (handler) {
+    handler(report);
+  } else {
+    DefaultHandler(report);
+  }
+}
+
+}  // namespace
+
+std::string CycleReport::Render() const {
+  std::string out;
+  if (kind == Kind::kRecursive) {
+    out += "podium lock-order: recursive acquisition of \"";
+    out += closing_edge.acquired;
+    out += "\" (same mutex instance)\n";
+    out += "  first acquired at " + FormatSite(closing_edge.holder_site) +
+           "\n";
+    out += "  reacquired at " + FormatSite(closing_edge.acquired_site) +
+           " while still held — self-deadlock\n";
+    return out;
+  }
+  out += "podium lock-order: cycle closed by \"";
+  out += closing_edge.holder;
+  out += "\" -> \"";
+  out += closing_edge.acquired;
+  out += "\"\n";
+  out += "  new edge: holding \"" + closing_edge.holder + "\" (acquired at " +
+         FormatSite(closing_edge.holder_site) + ") while acquiring \"" +
+         closing_edge.acquired + "\" at " +
+         FormatSite(closing_edge.acquired_site) + "\n";
+  out += "  conflicts with recorded order:\n";
+  for (const LockOrderEdge& edge : path) {
+    out += "    holding \"" + edge.holder + "\" (acquired at " +
+           FormatSite(edge.holder_site) + ") while acquiring \"" +
+           edge.acquired + "\" at " + FormatSite(edge.acquired_site) + "\n";
+  }
+  out += "  some interleaving of these acquisitions deadlocks.\n";
+  return out;
+}
+
+CycleHandler SetLockCycleHandler(CycleHandler handler) {
+  std::lock_guard<std::mutex> lock(TheGraph().mutex);
+  CycleHandler previous = std::move(TheGraph().handler);
+  TheGraph().handler = std::move(handler);
+  return previous;
+}
+
+void OnLock(const void* mutex, const char* name,
+            const AcquisitionSite& site) {
+  std::vector<HeldLock>& held = Held();
+
+  // Same-instance reacquire: self-deadlock regardless of any other lock.
+  for (const HeldLock& lock : held) {
+    if (lock.mutex == mutex) {
+      CycleReport report;
+      report.kind = CycleReport::Kind::kRecursive;
+      report.closing_edge.holder = lock.name;
+      report.closing_edge.acquired = name;
+      report.closing_edge.holder_site = lock.site;
+      report.closing_edge.acquired_site = site;
+      Report(report);
+      // Fall through: with a non-aborting handler installed the caller
+      // continues (tests drive hooks without real locking).
+      break;
+    }
+  }
+
+  if (!held.empty()) {
+    // Record holder→name for every held lock, checking each new edge for
+    // a cycle before inserting it.
+    std::vector<CycleReport> cycles;
+    {
+      Graph& graph = TheGraph();
+      std::lock_guard<std::mutex> lock(graph.mutex);
+      for (const HeldLock& holder : held) {
+        // Same-class nesting (two instances sharing a name) is not an
+        // edge: a self-loop would flag legitimately ordered siblings.
+        // Same-*instance* reacquire was reported above as kRecursive.
+        if (std::string_view(holder.name) == name) continue;
+        auto& out_edges = graph.adjacency[holder.name];
+        if (out_edges.find(name) != out_edges.end()) continue;  // known
+        std::set<std::string> visited;
+        std::vector<LockOrderEdge> path;
+        if (FindPath(graph, name, holder.name, &visited, &path) &&
+            graph.reported.insert({holder.name, name}).second) {
+          CycleReport report;
+          report.kind = CycleReport::Kind::kCycle;
+          report.closing_edge.holder = holder.name;
+          report.closing_edge.acquired = name;
+          report.closing_edge.holder_site = holder.site;
+          report.closing_edge.acquired_site = site;
+          report.path = std::move(path);
+          cycles.push_back(std::move(report));
+        }
+        EdgeWitness witness;
+        witness.holder_site = holder.site;
+        witness.acquired_site = site;
+        out_edges.emplace(name, witness);
+      }
+    }
+    // Report outside the graph mutex: handlers may re-enter (log through
+    // instrumented locks) or abort.
+    for (const CycleReport& report : cycles) Report(report);
+  }
+
+  held.push_back(HeldLock{mutex, name, site});
+}
+
+void OnTryLock(const void* mutex, const char* name, bool acquired,
+               const AcquisitionSite& site) {
+  if (!acquired) return;  // a failed try-lock never blocked: no edge
+  Held().push_back(HeldLock{mutex, name, site});
+}
+
+void OnUnlock(const void* mutex) {
+  std::vector<HeldLock>& held = Held();
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->mutex == mutex) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void OnCondVarWait(const void* mutex) {
+  std::vector<HeldLock>& held = Held();
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->mutex == mutex) {
+      Parked().push_back(*it);
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void OnCondVarRequeue(const void* mutex) {
+  std::vector<HeldLock>& parked = Parked();
+  for (auto it = parked.rbegin(); it != parked.rend(); ++it) {
+    if (it->mutex == mutex) {
+      // Original name and site survive the wait: the reacquire is the
+      // same commitment, not a new edge.
+      Held().push_back(*it);
+      parked.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void ResetLockGraphForTest() {
+  Graph& graph = TheGraph();
+  std::lock_guard<std::mutex> lock(graph.mutex);
+  graph.adjacency.clear();
+  graph.reported.clear();
+}
+
+std::size_t EdgeCountForTest() {
+  Graph& graph = TheGraph();
+  std::lock_guard<std::mutex> lock(graph.mutex);
+  std::size_t count = 0;
+  for (const auto& [node, edges] : graph.adjacency) count += edges.size();
+  return count;
+}
+
+bool IsHeldForTest(const void* mutex) {
+  for (const HeldLock& lock : Held()) {
+    if (lock.mutex == mutex) return true;
+  }
+  return false;
+}
+
+std::size_t HeldCountForTest() { return Held().size(); }
+
+}  // namespace podium::analysis

@@ -1,0 +1,125 @@
+#ifndef PODIUM_ANALYSIS_LOCK_GRAPH_H_
+#define PODIUM_ANALYSIS_LOCK_GRAPH_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+/// Runtime lock-order deadlock detection (DESIGN.md §14).
+///
+/// Every `util::Mutex` carries a stable name — its *lock class*, shared by
+/// all instances created with that name — and, in builds configured with
+/// `-DPODIUM_LOCK_ORDER=ON`, every acquisition reports here. The detector
+/// keeps a thread-local stack of held locks and a process-wide directed
+/// graph over lock classes: holding "a" while acquiring "b" records the
+/// edge a→b with both acquisition sites (file:line via
+/// std::source_location). The first acquisition that would close a cycle
+/// — an inversion some interleaving can turn into a real deadlock, even
+/// if this run never blocks — invokes the cycle handler with the closing
+/// edge, the pre-existing path it conflicts with, and every recorded
+/// site. The default handler renders the report to stderr and aborts;
+/// tests install their own via SetLockCycleHandler.
+///
+/// This header is deliberately dependency-free (no podium includes, raw
+/// std::mutex inside lock_graph.cc): it sits *below* util/ in the module
+/// DAG so the instrumentation weave in util/mutex.h is a legal layered
+/// edge, and the detector can never re-enter itself through util::Mutex.
+///
+/// The hooks are ordinary functions, callable directly: the unit tests
+/// drive them without any instrumented build, so the graph machinery is
+/// covered by the plain test suite while the `lock-order` CI job proves
+/// the woven instrumentation end to end.
+namespace podium::analysis {
+
+/// Where an acquisition happened, captured from std::source_location at
+/// the Lock()/MutexLock call site. Pointers reference static storage
+/// (source_location string literals); copies are cheap and never dangle.
+struct AcquisitionSite {
+  const char* file = "";
+  unsigned line = 0;
+  const char* function = "";
+};
+
+/// One recorded ordering commitment: `holder` was held (acquired at
+/// holder_site) while `acquired` was being acquired (at acquired_site).
+struct LockOrderEdge {
+  std::string holder;
+  std::string acquired;
+  AcquisitionSite holder_site;
+  AcquisitionSite acquired_site;
+};
+
+/// What the detector found. `kCycle`: the new edge closes a directed
+/// cycle with `path` (the pre-existing chain from the acquired class back
+/// to the holder class). `kRecursive`: the same mutex *instance* is
+/// already on this thread's held stack — self-deadlock, reported
+/// distinctly because no second thread or inverted edge is involved.
+struct CycleReport {
+  enum class Kind { kCycle, kRecursive };
+
+  Kind kind = Kind::kCycle;
+  LockOrderEdge closing_edge;
+  std::vector<LockOrderEdge> path;  // empty for kRecursive
+
+  /// Multi-line human-readable rendering: the conflict, then every edge
+  /// with its original acquisition sites.
+  std::string Render() const;
+};
+
+/// Called on the acquiring thread, before it blocks. Handlers that
+/// return let execution continue (the acquisition proceeds; for a real
+/// inversion the process may then genuinely deadlock — the default
+/// handler prints Render() to stderr and aborts instead).
+using CycleHandler = std::function<void(const CycleReport&)>;
+
+/// Installs `handler` for subsequent reports; nullptr restores the
+/// abort-on-report default. Returns the previous handler.
+CycleHandler SetLockCycleHandler(CycleHandler handler);
+
+/// --- Hooks woven into util::Mutex / MutexLock / CondVar ------------------
+
+/// Blocking acquisition about to start: checks for same-instance
+/// recursion and for a cycle over lock classes, records edges from every
+/// held lock to `name`, then pushes `mutex` onto the held stack. Runs
+/// before the underlying lock() so a genuine deadlock is reported rather
+/// than waited on.
+void OnLock(const void* mutex, const char* name, const AcquisitionSite& site);
+
+/// Non-blocking attempt: on success the lock joins the held stack (later
+/// acquisitions under it record edges from it) but records no incoming
+/// edge — a try-lock can fail but never block, so it cannot close a
+/// deadlock cycle. A failed attempt records nothing at all.
+void OnTryLock(const void* mutex, const char* name, bool acquired,
+               const AcquisitionSite& site);
+
+/// Release: removes `mutex` from the held stack (searched from the top;
+/// condition-variable waits release out of LIFO order).
+void OnUnlock(const void* mutex);
+
+/// CondVar::Wait is a release + reacquire pair: the wait removes `mutex`
+/// from the held stack while the thread sleeps (other threads really can
+/// acquire it), and the wake re-adds it with its original acquisition
+/// site without recording new edges — the ordering commitment was made
+/// at the original acquisition, so waits never poison the graph.
+void OnCondVarWait(const void* mutex);
+void OnCondVarRequeue(const void* mutex);
+
+/// --- Test support --------------------------------------------------------
+
+/// Drops every recorded edge and forgets reported cycles. Held stacks are
+/// thread-local and survive; tests reset between scenarios on one thread.
+void ResetLockGraphForTest();
+
+/// Number of distinct recorded (holder, acquired) class pairs.
+std::size_t EdgeCountForTest();
+
+/// True when `mutex` is on the calling thread's held stack.
+bool IsHeldForTest(const void* mutex);
+
+/// Locks currently held by the calling thread (waiting locks excluded).
+std::size_t HeldCountForTest();
+
+}  // namespace podium::analysis
+
+#endif  // PODIUM_ANALYSIS_LOCK_GRAPH_H_

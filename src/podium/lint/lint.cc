@@ -616,6 +616,181 @@ void CheckGuardedMembers(const ScannedSource& source,
   }
 }
 
+/// The declared module DAG (DESIGN.md section 14): each module lists the
+/// podium modules it may include directly. Edges not in this table are
+/// layering violations — `core/` must stay servable without dragging in
+/// `serve/`, and nothing below `util/` may reach up. `analysis/` sits at
+/// the very bottom (no podium deps at all) so the lock-order weave in
+/// util/mutex.h is itself a legal edge.
+struct ModuleRule {
+  std::string_view module;
+  std::string_view deps;  // space-separated allowed direct dependencies
+};
+
+constexpr ModuleRule kModuleDag[] = {
+    {"analysis", ""},
+    {"util", "analysis"},
+    {"csv", "util"},
+    {"json", "util"},
+    {"lint", "util"},
+    {"telemetry", "json util"},
+    {"obs", "json telemetry util"},
+    {"profile", "csv json util"},
+    {"opinion", "profile util"},
+    {"taxonomy", "profile util"},
+    {"bucketing", "telemetry util"},
+    {"groups", "bucketing profile telemetry util"},
+    {"core", "bucketing groups json profile taxonomy telemetry util"},
+    {"baselines", "core util"},
+    {"metrics", "core groups opinion util"},
+    {"datagen", "opinion profile taxonomy telemetry util"},
+    {"ingest", "datagen json opinion profile telemetry util"},
+    {"shard", "bucketing core groups obs profile telemetry util"},
+    {"serve", "core groups json obs profile shard telemetry util"},
+    {"check", "core datagen json serve shard util"},
+};
+
+const ModuleRule* FindModuleRule(std::string_view module) {
+  for (const ModuleRule& rule : kModuleDag) {
+    if (rule.module == module) return &rule;
+  }
+  return nullptr;
+}
+
+/// The module that owns `path`: the directory segment directly under
+/// src/podium/. Empty for everything else (tools/, tests/, bench/ sit
+/// above the DAG and may depend on any module).
+std::string ModuleOfPath(const std::string& path) {
+  constexpr std::string_view kPrefix = "src/podium/";
+  std::size_t pos = path.rfind(kPrefix);
+  if (pos == std::string::npos) return "";
+  pos += kPrefix.size();
+  const std::size_t slash = path.find('/', pos);
+  if (slash == std::string::npos) return "";
+  return path.substr(pos, slash - pos);
+}
+
+/// The module an include target lives in ("podium/serve/http.h" →
+/// "serve"); empty for system and non-podium includes.
+std::string ModuleOfInclude(const std::string& target) {
+  constexpr std::string_view kPrefix = "podium/";
+  if (!util::StartsWith(target, kPrefix)) return "";
+  const std::size_t slash = target.find('/', kPrefix.size());
+  if (slash == std::string::npos) return "";
+  return target.substr(kPrefix.size(), slash - kPrefix.size());
+}
+
+void CheckLayerViolations(const std::string& path,
+                          const std::vector<Include>& includes,
+                          std::vector<Finding>* findings) {
+  const std::string module = ModuleOfPath(path);
+  if (module.empty()) return;
+  const ModuleRule* rule = FindModuleRule(module);
+  if (rule == nullptr) {
+    // A new directory under src/podium/ has to take a position in the
+    // layering before it can ship; report once, on the first include.
+    Finding finding;
+    finding.line = includes.empty() ? 1 : includes.front().line;
+    finding.rule = "layer-violation";
+    finding.message = "module '" + module +
+                      "' is not in the declared module DAG; add it to "
+                      "kModuleDag in podium/lint/lint.cc (DESIGN.md "
+                      "section 14)";
+    findings->push_back(std::move(finding));
+    return;
+  }
+  const std::vector<std::string> allowed = util::Split(rule->deps, ' ');
+  for (const Include& include : includes) {
+    if (!include.quoted) continue;
+    const std::string target = ModuleOfInclude(include.target);
+    if (target.empty() || target == module) continue;
+    if (std::find(allowed.begin(), allowed.end(), target) != allowed.end()) {
+      continue;
+    }
+    Finding finding;
+    finding.line = include.line;
+    finding.rule = "layer-violation";
+    finding.message = "illegal module dependency '" + module + "' -> '" +
+                      target + "': not an edge of the declared module DAG "
+                      "(DESIGN.md section 14)";
+    findings->push_back(std::move(finding));
+  }
+}
+
+void CheckEintrRetry(const std::string& path, const ScannedSource& source,
+                     std::vector<Finding>* findings) {
+  // The serving path talks to sockets on every request; a bare syscall
+  // there either forgets EINTR (and drops a connection when a signal
+  // lands mid-recv) or re-derives the retry loop one more time. All five
+  // transfer syscalls route through the checked wrappers in
+  // serve/io_util.h — the one file allowed to spell them out.
+  if (!PathIsUnder(path, "src/podium/serve/")) return;
+  if (path.find("serve/io_util.") != std::string::npos) return;
+  for (std::size_t i = 0; i < source.code.size(); ++i) {
+    const std::string& line = source.code[i];
+    for (const Token& token : IdentifiersIn(line)) {
+      if (token.text != "read" && token.text != "write" &&
+          token.text != "recv" && token.text != "send" &&
+          token.text != "accept4") {
+        continue;
+      }
+      if (FirstNonSpaceAfter(line, token.end) != '(') continue;
+      Finding finding;
+      finding.line = static_cast<int>(i) + 1;
+      finding.rule = "eintr-retry";
+      finding.message =
+          "direct " + token.text +
+          "() in serve/; use the checked retry wrappers in "
+          "podium/serve/io_util.h";
+      findings->push_back(std::move(finding));
+    }
+  }
+}
+
+void CheckUnnamedMutex(const ScannedSource& source,
+                       const std::vector<std::string>& original_lines,
+                       std::vector<Finding>* findings) {
+  // Every util::Mutex carries a stable lock-class name (DESIGN.md
+  // section 14); an unnamed one is a blind spot in the runtime lock-order
+  // detector. Arrays are exempt — their elements deliberately share the
+  // defaulted name. The name is a string literal, which Scan() blanks out
+  // of the code channel, so "named" is read off the original line.
+  for (std::size_t i = 0; i < source.code.size(); ++i) {
+    const std::string& line = source.code[i];
+    const std::string_view stripped = util::StripWhitespace(line);
+    if (!util::EndsWith(stripped, ";")) continue;
+    if (stripped.find('(') != std::string_view::npos) continue;
+    if (stripped.find('[') != std::string_view::npos) continue;
+    const std::vector<Token> tokens = IdentifiersIn(line);
+    bool declares = false;
+    for (const Token& token : tokens) {
+      if (token.text != "Mutex") continue;
+      // `Mutex* held;` / `Mutex& ref;` alias an existing named instance.
+      const char after = FirstNonSpaceAfter(line, token.end);
+      if (after == '*' || after == '&') continue;
+      declares = true;
+      break;
+    }
+    if (!declares) continue;
+    // `using`/`typedef` lines mention the type without creating one.
+    if (!tokens.empty() &&
+        (tokens[0].text == "using" || tokens[0].text == "typedef")) {
+      continue;
+    }
+    if (i < original_lines.size() &&
+        original_lines[i].find('"') != std::string::npos) {
+      continue;  // named
+    }
+    Finding finding;
+    finding.line = static_cast<int>(i) + 1;
+    finding.rule = "unnamed-mutex";
+    finding.message =
+        "util::Mutex without a lock-class name; declare it as "
+        "Mutex m_{\"module.role\"} so the lock-order detector can see it";
+    findings->push_back(std::move(finding));
+  }
+}
+
 }  // namespace
 
 std::string FormatFinding(const Finding& finding) {
@@ -643,6 +818,9 @@ std::vector<Finding> LintSource(std::string_view path,
   CheckRawStderr(normalized, source, &findings);
   CheckIntrinsicsScope(normalized, source, includes, &findings);
   CheckGuardedMembers(source, &findings);
+  CheckLayerViolations(normalized, includes, &findings);
+  CheckEintrRetry(normalized, source, &findings);
+  CheckUnnamedMutex(source, original_lines, &findings);
 
   std::vector<Finding> kept;
   for (Finding& finding : findings) {

@@ -19,7 +19,7 @@ std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarn)};
 /// tests) and emission is already serialized so interleaved lines never
 /// shear mid-record.
 util::Mutex& SinkMutex() {
-  static util::Mutex* mutex = new util::Mutex;  // podium-lint: allow(raw-new)
+  static util::Mutex* mutex = new util::Mutex{"obs.log.sink"};  // podium-lint: allow(raw-new)
   return *mutex;
 }
 

@@ -60,7 +60,7 @@ class LogRateLimiter {
  private:
   const double per_second_;
   const double burst_;
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{"obs.log.rate_limiter"};
   double tokens_ PODIUM_GUARDED_BY(mutex_);
   std::chrono::steady_clock::time_point last_refill_
       PODIUM_GUARDED_BY(mutex_);

@@ -147,7 +147,7 @@ class TraceRing {
 
  private:
   const std::size_t capacity_;
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{"obs.trace_ring"};
   std::deque<FinishedTrace> traces_ PODIUM_GUARDED_BY(mutex_);
 };
 

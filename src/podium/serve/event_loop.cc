@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "podium/obs/log.h"
+#include "podium/serve/io_util.h"
 #include "podium/telemetry/telemetry.h"
 
 namespace podium::serve {
@@ -101,11 +102,8 @@ void EventLoop::Stop() {
     stopped_ = true;
   }
   stopping_.store(true, std::memory_order_release);
-  if (wake_fd_ >= 0) {
-    const std::uint64_t one = 1;
-    // Best effort: the loop also re-checks stopping_ on every event.
-    (void)!::write(wake_fd_, &one, sizeof(one));
-  }
+  // Best effort: the loop also re-checks stopping_ on every event.
+  if (wake_fd_ >= 0) io::SignalEventFd(wake_fd_);
   task_ready_.NotifyAll();
   if (loop_.joinable()) loop_.join();
   for (std::thread& worker : workers_) {
@@ -154,8 +152,7 @@ void EventLoop::LoopThread() {
       if (id == kListenId) {
         AcceptReady();
       } else if (id == kWakeId) {
-        std::uint64_t drained = 0;
-        (void)!::read(wake_fd_, &drained, sizeof(drained));
+        io::DrainEventFd(wake_fd_);
       } else {
         HandleConnectionEvent(id, events[i].events);
       }
@@ -194,20 +191,16 @@ void EventLoop::WorkerThread() {
       util::MutexLock lock(completion_mutex_);
       completions_.push_back(std::move(completion));
     }
-    const std::uint64_t one = 1;
-    (void)!::write(wake_fd_, &one, sizeof(one));
+    io::SignalEventFd(wake_fd_);
   }
 }
 
 void EventLoop::AcceptReady() {
   for (;;) {
-    const int fd = options_.accept_fn
-                       ? options_.accept_fn(listen_fd_)
-                       : ::accept4(listen_fd_, nullptr, nullptr,
-                                   SOCK_NONBLOCK | SOCK_CLOEXEC);
+    const int fd = options_.accept_fn ? options_.accept_fn(listen_fd_)
+                                      : io::RetryAccept4(listen_fd_);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-      if (errno == EINTR || errno == ECONNABORTED) continue;
       if (stopping_.load(std::memory_order_acquire)) return;
       // Resource exhaustion (fd table full under load) or anything else
       // unexpected: count it, back off, retry — never silently stop
@@ -291,7 +284,7 @@ void EventLoop::ReadReady(std::uint64_t id) {
                                 options_.limits.max_body_bytes + 8192;
   char chunk[16384];
   for (;;) {
-    const ssize_t n = ::recv(connection.fd, chunk, sizeof(chunk), 0);
+    const ssize_t n = io::RetryRecv(connection.fd, chunk, sizeof(chunk));
     if (n > 0) {
       connection.input.append(chunk, static_cast<std::size_t>(n));
       if (connection.in_flight && connection.input.size() >= input_cap) {
@@ -306,7 +299,6 @@ void EventLoop::ReadReady(std::uint64_t id) {
       break;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == EINTR) continue;
     CloseConnection(id);
     return;
   }
@@ -360,9 +352,9 @@ void EventLoop::FlushOutput(std::uint64_t id) {
   if (it == connections_.end()) return;
   Connection& connection = it->second;
   while (connection.output_offset < connection.output.size()) {
-    const ssize_t n = ::send(
+    const ssize_t n = io::RetrySend(
         connection.fd, connection.output.data() + connection.output_offset,
-        connection.output.size() - connection.output_offset, MSG_NOSIGNAL);
+        connection.output.size() - connection.output_offset);
     if (n >= 0) {
       connection.output_offset += static_cast<std::size_t>(n);
       continue;
@@ -374,7 +366,6 @@ void EventLoop::FlushOutput(std::uint64_t id) {
       }
       return;
     }
-    if (errno == EINTR) continue;
     CloseConnection(id);
     return;
   }

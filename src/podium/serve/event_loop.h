@@ -137,14 +137,14 @@ class EventLoop {
   bool accept_paused_ = false;
   std::chrono::steady_clock::time_point accept_resume_at_{};
 
-  util::Mutex task_mutex_;
+  util::Mutex task_mutex_{"serve.event_loop.tasks"};
   util::CondVar task_ready_;
   std::deque<Task> tasks_ PODIUM_GUARDED_BY(task_mutex_);
 
-  util::Mutex completion_mutex_;
+  util::Mutex completion_mutex_{"serve.event_loop.completions"};
   std::vector<Completion> completions_ PODIUM_GUARDED_BY(completion_mutex_);
 
-  util::Mutex lifecycle_mutex_;
+  util::Mutex lifecycle_mutex_{"serve.event_loop.lifecycle"};
   bool stopped_ PODIUM_GUARDED_BY(lifecycle_mutex_) = false;
 };
 

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <limits>
 
+#include "podium/serve/io_util.h"
 #include "podium/util/string_util.h"
 
 namespace podium::serve {
@@ -206,7 +207,7 @@ Result<std::string> BufferedReader::ReadBody(std::size_t length,
 
 Status BufferedReader::Fill(bool eof_is_not_found) {
   char chunk[8192];
-  const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+  const ssize_t n = io::RetryRecv(fd_, chunk, sizeof(chunk));
   if (n > 0) {
     buffer_.append(chunk, static_cast<std::size_t>(n));
     return Status::Ok();
@@ -215,7 +216,6 @@ Status BufferedReader::Fill(bool eof_is_not_found) {
     if (eof_is_not_found) return Status::NotFound("connection closed");
     return Status::IoError("connection closed mid-message");
   }
-  if (errno == EINTR) return Status::Ok();
   return Status::IoError(std::string("recv: ") + std::strerror(errno));
 }
 
@@ -365,10 +365,9 @@ std::string SerializeRequest(const HttpRequest& request) {
 Status WriteAll(int fd, std::string_view data) {
   std::size_t written = 0;
   while (written < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + written, data.size() - written,
-                             MSG_NOSIGNAL);
+    const ssize_t n =
+        io::RetrySend(fd, data.data() + written, data.size() - written);
     if (n < 0) {
-      if (errno == EINTR) continue;
       return Status::IoError(std::string("send: ") + std::strerror(errno));
     }
     written += static_cast<std::size_t>(n);
@@ -380,8 +379,8 @@ HttpClient::~HttpClient() { Close(); }
 
 Status HttpClient::Connect(const std::string& host, int port) {
   Close();
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
+  io::ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (fd.get() < 0) {
     return Status::IoError(std::string("socket: ") + std::strerror(errno));
   }
   sockaddr_in address{};
@@ -389,23 +388,19 @@ Status HttpClient::Connect(const std::string& host, int port) {
   address.sin_port = htons(static_cast<uint16_t>(port));
   const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
   if (::inet_pton(AF_INET, resolved.c_str(), &address.sin_addr) != 1) {
-    ::close(fd);
     return Status::InvalidArgument("cannot parse host address '" + host +
                                    "' (IPv4 dotted quad or localhost)");
   }
   // The sockaddr cast is the POSIX socket-API calling convention.
   // podium-lint: allow(intrinsics-scope)
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&address),
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&address),
                 sizeof(address)) != 0) {
-    const Status error(StatusCode::kIoError,
-                       std::string("connect: ") + std::strerror(errno));
-    ::close(fd);
-    return error;
+    return Status::IoError(std::string("connect: ") + std::strerror(errno));
   }
   const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  fd_ = fd;
-  reader_ = std::make_unique<BufferedReader>(fd);
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd.Release();
+  reader_ = std::make_unique<BufferedReader>(fd_);
   return Status::Ok();
 }
 

@@ -12,6 +12,7 @@
 
 #include "podium/obs/log.h"
 #include "podium/obs/trace.h"
+#include "podium/serve/io_util.h"
 #include "podium/util/string_util.h"
 
 namespace podium::serve {
@@ -52,47 +53,41 @@ HttpServer::HttpServer(HttpServerOptions options, Handler handler)
 HttpServer::~HttpServer() { Stop(); }
 
 Status HttpServer::Start() {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
+  // ScopedFd owns the socket across the error returns below; only the
+  // success path hands it to listen_fd_.
+  io::ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (fd.get() < 0) {
     return Status::IoError(std::string("socket: ") + std::strerror(errno));
   }
   const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
   sockaddr_in address{};
   address.sin_family = AF_INET;
   address.sin_port = htons(static_cast<uint16_t>(options_.port));
   if (::inet_pton(AF_INET, options_.bind_address.c_str(),
                   &address.sin_addr) != 1) {
-    ::close(fd);
     return Status::InvalidArgument("cannot parse bind address '" +
                                    options_.bind_address + "'");
   }
   // The sockaddr cast is the POSIX socket-API calling convention.
   // podium-lint: allow(intrinsics-scope)
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) !=
-      0) {
-    const Status error(StatusCode::kIoError,
-                       std::string("bind: ") + std::strerror(errno));
-    ::close(fd);
-    return error;
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    return Status::IoError(std::string("bind: ") + std::strerror(errno));
   }
-  if (::listen(fd, 128) != 0) {
-    const Status error(StatusCode::kIoError,
-                       std::string("listen: ") + std::strerror(errno));
-    ::close(fd);
-    return error;
+  if (::listen(fd.get(), 128) != 0) {
+    return Status::IoError(std::string("listen: ") + std::strerror(errno));
   }
   socklen_t length = sizeof(address);
   // podium-lint: allow(intrinsics-scope)
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&address), &length) != 0) {
-    const Status error(StatusCode::kIoError,
-                       std::string("getsockname: ") + std::strerror(errno));
-    ::close(fd);
-    return error;
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&address),
+                    &length) != 0) {
+    return Status::IoError(std::string("getsockname: ") +
+                           std::strerror(errno));
   }
   port_ = ntohs(address.sin_port);
-  listen_fd_ = fd;
+  listen_fd_ = fd.Release();
 
   EventLoopOptions loop_options;
   loop_options.worker_threads = options_.worker_threads;

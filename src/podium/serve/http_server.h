@@ -91,7 +91,7 @@ class HttpServer {
   std::atomic<std::uint64_t> request_count_{0};
   std::unique_ptr<EventLoop> loop_;
 
-  util::Mutex mutex_;
+  util::Mutex mutex_{"serve.http_server.lifecycle"};
   util::CondVar stopped_;
   State state_ PODIUM_GUARDED_BY(mutex_) = State::kIdle;
 };

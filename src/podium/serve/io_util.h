@@ -1,0 +1,107 @@
+#ifndef PODIUM_SERVE_IO_UTIL_H_
+#define PODIUM_SERVE_IO_UTIL_H_
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+
+/// Checked syscall wrappers for the serving path.
+///
+/// Every direct `read`/`write`/`recv`/`send`/`accept4` call site in
+/// `serve/` goes through one of these — the `eintr-retry` lint rule
+/// (DESIGN.md §10) enforces it. Centralising the call sites buys two
+/// things: EINTR handling happens in exactly one place instead of being
+/// re-derived (and occasionally forgotten) per loop, and callers only see
+/// the errno values they actually need to branch on. None of these
+/// wrappers allocate, log, or block beyond the syscall itself; they are
+/// safe on the event-loop hot path.
+namespace podium::serve::io {
+
+/// recv() restarted on EINTR. Returns bytes read, 0 on orderly shutdown,
+/// or -1 with errno set (never EINTR).
+inline ssize_t RetryRecv(int fd, void* buffer, std::size_t length) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, length, 0);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+/// send() restarted on EINTR, with MSG_NOSIGNAL so a dead peer surfaces
+/// as EPIPE instead of killing the process. Returns bytes written or -1
+/// with errno set (never EINTR). A short write is not an error: callers
+/// that need the whole buffer out loop (see WriteAll / FlushOutput).
+inline ssize_t RetrySend(int fd, const void* buffer, std::size_t length) {
+  for (;;) {
+    const ssize_t n = ::send(fd, buffer, length, MSG_NOSIGNAL);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+/// accept4(SOCK_NONBLOCK | SOCK_CLOEXEC) restarted on EINTR and on
+/// ECONNABORTED (the peer hung up while queued; the next connection may
+/// be fine). Returns the accepted fd or -1 with errno set — EAGAIN /
+/// EWOULDBLOCK when the backlog is drained, or a real accept failure
+/// (e.g. EMFILE) the caller must handle.
+inline int RetryAccept4(int listen_fd) {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd >= 0) return fd;
+    if (errno != EINTR && errno != ECONNABORTED) return -1;
+  }
+}
+
+/// Best-effort bump of an eventfd counter, restarted on EINTR. Failure is
+/// deliberately swallowed: wake-ups are advisory (the waiter also
+/// re-checks its condition), and the only realistic error on a valid
+/// eventfd is EAGAIN when the counter is already saturated — which means
+/// the waiter is certain to wake anyway.
+inline void SignalEventFd(int fd) {
+  const std::uint64_t one = 1;
+  for (;;) {
+    if (::write(fd, &one, sizeof(one)) >= 0 || errno != EINTR) return;
+  }
+}
+
+/// Best-effort drain of an eventfd counter (resets it to zero), restarted
+/// on EINTR. EAGAIN — another thread already drained it — is fine.
+inline void DrainEventFd(int fd) {
+  std::uint64_t drained = 0;
+  for (;;) {
+    if (::read(fd, &drained, sizeof(drained)) >= 0 || errno != EINTR) return;
+  }
+}
+
+/// Owns a file descriptor until Release()d; closes it on every other
+/// exit. Start()/Connect()-style functions with several error returns
+/// between socket() and success use this instead of repeating close() on
+/// each path — the pattern that historically leaks the fd when a new
+/// early return is added.
+class ScopedFd {
+ public:
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+
+  int get() const { return fd_; }
+
+  /// Transfers ownership to the caller; the destructor becomes a no-op.
+  int Release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace podium::serve::io
+
+#endif  // PODIUM_SERVE_IO_UTIL_H_

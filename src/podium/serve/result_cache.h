@@ -46,7 +46,7 @@ class ResultCache {
   void RecordLookup(bool hit) const PODIUM_EXCLUDES(mutex_);
 
   const std::size_t capacity_;
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{"serve.result_cache"};
   std::list<Entry> lru_ PODIUM_GUARDED_BY(mutex_);  // front = MRU
   std::unordered_map<std::string, std::list<Entry>::iterator> index_
       PODIUM_GUARDED_BY(mutex_);

@@ -112,7 +112,7 @@ class SelectionService {
   ResultCache cache_;
   SingleFlight single_flight_;
 
-  util::Mutex mutex_;
+  util::Mutex mutex_{"serve.service.admission"};
   util::CondVar slot_free_;
   std::size_t running_ PODIUM_GUARDED_BY(mutex_) = 0;
   std::size_t waiting_ PODIUM_GUARDED_BY(mutex_) = 0;
@@ -125,7 +125,7 @@ class SelectionService {
     std::uint64_t last_used = 0;
     std::shared_ptr<const DiversificationInstance> instance;
   };
-  util::Mutex instance_mutex_;
+  util::Mutex instance_mutex_{"serve.service.instance_pool"};
   std::vector<PooledEntry> instance_pool_ PODIUM_GUARDED_BY(instance_mutex_);
   std::uint64_t instance_pool_clock_ PODIUM_GUARDED_BY(instance_mutex_) = 0;
 };

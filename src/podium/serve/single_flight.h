@@ -54,7 +54,7 @@ class SingleFlight {
     std::string value;
   };
 
-  util::Mutex mutex_;
+  util::Mutex mutex_{"serve.single_flight"};
   util::CondVar flight_done_;
   std::unordered_map<std::string, std::shared_ptr<Flight>> flights_
       PODIUM_GUARDED_BY(mutex_);

@@ -13,7 +13,7 @@ namespace internal {
 
 /// Guards the tree structure (every PhaseNode::children vector); the
 /// accumulators inside each node are atomics and stay lock-free.
-util::Mutex g_tree_mutex;
+util::Mutex g_tree_mutex{"telemetry.phase_tree"};
 
 /// One position in the phase tree. Accumulation is atomic so concurrent
 /// spans at the same position (same phase name on several threads) add up

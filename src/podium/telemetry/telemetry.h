@@ -124,7 +124,7 @@ class MetricsRegistry {
   void Reset() PODIUM_EXCLUDES(mutex_);
 
  private:
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{"telemetry.registry"};
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
       PODIUM_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_

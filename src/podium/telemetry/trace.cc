@@ -9,7 +9,7 @@ namespace podium::telemetry {
 
 namespace {
 
-util::Mutex g_trace_mutex;
+util::Mutex g_trace_mutex{"telemetry.greedy_trace"};
 
 std::vector<GreedyRoundEvent>& Events() PODIUM_REQUIRES(g_trace_mutex) {
   // Intentionally leaked so traces recorded during static destruction

@@ -4,13 +4,40 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <source_location>
 
 #include "podium/util/thread_annotations.h"
+
+// Runtime lock-order detection (DESIGN.md §14): configured with
+// -DPODIUM_LOCK_ORDER=ON, every acquisition below reports to
+// podium::analysis' lock-order graph, and the first acquisition that
+// closes an ordering cycle aborts with both conflicting edges and their
+// original file:line sites. Off (the default), the hooks — and the name
+// each mutex carries — compile away entirely: Mutex is exactly a
+// std::mutex and the source_location defaults are dead arguments.
+#if defined(PODIUM_LOCK_ORDER)
+#include "podium/analysis/lock_graph.h"
+#define PODIUM_LOCK_ORDER_ONLY(x) x
+#else
+#define PODIUM_LOCK_ORDER_ONLY(x)
+#endif
 
 namespace podium::util {
 
 class MutexLock;
 class CondVar;
+
+#if defined(PODIUM_LOCK_ORDER)
+namespace internal {
+inline analysis::AcquisitionSite ToSite(const std::source_location& loc) {
+  analysis::AcquisitionSite site;
+  site.file = loc.file_name();
+  site.line = loc.line();
+  site.function = loc.function_name();
+  return site;
+}
+}  // namespace internal
+#endif
 
 /// std::mutex declared as a Clang thread-safety capability. The standard
 /// library type works fine at runtime but is invisible to the analysis
@@ -18,19 +45,49 @@ class CondVar;
 /// in concurrent podium code is one of these instead: same cost, same
 /// semantics, but `PODIUM_GUARDED_BY(mutex_)` on the members it protects
 /// is now enforced by `-Wthread-safety` rather than by code review.
+///
+/// Every instance carries a stable name — its lock *class* in the §14
+/// lock-order model: `util::Mutex mutex_{"serve.result_cache"};`. The
+/// name is what the runtime detector builds its ordering graph over, so
+/// it should identify the role, not the instance ("shard.pool" for every
+/// element of an array, which shares one default-constructed name). The
+/// `unnamed-mutex` lint rule keeps declaration sites named; in detector-
+/// off builds the argument is discarded and the mutex stays exactly
+/// sizeof(std::mutex).
 class PODIUM_CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+#if defined(PODIUM_LOCK_ORDER)
+  explicit Mutex(const char* name = "<unnamed>") : name_(name) {}
+#else
+  explicit Mutex(const char* /*name*/ = nullptr) {}
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() PODIUM_ACQUIRE() { mu_.lock(); }
-  void Unlock() PODIUM_RELEASE() { mu_.unlock(); }
-  bool TryLock() PODIUM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock(std::source_location loc = std::source_location::current())
+      PODIUM_ACQUIRE() {
+    PODIUM_LOCK_ORDER_ONLY(
+        analysis::OnLock(this, name_, internal::ToSite(loc));)
+    (void)loc;
+    mu_.lock();
+  }
+  void Unlock() PODIUM_RELEASE() {
+    PODIUM_LOCK_ORDER_ONLY(analysis::OnUnlock(this);)
+    mu_.unlock();
+  }
+  bool TryLock(std::source_location loc = std::source_location::current())
+      PODIUM_TRY_ACQUIRE(true) {
+    const bool acquired = mu_.try_lock();
+    PODIUM_LOCK_ORDER_ONLY(
+        analysis::OnTryLock(this, name_, acquired, internal::ToSite(loc));)
+    (void)loc;
+    return acquired;
+  }
 
  private:
   friend class MutexLock;
   std::mutex mu_;
+  PODIUM_LOCK_ORDER_ONLY(const char* name_;)
 };
 
 /// RAII lock over a Mutex (the annotated std::unique_lock). Unlike
@@ -39,8 +96,18 @@ class PODIUM_CAPABILITY("mutex") Mutex {
 /// analysis can trust the scope.
 class PODIUM_SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex& mu) PODIUM_ACQUIRE(mu) : lock_(mu.mu_) {}
-  ~MutexLock() PODIUM_RELEASE() = default;
+  explicit MutexLock(Mutex& mu, std::source_location loc =
+                                    std::source_location::current())
+      PODIUM_ACQUIRE(mu)
+      : lock_(mu.mu_, std::defer_lock) {
+    PODIUM_LOCK_ORDER_ONLY(mutex_ = &mu; analysis::OnLock(
+        &mu, mu.name_, internal::ToSite(loc));)
+    (void)loc;
+    lock_.lock();
+  }
+  ~MutexLock() PODIUM_RELEASE() {
+    PODIUM_LOCK_ORDER_ONLY(analysis::OnUnlock(mutex_);)
+  }
 
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
@@ -48,6 +115,7 @@ class PODIUM_SCOPED_CAPABILITY MutexLock {
  private:
   friend class CondVar;
   std::unique_lock<std::mutex> lock_;
+  PODIUM_LOCK_ORDER_ONLY(Mutex* mutex_ = nullptr;)
 };
 
 /// Condition variable bound to MutexLock. Waits atomically release the
@@ -63,20 +131,33 @@ class PODIUM_SCOPED_CAPABILITY MutexLock {
 ///   while (!condition) cv_.Wait(lock);
 ///
 /// which keeps every guarded read inside the analyzed locked scope.
+///
+/// Under the §14 lock-order detector a wait is a release/reacquire pair:
+/// the lock leaves the thread's held stack while it sleeps and returns —
+/// with its original acquisition site — when the wait returns, so waits
+/// neither record new ordering edges nor leave phantom holders behind.
 class CondVar {
  public:
   CondVar() = default;
   CondVar(const CondVar&) = delete;
   CondVar& operator=(const CondVar&) = delete;
 
-  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void Wait(MutexLock& lock) {
+    PODIUM_LOCK_ORDER_ONLY(analysis::OnCondVarWait(lock.mutex_);)
+    cv_.wait(lock.lock_);
+    PODIUM_LOCK_ORDER_ONLY(analysis::OnCondVarRequeue(lock.mutex_);)
+  }
 
   /// Waits until notified or `deadline`; false means the deadline passed
   /// (the caller still holds the lock and must re-check its condition).
   template <typename Clock, typename Duration>
   bool WaitUntil(MutexLock& lock,
                  const std::chrono::time_point<Clock, Duration>& deadline) {
-    return cv_.wait_until(lock.lock_, deadline) != std::cv_status::timeout;
+    PODIUM_LOCK_ORDER_ONLY(analysis::OnCondVarWait(lock.mutex_);)
+    const bool notified =
+        cv_.wait_until(lock.lock_, deadline) != std::cv_status::timeout;
+    PODIUM_LOCK_ORDER_ONLY(analysis::OnCondVarRequeue(lock.mutex_);)
+    return notified;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -93,7 +93,7 @@ class ThreadPool {
   static void RunChunks(Job& job);
 
   std::vector<std::thread> workers_;
-  Mutex mutex_;
+  Mutex mutex_{"threadpool.pool"};
   CondVar work_ready_;
   CondVar work_done_;
   Job* job_ PODIUM_GUARDED_BY(mutex_) = nullptr;

@@ -1,0 +1,333 @@
+#include "podium/analysis/lock_graph.h"
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "podium/util/mutex.h"
+
+namespace podium::analysis {
+namespace {
+
+AcquisitionSite Site(unsigned line) {
+  AcquisitionSite site;
+  site.file = "tests/analysis/lock_graph_test.cc";
+  site.line = line;
+  site.function = "TestBody";
+  return site;
+}
+
+/// Installs a capturing handler for the test's lifetime (the default
+/// handler aborts the process) and resets the global graph so tests are
+/// order-independent within one binary run.
+class CaptureFixture {
+ public:
+  CaptureFixture() {
+    ResetLockGraphForTest();
+    previous_ = SetLockCycleHandler(
+        [this](const CycleReport& report) { reports_.push_back(report); });
+  }
+  ~CaptureFixture() { SetLockCycleHandler(std::move(previous_)); }
+
+  const std::vector<CycleReport>& reports() const { return reports_; }
+
+ private:
+  std::vector<CycleReport> reports_;
+  CycleHandler previous_;
+};
+
+// The hooks are plain functions keyed on opaque pointers, so the graph
+// machinery is exercised here without any real locking (and therefore in
+// every build, not just -DPODIUM_LOCK_ORDER=ON ones).
+
+TEST(LockGraph, NestedAcquisitionRecordsOneEdge) {
+  CaptureFixture capture;
+  int a = 0;
+  int b = 0;
+  OnLock(&a, "test.a", Site(1));
+  OnLock(&b, "test.b", Site(2));
+  EXPECT_EQ(EdgeCountForTest(), 1u);
+  EXPECT_TRUE(IsHeldForTest(&a));
+  EXPECT_TRUE(IsHeldForTest(&b));
+  OnUnlock(&b);
+  OnUnlock(&a);
+  EXPECT_EQ(HeldCountForTest(), 0u);
+  EXPECT_TRUE(capture.reports().empty());
+}
+
+TEST(LockGraph, InvertedOrderReportsCycleWithBothEdges) {
+  CaptureFixture capture;
+  int a = 0;
+  int b = 0;
+  OnLock(&a, "test.a", Site(10));
+  OnLock(&b, "test.b", Site(11));  // records a -> b
+  OnUnlock(&b);
+  OnUnlock(&a);
+  OnLock(&b, "test.b", Site(20));
+  OnLock(&a, "test.a", Site(21));  // closes b -> a
+  OnUnlock(&a);
+  OnUnlock(&b);
+
+  ASSERT_EQ(capture.reports().size(), 1u);
+  const CycleReport& report = capture.reports()[0];
+  EXPECT_EQ(report.kind, CycleReport::Kind::kCycle);
+  EXPECT_EQ(report.closing_edge.holder, "test.b");
+  EXPECT_EQ(report.closing_edge.acquired, "test.a");
+  EXPECT_EQ(report.closing_edge.holder_site.line, 20u);
+  EXPECT_EQ(report.closing_edge.acquired_site.line, 21u);
+  // The conflicting pre-existing path cites the ORIGINAL sites.
+  ASSERT_EQ(report.path.size(), 1u);
+  EXPECT_EQ(report.path[0].holder, "test.a");
+  EXPECT_EQ(report.path[0].acquired, "test.b");
+  EXPECT_EQ(report.path[0].holder_site.line, 10u);
+  EXPECT_EQ(report.path[0].acquired_site.line, 11u);
+}
+
+TEST(LockGraph, TransitiveCycleReportsFullPath) {
+  CaptureFixture capture;
+  int a = 0;
+  int b = 0;
+  int c = 0;
+  OnLock(&a, "test.a", Site(1));
+  OnLock(&b, "test.b", Site(2));  // a -> b
+  OnUnlock(&b);
+  OnUnlock(&a);
+  OnLock(&b, "test.b", Site(3));
+  OnLock(&c, "test.c", Site(4));  // b -> c
+  OnUnlock(&c);
+  OnUnlock(&b);
+  OnLock(&c, "test.c", Site(5));
+  OnLock(&a, "test.a", Site(6));  // closes c -> a through a->b->c
+  OnUnlock(&a);
+  OnUnlock(&c);
+
+  ASSERT_EQ(capture.reports().size(), 1u);
+  const CycleReport& report = capture.reports()[0];
+  ASSERT_EQ(report.path.size(), 2u);
+  EXPECT_EQ(report.path[0].holder, "test.a");
+  EXPECT_EQ(report.path[1].acquired, "test.c");
+}
+
+TEST(LockGraph, RecursiveReacquireReportedDistinctly) {
+  CaptureFixture capture;
+  int a = 0;
+  OnLock(&a, "test.a", Site(30));
+  OnLock(&a, "test.a", Site(31));  // same instance: self-deadlock
+  OnUnlock(&a);
+  OnUnlock(&a);
+
+  ASSERT_EQ(capture.reports().size(), 1u);
+  const CycleReport& report = capture.reports()[0];
+  EXPECT_EQ(report.kind, CycleReport::Kind::kRecursive);
+  EXPECT_EQ(report.closing_edge.holder_site.line, 30u);
+  EXPECT_EQ(report.closing_edge.acquired_site.line, 31u);
+  EXPECT_TRUE(report.path.empty());
+  // Not an ordering cycle: no edge was recorded either.
+  EXPECT_EQ(EdgeCountForTest(), 0u);
+}
+
+TEST(LockGraph, SameClassSiblingsRecordNoSelfLoop) {
+  CaptureFixture capture;
+  int first = 0;
+  int second = 0;
+  // Two instances sharing a class name, legitimately ordered (e.g. a
+  // striped map locking stripe i then stripe j): no edge, no report.
+  OnLock(&first, "test.stripe", Site(1));
+  OnLock(&second, "test.stripe", Site(2));
+  OnUnlock(&second);
+  OnUnlock(&first);
+  EXPECT_EQ(EdgeCountForTest(), 0u);
+  EXPECT_TRUE(capture.reports().empty());
+}
+
+TEST(LockGraph, FailedTryLockRecordsNothing) {
+  CaptureFixture capture;
+  int a = 0;
+  int b = 0;
+  OnLock(&a, "test.a", Site(1));
+  OnTryLock(&b, "test.b", /*acquired=*/false, Site(2));
+  EXPECT_FALSE(IsHeldForTest(&b));
+  EXPECT_EQ(EdgeCountForTest(), 0u);
+  OnUnlock(&a);
+  EXPECT_TRUE(capture.reports().empty());
+}
+
+TEST(LockGraph, SuccessfulTryLockJoinsHeldStackWithoutIncomingEdge) {
+  CaptureFixture capture;
+  int a = 0;
+  int b = 0;
+  int c = 0;
+  OnLock(&a, "test.a", Site(1));
+  // A try-lock cannot block, so holding a while try-locking b is not an
+  // ordering commitment...
+  OnTryLock(&b, "test.b", /*acquired=*/true, Site(2));
+  EXPECT_TRUE(IsHeldForTest(&b));
+  EXPECT_EQ(EdgeCountForTest(), 0u);
+  // ...but blocking acquisitions UNDER the try-locked mutex are: both
+  // a -> c and b -> c get recorded.
+  OnLock(&c, "test.c", Site(3));
+  EXPECT_EQ(EdgeCountForTest(), 2u);
+  OnUnlock(&c);
+  OnUnlock(&b);
+  OnUnlock(&a);
+  EXPECT_TRUE(capture.reports().empty());
+}
+
+TEST(LockGraph, CondVarWaitReleasesAndRequeueRestoresOriginalSite) {
+  CaptureFixture capture;
+  int m = 0;
+  int other = 0;
+  OnLock(&m, "test.m", Site(40));
+  OnCondVarWait(&m);
+  // While parked the lock really is released: other threads can take it,
+  // and this thread's later acquisitions must not record edges from it.
+  EXPECT_FALSE(IsHeldForTest(&m));
+  OnLock(&other, "test.other", Site(41));
+  EXPECT_EQ(EdgeCountForTest(), 0u);
+  OnUnlock(&other);
+  OnCondVarRequeue(&m);
+  EXPECT_TRUE(IsHeldForTest(&m));
+  // The requeue itself records no edge either: the ordering commitment
+  // was made at the original acquisition.
+  EXPECT_EQ(EdgeCountForTest(), 0u);
+  // A lock taken under the re-held mutex cites the ORIGINAL site.
+  OnLock(&other, "test.other", Site(42));
+  OnUnlock(&other);
+  OnUnlock(&m);
+  // test.m -> test.other carries line 40, not the requeue.
+  OnLock(&other, "test.other", Site(50));
+  OnLock(&m, "test.m", Site(51));  // close the cycle to read the witness
+  ASSERT_EQ(capture.reports().size(), 1u);
+  ASSERT_EQ(capture.reports()[0].path.size(), 1u);
+  EXPECT_EQ(capture.reports()[0].path[0].holder_site.line, 40u);
+  OnUnlock(&m);
+  OnUnlock(&other);
+}
+
+TEST(LockGraph, RepeatedInversionReportsOnce) {
+  CaptureFixture capture;
+  int a = 0;
+  int b = 0;
+  for (int round = 0; round < 3; ++round) {
+    OnLock(&a, "test.a", Site(1));
+    OnLock(&b, "test.b", Site(2));
+    OnUnlock(&b);
+    OnUnlock(&a);
+    OnLock(&b, "test.b", Site(3));
+    OnLock(&a, "test.a", Site(4));
+    OnUnlock(&a);
+    OnUnlock(&b);
+  }
+  EXPECT_EQ(capture.reports().size(), 1u);
+}
+
+TEST(LockGraph, RenderNamesClassesAndSites) {
+  CaptureFixture capture;
+  int a = 0;
+  int b = 0;
+  OnLock(&a, "test.a", Site(100));
+  OnLock(&b, "test.b", Site(101));
+  OnUnlock(&b);
+  OnUnlock(&a);
+  OnLock(&b, "test.b", Site(200));
+  OnLock(&a, "test.a", Site(201));
+  OnUnlock(&a);
+  OnUnlock(&b);
+
+  ASSERT_EQ(capture.reports().size(), 1u);
+  const std::string rendered = capture.reports()[0].Render();
+  EXPECT_NE(rendered.find("cycle closed by \"test.b\" -> \"test.a\""),
+            std::string::npos);
+  EXPECT_NE(rendered.find("lock_graph_test.cc:200"), std::string::npos);
+  EXPECT_NE(rendered.find("lock_graph_test.cc:101"), std::string::npos);
+}
+
+TEST(LockGraph, RenderRecursiveNamesSelfDeadlock) {
+  CaptureFixture capture;
+  int a = 0;
+  OnLock(&a, "test.a", Site(1));
+  OnLock(&a, "test.a", Site(2));
+  OnUnlock(&a);
+  OnUnlock(&a);
+  ASSERT_EQ(capture.reports().size(), 1u);
+  const std::string rendered = capture.reports()[0].Render();
+  EXPECT_NE(rendered.find("recursive acquisition"), std::string::npos);
+  EXPECT_NE(rendered.find("self-deadlock"), std::string::npos);
+}
+
+#if defined(PODIUM_LOCK_ORDER)
+
+// Woven-instrumentation coverage: these run in the `lock-order` CI build,
+// where util::Mutex/MutexLock/CondVar report into the hooks for real.
+
+TEST(LockOrderWeave, MutexLockFeedsHeldStack) {
+  CaptureFixture capture;
+  util::Mutex mutex{"test.weave.a"};
+  EXPECT_FALSE(IsHeldForTest(&mutex));
+  {
+    util::MutexLock lock(mutex);
+    EXPECT_TRUE(IsHeldForTest(&mutex));
+  }
+  EXPECT_FALSE(IsHeldForTest(&mutex));
+  EXPECT_TRUE(capture.reports().empty());
+}
+
+TEST(LockOrderWeave, CondVarWaitUntilParksAndRequeues) {
+  CaptureFixture capture;
+  util::Mutex mutex{"test.weave.cv"};
+  util::CondVar cv;
+  util::MutexLock lock(mutex);
+  // An already-expired deadline returns immediately (timeout), exercising
+  // the park/requeue pair without another thread.
+  EXPECT_FALSE(cv.WaitUntil(lock, std::chrono::steady_clock::now()));
+  EXPECT_TRUE(IsHeldForTest(&mutex));
+  EXPECT_TRUE(capture.reports().empty());
+}
+
+TEST(LockOrderWeave, TryLockFailureLeavesNoTrace) {
+  CaptureFixture capture;
+  util::Mutex mutex{"test.weave.try"};
+  mutex.Lock();
+  std::thread([&mutex] {
+    EXPECT_FALSE(mutex.TryLock());
+    EXPECT_FALSE(IsHeldForTest(&mutex));  // on THIS thread
+  }).join();
+  mutex.Unlock();
+  EXPECT_TRUE(capture.reports().empty());
+}
+
+TEST(LockOrderWeave, InversionThroughRealMutexesReports) {
+  CaptureFixture capture;
+  util::Mutex a{"test.weave.first"};
+  util::Mutex b{"test.weave.second"};
+  {
+    util::MutexLock hold_a(a);
+    util::MutexLock hold_b(b);
+  }
+  {
+    util::MutexLock hold_b(b);
+    util::MutexLock hold_a(a);  // single thread: reports, cannot deadlock
+  }
+  ASSERT_EQ(capture.reports().size(), 1u);
+  EXPECT_EQ(capture.reports()[0].closing_edge.holder, "test.weave.second");
+  EXPECT_EQ(capture.reports()[0].closing_edge.acquired,
+            "test.weave.first");
+}
+
+#else
+
+// Detector-off builds carry no per-mutex name storage: util::Mutex is
+// exactly a std::mutex.
+TEST(LockOrderWeave, DisabledMutexCompilesNamesAway) {
+  EXPECT_EQ(sizeof(util::Mutex), sizeof(std::mutex));
+}
+
+#endif  // PODIUM_LOCK_ORDER
+
+}  // namespace
+}  // namespace podium::analysis

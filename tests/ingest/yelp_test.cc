@@ -1,8 +1,11 @@
 #include "podium/ingest/yelp.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -18,10 +21,15 @@ namespace {
 class YelpFixture {
  public:
   YelpFixture() {
+    // ctest runs every TEST as its own process, in parallel: the fixture
+    // paths carry the pid so concurrent tests never truncate or delete
+    // each other's files mid-read.
     const auto dir = std::filesystem::temp_directory_path();
-    business_path_ = (dir / "podium_yelp_business.json").string();
-    review_path_ = (dir / "podium_yelp_review.json").string();
-    user_path_ = (dir / "podium_yelp_user.json").string();
+    const std::string pid = std::to_string(::getpid());
+    business_path_ =
+        (dir / ("podium_yelp_business." + pid + ".json")).string();
+    review_path_ = (dir / ("podium_yelp_review." + pid + ".json")).string();
+    user_path_ = (dir / ("podium_yelp_user." + pid + ".json")).string();
 
     Write(business_path_, R"({"business_id":"b1","name":"Taco Hut","city":"Springfield","categories":"Restaurants, Mexican, Cheap Eats"}
 {"business_id":"b2","name":"Le Bistro","city":"Shelbyville","categories":"Restaurants, French"}

@@ -1,0 +1,9 @@
+#include <sys/socket.h>
+#include <unistd.h>
+
+long Fixture(int fd, char* buffer, unsigned long length) {
+  long total = ::recv(fd, buffer, length, 0);
+  total += ::write(fd, buffer, length);
+  const int client = ::accept4(fd, nullptr, nullptr, 0);
+  return total + client;
+}

@@ -12,7 +12,7 @@ class Counter {
   void Add(int n);
 
  private:
-  podium::util::Mutex mutex_;
+  podium::util::Mutex mutex_{"fixture.m"};
   long total_ PODIUM_GUARDED_BY(mutex_) = 0;
   std::atomic<long> peeks_{0};      // atomics need no guard
   podium::util::CondVar changed_;   // sync primitives are exempt

@@ -9,7 +9,7 @@ class Counter {
   void Add(int n);
 
  private:
-  podium::util::Mutex mutex_;
+  podium::util::Mutex mutex_{"fixture.m"};
   // The comment between does not end the adjacency group.
   long total_ = 0;
   long calls_ = 0;

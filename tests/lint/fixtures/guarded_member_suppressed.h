@@ -5,7 +5,7 @@
 
 class Counter {
  private:
-  podium::util::Mutex mutex_;
+  podium::util::Mutex mutex_{"fixture.m"};
   // Written before the lock exists; genuinely unguarded.
   long config_ = 0;  // podium-lint: allow(guarded-member)
 };

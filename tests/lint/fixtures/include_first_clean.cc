@@ -1,4 +1,4 @@
-#include "podium/widget/widget.h"
+#include "podium/json/json.h"
 
 #include <vector>
 

@@ -1,5 +1,5 @@
 #include <vector>
 
-#include "podium/widget/widget.h"
+#include "podium/json/json.h"
 
 void Widget() {}

@@ -1,0 +1,7 @@
+#include <vector>
+
+#include "podium/core/instance.h"
+#include "podium/groups/groups.h"
+#include "podium/util/status.h"
+
+void Fixture() {}

@@ -1,0 +1,5 @@
+#include "podium/serve/http.h"
+#include "podium/check/differ.h"
+#include "podium/util/status.h"
+
+void Fixture() {}

@@ -1,0 +1,7 @@
+// podium-lint: allow(layer-violation)
+#include "podium/serve/http.h"
+// podium-lint: allow(layer-violation)
+#include "podium/check/differ.h"
+#include "podium/util/status.h"
+
+void Fixture() {}

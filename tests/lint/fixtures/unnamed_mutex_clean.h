@@ -1,0 +1,11 @@
+#include "podium/util/mutex.h"
+
+class Fixture {
+ public:
+  using Mutex = podium::util::Mutex;
+
+ private:
+  podium::util::Mutex named_{"fixture.named"};
+  podium::util::Mutex shards_[4];
+  podium::util::Mutex* borrowed_ = nullptr;
+};

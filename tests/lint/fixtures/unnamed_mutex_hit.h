@@ -1,0 +1,8 @@
+#include "podium/util/mutex.h"
+
+class Fixture {
+ private:
+  podium::util::Mutex mutex_;
+};
+
+podium::util::Mutex g_fixture_mutex;

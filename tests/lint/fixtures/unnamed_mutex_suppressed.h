@@ -1,0 +1,9 @@
+#include "podium/util/mutex.h"
+
+class Fixture {
+ private:
+  // podium-lint: allow(unnamed-mutex)
+  podium::util::Mutex mutex_;
+};
+
+podium::util::Mutex g_fixture_mutex;  // podium-lint: allow(unnamed-mutex)

@@ -63,7 +63,7 @@ TEST(BannedFunctionRule, IgnoresCommentsStringsAndSubstrings) {
 
 TEST(IncludeFirstRule, FlagsOwnHeaderNotFirst) {
   const std::vector<Finding> findings = LintFixtureAs(
-      "include_first_hit.cc", "src/podium/widget/widget.cc");
+      "include_first_hit.cc", "src/podium/json/json.cc");
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule, "include-first");
   EXPECT_EQ(findings[0].line, 3);
@@ -71,7 +71,7 @@ TEST(IncludeFirstRule, FlagsOwnHeaderNotFirst) {
 
 TEST(IncludeFirstRule, AcceptsOwnHeaderFirst) {
   EXPECT_TRUE(LintFixtureAs("include_first_clean.cc",
-                            "src/podium/widget/widget.cc")
+                            "src/podium/json/json.cc")
                   .empty());
 }
 
@@ -255,6 +255,131 @@ TEST(GuardedMemberRule, HonorsSuppression) {
 TEST(GuardedMemberRule, AcceptsAnnotatedAndExemptMembers) {
   EXPECT_TRUE(
       LintFixtureAs("guarded_member_clean.h", "src/podium/core/fixture.h")
+          .empty());
+}
+
+// --- layer-violation -------------------------------------------------------
+
+TEST(LayerViolationRule, FlagsEveryIllegalEdgeByName) {
+  const std::vector<Finding> findings = LintFixtureAs(
+      "layer_violation_hit.cc", "src/podium/core/fixture.cc");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "layer-violation");
+  EXPECT_NE(findings[0].message.find("'core' -> 'serve'"),
+            std::string::npos);
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[1].rule, "layer-violation");
+  EXPECT_NE(findings[1].message.find("'core' -> 'check'"),
+            std::string::npos);
+}
+
+TEST(LayerViolationRule, AcceptsDeclaredEdges) {
+  // core -> {groups, util} and same-module includes are DAG edges.
+  EXPECT_TRUE(LintFixtureAs("layer_violation_clean.cc",
+                            "src/podium/core/fixture.cc")
+                  .empty());
+}
+
+TEST(LayerViolationRule, HonorsSuppression) {
+  EXPECT_TRUE(LintFixtureAs("layer_violation_suppressed.cc",
+                            "src/podium/core/fixture.cc")
+                  .empty());
+}
+
+TEST(LayerViolationRule, ExemptsCodeAboveTheDag) {
+  // tools/, tests/ and bench/ sit above the module DAG and may include
+  // any module.
+  for (const std::string path :
+       {"tools/fixture.cc", "tests/core/fixture_test.cc",
+        "bench/fixture.cc"}) {
+    EXPECT_TRUE(LintFixtureAs("layer_violation_hit.cc", path).empty())
+        << path;
+  }
+}
+
+TEST(LayerViolationRule, FlagsModulesMissingFromTheDag) {
+  const std::vector<Finding> findings = LintFixtureAs(
+      "layer_violation_clean.cc", "src/podium/widget/widget.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layer-violation");
+  EXPECT_NE(findings[0].message.find("not in the declared module DAG"),
+            std::string::npos);
+}
+
+// --- eintr-retry -----------------------------------------------------------
+
+TEST(EintrRetryRule, FlagsDirectSyscallsInServe) {
+  const std::vector<Finding> findings = LintFixtureAs(
+      "eintr_retry_hit.cc", "src/podium/serve/fixture.cc");
+  ASSERT_EQ(findings.size(), 3u);
+  for (const Finding& finding : findings) {
+    EXPECT_EQ(finding.rule, "eintr-retry");
+    EXPECT_NE(finding.message.find("io_util.h"), std::string::npos);
+  }
+  EXPECT_NE(findings[0].message.find("recv()"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("write()"), std::string::npos);
+  EXPECT_NE(findings[2].message.find("accept4()"), std::string::npos);
+}
+
+TEST(EintrRetryRule, OnlyAppliesToServe) {
+  EXPECT_TRUE(
+      LintFixtureAs("eintr_retry_hit.cc", "src/podium/core/fixture.cc")
+          .empty());
+  EXPECT_TRUE(
+      LintFixtureAs("eintr_retry_hit.cc", "tools/fixture.cc").empty());
+}
+
+TEST(EintrRetryRule, ExemptsTheWrapperFile) {
+  // io_util.h is the one serve/ file allowed to spell the syscalls out.
+  EXPECT_TRUE(
+      LintFixtureAs("eintr_retry_hit.cc", "src/podium/serve/io_util.h")
+          .empty());
+}
+
+TEST(EintrRetryRule, HonorsSameLineAndPrecedingLineSuppressions) {
+  EXPECT_TRUE(LintFixtureAs("eintr_retry_suppressed.cc",
+                            "src/podium/serve/fixture.cc")
+                  .empty());
+}
+
+TEST(EintrRetryRule, IgnoresWrappersCommentsStringsAndSubstrings) {
+  EXPECT_TRUE(LintFixtureAs("eintr_retry_clean.cc",
+                            "src/podium/serve/fixture.cc")
+                  .empty());
+}
+
+// --- unnamed-mutex ---------------------------------------------------------
+
+TEST(UnnamedMutexRule, FlagsMemberAndGlobalDeclarations) {
+  const std::vector<Finding> findings = LintFixtureAs(
+      "unnamed_mutex_hit.h", "src/podium/core/fixture.h");
+  ASSERT_EQ(findings.size(), 2u);
+  for (const Finding& finding : findings) {
+    EXPECT_EQ(finding.rule, "unnamed-mutex");
+    EXPECT_NE(finding.message.find("lock-class name"), std::string::npos);
+  }
+}
+
+TEST(UnnamedMutexRule, AppliesToTestsToo) {
+  // Coverage of the runtime detector must stay total; a test-only mutex
+  // still takes part in lock ordering.
+  EXPECT_EQ(
+      LintFixtureAs("unnamed_mutex_hit.h", "tests/core/fixture_test.cc")
+          .size(),
+      2u);
+}
+
+TEST(UnnamedMutexRule, HonorsSuppression) {
+  EXPECT_TRUE(LintFixtureAs("unnamed_mutex_suppressed.h",
+                            "src/podium/core/fixture.h")
+                  .empty());
+}
+
+TEST(UnnamedMutexRule, AcceptsNamedArrayAliasAndPointer) {
+  // Arrays share the defaulted name by design; pointers and using-aliases
+  // do not create a new lock.
+  EXPECT_TRUE(
+      LintFixtureAs("unnamed_mutex_clean.h", "src/podium/core/fixture.h")
           .empty());
 }
 

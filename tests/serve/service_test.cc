@@ -211,7 +211,7 @@ class SlotBlocker {
   }
 
  private:
-  util::Mutex mutex_;
+  util::Mutex mutex_{"test.service"};
   util::CondVar state_changed_;
   bool admitted_ PODIUM_GUARDED_BY(mutex_) = false;
   bool released_ PODIUM_GUARDED_BY(mutex_) = false;

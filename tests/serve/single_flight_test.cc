@@ -42,7 +42,7 @@ TEST_F(SingleFlightTest, ConcurrentIdenticalKeysComputeOnce) {
   flight.set_join_hook([&joined] { ++joined; });
 
   std::atomic<int> computes{0};
-  util::Mutex mutex;
+  util::Mutex mutex{"test.single_flight"};
   util::CondVar everyone_in;
 
   // The leader's compute parks until all followers have joined, proving
